@@ -1,0 +1,189 @@
+(* Benchmark / reproduction harness.
+
+   Running this executable regenerates every table of the reproduction
+   (E1..E12, one per paper claim — the paper has no numbered evaluation
+   tables, see DESIGN.md §3), then times the substrate and the protocols
+   with Bechamel micro-benchmarks (one Test per experiment workload plus
+   the core primitives).
+
+   Scale: quick samples by default; set XCHAIN_BENCH_FULL=1 for the full
+   (400 runs/config) tables recorded in EXPERIMENTS.md. *)
+
+open Bechamel
+open Toolkit
+open Protocols
+
+let scale =
+  match Sys.getenv_opt "XCHAIN_BENCH_FULL" with
+  | Some ("1" | "true" | "yes") -> Xchain.Experiments.Full
+  | _ -> Xchain.Experiments.Quick
+
+(* ----------------------- reproduction tables -------------------------- *)
+
+let print_tables () =
+  Fmt.pr "##### Reproduction tables (%s scale) #####@.@."
+    (match scale with Xchain.Experiments.Quick -> "quick" | Full -> "full");
+  List.iter
+    (fun t -> Fmt.pr "%a@." Xchain.Table.render t)
+    (Xchain.Experiments.all scale)
+
+(* -------------------------- micro-benchmarks -------------------------- *)
+
+let payment_run protocol ~hops ~seed =
+  let cfg = Runner.default_config ~hops ~seed in
+  ignore (Runner.run cfg protocol)
+
+(* One Test.make per experiment: times a single representative run of that
+   experiment's workload (the tables above aggregate hundreds of them). *)
+let experiment_tests =
+  let wcfg = Weak_protocol.default_config in
+  let committee =
+    { wcfg with Weak_protocol.tm = Weak_protocol.Committee { f = 1 } }
+  in
+  [
+    Test.make ~name:"e1_sync_payment_4hops"
+      (Staged.stage (fun () -> payment_run Runner.Sync_timebound ~hops:4 ~seed:1));
+    Test.make ~name:"e2_adversarial_psync"
+      (Staged.stage (fun () ->
+           let cfg =
+             {
+               (Runner.default_config ~hops:3 ~seed:1) with
+               network = Runner.Psync { gst = 10_000 };
+             }
+           in
+           ignore (Runner.run cfg Runner.Sync_timebound)));
+    Test.make ~name:"e3_weak_single_tm"
+      (Staged.stage (fun () -> payment_run (Runner.Weak wcfg) ~hops:3 ~seed:1));
+    Test.make ~name:"e4_weak_abort_path"
+      (Staged.stage (fun () ->
+           payment_run
+             (Runner.Weak { wcfg with Weak_protocol.patience = 0 })
+             ~hops:3 ~seed:1));
+    Test.make ~name:"e5_htlc_8hops"
+      (Staged.stage (fun () -> payment_run Runner.Htlc ~hops:8 ~seed:1));
+    Test.make ~name:"e6_byzantine_thief"
+      (Staged.stage (fun () ->
+           let topo = Topology.create ~hops:3 in
+           let cfg =
+             {
+               (Runner.default_config ~hops:3 ~seed:1) with
+               faults = [ (Topology.escrow topo 0, Byzantine.Thief_escrow) ];
+             }
+           in
+           ignore (Runner.run cfg Runner.Sync_timebound)));
+    Test.make ~name:"e7_deal_3cycle_timelock"
+      (Staged.stage (fun () ->
+           ignore
+             (Deals.Deal_runner.run
+                (Deals.Deal_runner.default_config
+                   (Deals.Deal.three_cycle ())
+                   Deals.Deal_runner.Timelock))));
+    Test.make ~name:"e8_committee_consensus"
+      (Staged.stage (fun () ->
+           payment_run (Runner.Weak committee) ~hops:2 ~seed:1));
+    Test.make ~name:"e9_naive_drift_run"
+      (Staged.stage (fun () ->
+           let cfg =
+             { (Runner.default_config ~hops:5 ~seed:1) with drift_ppm = 80_000 }
+           in
+           ignore (Runner.run cfg Runner.Naive_universal)));
+    Test.make ~name:"e10_deal_embedding"
+      (Staged.stage (fun () ->
+           ignore
+             (Deals.Deal_runner.run
+                (Deals.Deal_runner.default_config
+                   (Deals.Deal.two_party_swap ())
+                   Deals.Deal_runner.Cbc))));
+    Test.make ~name:"e11_ilp_atomic"
+      (Staged.stage (fun () ->
+           payment_run
+             (Runner.Atomic Atomic_protocol.default_config)
+             ~hops:3 ~seed:1));
+  ]
+
+let substrate_tests =
+  [
+    Test.make ~name:"sim_event_queue_push_pop_1k"
+      (Staged.stage (fun () ->
+           let q = Sim.Event_queue.create () in
+           for i = 0 to 999 do
+             ignore (Sim.Event_queue.push q ~time:((i * 7919) mod 1000) i)
+           done;
+           while not (Sim.Event_queue.is_empty q) do
+             ignore (Sim.Event_queue.pop q)
+           done));
+    Test.make ~name:"sim_rng_splitmix_1k"
+      (Staged.stage
+         (let g = Sim.Rng.create ~seed:1 in
+          fun () ->
+            for _ = 1 to 1000 do
+              ignore (Sim.Rng.next_int64 g)
+            done));
+    Test.make ~name:"xcrypto_sign_verify"
+      (Staged.stage
+         (let reg = Xcrypto.Auth.create ~seed:1 in
+          let signer = Xcrypto.Auth.register reg 0 in
+          fun () ->
+            let s = Xcrypto.Auth.sign signer "message body" in
+            assert (Xcrypto.Auth.verify reg 0 "message body" s)));
+    Test.make ~name:"ledger_deposit_release_cycle"
+      (Staged.stage
+         (let book = Ledger.Book.create ~currency:"x" in
+          Ledger.Book.open_account book ~owner:0 ~balance:1_000_000;
+          Ledger.Book.open_account book ~owner:1 ~balance:0;
+          fun () ->
+            match Ledger.Book.deposit book ~from_:0 ~amount:10 with
+            | Ok dep -> (
+                match Ledger.Book.release book dep ~to_:1 with
+                | Ok () ->
+                    ignore (Ledger.Book.transfer book ~src:1 ~dst:0 ~amount:10)
+                | Error _ -> assert false)
+            | Error _ -> assert false));
+    Test.make ~name:"params_derive_32hops"
+      (Staged.stage (fun () ->
+           ignore (Params.derive (Params.default_input ~hops:32))));
+  ]
+
+let run_benchmarks () =
+  Fmt.pr "@.##### Micro-benchmarks (Bechamel, monotonic clock) #####@.@.";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let groups =
+    [
+      Test.make_grouped ~name:"experiments" experiment_tests;
+      Test.make_grouped ~name:"substrate" substrate_tests;
+    ]
+  in
+  Fmt.pr "%-48s %16s %10s@." "benchmark" "time/run" "r²";
+  Fmt.pr "%s@." (String.make 76 '-');
+  List.iter
+    (fun grouped ->
+      let raw = Benchmark.all cfg instances grouped in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+      List.iter
+        (fun name ->
+          let v = Hashtbl.find results name in
+          let est =
+            match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square v with Some r -> r | None -> nan
+          in
+          let human =
+            if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+            else Printf.sprintf "%.0f ns" est
+          in
+          Fmt.pr "%-48s %16s %10.4f@." name human r2)
+        (List.sort compare names))
+    groups
+
+let () =
+  print_tables ();
+  run_benchmarks ();
+  Fmt.pr "@.done.@."

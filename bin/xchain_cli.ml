@@ -1,0 +1,355 @@
+(* Command-line front end.
+
+   xchain pay         — run one payment and report outcome + properties
+   xchain experiment  — regenerate the reproduction tables (e1..e12, all)
+   xchain params      — show the derived timeout windows (Thm 1 tuning)
+   xchain dot         — emit the Figure 2 automata as Graphviz *)
+
+open Cmdliner
+open Protocols
+
+(* ------------------------------- pay ---------------------------------- *)
+
+let protocol_conv =
+  let parse = function
+    | "sync" -> Ok `Sync
+    | "naive" -> Ok `Naive
+    | "htlc" -> Ok `Htlc
+    | "weak" -> Ok `Weak
+    | "committee" -> Ok `Committee
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  let print ppf p =
+    Fmt.string ppf
+      (match p with
+      | `Sync -> "sync"
+      | `Naive -> "naive"
+      | `Htlc -> "htlc"
+      | `Weak -> "weak"
+      | `Committee -> "committee")
+  in
+  Arg.conv (parse, print)
+
+let pay_cmd =
+  let run protocol hops value commission drift gst patience seed trace_wanted
+      jsonl_wanted =
+    let network =
+      match gst with
+      | None -> Xchain.Api.Synchronous
+      | Some gst -> Xchain.Api.Partially_synchronous { gst }
+    in
+    let protocol =
+      match protocol with
+      | `Sync -> Xchain.Api.Time_bounded
+      | `Naive -> Xchain.Api.Naive
+      | `Htlc -> Xchain.Api.Htlc_chain
+      | `Weak -> Xchain.Api.Weak_single { patience }
+      | `Committee -> Xchain.Api.Weak_committee { patience; f = 1 }
+    in
+    let result =
+      Xchain.Api.pay ~hops ~value ~commission ~drift_ppm:drift ~network
+        ~protocol ~seed ()
+    in
+    Fmt.pr "%a@." Xchain.Api.pp_result result;
+    if trace_wanted then
+      Fmt.pr "@.trace:@.%a@."
+        (Sim.Trace.pp ~msg:Msg.pp ~obs:Obs.pp)
+        result.Xchain.Api.outcome.Runner.trace;
+    if jsonl_wanted then
+      print_string
+        (Sim.Trace.to_jsonl
+           ~msg:(Fmt.str "%a" Msg.pp)
+           ~obs:(Fmt.str "%a" Obs.pp)
+           result.Xchain.Api.outcome.Runner.trace);
+    if result.Xchain.Api.all_properties_hold then 0 else 1
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv `Sync
+         & info [ "p"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Protocol: sync | naive | htlc | weak | committee.")
+  in
+  let hops =
+    Arg.(value & opt int 2 & info [ "n"; "hops" ] ~doc:"Number of escrows.")
+  in
+  let value = Arg.(value & opt int 1000 & info [ "value" ] ~doc:"Amount Bob is owed.") in
+  let commission =
+    Arg.(value & opt int 10 & info [ "commission" ] ~doc:"Per-connector commission.")
+  in
+  let drift =
+    Arg.(value & opt int 10_000 & info [ "drift-ppm" ] ~doc:"Clock drift in ppm.")
+  in
+  let gst =
+    Arg.(value & opt (some int) None
+         & info [ "gst" ] ~doc:"Partial synchrony with this GST (default: synchronous).")
+  in
+  let patience =
+    Arg.(value & opt int 20_000 & info [ "patience" ] ~doc:"Weak-protocol patience.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule seed.") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+  in
+  let jsonl =
+    Arg.(value & flag
+         & info [ "trace-jsonl" ]
+             ~doc:"Print the trace as JSON lines (machine-readable).")
+  in
+  Cmd.v
+    (Cmd.info "pay" ~doc:"Run one cross-chain payment and check the paper's properties")
+    Term.(
+      const run $ protocol $ hops $ value $ commission $ drift $ gst $ patience
+      $ seed $ trace $ jsonl)
+
+(* ---------------------------- experiment ------------------------------- *)
+
+let experiment_cmd =
+  let run name full =
+    let scale = if full then Xchain.Experiments.Full else Xchain.Experiments.Quick in
+    match name with
+    | "all" ->
+        List.iter
+          (fun t -> Fmt.pr "%a@." Xchain.Table.render t)
+          (Xchain.Experiments.all scale);
+        0
+    | name -> (
+        match Xchain.Experiments.by_name name with
+        | Some f ->
+            Fmt.pr "%a@." Xchain.Table.render (f scale);
+            0
+        | None ->
+            Fmt.epr "unknown experiment %S (use e1..e12 or all)@." name;
+            2)
+  in
+  let name_arg =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"NAME" ~doc:"Experiment name (e1..e12) or 'all'.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"Full sample sizes (400 runs/config) instead of quick.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the reproduction tables (see EXPERIMENTS.md)")
+    Term.(const run $ name_arg $ full)
+
+(* ------------------------------ params --------------------------------- *)
+
+let params_cmd =
+  let run hops delta sigma drift margin =
+    let p =
+      Params.derive { Params.hops; delta; sigma; drift_ppm = drift; margin }
+    in
+    Fmt.pr "%a@." Params.pp p;
+    (match Params.check p with
+    | Ok () ->
+        Fmt.pr "recurrence check: ok@.";
+        0
+    | Error e ->
+        Fmt.pr "recurrence check: %s@." e;
+        1)
+  in
+  let hops = Arg.(value & opt int 3 & info [ "n"; "hops" ] ~doc:"Escrows.") in
+  let delta = Arg.(value & opt int 100 & info [ "delta" ] ~doc:"Message delay bound.") in
+  let sigma = Arg.(value & opt int 10 & info [ "sigma" ] ~doc:"Computation bound.") in
+  let drift = Arg.(value & opt int 10_000 & info [ "drift-ppm" ] ~doc:"Clock drift, ppm.") in
+  let margin = Arg.(value & opt int 5 & info [ "margin" ] ~doc:"Safety margin, ticks.") in
+  Cmd.v
+    (Cmd.info "params" ~doc:"Derive the a/d timeout windows (the Thm 1 fine-tuning)")
+    Term.(const run $ hops $ delta $ sigma $ drift $ margin)
+
+(* ------------------------------- audit --------------------------------- *)
+
+let parse_fault topo spec =
+  (* "strategy@role", e.g. "thief-escrow@e0", "mute@bob", "forge-chi@chloe2" *)
+  match String.split_on_char '@' spec with
+  | [ strat; role ] ->
+      let pid =
+        match role with
+        | "alice" -> Topology.alice topo
+        | "bob" -> Topology.bob topo
+        | r when String.length r > 5 && String.sub r 0 5 = "chloe" ->
+            Topology.customer topo (int_of_string (String.sub r 5 (String.length r - 5)))
+        | r when String.length r > 1 && r.[0] = 'e' ->
+            Topology.escrow topo (int_of_string (String.sub r 1 (String.length r - 1)))
+        | r -> failwith (Printf.sprintf "unknown role %S" r)
+      in
+      let strategy =
+        match strat with
+        | "crash" -> Byzantine.Crash_at_start
+        | "mute" -> Byzantine.Mute
+        | "thief-escrow" -> Byzantine.Thief_escrow
+        | "premature-refund" -> Byzantine.Premature_refund_escrow
+        | "no-resolve" -> Byzantine.No_resolve_escrow
+        | "eager-chi" -> Byzantine.Eager_chi_bob
+        | "withhold-chi" -> Byzantine.Withhold_chi_bob
+        | "forge-chi" -> Byzantine.Forge_chi_connector
+        | "double-money" -> Byzantine.Double_money_customer
+        | "never-deposit" -> Byzantine.Never_deposit
+        | "false-funded" -> Byzantine.False_funded_escrow
+        | s -> failwith (Printf.sprintf "unknown strategy %S" s)
+      in
+      (pid, strategy)
+  | _ -> failwith (Printf.sprintf "fault %S is not strategy@role" spec)
+
+let audit_cmd =
+  let run protocol hops gst seed fault_specs =
+    let topo = Topology.create ~hops in
+    let faults =
+      try List.map (parse_fault topo) fault_specs
+      with Failure m ->
+        Fmt.epr "%s@." m;
+        exit 2
+    in
+    let cfg =
+      {
+        (Runner.default_config ~hops ~seed) with
+        network =
+          (match gst with None -> Runner.Sync | Some gst -> Runner.Psync { gst });
+        faults;
+      }
+    in
+    let runner_protocol =
+      match protocol with
+      | `Sync -> Runner.Sync_timebound
+      | `Naive -> Runner.Naive_universal
+      | `Htlc -> Runner.Htlc
+      | `Weak -> Runner.Weak Weak_protocol.default_config
+      | `Committee ->
+          Runner.Weak
+            { Weak_protocol.default_config with
+              tm = Weak_protocol.Committee { f = 1 } }
+    in
+    let outcome = Runner.run cfg runner_protocol in
+    let report = Xchain.Report.build outcome in
+    Fmt.pr "%a@." Xchain.Report.pp report;
+    if Props.Verdict.all_hold report.Xchain.Report.verdicts then 0 else 1
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv `Sync
+         & info [ "p"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Protocol: sync | naive | htlc | weak | committee.")
+  in
+  let hops = Arg.(value & opt int 3 & info [ "n"; "hops" ] ~doc:"Escrows.") in
+  let gst =
+    Arg.(value & opt (some int) None
+         & info [ "gst" ] ~doc:"Partial synchrony with this GST.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule seed.") in
+  let faults =
+    Arg.(value & opt_all string []
+         & info [ "fault" ] ~docv:"STRATEGY@ROLE"
+             ~doc:"Byzantine substitution, e.g. thief-escrow AT e0 (strategy@role), mute AT bob;                    repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run a payment and print the full postmortem (verdicts, promise              breaches, Figure 2 conformance)")
+    Term.(const run $ protocol $ hops $ gst $ seed $ faults)
+
+(* -------------------------------- deal --------------------------------- *)
+
+let deal_cmd =
+  let run which protocol gst seed lazy_party =
+    let deal =
+      match which with
+      | "swap" -> Deals.Deal.two_party_swap ()
+      | "cycle" -> Deals.Deal.three_cycle ()
+      | "broker" -> Deals.Deal.broker_dag ()
+      | "disconnected" -> Deals.Deal.disconnected_pair ()
+      | other ->
+          Fmt.epr "unknown deal %S (swap | cycle | broker | disconnected)@."
+            other;
+          exit 2
+    in
+    let proto =
+      match protocol with
+      | "timelock" -> Deals.Deal_runner.Timelock
+      | "cbc" -> Deals.Deal_runner.Cbc
+      | other ->
+          Fmt.epr "unknown protocol %S (timelock | cbc)@." other;
+          exit 2
+    in
+    let cfg =
+      { (Deals.Deal_runner.default_config deal proto) with gst; seed }
+    in
+    let outcome =
+      match lazy_party with
+      | None -> Deals.Deal_runner.run cfg
+      | Some p ->
+          Deals.Deal_byzantine.run_with_faults cfg
+            ~faults:[ (p, Deals.Deal_byzantine.Lazy_claim) ]
+    in
+    Fmt.pr "%a@.well-formed: %b@." Deals.Deal.pp deal
+      (Deals.Deal.well_formed deal);
+    List.iter
+      (fun v -> Fmt.pr "%a@." Deals.Deal_props.pp v)
+      (Deals.Deal_props.all outcome);
+    List.iter
+      (fun p ->
+        Fmt.pr "party %d: gained %a, lost %a@." p Ledger.Asset.Bag.pp
+          (Deals.Deal_runner.gained outcome p)
+          Ledger.Asset.Bag.pp
+          (Deals.Deal_runner.lost outcome p))
+      (List.init (Deals.Deal.parties deal) Fun.id);
+    if Deals.Deal_props.all_hold (Deals.Deal_props.all outcome) then 0 else 1
+  in
+  let which =
+    Arg.(value & pos 0 string "swap"
+         & info [] ~docv:"DEAL" ~doc:"swap | cycle | broker | disconnected.")
+  in
+  let protocol =
+    Arg.(value & opt string "timelock"
+         & info [ "p"; "protocol" ] ~doc:"timelock | cbc.")
+  in
+  let gst =
+    Arg.(value & opt (some int) None
+         & info [ "gst" ] ~doc:"Partial synchrony with this GST.")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Schedule seed.") in
+  let lazy_party =
+    Arg.(value & opt (some int) None
+         & info [ "lazy" ] ~docv:"PARTY"
+             ~doc:"Substitute this party with the lazy-claim Byzantine                    strategy.")
+  in
+  Cmd.v
+    (Cmd.info "deal"
+       ~doc:"Run a Herlihy-Liskov-Shrira cross-chain deal (§5) and check its              properties")
+    Term.(const run $ which $ protocol $ gst $ seed $ lazy_party)
+
+(* -------------------------------- dot ---------------------------------- *)
+
+let dot_cmd =
+  let run hops who =
+    let topo = Topology.create ~hops in
+    let params = Params.derive (Params.default_input ~hops) in
+    let env = Env.make ~topo ~params () in
+    let auto =
+      match who with
+      | "alice" -> Sync_protocol.alice_automaton env
+      | "bob" -> Sync_protocol.bob_automaton env
+      | "escrow" -> Sync_protocol.escrow_automaton env 0
+      | "chloe" ->
+          if hops < 2 then failwith "need >= 2 hops for a connector"
+          else Sync_protocol.connector_automaton env 1
+      | other -> failwith (Printf.sprintf "unknown automaton %S" other)
+    in
+    print_string (Anta.Automaton.to_dot auto);
+    0
+  in
+  let hops = Arg.(value & opt int 3 & info [ "n"; "hops" ] ~doc:"Escrows.") in
+  let who =
+    Arg.(value & pos 0 string "escrow"
+         & info [] ~docv:"WHO" ~doc:"alice | chloe | bob | escrow.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Figure 2 automaton as Graphviz")
+    Term.(const run $ hops $ who)
+
+let () =
+  let info =
+    Cmd.info "xchain" ~version:"1.0.0"
+      ~doc:"Cross-chain payment with success guarantees (SPAA 2020) — reproduction"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd ]))

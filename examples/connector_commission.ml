@@ -1,0 +1,41 @@
+(* A longer chain: Alice pays Bob 1000 through three connectors, each
+   taking a 25-unit commission. The example inspects the escrow ledgers
+   before and after to show where the value went.
+
+   Run with:  dune exec examples/connector_commission.exe *)
+
+open Protocols
+
+let () =
+  let hops = 4 and value = 1000 and commission = 25 in
+  let result =
+    Xchain.Api.pay ~hops ~value ~commission ~seed:3 ()
+  in
+  let outcome = result.Xchain.Api.outcome in
+  let env = outcome.Runner.env in
+  let topo = env.Env.topo in
+
+  Fmt.pr "Chain: %a@." Topology.pp topo;
+  Fmt.pr "Leg amounts (decreasing toward Bob — the difference is each \
+          connector's commission):@.";
+  Array.iteri
+    (fun i a -> Fmt.pr "  c%d pays %d at e%d@." i a i)
+    env.Env.amounts;
+
+  Fmt.pr "@.Final balances per escrow book:@.";
+  Array.iteri
+    (fun i book ->
+      Fmt.pr "  e%d: %a@." i Ledger.Book.pp book)
+    env.Env.books;
+
+  Fmt.pr "@.Net positions (received - paid):@.";
+  let view = Props.Payment_props.view outcome in
+  List.iter
+    (fun pid ->
+      Fmt.pr "  %-8s %+d@."
+        (Xchain.Api.participant_name outcome pid)
+        (view.Props.Payment_props.net pid))
+    (Topology.customers topo);
+
+  Fmt.pr "@.%a@." Props.Verdict.pp_report result.Xchain.Api.report;
+  if not result.Xchain.Api.success then exit 1

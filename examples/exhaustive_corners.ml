@@ -1,0 +1,31 @@
+(* Small-scope exhaustive verification.
+
+   The timeout-window inequalities behind Theorem 1 are monotone in every
+   message delay and in every clock rate, so their binding schedules sit
+   at the corners of the schedule space: each delay at its minimum or
+   maximum, each clock at an envelope extreme. For a one-hop payment that
+   is 2^6 delay patterns x 2^3 clock patterns = 512 corners — few enough
+   to check every single one.
+
+   The drift-tuned protocol must be clean on all of them. The drift-blind
+   baseline fails on 64 concrete corners, and the explorer names one: the
+   exact bit pattern of delays and fast/slow clocks that loses the race.
+
+   Run with:  dune exec examples/exhaustive_corners.exe *)
+
+let () =
+  let show label protocol =
+    let r = Xchain.Explore.sweep ~hops:1 ~drift_ppm:50_000 ~protocol () in
+    Fmt.pr "%-6s: %d corners, %d violations@." label r.Xchain.Explore.corners
+      r.Xchain.Explore.violations;
+    (match r.Xchain.Explore.first_witness with
+    | Some w -> Fmt.pr "        first witness: %s@." w
+    | None -> ());
+    r
+  in
+  let tuned = show "tuned" Protocols.Runner.Sync_timebound in
+  let naive = show "naive" Protocols.Runner.Naive_universal in
+  if tuned.Xchain.Explore.violations > 0 then exit 1;
+  if naive.Xchain.Explore.violations = 0 then exit 1;
+  Fmt.pr "@.Every corner of the schedule space agrees with Theorem 1: the \
+          tuned windows always win the race they were derived to win.@."

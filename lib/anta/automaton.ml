@@ -1,0 +1,257 @@
+type state = string
+
+type ('msg, 'obs) guard =
+  | Receive of { from_ : int; describe : string; accept : 'msg -> bool }
+  | Deadline of { base : string; offset : Sim.Sim_time.t }
+
+type ('msg, 'obs) branch = {
+  guard : ('msg, 'obs) guard;
+  save_msg : string option;
+  save_now : string list;
+  b_act :
+    ('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> 'msg option -> unit;
+  next : state;
+}
+
+type ('msg, 'obs) node =
+  | Output of {
+      to_ : int;
+      message : ('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> 'msg;
+      o_act : ('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> unit;
+      next : state;
+    }
+  | Input of ('msg, 'obs) branch list
+  | Final of { f_act : ('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> unit }
+
+type ('msg, 'obs) t = {
+  name : string;
+  initial : state;
+  nodes : (state * ('msg, 'obs) node) list;
+  table : (state, ('msg, 'obs) node) Hashtbl.t;
+}
+
+let make ~name ~initial ~nodes =
+  let table = Hashtbl.create (List.length nodes) in
+  List.iter
+    (fun (st, node) ->
+      if Hashtbl.mem table st then
+        invalid_arg (Printf.sprintf "Automaton %s: duplicate state %s" name st);
+      Hashtbl.add table st node)
+    nodes;
+  if not (Hashtbl.mem table initial) then
+    invalid_arg
+      (Printf.sprintf "Automaton %s: unknown initial state %s" name initial);
+  { name; initial; nodes; table }
+
+let name t = t.name
+let initial t = t.initial
+let node t st = Hashtbl.find_opt t.table st
+let states t = List.map fst t.nodes
+
+type check_error =
+  | Unknown_target of { from_ : state; target : state }
+  | Empty_input of state
+  | Unassigned_clock of { at : state; var : string }
+  | No_final_reachable
+  | Unreachable_state of state
+
+let pp_check_error ppf = function
+  | Unknown_target { from_; target } ->
+      Fmt.pf ppf "transition from %s targets unknown state %s" from_ target
+  | Empty_input st -> Fmt.pf ppf "input state %s has no outgoing transition" st
+  | Unassigned_clock { at; var } ->
+      Fmt.pf ppf
+        "deadline guard at %s reads clock variable %s not assigned on every \
+         incoming path"
+        at var
+  | No_final_reachable -> Fmt.string ppf "no final state is reachable"
+  | Unreachable_state st -> Fmt.pf ppf "state %s is unreachable" st
+
+let successors node =
+  match node with
+  | Output { next; _ } -> [ next ]
+  | Input branches -> List.map (fun b -> b.next) branches
+  | Final _ -> []
+
+module SS = Set.Make (String)
+
+(* Forward dataflow: for each state, the set of clock vars assigned on every
+   path from the initial state (must-analysis; meet = intersection). *)
+let must_assigned t =
+  let all_vars =
+    List.fold_left
+      (fun acc (_, node) ->
+        match node with
+        | Input branches ->
+            List.fold_left
+              (fun acc b -> List.fold_left (fun a v -> SS.add v a) acc b.save_now)
+              acc branches
+        | Output _ | Final _ -> acc)
+      SS.empty t.nodes
+  in
+  let assigned : (state, SS.t) Hashtbl.t = Hashtbl.create 16 in
+  let get st = Option.value ~default:all_vars (Hashtbl.find_opt assigned st) in
+  Hashtbl.replace assigned t.initial SS.empty;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (st, node) ->
+        if Hashtbl.mem assigned st then begin
+          let entry = get st in
+          let propagate target gained =
+            let flow = SS.union entry gained in
+            let old = Hashtbl.find_opt assigned target in
+            let updated =
+              match old with None -> flow | Some o -> SS.inter o flow
+            in
+            let same =
+              match old with None -> false | Some o -> SS.equal o updated
+            in
+            if not same then begin
+              Hashtbl.replace assigned target updated;
+              changed := true
+            end
+          in
+          match node with
+          | Output { next; _ } -> propagate next SS.empty
+          | Input branches ->
+              List.iter
+                (fun b -> propagate b.next (SS.of_list b.save_now))
+                branches
+          | Final _ -> ()
+        end)
+      t.nodes
+  done;
+  get
+
+let check t =
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  let known st = Hashtbl.mem t.table st in
+  List.iter
+    (fun (st, node) ->
+      List.iter
+        (fun target -> if not (known target) then err (Unknown_target { from_ = st; target }))
+        (successors node);
+      match node with
+      | Input [] -> err (Empty_input st)
+      | Input _ | Output _ | Final _ -> ())
+    t.nodes;
+  if !errors = [] then begin
+    (* reachability *)
+    let reachable = Hashtbl.create 16 in
+    let rec visit st =
+      if not (Hashtbl.mem reachable st) then begin
+        Hashtbl.add reachable st ();
+        match node t st with
+        | Some n -> List.iter visit (successors n)
+        | None -> ()
+      end
+    in
+    visit t.initial;
+    List.iter
+      (fun (st, _) ->
+        if not (Hashtbl.mem reachable st) then err (Unreachable_state st))
+      t.nodes;
+    let final_reachable =
+      List.exists
+        (fun (st, node) ->
+          Hashtbl.mem reachable st
+          && match node with Final _ -> true | _ -> false)
+        t.nodes
+    in
+    if not final_reachable then err No_final_reachable;
+    (* deadline guards read assigned clocks *)
+    let assigned_at = must_assigned t in
+    List.iter
+      (fun (st, node) ->
+        if Hashtbl.mem reachable st then
+          match node with
+          | Input branches ->
+              List.iter
+                (fun b ->
+                  match b.guard with
+                  | Deadline { base; _ } ->
+                      if not (SS.mem base (assigned_at st)) then
+                        err (Unassigned_clock { at = st; var = base })
+                  | Receive _ -> ())
+                branches
+          | Output _ | Final _ -> ())
+      t.nodes
+  end;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let no_act2 _ _ = ()
+let no_act3 _ _ _ = ()
+
+let output ~to_ ?(act = no_act2) ~message ~next () =
+  Output { to_; message; o_act = act; next }
+
+let input branches = Input branches
+let final ?(act = no_act2) () = Final { f_act = act }
+
+let on_receive ~from_ ?(describe = "msg") ~accept ?save_msg ?(save_now = [])
+    ?(act = no_act3) ~next () =
+  { guard = Receive { from_; describe; accept }; save_msg; save_now; b_act = act; next }
+
+let on_deadline ~base ~offset ?(save_now = []) ?(act = no_act3) ~next () =
+  {
+    guard = Deadline { base; offset };
+    save_msg = None;
+    save_now;
+    b_act = act;
+    next;
+  }
+
+let dot_escape s =
+  String.map (fun c -> if c = '"' then '\'' else c) s
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "digraph \"%s\" {\n  rankdir=LR;\n  node [fontsize=10];\n"
+    (dot_escape t.name);
+  List.iter
+    (fun (st, node) ->
+      match node with
+      | Output _ ->
+          bpf "  \"%s\" [shape=box style=filled fillcolor=lightgrey];\n"
+            (dot_escape st)
+      | Input _ -> bpf "  \"%s\" [shape=circle];\n" (dot_escape st)
+      | Final _ -> bpf "  \"%s\" [shape=doublecircle];\n" (dot_escape st))
+    t.nodes;
+  bpf "  \"__start\" [shape=point];\n  \"__start\" -> \"%s\";\n"
+    (dot_escape t.initial);
+  List.iter
+    (fun (st, node) ->
+      match node with
+      | Output { to_; next; _ } ->
+          bpf "  \"%s\" -> \"%s\" [label=\"s(%d, ·)\"];\n" (dot_escape st)
+            (dot_escape next) to_
+      | Input branches ->
+          List.iter
+            (fun b ->
+              let label =
+                match b.guard with
+                | Receive { from_; describe; _ } ->
+                    Printf.sprintf "r(%d, %s)" from_ describe
+                | Deadline { base; offset } ->
+                    Printf.sprintf "now >= %s + %s" base
+                      (Sim.Sim_time.to_string offset)
+              in
+              let label =
+                match b.save_now with
+                | [] -> label
+                | vars ->
+                    label ^ "\\n"
+                    ^ String.concat "; "
+                        (List.map (fun v -> v ^ " := now") vars)
+              in
+              bpf "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (dot_escape st)
+                (dot_escape b.next) (dot_escape label))
+            branches
+      | Final _ -> ())
+    t.nodes;
+  bpf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,133 @@
+(** Timed automata — the specification formalism of the paper.
+
+    An automaton has named states of two kinds, exactly as in Figure 2 of
+    the paper:
+
+    - {e output} ("grey") states: the automaton spends a bounded amount of
+      time computing, then performs the action [s(id, m)] of sending message
+      [m] to participant [id], and moves to the next state;
+    - {e input} ("white") states: the automaton stays there — possibly
+      forever — until one of its outgoing transitions becomes enabled, and
+      then takes it immediately. A transition is enabled by the receipt of a
+      matching message [r(id, m)], or by its time-out guard
+      [now >= x + a] becoming true on the local clock.
+
+    Transitions may carry assignments [x := now] recording the local time at
+    which they were taken, and may stash the received message in a data
+    variable (that is how a certificate χ gets forwarded). {e Final} states
+    mark termination.
+
+    Side effects on the surrounding world (ledger operations, domain
+    observations) are attached to transitions as [act] callbacks receiving
+    the process's engine context — this keeps the automaton structure
+    declarative and statically checkable while letting escrows actually move
+    money when they take a step. *)
+
+type state = string
+
+type ('msg, 'obs) guard =
+  | Receive of { from_ : int; describe : string; accept : 'msg -> bool }
+      (** [r(from_, m)] for messages satisfying [accept]. *)
+  | Deadline of { base : string; offset : Sim.Sim_time.t }
+      (** [now >= base + offset] on the local clock; [base] is a clock
+          variable that must have been assigned on every path reaching this
+          state. *)
+
+type ('msg, 'obs) branch = {
+  guard : ('msg, 'obs) guard;
+  save_msg : string option;  (** stash the received message in this data var *)
+  save_now : string list;  (** [x := now] assignments *)
+  b_act :
+    ('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> 'msg option -> unit;
+      (** side effects; the ['msg option] is the received message (None for
+          deadline branches) *)
+  next : state;
+}
+
+type ('msg, 'obs) node =
+  | Output of {
+      to_ : int;
+      message : ('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> 'msg;
+      o_act : ('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> unit;
+      next : state;
+    }
+  | Input of ('msg, 'obs) branch list
+  | Final of { f_act : ('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> unit }
+
+type ('msg, 'obs) t
+
+val make :
+  name:string ->
+  initial:state ->
+  nodes:(state * ('msg, 'obs) node) list ->
+  ('msg, 'obs) t
+(** Raises [Invalid_argument] on duplicate state names or an unknown initial
+    state. Deeper checks are in {!check}. *)
+
+val name : ('msg, 'obs) t -> string
+val initial : ('msg, 'obs) t -> state
+val node : ('msg, 'obs) t -> state -> ('msg, 'obs) node option
+val states : ('msg, 'obs) t -> state list
+
+(** {1 Well-formedness — the executable core of property C}
+
+    Property C (consistency) demands that each participant can actually
+    abide by the protocol: every prescribed step must be executable. For an
+    automaton this means: all transition targets exist; every input state
+    has at least one branch; every deadline guard reads a clock variable
+    assigned on {e every} path from the initial state to that guard; and a
+    final state is reachable. *)
+
+type check_error =
+  | Unknown_target of { from_ : state; target : state }
+  | Empty_input of state
+  | Unassigned_clock of { at : state; var : string }
+  | No_final_reachable
+  | Unreachable_state of state
+
+val check : ('msg, 'obs) t -> (unit, check_error list) result
+val pp_check_error : Format.formatter -> check_error -> unit
+
+(** {1 Builders} *)
+
+val output :
+  to_:int ->
+  ?act:(('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> unit) ->
+  message:(('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> 'msg) ->
+  next:state ->
+  unit ->
+  ('msg, 'obs) node
+
+val input : ('msg, 'obs) branch list -> ('msg, 'obs) node
+
+val final :
+  ?act:(('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> unit) ->
+  unit ->
+  ('msg, 'obs) node
+
+val on_receive :
+  from_:int ->
+  ?describe:string ->
+  accept:('msg -> bool) ->
+  ?save_msg:string ->
+  ?save_now:string list ->
+  ?act:(('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> 'msg option -> unit) ->
+  next:state ->
+  unit ->
+  ('msg, 'obs) branch
+
+val on_deadline :
+  base:string ->
+  offset:Sim.Sim_time.t ->
+  ?save_now:string list ->
+  ?act:(('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> 'msg option -> unit) ->
+  next:state ->
+  unit ->
+  ('msg, 'obs) branch
+
+(** {1 Rendering} *)
+
+val to_dot : ('msg, 'obs) t -> string
+(** Graphviz rendering in the visual style of the paper's Figure 2: grey
+    boxes for output states, white circles for input states, double circles
+    for final states. *)

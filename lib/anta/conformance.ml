@@ -1,0 +1,155 @@
+module A = Automaton
+
+type deviation = { at : Sim.Sim_time.t; state : A.state; reason : string }
+
+let pp_deviation ppf d =
+  Fmt.pf ppf "at t=%a in state %s: %s" Sim.Sim_time.pp d.at d.state d.reason
+
+type 'msg cursor = {
+  mutable state : A.state;
+  mutable pool : (int * 'msg) list;
+  mutable finished : bool;
+  mutable deviation : deviation option;
+}
+
+let fail c ~at reason =
+  if c.deviation = None then c.deviation <- Some { at; state = c.state; reason }
+
+(* Mirror of Executor.try_fire_receive, effect-free. *)
+let try_fire auto c =
+  match A.node auto c.state with
+  | Some (A.Input branches) ->
+      let rec find_in_pool from_ accept seen = function
+        | [] -> None
+        | ((src, m) as item) :: rest ->
+            if src = from_ && accept m then Some (m, List.rev_append seen rest)
+            else find_in_pool from_ accept (item :: seen) rest
+      in
+      let rec scan = function
+        | [] -> None
+        | (b : ('msg, 'obs) A.branch) :: rest -> (
+            match b.A.guard with
+            | A.Receive { from_; accept; _ } -> (
+                match find_in_pool from_ accept [] c.pool with
+                | Some (_, pool) -> Some (b, pool)
+                | None -> scan rest)
+            | A.Deadline _ -> scan rest)
+      in
+      scan branches
+  | _ -> None
+
+(* Enter a state; consume pool-enabled receive transitions greedily, exactly
+   as the executor does, stopping at an output state (which awaits a Sent
+   event), a final state, or a quiescent input state. *)
+let rec settle auto c ~at =
+  match A.node auto c.state with
+  | None -> fail c ~at (Printf.sprintf "unknown state %s" c.state)
+  | Some (A.Final _) -> c.finished <- true
+  | Some (A.Output _) -> () (* wait for the Sent event *)
+  | Some (A.Input _) -> (
+      match try_fire auto c with
+      | Some (b, pool) ->
+          c.pool <- pool;
+          c.state <- b.A.next;
+          settle auto c ~at
+      | None -> ())
+
+let on_delivered auto c ~at ~src msg =
+  if not c.finished then begin
+    c.pool <- c.pool @ [ (src, msg) ];
+    settle auto c ~at
+  end
+
+let on_sent auto tag_of c ~at ~dst msg =
+  if c.finished then fail c ~at "sent a message after reaching a final state"
+  else
+    match A.node auto c.state with
+    | Some (A.Output { to_; next; _ }) ->
+        if dst <> to_ then
+          fail c ~at
+            (Printf.sprintf "sent [%s] to %d, automaton sends to %d"
+               (tag_of msg) dst to_)
+        else begin
+          c.state <- next;
+          settle auto c ~at
+        end
+    | Some (A.Input _) ->
+        fail c ~at
+          (Printf.sprintf "sent [%s] to %d from an input (waiting) state"
+             (tag_of msg) dst)
+    | Some (A.Final _) -> fail c ~at "sent from a final state"
+    | None -> fail c ~at "sent from an unknown state"
+
+let split_label label =
+  match String.rindex_opt label '#' with
+  | None -> None
+  | Some i ->
+      let state = String.sub label 0 i in
+      let idx = String.sub label (i + 1) (String.length label - i - 1) in
+      Option.map (fun k -> (state, k)) (int_of_string_opt idx)
+
+let on_timer auto c ~at ~label =
+  if not c.finished then
+    match split_label label with
+    | None ->
+        fail c ~at (Printf.sprintf "fired a non-automaton timer %S" label)
+    | Some (state, idx) ->
+        if not (String.equal state c.state) then
+          fail c ~at
+            (Printf.sprintf "timer %S fired but the automaton is in %s" label
+               c.state)
+        else (
+          match A.node auto c.state with
+          | Some (A.Input branches) -> (
+              match List.nth_opt branches idx with
+              | Some (b : ('msg, 'obs) A.branch) -> (
+                  match b.A.guard with
+                  | A.Deadline _ ->
+                      c.state <- b.A.next;
+                      settle auto c ~at
+                  | A.Receive _ ->
+                      fail c ~at
+                        (Printf.sprintf "timer %S names a receive branch" label))
+              | None ->
+                  fail c ~at (Printf.sprintf "timer %S names no branch" label))
+          | _ ->
+              fail c ~at
+                (Printf.sprintf "timer %S fired outside an input state" label))
+
+let check auto ~pid ~tag_of trace =
+  let c =
+    {
+      state = A.initial auto;
+      pool = [];
+      finished = false;
+      deviation = None;
+    }
+  in
+  settle auto c ~at:Sim.Sim_time.zero;
+  List.iter
+    (fun entry ->
+      if c.deviation = None then
+        match entry with
+        | Sim.Trace.Sent { t; src; dst; msg; _ } when src = pid ->
+            on_sent auto tag_of c ~at:t ~dst msg
+        | Sim.Trace.Delivered { t; src; dst; msg; _ } when dst = pid ->
+            on_delivered auto c ~at:t ~src msg
+        | Sim.Trace.Timer_fired { t; owner; label } when owner = pid ->
+            on_timer auto c ~at:t ~label
+        | _ -> ())
+    (Sim.Trace.to_list trace);
+  match c.deviation with
+  | Some d -> Error d
+  | None -> (
+      (* a run may legitimately end mid-protocol (the process is waiting),
+         but never between an output state being entered and its send *)
+      match A.node auto c.state with
+      | Some (A.Output { to_; _ }) when not c.finished ->
+          Error
+            {
+              at = Sim.Trace.last_time trace;
+              state = c.state;
+              reason =
+                Printf.sprintf "run ended with the send to %d still owed" to_;
+            }
+      | _ -> Ok ())

@@ -1,0 +1,39 @@
+(** Executor: runs an {!Automaton.t} as an engine process.
+
+    Semantics implemented, matching the paper's informal ANTA semantics:
+
+    - entering an output state performs its action and send, then moves on
+      immediately (the engine's [sigma] models the "bounded amount of time
+      calculating");
+    - entering an input state arms one engine timer per deadline branch and
+      then consults the {e pending pool}: messages that arrived while the
+      automaton was elsewhere are not lost, they wait until a state with a
+      matching receive transition is entered (channel semantics — the
+      network holds undelivered-to-the-automaton messages);
+    - when several transitions are enabled simultaneously, the textually
+      first branch wins, making runs deterministic;
+    - entering a final state performs its action and halts the process.
+
+    The executor also records the visited state sequence, which tests use to
+    assert protocol paths. *)
+
+type ('msg, 'obs) running
+
+val handlers :
+  ('msg, 'obs) Automaton.t ->
+  ?init_clocks:string list ->
+  ?on_final:(('msg, 'obs) Sim.Engine.ctx -> 'msg Store.t -> unit) ->
+  unit ->
+  ('msg, 'obs) Sim.Engine.handlers * ('msg, 'obs) running
+(** [init_clocks] are clock variables assigned [now] when the process starts
+    (the automaton's birth time); [on_final] runs after the final state's own
+    action. The [running] handle exposes execution introspection. *)
+
+val current_state : ('msg, 'obs) running -> Automaton.state
+val visited : ('msg, 'obs) running -> Automaton.state list
+(** In visit order, initial state first. *)
+
+val terminated : ('msg, 'obs) running -> bool
+val store : ('msg, 'obs) running -> 'msg Store.t
+val pending_count : ('msg, 'obs) running -> int
+(** Messages delivered but not yet consumed by any transition. *)

@@ -1,0 +1,106 @@
+module A = Automaton
+
+type issue =
+  | Dangling_send of { from_ : int; state : A.state; to_ : int }
+  | Deaf_receiver of { from_ : int; to_ : int }
+  | Unheard_listener of { at : int; state : A.state; from_ : int }
+
+let severity = function
+  | Dangling_send _ | Deaf_receiver _ -> `Error
+  | Unheard_listener _ -> `Warning
+
+let pp_issue ppf = function
+  | Dangling_send { from_; state; to_ } ->
+      Fmt.pf ppf "pid %d (state %s) sends to pid %d, which runs no automaton"
+        from_ state to_
+  | Deaf_receiver { from_; to_ } ->
+      Fmt.pf ppf
+        "pid %d sends to pid %d, but %d has no receive transition for \
+         messages from %d"
+        from_ to_ to_ from_
+  | Unheard_listener { at; state; from_ } ->
+      Fmt.pf ppf
+        "pid %d (state %s) waits for messages from pid %d, which never \
+         sends to %d"
+        at state from_ at
+
+(* (sender, receiver) channels implied by output states / receive guards *)
+let sends_of auto =
+  List.filter_map
+    (fun st ->
+      match A.node auto st with
+      | Some (A.Output { to_; _ }) -> Some (st, to_)
+      | _ -> None)
+    (A.states auto)
+
+let listens_of auto =
+  List.concat_map
+    (fun st ->
+      match A.node auto st with
+      | Some (A.Input branches) ->
+          List.filter_map
+            (fun (b : ('msg, 'obs) A.branch) ->
+              match b.A.guard with
+              | A.Receive { from_; _ } -> Some (st, from_)
+              | A.Deadline _ -> None)
+            branches
+      | _ -> [])
+    (A.states auto)
+
+let check network =
+  let autos = network in
+  let has_pid pid = List.mem_assoc pid autos in
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  (* send side *)
+  List.iter
+    (fun (from_, auto) ->
+      List.iter
+        (fun (state, to_) ->
+          if not (has_pid to_) then add (Dangling_send { from_; state; to_ })
+          else
+            let target = List.assoc to_ autos in
+            let listens =
+              List.exists (fun (_, f) -> f = from_) (listens_of target)
+            in
+            if not listens then add (Deaf_receiver { from_; to_ }))
+        (sends_of auto))
+    autos;
+  (* receive side *)
+  List.iter
+    (fun (at, auto) ->
+      List.iter
+        (fun (state, from_) ->
+          match List.assoc_opt from_ autos with
+          | None -> add (Unheard_listener { at; state; from_ })
+          | Some sender ->
+              let sends_here =
+                List.exists (fun (_, t) -> t = at) (sends_of sender)
+              in
+              if not sends_here then add (Unheard_listener { at; state; from_ }))
+        (listens_of auto))
+    autos;
+  (* dedup Deaf_receiver per channel, errors first *)
+  let seen = Hashtbl.create 16 in
+  let deduped =
+    List.filter
+      (fun i ->
+        match i with
+        | Deaf_receiver { from_; to_ } ->
+            if Hashtbl.mem seen (from_, to_) then false
+            else begin
+              Hashtbl.add seen (from_, to_) ();
+              true
+            end
+        | _ -> true)
+      (List.rev !issues)
+  in
+  List.stable_sort
+    (fun a b ->
+      match (severity a, severity b) with
+      | `Error, `Warning -> -1
+      | `Warning, `Error -> 1
+      | _ -> 0)
+    deduped
+
+let errors issues = List.filter (fun i -> severity i = `Error) issues

@@ -1,0 +1,28 @@
+type 'msg t = {
+  clocks : (string, Sim.Sim_time.t) Hashtbl.t;
+  datas : (string, 'msg) Hashtbl.t;
+}
+
+
+let create () = { clocks = Hashtbl.create 8; datas = Hashtbl.create 8 }
+let set_clock t name v = Hashtbl.replace t.clocks name v
+
+let clock t name =
+  match Hashtbl.find_opt t.clocks name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Anta.Store.clock: %s unset" name)
+
+let clock_opt t name = Hashtbl.find_opt t.clocks name
+let set_data t name v = Hashtbl.replace t.datas name v
+
+let data t name =
+  match Hashtbl.find_opt t.datas name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Anta.Store.data: %s unset" name)
+
+let data_opt t name = Hashtbl.find_opt t.datas name
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let clock_vars t = keys t.clocks
+let data_vars t = keys t.datas

@@ -1,0 +1,23 @@
+(** Variable store of a timed automaton.
+
+    The paper's automata keep two kinds of variables: {e clock variables}
+    written by [x := now] transitions (holding local-time instants), and —
+    implicitly, to forward certificates and promises — the payloads of
+    received messages. The store holds both. Reads of unset variables raise
+    [Not_found]-style errors with the variable name, which the
+    well-formedness checker ({!Automaton.check}) rules out statically for
+    conforming automata. *)
+
+type 'msg t
+
+val create : unit -> 'msg t
+val set_clock : 'msg t -> string -> Sim.Sim_time.t -> unit
+val clock : 'msg t -> string -> Sim.Sim_time.t
+(** Raises [Invalid_argument] naming the variable if unset. *)
+
+val clock_opt : 'msg t -> string -> Sim.Sim_time.t option
+val set_data : 'msg t -> string -> 'msg -> unit
+val data : 'msg t -> string -> 'msg
+val data_opt : 'msg t -> string -> 'msg option
+val clock_vars : 'msg t -> string list
+val data_vars : 'msg t -> string list

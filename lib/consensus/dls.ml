@@ -1,0 +1,337 @@
+open Xcrypto
+
+type round = int
+type 'v echo_body = { e_round : round; e_value : 'v }
+type 'v commit_body = { c_round : round; c_value : 'v }
+
+type 'v qc = {
+  q_round : round;
+  q_value : 'v;
+  q_sigs : 'v echo_body Auth.signed list;
+}
+
+type 'v decision_cert = {
+  d_value : 'v;
+  d_round : round;
+  d_sigs : 'v commit_body Auth.signed list;
+}
+
+type 'v msg =
+  | Propose of { round : round; value : 'v; justif : 'v qc option }
+  | Echo of 'v echo_body Auth.signed
+  | Commit of 'v commit_body Auth.signed
+  | New_round of { round : round; locked : 'v qc option }
+
+type 'v effect =
+  | Send of { to_ : int; m : 'v msg }
+  | Broadcast of 'v msg
+  | Set_round_timer of { round : round; after : Sim.Sim_time.t }
+  | Decided of 'v decision_cert
+
+type 'v config = {
+  n : int;
+  f : int;
+  self : int;
+  auth_ids : int array;
+  registry : Auth.registry;
+  signer : Auth.signer;
+  ser : 'v -> string;
+  equal : 'v -> 'v -> bool;
+  validate : 'v -> bool;
+  base_timeout : Sim.Sim_time.t;
+}
+
+(* Per-round vote books: for each round, per distinct value, the signed
+   votes indexed by replica. *)
+type ('v, 'body) votes = {
+  mutable entries : ('v * (int, 'body Auth.signed) Hashtbl.t) list;
+}
+
+type 'v t = {
+  cfg : 'v config;
+  mutable round : round;
+  mutable preference : 'v option;
+  mutable lock : 'v qc option;
+  mutable decision : 'v decision_cert option;
+  echo_votes : (round, ('v, 'v echo_body) votes) Hashtbl.t;
+  commit_votes : (round, ('v, 'v commit_body) votes) Hashtbl.t;
+  mutable echoed : round list;  (* rounds in which we already echoed *)
+  mutable committed : round list;
+  mutable proposed : round list;
+}
+
+let quorum cfg = (2 * cfg.f) + 1
+
+let leader_of ~n round = ((round mod n) + n) mod n
+
+let ser_echo ser (b : 'v echo_body) =
+  Printf.sprintf "echo|%d|%s" b.e_round (ser b.e_value)
+
+let ser_commit ser (b : 'v commit_body) =
+  Printf.sprintf "commit|%d|%s" b.c_round (ser b.c_value)
+
+let is_replica_auth cfg author =
+  Array.exists (fun id -> id = author) cfg.auth_ids
+
+let verify_vote_set cfg ~ser_body ~round_of ~value_of ~want_round ~want_value
+    sigs =
+  let seen = Hashtbl.create 8 in
+  let ok_count =
+    List.fold_left
+      (fun acc (sv : _ Auth.signed) ->
+        let b = sv.Auth.payload in
+        if
+          round_of b = want_round
+          && cfg.equal (value_of b) want_value
+          && is_replica_auth cfg sv.Auth.author
+          && (not (Hashtbl.mem seen sv.Auth.author))
+          && Auth.verify_value cfg.registry ~ser:ser_body sv
+        then begin
+          Hashtbl.add seen sv.Auth.author ();
+          acc + 1
+        end
+        else acc)
+      0 sigs
+  in
+  ok_count >= quorum cfg
+
+let verify_qc cfg (qc : 'v qc) =
+  verify_vote_set cfg
+    ~ser_body:(ser_echo cfg.ser)
+    ~round_of:(fun b -> b.e_round)
+    ~value_of:(fun b -> b.e_value)
+    ~want_round:qc.q_round ~want_value:qc.q_value qc.q_sigs
+
+let verify_decision cfg (dc : 'v decision_cert) =
+  verify_vote_set cfg
+    ~ser_body:(ser_commit cfg.ser)
+    ~round_of:(fun b -> b.c_round)
+    ~value_of:(fun b -> b.c_value)
+    ~want_round:dc.d_round ~want_value:dc.d_value dc.d_sigs
+
+let create cfg =
+  if cfg.n < (3 * cfg.f) + 1 then invalid_arg "Dls.create: need n >= 3f+1";
+  if cfg.self < 0 || cfg.self >= cfg.n then invalid_arg "Dls.create: bad self";
+  if Array.length cfg.auth_ids <> cfg.n then
+    invalid_arg "Dls.create: auth_ids size mismatch";
+  if Auth.signer_id cfg.signer <> cfg.auth_ids.(cfg.self) then
+    invalid_arg "Dls.create: signer does not match self";
+  {
+    cfg;
+    round = 0;
+    preference = None;
+    lock = None;
+    decision = None;
+    echo_votes = Hashtbl.create 8;
+    commit_votes = Hashtbl.create 8;
+    echoed = [];
+    committed = [];
+    proposed = [];
+  }
+
+let decided t = t.decision
+let current_round t = t.round
+let locked t = t.lock
+
+let round_timeout t round =
+  let shift = Stdlib.min round 16 in
+  Sim.Sim_time.scale t.cfg.base_timeout ~num:(1 lsl shift) ~den:1
+
+let votes_for tbl round =
+  match Hashtbl.find_opt tbl round with
+  | Some v -> v
+  | None ->
+      let v = { entries = [] } in
+      Hashtbl.add tbl round v;
+      v
+
+let bucket_for equal votes value =
+  match List.find_opt (fun (v, _) -> equal v value) votes.entries with
+  | Some (_, tbl) -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      votes.entries <- (value, tbl) :: votes.entries;
+      tbl
+
+(* The value this replica is willing to champion: its lock if any, else its
+   initial preference. *)
+let champion t =
+  match t.lock with
+  | Some qc -> Some qc.q_value
+  | None -> t.preference
+
+(* Propose only values we can stand behind: a locked value always (its QC
+   is the justification), otherwise our preference only if it passes
+   external validity — a notary with nothing valid to say stays silent and
+   lets the round time out. *)
+let propose_effects t =
+  if List.mem t.round t.proposed then []
+  else
+    let value =
+      match t.lock with
+      | Some qc -> Some qc.q_value
+      | None -> (
+          match champion t with
+          | Some v when t.cfg.validate v -> Some v
+          | Some _ | None -> None)
+    in
+    match value with
+    | None -> []
+    | Some v ->
+        t.proposed <- t.round :: t.proposed;
+        let justif = t.lock in
+        [ Broadcast (Propose { round = t.round; value = v; justif }) ]
+
+let enter_round t round =
+  if round <= t.round && round <> 0 then []
+  else begin
+    t.round <- Stdlib.max t.round round;
+    let timer =
+      Set_round_timer { round = t.round; after = round_timeout t t.round }
+    in
+    let lead =
+      if leader_of ~n:t.cfg.n t.round = t.cfg.self then propose_effects t
+      else []
+    in
+    (timer :: lead, ())
+    |> fst
+  end
+
+let start t ~my_value =
+  t.preference <- Some my_value;
+  enter_round t 0
+
+let join t = enter_round t 0
+
+let update_preference t v =
+  if t.decision <> None then []
+  else begin
+    t.preference <- Some v;
+    if leader_of ~n:t.cfg.n t.round = t.cfg.self then propose_effects t
+    else []
+  end
+
+(* Adopt a QC as our lock if it is higher than what we hold. *)
+let maybe_adopt t (qc : 'v qc) =
+  if verify_qc t.cfg qc then
+    match t.lock with
+    | Some cur when cur.q_round >= qc.q_round -> ()
+    | _ -> t.lock <- Some qc
+
+let may_echo t ~round:_ ~value ~justif =
+  t.cfg.validate value
+  &&
+  match t.lock with
+  | None -> true
+  | Some lock_qc ->
+      t.cfg.equal lock_qc.q_value value
+      || (match justif with
+         | Some (j : 'v qc) ->
+             j.q_round > lock_qc.q_round
+             && t.cfg.equal j.q_value value
+             && verify_qc t.cfg j
+         | None -> false)
+
+let echo_effects t ~round ~value =
+  if List.mem round t.echoed then []
+  else begin
+    t.echoed <- round :: t.echoed;
+    let body = { e_round = round; e_value = value } in
+    let signed =
+      Auth.sign_value t.cfg.signer ~ser:(ser_echo t.cfg.ser) body
+    in
+    [ Broadcast (Echo signed) ]
+  end
+
+let commit_effects t ~round ~value =
+  if List.mem round t.committed then []
+  else begin
+    t.committed <- round :: t.committed;
+    let body = { c_round = round; c_value = value } in
+    let signed =
+      Auth.sign_value t.cfg.signer ~ser:(ser_commit t.cfg.ser) body
+    in
+    [ Broadcast (Commit signed) ]
+  end
+
+let collect_sigs tbl = Hashtbl.fold (fun _ sv acc -> sv :: acc) tbl []
+
+let on_echo t (sv : 'v echo_body Auth.signed) =
+  let b = sv.Auth.payload in
+  if
+    is_replica_auth t.cfg sv.Auth.author
+    && Auth.verify_value t.cfg.registry ~ser:(ser_echo t.cfg.ser) sv
+  then begin
+    let votes = votes_for t.echo_votes b.e_round in
+    let bucket = bucket_for t.cfg.equal votes b.e_value in
+    Hashtbl.replace bucket sv.Auth.author sv;
+    if Hashtbl.length bucket >= quorum t.cfg then begin
+      let qc =
+        { q_round = b.e_round; q_value = b.e_value; q_sigs = collect_sigs bucket }
+      in
+      maybe_adopt t qc;
+      if b.e_round = t.round then
+        commit_effects t ~round:b.e_round ~value:b.e_value
+      else []
+    end
+    else []
+  end
+  else []
+
+let on_commit t (sv : 'v commit_body Auth.signed) =
+  let b = sv.Auth.payload in
+  if
+    is_replica_auth t.cfg sv.Auth.author
+    && Auth.verify_value t.cfg.registry ~ser:(ser_commit t.cfg.ser) sv
+  then begin
+    let votes = votes_for t.commit_votes b.c_round in
+    let bucket = bucket_for t.cfg.equal votes b.c_value in
+    Hashtbl.replace bucket sv.Auth.author sv;
+    if Hashtbl.length bucket >= quorum t.cfg && t.decision = None then begin
+      let dc =
+        { d_value = b.c_value; d_round = b.c_round; d_sigs = collect_sigs bucket }
+      in
+      t.decision <- Some dc;
+      [ Decided dc ]
+    end
+    else []
+  end
+  else []
+
+let on_msg t ~from_ m =
+  if t.decision <> None then []
+  else
+    match m with
+    | Propose { round; value; justif } ->
+        (match justif with Some qc -> maybe_adopt t qc | None -> ());
+        if
+          round = t.round
+          && from_ = leader_of ~n:t.cfg.n round
+          && may_echo t ~round ~value ~justif
+        then echo_effects t ~round ~value
+        else []
+    | Echo sv -> on_echo t sv
+    | Commit sv -> on_commit t sv
+    | New_round { round; locked } -> (
+        (match locked with Some qc -> maybe_adopt t qc | None -> ());
+        (* Catch up if the network has moved past us. *)
+        if round > t.round then
+          let effs = enter_round t round in
+          effs
+        else if
+          round = t.round && leader_of ~n:t.cfg.n t.round = t.cfg.self
+        then
+          (* late New_round may have raised our lock; nothing to re-send
+             (we propose once per round), but if we have not proposed yet
+             because we had no preference, try now. *)
+          propose_effects t
+        else [])
+
+let on_round_timeout t round =
+  if t.decision <> None || round <> t.round then []
+  else begin
+    let next = t.round + 1 in
+    let nr = New_round { round = next; locked = t.lock } in
+    let effs = Broadcast nr :: enter_round t next in
+    effs
+  end

@@ -1,0 +1,115 @@
+(** Single-shot Byzantine consensus for partial synchrony.
+
+    The paper (§3) proposes implementing the weak protocol's transaction
+    manager as "a collection of notaries … of which less than one-third is
+    assumed to be unreliable. They would run a consensus algorithm for
+    partial synchrony such as the one from Dwork, Lynch & Stockmeyer."
+
+    This module is that algorithm, in the DLS tradition as refined by
+    PBFT/Tendermint: [n = 3f + 1] replicas proceed in rounds with a rotating
+    leader. A round's leader proposes a value; replicas {e echo} it with a
+    signature; [2f + 1] signed echoes form a {e quorum certificate} (QC)
+    that locks the value and yields a signed {e commit} vote; [2f + 1]
+    commit votes decide and themselves form a {e decision certificate}
+    verifiable by outsiders (that is how the notary committee's χc / χa
+    certificates are checked by escrows and customers).
+
+    Lock handling follows the DLS discipline that makes this safe under
+    full asynchrony: a replica abandons a lock only when shown a valid QC
+    for a conflicting value from a {e higher} round — and once a value is
+    decided, no such QC can ever be assembled, because the [f + 1] honest
+    replicas locked on the decided value refuse to echo anything else.
+    Termination holds after GST with geometrically growing round timeouts:
+    locks spread via [New_round] messages, so the first post-GST honest
+    leader proposes the highest lock and every honest replica echoes it.
+
+    The module is a {e pure state machine}: it consumes inputs and returns
+    effects, so it can be driven by the simulator, by unit tests, or by
+    adversarial schedules directly. *)
+
+type round = int
+
+type 'v echo_body = { e_round : round; e_value : 'v }
+type 'v commit_body = { c_round : round; c_value : 'v }
+
+type 'v qc = {
+  q_round : round;
+  q_value : 'v;
+  q_sigs : 'v echo_body Xcrypto.Auth.signed list;
+}
+(** A quorum certificate: [2f + 1] signed echoes for one (round, value). *)
+
+type 'v decision_cert = {
+  d_value : 'v;
+  d_round : round;
+  d_sigs : 'v commit_body Xcrypto.Auth.signed list;
+}
+(** [2f + 1] signed commit votes: transferable proof that [d_value] was
+    decided. *)
+
+type 'v msg =
+  | Propose of { round : round; value : 'v; justif : 'v qc option }
+  | Echo of 'v echo_body Xcrypto.Auth.signed
+  | Commit of 'v commit_body Xcrypto.Auth.signed
+  | New_round of { round : round; locked : 'v qc option }
+
+type 'v effect =
+  | Send of { to_ : int; m : 'v msg }  (** [to_] is a replica index *)
+  | Broadcast of 'v msg  (** to every replica, including self *)
+  | Set_round_timer of { round : round; after : Sim.Sim_time.t }
+      (** Ask the host to call {!on_round_timeout} for [round] after [after]
+          local ticks. Stale timers (for past rounds) are ignored. *)
+  | Decided of 'v decision_cert
+
+type 'v config = {
+  n : int;  (** number of replicas; must satisfy [n >= 3f + 1] *)
+  f : int;
+  self : int;  (** this replica's index in [0 .. n-1] *)
+  auth_ids : int array;  (** Auth identity of each replica index *)
+  registry : Xcrypto.Auth.registry;
+  signer : Xcrypto.Auth.signer;  (** must match [auth_ids.(self)] *)
+  ser : 'v -> string;  (** serialization of values for signing *)
+  equal : 'v -> 'v -> bool;
+  validate : 'v -> bool;  (** external validity of proposed values *)
+  base_timeout : Sim.Sim_time.t;  (** round [r] times out after
+                                      [base_timeout * 2^min(r,16)] *)
+}
+
+type 'v t
+
+val create : 'v config -> 'v t
+val leader_of : n:int -> round -> int
+
+val start : 'v t -> my_value:'v -> 'v effect list
+(** Begin round 0 with this replica's initial preference. *)
+
+val join : 'v t -> 'v effect list
+(** Begin participating (echoing, voting, running round timers) without a
+    preference of one's own — for a replica dragged in by peer traffic
+    before it has seen any trigger. It proposes nothing while
+    preference-less. *)
+
+val update_preference : 'v t -> 'v -> 'v effect list
+(** Set (or change) the preference; if this replica leads the current round
+    and has not proposed yet, it proposes now. A held lock still takes
+    precedence when proposing. *)
+
+val on_msg : 'v t -> from_:int -> 'v msg -> 'v effect list
+(** [from_] is the authentic sender's replica index (channel
+    authentication); forged signatures inside the message are detected and
+    the message dropped. *)
+
+val on_round_timeout : 'v t -> round -> 'v effect list
+
+val decided : 'v t -> 'v decision_cert option
+val current_round : 'v t -> round
+val locked : 'v t -> 'v qc option
+
+val verify_qc : 'v config -> 'v qc -> bool
+(** For hosts and tests: [2f + 1] distinct valid replica signatures over the
+    same (round, value). *)
+
+val verify_decision : 'v config -> 'v decision_cert -> bool
+(** Verifiable by any outsider holding the registry and the committee
+    roster — this is what makes the committee's decision a transferable
+    certificate in the paper's sense. *)

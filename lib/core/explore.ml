@@ -1,0 +1,75 @@
+open Protocols
+module PP = Props.Payment_props
+module V = Props.Verdict
+
+type result = {
+  corners : int;
+  violations : int;
+  first_witness : string option;
+}
+
+(* The sync protocol sends exactly 6 messages per hop (G, $, P, χ,
+   χ-forward, settlement $); naive is the same automaton. *)
+let message_budget ~hops ~protocol =
+  match protocol with
+  | Runner.Sync_timebound | Runner.Naive_universal -> 6 * hops
+  | Runner.Htlc -> (5 * hops) + 1
+  | Runner.Weak _ | Runner.Atomic _ ->
+      invalid_arg "Explore.message_budget: TM protocols are not corner-enumerable here"
+
+(* A bit-vector adversary: the k-th send of the run takes its delay from
+   bit k — set means the model's upper bound, clear means the lower. *)
+let bitvector_adversary bits : Sim.Network.adversary =
+  let counter = ref 0 in
+  fun ~send_time:_ ~src:_ ~dst:_ ~tag:_ ~bounds ->
+    let k = !counter in
+    incr counter;
+    let hi = k < 62 && (bits lsr k) land 1 = 1 in
+    Some (if hi then bounds.Sim.Network.hi else bounds.Sim.Network.lo)
+
+let corner_clock ~drift_ppm fast =
+  let ppm = 1_000_000 in
+  let num = if fast then ppm + drift_ppm else ppm - drift_ppm in
+  Sim.Clock.create ~num ~den:ppm ()
+
+let describe ~hops ~delay_bits ~clock_bits ~msgs ~procs report =
+  Fmt.str "hops=%d delays=0x%x/%d clocks=0x%x/%d -> %a" hops delay_bits msgs
+    clock_bits procs
+    Fmt.(list ~sep:(any "; ") V.pp)
+    (V.failures report)
+
+let sweep ?(hops = 1) ?(drift_ppm = 50_000) ?(max_corners = 600_000) ~protocol
+    () =
+  let msgs = message_budget ~hops ~protocol in
+  let procs = (2 * hops) + 1 in
+  if msgs + procs >= 40 then
+    invalid_arg "Explore.sweep: instance too large to enumerate";
+  let total = (1 lsl msgs) * (1 lsl procs) in
+  if total > max_corners then
+    invalid_arg
+      (Printf.sprintf "Explore.sweep: %d corners exceed the budget %d" total
+         max_corners);
+  let violations = ref 0 in
+  let first_witness = ref None in
+  for delay_bits = 0 to (1 lsl msgs) - 1 do
+    for clock_bits = 0 to (1 lsl procs) - 1 do
+      let cfg =
+        {
+          (Runner.default_config ~hops ~seed:1) with
+          drift_ppm;
+          adversary = Some (bitvector_adversary delay_bits);
+          clock_override =
+            Some (fun pid -> corner_clock ~drift_ppm ((clock_bits lsr pid) land 1 = 1));
+        }
+      in
+      let o = Runner.run cfg protocol in
+      let report = PP.check_def1 ~time_bounded:false (PP.view o) in
+      if not (V.all_hold report) then begin
+        incr violations;
+        if !first_witness = None then
+          first_witness :=
+            Some (describe ~hops ~delay_bits ~clock_bits ~msgs ~procs report)
+      end
+    done
+  done;
+  { corners = total; violations = !violations; first_witness = !first_witness }

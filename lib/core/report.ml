@@ -1,0 +1,116 @@
+open Protocols
+module PP = Props.Payment_props
+module V = Props.Verdict
+
+type participant = {
+  pid : int;
+  name : string;
+  byzantine : string option;
+  terminated : (int * string) option;
+  net : int;
+  conforms : bool option;
+}
+
+type t = {
+  outcome : Runner.outcome;
+  headline : string;
+  participants : participant list;
+  verdicts : V.report;
+  breaches : Props.Promises.breach list;
+  conserved : bool;
+}
+
+let conformance_of outcome pid =
+  match outcome.Runner.protocol with
+  | Runner.Sync_timebound | Runner.Naive_universal -> (
+      match Topology.role_of outcome.Runner.env.Env.topo pid with
+      | Some (Topology.Aux _) | None -> None
+      | Some _ ->
+          let auto = Sync_protocol.automaton_for outcome.Runner.env pid in
+          Some
+            (Anta.Conformance.check auto ~pid ~tag_of:Msg.tag
+               outcome.Runner.trace
+            = Ok ()))
+  | _ -> None
+
+let build (outcome : Runner.outcome) =
+  let v = PP.view outcome in
+  let topo = outcome.Runner.env.Env.topo in
+  let verdicts =
+    match outcome.Runner.protocol with
+    | Runner.Weak _ | Runner.Atomic _ ->
+        PP.check_def2 ~patience_sufficient:false v
+    | _ -> PP.check_def1 ~time_bounded:false v
+  in
+  let pids =
+    Topology.customers topo @ Topology.escrows topo
+    @ Array.to_list outcome.Runner.tm_pids
+  in
+  let participants =
+    List.map
+      (fun pid ->
+        {
+          pid;
+          name = Api.participant_name outcome pid;
+          byzantine = List.assoc_opt pid outcome.Runner.fault_names;
+          terminated =
+            Option.map
+              (fun (t, tag) -> (t, tag))
+              (v.PP.terminated pid);
+          net = v.PP.net pid;
+          conforms = conformance_of outcome pid;
+        })
+      pids
+  in
+  let headline =
+    if PP.bob_paid v then
+      Fmt.str "payment SUCCEEDED under %s at t=%d (%d messages)"
+        (Runner.protocol_name outcome.Runner.protocol)
+        outcome.Runner.end_time outcome.Runner.message_count
+    else
+      Fmt.str "payment DID NOT COMPLETE under %s (%d messages, status %s)"
+        (Runner.protocol_name outcome.Runner.protocol)
+        outcome.Runner.message_count
+        (match outcome.Runner.status with
+        | Sim.Engine.Quiescent -> "quiescent"
+        | Sim.Engine.Horizon_reached -> "horizon reached"
+        | Sim.Engine.Event_limit -> "event limit")
+  in
+  {
+    outcome;
+    headline;
+    participants;
+    verdicts;
+    breaches = Props.Promises.breaches v;
+    conserved = PP.money_conserved v;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s@,@," t.headline;
+  Fmt.pf ppf "participants:@,";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %-8s" p.name;
+      (match p.byzantine with
+      | Some s -> Fmt.pf ppf " [byzantine: %s]" s
+      | None -> ());
+      (match p.terminated with
+      | Some (time, tag) -> Fmt.pf ppf " %s at t=%d" tag time
+      | None -> Fmt.pf ppf " never terminated");
+      if p.net <> 0 then Fmt.pf ppf ", net %+d" p.net;
+      (match p.conforms with
+      | Some true -> Fmt.pf ppf ", conforms to Fig.2"
+      | Some false -> Fmt.pf ppf ", DEVIATES from Fig.2"
+      | None -> ());
+      Fmt.pf ppf "@,")
+    t.participants;
+  Fmt.pf ppf "@,properties:@,%a@," V.pp_report t.verdicts;
+  (match t.breaches with
+  | [] -> Fmt.pf ppf "@,promises: all honoured@,"
+  | bs ->
+      Fmt.pf ppf "@,promise breaches:@,";
+      List.iter (fun b -> Fmt.pf ppf "  %a@," Props.Promises.pp_breach b) bs);
+  Fmt.pf ppf "conservation: %s@]"
+    (if t.conserved then "every book audits" else "VIOLATED")
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,124 @@
+module Asset = Ledger.Asset
+
+type party = int
+type arc = { from_ : party; to_ : party; asset : Asset.t }
+type t = { parties : int; arc_list : arc list }
+
+let make ~parties ~transfers =
+  if parties < 1 then invalid_arg "Deal.make: need at least one party";
+  let seen = Hashtbl.create 8 in
+  let arc_list =
+    List.map
+      (fun (from_, to_, (asset : Asset.t)) ->
+        if from_ < 0 || from_ >= parties || to_ < 0 || to_ >= parties then
+          invalid_arg "Deal.make: party out of range";
+        if from_ = to_ then invalid_arg "Deal.make: self-transfer";
+        if asset.Asset.amount = 0 then invalid_arg "Deal.make: zero asset";
+        if Hashtbl.mem seen (from_, to_) then
+          invalid_arg "Deal.make: duplicate arc";
+        Hashtbl.add seen (from_, to_) ();
+        { from_; to_; asset })
+      transfers
+  in
+  { parties; arc_list }
+
+let parties t = t.parties
+let arcs t = t.arc_list
+let arc_count t = List.length t.arc_list
+
+let transfer t ~from_ ~to_ =
+  List.find_map
+    (fun a -> if a.from_ = from_ && a.to_ = to_ then Some a.asset else None)
+    t.arc_list
+
+let outgoing t p = List.filter (fun a -> a.from_ = p) t.arc_list
+let incoming t p = List.filter (fun a -> a.to_ = p) t.arc_list
+let successors t p = List.map (fun a -> a.to_) (outgoing t p)
+
+let reachable t from_ =
+  let visited = Array.make t.parties false in
+  let rec go p =
+    if not visited.(p) then begin
+      visited.(p) <- true;
+      List.iter go (successors t p)
+    end
+  in
+  go from_;
+  visited
+
+let strongly_connected t =
+  t.parties = 1
+  ||
+  let rec check p =
+    p >= t.parties
+    || (Array.for_all Fun.id (reachable t p) && check (p + 1))
+  in
+  check 0
+
+let well_formed t = arc_count t > 0 && strongly_connected t
+
+let diameter t =
+  if t.parties = 1 then 0
+  else begin
+    (* BFS from every party *)
+    let worst = ref 0 in
+    for s = 0 to t.parties - 1 do
+      let dist = Array.make t.parties (-1) in
+      dist.(s) <- 0;
+      let q = Queue.create () in
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let p = Queue.pop q in
+        List.iter
+          (fun n ->
+            if dist.(n) < 0 then begin
+              dist.(n) <- dist.(p) + 1;
+              Queue.add n q
+            end)
+          (successors t p)
+      done;
+      Array.iter
+        (fun d -> worst := max !worst (if d < 0 then t.parties else d))
+        dist
+    done;
+    !worst
+  end
+
+let expected_gain t p =
+  Asset.Bag.of_list (List.map (fun a -> a.asset) (incoming t p))
+
+let expected_loss t p =
+  Asset.Bag.of_list (List.map (fun a -> a.asset) (outgoing t p))
+
+let acceptable t p ~gained ~lost =
+  let full_gain = expected_gain t p and full_loss = expected_loss t p in
+  (* dominates "nothing": lost nothing (gaining extra is fine) *)
+  Asset.Bag.is_empty lost
+  || (* dominates "all": gained at least the promised, lost at most the
+        promised *)
+  (Asset.Bag.geq gained full_gain && Asset.Bag.geq full_loss lost)
+
+let coin c n = Asset.make ~currency:c ~amount:n
+
+let two_party_swap () =
+  make ~parties:2 ~transfers:[ (0, 1, coin "coinA" 5); (1, 0, coin "coinB" 3) ]
+
+let three_cycle () =
+  make ~parties:3
+    ~transfers:
+      [ (0, 1, coin "coinA" 5); (1, 2, coin "coinB" 4); (2, 0, coin "coinC" 6) ]
+
+let broker_dag () =
+  make ~parties:3
+    ~transfers:[ (0, 1, coin "coinA" 5); (1, 2, coin "coinB" 4) ]
+
+let disconnected_pair () =
+  make ~parties:4
+    ~transfers:[ (0, 1, coin "coinA" 5); (2, 3, coin "coinB" 4) ]
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>deal(%d parties)%a@]" t.parties
+    Fmt.(
+      list ~sep:nop (fun ppf a ->
+          pf ppf "@,  %d -> %d: %a" a.from_ a.to_ Asset.pp a.asset))
+    t.arc_list

@@ -1,0 +1,20 @@
+(** Monitors for the three HLS cross-chain-deal properties (§5):
+
+    - {b Safety}: for every protocol execution, every compliant party ends
+      up with an acceptable payoff;
+    - {b Termination}: no asset belonging to a compliant party is escrowed
+      forever (the paper renames HLS's "weak liveness" to Termination to
+      avoid clashing with its own weak liveness — we follow the paper);
+    - {b Strong liveness}: if all parties are compliant and willing, all
+      transfers happen. *)
+
+type verdict = { property : string; holds : bool; detail : string }
+
+val safety : Deal_runner.outcome -> verdict
+val termination : Deal_runner.outcome -> verdict
+val strong_liveness : Deal_runner.outcome -> verdict
+(** Reported as holding vacuously when some party is non-compliant. *)
+
+val all : Deal_runner.outcome -> verdict list
+val all_hold : verdict list -> bool
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,43 @@
+(** Wire messages of the two cross-chain-deal commit protocols. *)
+
+type vote_body = { v_party : int; v_deal : int }
+(** A party's signed commitment to the deal. *)
+
+type cb_body = { c_deal : int; c_commit : bool }
+(** The certified blockchain's decision certificate. *)
+
+type t =
+  | Deposit of { arc : int }  (** party → arc escrow: fund my leg *)
+  | Escrowed_notice of { arc : int }
+      (** arc escrow → payee (and → certifier under CBC): the leg is
+          funded — the on-chain observability of the HLS escrow phase *)
+  | Votes of vote_body Xcrypto.Auth.signed list
+      (** party → party gossip along deal arcs *)
+  | Claim of { arc : int; votes : vote_body Xcrypto.Auth.signed list }
+      (** payee → escrow: full vote set redeems the leg (timelock proto) *)
+  | Paid of { arc : int }  (** escrow → payee *)
+  | Refund of { arc : int }  (** escrow → payer *)
+  | Cb_vote of vote_body Xcrypto.Auth.signed  (** party → certified chain *)
+  | Cb_cert of cb_body Xcrypto.Auth.signed
+      (** certified chain → everyone: commit or abort *)
+
+let tag = function
+  | Deposit _ -> "deposit"
+  | Escrowed_notice _ -> "escrowed"
+  | Votes _ -> "votes"
+  | Claim _ -> "claim"
+  | Paid _ -> "paid"
+  | Refund _ -> "refund"
+  | Cb_vote _ -> "cb-vote"
+  | Cb_cert _ -> "cb-cert"
+
+let ser_vote (v : vote_body) = Printf.sprintf "dvote|%d|%d" v.v_party v.v_deal
+let ser_cb (c : cb_body) = Printf.sprintf "dcb|%d|%b" c.c_deal c.c_commit
+
+let pp ppf m =
+  match m with
+  | Votes vs -> Fmt.pf ppf "votes{%d}" (List.length vs)
+  | Claim { arc; votes } -> Fmt.pf ppf "claim(arc %d, %d votes)" arc (List.length votes)
+  | Cb_cert sv ->
+      Fmt.pf ppf "cb-%s" (if sv.Xcrypto.Auth.payload.c_commit then "commit" else "abort")
+  | m -> Fmt.string ppf (tag m)

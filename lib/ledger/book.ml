@@ -1,0 +1,172 @@
+type deposit_id = int
+
+type error =
+  | Unknown_account of int
+  | Insufficient_funds of { account : int; has : int; needs : int }
+  | Unknown_deposit of deposit_id
+  | Already_resolved of deposit_id
+
+type deposit_status = Held | Released of int | Refunded
+
+type deposit_rec = {
+  depositor : int;
+  amount : int;
+  mutable status : deposit_status;
+}
+
+type op =
+  | Op_open of int * int
+  | Op_transfer of int * int * int
+  | Op_deposit of deposit_id * int * int
+  | Op_release of deposit_id * int
+  | Op_refund of deposit_id
+
+type t = {
+  currency : string;
+  balances : (int, int) Hashtbl.t;
+  deposits : (deposit_id, deposit_rec) Hashtbl.t;
+  mutable next_deposit : deposit_id;
+  mutable journal : op list; (* newest first *)
+  mutable initial_supply : int;
+}
+
+let create ~currency =
+  {
+    currency;
+    balances = Hashtbl.create 8;
+    deposits = Hashtbl.create 8;
+    next_deposit = 0;
+    journal = [];
+    initial_supply = 0;
+  }
+
+let currency t = t.currency
+
+let open_account t ~owner ~balance =
+  if balance < 0 then invalid_arg "Book.open_account: negative balance";
+  match Hashtbl.find_opt t.balances owner with
+  | Some b when b = balance -> ()
+  | Some _ -> invalid_arg "Book.open_account: account exists with other balance"
+  | None ->
+      Hashtbl.add t.balances owner balance;
+      t.initial_supply <- t.initial_supply + balance;
+      t.journal <- Op_open (owner, balance) :: t.journal
+
+let has_account t owner = Hashtbl.mem t.balances owner
+let balance t owner = Option.value ~default:0 (Hashtbl.find_opt t.balances owner)
+
+let accounts t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.balances []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let debit t account amount =
+  match Hashtbl.find_opt t.balances account with
+  | None -> Error (Unknown_account account)
+  | Some has ->
+      if has < amount then Error (Insufficient_funds { account; has; needs = amount })
+      else begin
+        Hashtbl.replace t.balances account (has - amount);
+        Ok ()
+      end
+
+let credit t account amount =
+  match Hashtbl.find_opt t.balances account with
+  | None -> Error (Unknown_account account)
+  | Some has ->
+      Hashtbl.replace t.balances account (has + amount);
+      Ok ()
+
+let transfer t ~src ~dst ~amount =
+  if amount < 0 then invalid_arg "Book.transfer: negative amount";
+  if not (has_account t dst) then Error (Unknown_account dst)
+  else
+    match debit t src amount with
+    | Error _ as e -> e
+    | Ok () ->
+        (match credit t dst amount with Ok () -> () | Error _ -> assert false);
+        t.journal <- Op_transfer (src, dst, amount) :: t.journal;
+        Ok ()
+
+let deposit t ~from_ ~amount =
+  if amount < 0 then invalid_arg "Book.deposit: negative amount";
+  match debit t from_ amount with
+  | Error e -> Error e
+  | Ok () ->
+      let id = t.next_deposit in
+      t.next_deposit <- id + 1;
+      Hashtbl.add t.deposits id { depositor = from_; amount; status = Held };
+      t.journal <- Op_deposit (id, from_, amount) :: t.journal;
+      Ok id
+
+let resolve t id ~into =
+  match Hashtbl.find_opt t.deposits id with
+  | None -> Error (Unknown_deposit id)
+  | Some d -> (
+      match d.status with
+      | Released _ | Refunded -> Error (Already_resolved id)
+      | Held -> (
+          match credit t into d.amount with
+          | Error _ as e -> e
+          | Ok () -> Ok d))
+
+let release t id ~to_ =
+  if not (has_account t to_) then Error (Unknown_account to_)
+  else
+    match resolve t id ~into:to_ with
+    | Error e -> Error e
+    | Ok d ->
+        d.status <- Released to_;
+        t.journal <- Op_release (id, to_) :: t.journal;
+        Ok ()
+
+let refund t id =
+  match Hashtbl.find_opt t.deposits id with
+  | None -> Error (Unknown_deposit id)
+  | Some d -> (
+      match resolve t id ~into:d.depositor with
+      | Error e -> Error e
+      | Ok d ->
+          d.status <- Refunded;
+          t.journal <- Op_refund id :: t.journal;
+          Ok ())
+
+let deposit_status t id =
+  Option.map (fun d -> d.status) (Hashtbl.find_opt t.deposits id)
+
+let deposit_amount t id =
+  Option.map (fun d -> d.amount) (Hashtbl.find_opt t.deposits id)
+
+let pool_total t =
+  Hashtbl.fold
+    (fun _ d acc -> match d.status with Held -> acc + d.amount | _ -> acc)
+    t.deposits 0
+
+let total_supply t =
+  Hashtbl.fold (fun _ b acc -> acc + b) t.balances 0 + pool_total t
+
+let audit t =
+  let neg =
+    Hashtbl.fold (fun k b acc -> if b < 0 then k :: acc else acc) t.balances []
+  in
+  if neg <> [] then
+    Error
+      (Fmt.str "negative balances for accounts %a" Fmt.(list ~sep:comma int) neg)
+  else if total_supply t <> t.initial_supply then
+    Error
+      (Fmt.str "conservation violated: supply %d, initially %d" (total_supply t)
+         t.initial_supply)
+  else Ok ()
+
+let journal_length t = List.length t.journal
+
+let pp_error ppf = function
+  | Unknown_account a -> Fmt.pf ppf "unknown account %d" a
+  | Insufficient_funds { account; has; needs } ->
+      Fmt.pf ppf "account %d has %d, needs %d" account has needs
+  | Unknown_deposit d -> Fmt.pf ppf "unknown deposit %d" d
+  | Already_resolved d -> Fmt.pf ppf "deposit %d already resolved" d
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>book (%s): %a; pool=%d@]" t.currency
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any ":") int int))
+    (accounts t) (pool_total t)

@@ -1,0 +1,86 @@
+(** Monitors for the cross-chain payment properties of Definitions 1 and 2.
+
+    All checks are pure functions of a {!Protocols.Runner.outcome} (trace +
+    final ledgers + fault roster). Conditional properties ("provided her
+    escrows abide…") become {e inapplicable} rather than failing when their
+    hypotheses are not met, mirroring the paper's statements exactly.
+
+    The money accounting uses each customer's {e net position}: the sum,
+    over the escrows where she holds accounts, of (final − initial)
+    balance. A refunded payer nets 0; a paid-through connector nets her
+    commission; Alice nets −amounts₀ exactly when her payment went through.
+
+    "Upon termination" clauses bind at the participant's [Terminated]
+    observation; a participant that never terminates is caught by T, not by
+    CS — as in the paper, where CS constrains terminal states and T
+    guarantees reaching one. *)
+
+type run_view = {
+  outcome : Protocols.Runner.outcome;
+  byzantine : int -> bool;  (** pid was fault-substituted *)
+  terminated : int -> (Sim.Sim_time.t * string) option;
+  net : int -> int;  (** customer net position, see above *)
+}
+
+val view : Protocols.Runner.outcome -> run_view
+
+(** {1 Definition 1 — (time-bounded / eventually terminating) protocol} *)
+
+val check_c : run_view -> Verdict.t
+(** Consistency: automata well-formedness plus no honest participant had an
+    own-action rejected at runtime. *)
+
+val check_t : time_bounded:bool -> run_view -> Verdict.t
+(** Termination for every honest customer whose escrows abide and who made
+    a payment or issued a certificate. With [time_bounded], termination
+    must occur by the derived horizon (global time — the a-priori known
+    period). *)
+
+val check_es : run_view -> Verdict.t
+(** No honest escrow lost money: its own account did not go negative, its
+    book audits (conservation + single resolution). *)
+
+val check_cs1 : run_view -> Verdict.t
+val check_cs2 : run_view -> Verdict.t
+val check_cs3 : run_view -> Verdict.t
+
+val check_l : run_view -> Verdict.t
+(** Strong liveness: with no faults at all, Bob was paid. *)
+
+val check_def1 : time_bounded:bool -> run_view -> Verdict.report
+(** All of the above, in order C, T, ES, CS1, CS2, CS3, L. *)
+
+(** {1 Definition 2 — weak liveness guarantees} *)
+
+val check_cc : run_view -> Verdict.t
+(** Certificate consistency: commit and abort certificates never both
+    issued (by any TM participant). *)
+
+val check_t_weak : run_view -> Verdict.t
+(** Eventual termination of honest customers whose escrows abide (under a
+    correct TM). *)
+
+val check_cs1_weak : run_view -> Verdict.t
+(** Alice: money back or χc received. *)
+
+val check_cs2_weak : run_view -> Verdict.t
+(** Bob: money or χa received. *)
+
+val check_l_weak : patience_sufficient:bool -> run_view -> Verdict.t
+(** Weak liveness: applicable only when all abide {e and} the run's
+    patience was declared sufficient by the experiment; then Bob must have
+    been paid. *)
+
+val check_def2 : patience_sufficient:bool -> run_view -> Verdict.report
+(** C, CC, T, ES, CS1w, CS2w, CS3, Lw. *)
+
+(** {1 Helpers for experiments} *)
+
+val bob_paid : run_view -> bool
+val alice_has_chi : run_view -> bool
+val money_conserved : run_view -> bool
+(** Global conservation across all books. *)
+
+val lock_time : run_view -> Sim.Sim_time.t
+(** Total time deposits spent unresolved, summed over escrows — the
+    griefing-exposure metric of E5. *)

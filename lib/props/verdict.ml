@@ -1,0 +1,33 @@
+type t = {
+  property : string;
+  applicable : bool;
+  holds : bool;
+  detail : string;
+}
+
+type report = t list
+
+let ok property detail = { property; applicable = true; holds = true; detail }
+
+let violated property detail =
+  { property; applicable = true; holds = false; detail }
+
+let vacuous property detail =
+  { property; applicable = false; holds = true; detail }
+
+let all_hold report = List.for_all (fun v -> (not v.applicable) || v.holds) report
+let failures report = List.filter (fun v -> v.applicable && not v.holds) report
+let find report name = List.find_opt (fun v -> String.equal v.property name) report
+
+let holds report name =
+  match find report name with
+  | None -> false
+  | Some v -> (not v.applicable) || v.holds
+
+let pp ppf v =
+  let mark =
+    if not v.applicable then "n/a" else if v.holds then "ok" else "VIOLATED"
+  in
+  Fmt.pf ppf "%-4s %-8s %s" v.property mark v.detail
+
+let pp_report ppf report = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp) report

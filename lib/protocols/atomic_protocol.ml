@@ -1,0 +1,217 @@
+open Sim
+module E = Engine
+
+type config = { deadline : Sim_time.t }
+
+let default_config = { deadline = 5_000 }
+let tm_pid (env : Env.t) = Topology.aux_base env.Env.topo
+let process_count env = Topology.payment_count env.Env.topo + 1
+
+(* Customers: Alice prepares unprompted; a connector prepares its outgoing
+   leg when its incoming leg is prepared; Bob submits the receipt. All of
+   them then await the notary's decision and their leg's settlement. *)
+let customer_handlers (env : Env.t) _cfg i =
+  let topo = env.Env.topo in
+  let n = Topology.hops topo in
+  let self = Topology.customer topo i in
+  let pays = i < n in
+  let e_down = if pays then Some (Topology.escrow topo i) else None in
+  let e_up = if i > 0 then Some (Topology.escrow topo (i - 1)) else None in
+  let pay_amount = if pays then Env.amount_at env i else 0 in
+  let recv_amount = if i > 0 then Env.amount_at env (i - 1) else 0 in
+  let tm = tm_pid env in
+  let decision : bool option ref = ref None in
+  let refunded = ref false in
+  let upstream_paid = ref false in
+  let prepared = ref false in
+  let done_ = ref false in
+  let finish ctx outcome =
+    if not !done_ then begin
+      done_ := true;
+      E.observe ctx (Obs.Terminated { pid = self; outcome });
+      E.halt ctx
+    end
+  in
+  let try_finish ctx =
+    match !decision with
+    | Some false ->
+        if (not pays) || !refunded || not !prepared then
+          finish ctx (if pays then "refunded" else "aborted")
+    | Some true ->
+        if i = 0 then finish ctx "certified"
+        else if !upstream_paid then finish ctx "paid"
+    | None -> ()
+  in
+  let prepare ctx =
+    if pays && not !prepared then begin
+      prepared := true;
+      match e_down with
+      | Some e -> E.send ctx ~dst:e (Msg.Money { amount = pay_amount })
+      | None -> ()
+    end
+  in
+  {
+    E.on_start = (fun ctx -> if i = 0 then prepare ctx);
+    on_receive =
+      (fun ctx ~src msg ->
+        if not !done_ then begin
+          (match msg with
+          | Msg.Promise_p sv
+            when Some src = e_up
+                 && Env.promise_p_ok env ~escrow_index:(i - 1) sv ->
+              (* incoming leg prepared *)
+              if i = n then begin
+                E.observe ctx (Obs.Cert_issued { by = self; kind = Obs.Chi });
+                E.send ctx ~dst:tm (Msg.Chi (Env.make_chi env))
+              end
+              else prepare ctx
+          | Msg.Tm_decision sv when src = tm && Env.decision_ok env ~tm sv ->
+              if !decision = None then begin
+                let commit = sv.Xcrypto.Auth.payload.Msg.dec_commit in
+                decision := Some commit;
+                let kind = if commit then Obs.Chi_commit else Obs.Chi_abort in
+                E.observe ctx
+                  (Obs.Cert_received { pid = self; kind; valid = true })
+              end
+          | Msg.Money { amount } when Some src = e_down && amount = pay_amount
+            ->
+              refunded := true
+          | Msg.Money { amount } when Some src = e_up && amount = recv_amount
+            ->
+              upstream_paid := true
+          | _ -> ());
+          try_finish ctx
+        end);
+    on_timer = (fun _ ~label:_ -> ());
+  }
+
+(* Escrows: deposit on the prepare instruction, announce the prepared leg
+   downstream (the signed P message doubles as the prepared-notice), and
+   settle on the notary's decision. *)
+let escrow_handlers (env : Env.t) cfg i =
+  let topo = env.Env.topo in
+  let self = Topology.escrow topo i in
+  let cust_up = Topology.customer topo i in
+  let cust_down = Topology.customer topo (i + 1) in
+  let amount = Env.amount_at env i in
+  let book = env.Env.books.(i) in
+  let signer = Env.signer_of env self in
+  let tm = tm_pid env in
+  ignore tm;
+  let deposit = ref None in
+  let resolved = ref false in
+  let pending_decision : bool option ref = ref None in
+  let resolve ctx commit =
+    match !deposit with
+    | None -> pending_decision := Some commit
+    | Some dep ->
+        if not !resolved then begin
+          resolved := true;
+          (if commit then begin
+             match Ledger.Book.release book dep ~to_:cust_down with
+             | Ok () ->
+                 E.observe ctx
+                   (Obs.Released
+                      { escrow = self; deposit = dep; to_ = cust_down; amount });
+                 E.send ctx ~dst:cust_down (Msg.Money { amount })
+             | Error e ->
+                 E.observe ctx
+                   (Obs.Rejected
+                      { pid = self; what = Fmt.str "release: %a" Ledger.Book.pp_error e })
+           end
+           else
+             match Ledger.Book.refund book dep with
+             | Ok () ->
+                 E.observe ctx
+                   (Obs.Refunded
+                      { escrow = self; deposit = dep; depositor = cust_up; amount });
+                 E.send ctx ~dst:cust_up (Msg.Money { amount })
+             | Error e ->
+                 E.observe ctx
+                   (Obs.Rejected
+                      { pid = self; what = Fmt.str "refund: %a" Ledger.Book.pp_error e }));
+          E.observe ctx
+            (Obs.Terminated
+               { pid = self; outcome = (if commit then "released" else "refunded") });
+          E.halt ctx
+        end
+  in
+  {
+    E.on_start = (fun _ -> ());
+    on_receive =
+      (fun ctx ~src msg ->
+        match msg with
+        | Msg.Tm_decision sv
+          when src = tm_pid env && Env.decision_ok env ~tm:(tm_pid env) sv ->
+            resolve ctx sv.Xcrypto.Auth.payload.Msg.dec_commit
+        | Msg.Money _ when src = cust_up && !deposit = None -> (
+            match Ledger.Book.deposit book ~from_:cust_up ~amount with
+            | Ok dep ->
+                deposit := Some dep;
+                E.observe ctx
+                  (Obs.Deposited
+                     { escrow = self; depositor = cust_up; amount; deposit = dep });
+                (* the prepared-notice: a signed window open until the
+                   notary's fixed deadline *)
+                E.send ctx ~dst:cust_down
+                  (Msg.Promise_p
+                     (Xcrypto.Auth.sign_value signer ~ser:Msg.ser_promise_p
+                        { Msg.p_escrow = self; p_customer = cust_down;
+                          a = cfg.deadline }));
+                (match !pending_decision with
+                | Some c -> resolve ctx c
+                | None -> ())
+            | Error e ->
+                E.observe ctx
+                  (Obs.Rejected
+                     { pid = self; what = Fmt.str "deposit: %a" Ledger.Book.pp_error e }))
+        | _ -> ());
+    on_timer = (fun _ ~label:_ -> ());
+  }
+
+(* The notary: Executed iff Bob's receipt arrives before the deadline on
+   the notary's own clock. *)
+let notary_handlers (env : Env.t) cfg =
+  let self = tm_pid env in
+  let signer = Env.signer_of env self in
+  let decided = ref None in
+  let decide ctx commit =
+    if !decided = None then begin
+      decided := Some commit;
+      E.observe ctx (Obs.Decision_made { by = self; commit });
+      E.observe ctx
+        (Obs.Cert_issued
+           { by = self; kind = (if commit then Obs.Chi_commit else Obs.Chi_abort) });
+      let body = { Msg.dec_payment = env.Env.payment; dec_commit = commit } in
+      let signed = Xcrypto.Auth.sign_value signer ~ser:Msg.ser_decision body in
+      let topo = env.Env.topo in
+      List.iter
+        (fun pid -> E.send ctx ~dst:pid (Msg.Tm_decision signed))
+        (Topology.customers topo @ Topology.escrows topo)
+    end
+  in
+  {
+    E.on_start =
+      (fun ctx -> E.set_timer ctx ~deadline:cfg.deadline ~label:"T");
+    on_receive =
+      (fun ctx ~src msg ->
+        match msg with
+        | Msg.Chi sv when src = Topology.bob env.Env.topo && Env.chi_ok env sv
+          ->
+            decide ctx true
+        | Msg.Chi _ ->
+            E.observe ctx (Obs.Rejected { pid = self; what = "bad receipt" })
+        | _ -> ());
+    on_timer = (fun ctx ~label -> if String.equal label "T" then decide ctx false);
+  }
+
+let handlers_for (env : Env.t) cfg pid =
+  let topo = env.Env.topo in
+  match Topology.role_of topo pid with
+  | Some Topology.Alice -> customer_handlers env cfg 0
+  | Some Topology.Bob -> customer_handlers env cfg (Topology.hops topo)
+  | Some (Topology.Connector i) -> customer_handlers env cfg i
+  | Some (Topology.Escrow i) -> escrow_handlers env cfg i
+  | _ ->
+      if pid = tm_pid env then notary_handlers env cfg
+      else invalid_arg "Atomic_protocol.handlers_for: unknown pid"

@@ -1,0 +1,56 @@
+(** Byzantine fault strategies.
+
+    The paper assumes "the classic Byzantine model with authentication":
+    faulty participants may deviate arbitrarily but cannot forge
+    signatures. Each strategy below is a concrete deviation used by the E6
+    fault-matrix experiment and the safety property tests; they cover the
+    attack surface the paper's properties are stated against:
+
+    - crashes and silence (fail-stop is a special case of Byzantine);
+    - money-grabbing escrows (ES / CS under a non-abiding escrow);
+    - promise-breaking escrows (premature refund — the behaviour the
+      drift-tuned timeouts protect honest escrows from {e accidentally}
+      exhibiting);
+    - certificate games (forged χ, χ issued early, χ withheld);
+    - weak-protocol deviations (impatience, never funding, lying about
+      funding).
+
+    A strategy is turned into engine handlers by {!handlers}; the runner
+    substitutes them for the honest automaton of the same pid. *)
+
+type t =
+  | Crash_at_start  (** never takes a step *)
+  | Crash_after_receives of int  (** halts after the k-th delivery *)
+  | Mute  (** stays up, reads everything, sends nothing *)
+  | Thief_escrow
+      (** plays escrow up to the deposit, then releases the funds to its own
+          account and goes silent *)
+  | Premature_refund_escrow
+      (** issues P(a) but refunds immediately, breaking its promise window *)
+  | No_resolve_escrow  (** takes the deposit and never resolves it *)
+  | Eager_chi_bob  (** issues χ before any promise, then behaves honestly *)
+  | Withhold_chi_bob  (** receives P but never issues χ *)
+  | Forge_chi_connector
+      (** immediately sends a fabricated χ upstream, then plays honestly *)
+  | Double_money_customer  (** sends the $ instruction twice *)
+  | Impatient of Sim.Sim_time.t
+      (** weak protocol: requests abort after the given local delay,
+          regardless of progress *)
+  | Never_deposit  (** weak protocol: participates but never funds its leg *)
+  | False_funded_escrow
+      (** weak protocol: reports its leg funded without any deposit *)
+
+val name : t -> string
+
+val applicable_to : t -> Topology.role -> bool
+(** Whether the strategy makes sense for the given role (e.g.
+    [Thief_escrow] only for escrows). *)
+
+val handlers :
+  Env.t -> ?tms:int array -> pid:int -> t -> (Msg.t, Obs.t) Sim.Engine.handlers
+(** Raises [Invalid_argument] if the strategy is not {!applicable_to} the
+    pid's role. *)
+
+val all : t list
+(** Every parameterless strategy, for sweep experiments (the [Impatient]
+    entry uses a zero patience). *)

@@ -1,0 +1,99 @@
+open Xcrypto
+
+type t = {
+  topo : Topology.t;
+  params : Params.t;
+  payment : int;
+  value : int;
+  amounts : int array;
+  books : Ledger.Book.t array;
+  registry : Auth.registry;
+  signers : (int, Auth.signer) Hashtbl.t;
+}
+
+let signer_of t pid =
+  match Hashtbl.find_opt t.signers pid with
+  | Some s -> s
+  | None ->
+      let s = Auth.register t.registry pid in
+      Hashtbl.add t.signers pid s;
+      s
+
+let make ~topo ~params ?(payment = 1) ?(value = 1000) ?(commission = 10)
+    ?(seed = 7) () =
+  let n = Topology.hops topo in
+  if value < 1 then invalid_arg "Env.make: value must be positive";
+  if commission < 0 then invalid_arg "Env.make: negative commission";
+  let amounts = Array.init n (fun i -> value + (commission * (n - 1 - i))) in
+  let books =
+    Array.init n (fun i ->
+        let book = Ledger.Book.create ~currency:(Printf.sprintf "cur%d" i) in
+        Ledger.Book.open_account book ~owner:(Topology.customer topo i)
+          ~balance:amounts.(i);
+        Ledger.Book.open_account book
+          ~owner:(Topology.customer topo (i + 1))
+          ~balance:0;
+        Ledger.Book.open_account book ~owner:(Topology.escrow topo i)
+          ~balance:0;
+        book)
+  in
+  let registry = Auth.create ~seed in
+  let t =
+    {
+      topo;
+      params;
+      payment;
+      value;
+      amounts;
+      books;
+      registry;
+      signers = Hashtbl.create 16;
+    }
+  in
+  (* Register everyone up front so verification never depends on order. *)
+  List.iter
+    (fun pid -> ignore (signer_of t pid))
+    (Topology.customers topo @ Topology.escrows topo);
+  t
+
+let amount_at t i = t.amounts.(i)
+
+let initial_balance t ~pid ~escrow =
+  let topo = t.topo in
+  if pid = Topology.customer topo escrow then t.amounts.(escrow) else 0
+
+let chi_ok t (sv : Msg.chi_body Auth.signed) =
+  let b = sv.Auth.payload in
+  b.Msg.x_payment = t.payment
+  && b.Msg.x_bob = Topology.bob t.topo
+  && sv.Auth.author = Topology.bob t.topo
+  && Auth.verify_value t.registry ~ser:Msg.ser_chi sv
+
+let make_chi t =
+  let bob = Topology.bob t.topo in
+  Auth.sign_value (signer_of t bob) ~ser:Msg.ser_chi
+    { Msg.x_payment = t.payment; x_bob = bob }
+
+let promise_g_ok t ~escrow_index (sv : Msg.promise_g Auth.signed) =
+  let e = Topology.escrow t.topo escrow_index in
+  sv.Auth.author = e
+  && sv.Auth.payload.Msg.g_escrow = e
+  && Auth.verify_value t.registry ~ser:Msg.ser_promise_g sv
+
+let promise_p_ok t ~escrow_index (sv : Msg.promise_p Auth.signed) =
+  let e = Topology.escrow t.topo escrow_index in
+  sv.Auth.author = e
+  && sv.Auth.payload.Msg.p_escrow = e
+  && Auth.verify_value t.registry ~ser:Msg.ser_promise_p sv
+
+let decision_ok t ~tm (sv : Msg.decision_body Auth.signed) =
+  sv.Auth.author = tm
+  && sv.Auth.payload.Msg.dec_payment = t.payment
+  && Auth.verify_value t.registry ~ser:Msg.ser_decision sv
+
+let funded_ok t ~escrow_index (sv : Msg.funded_body Auth.signed) =
+  let e = Topology.escrow t.topo escrow_index in
+  sv.Auth.author = e
+  && sv.Auth.payload.Msg.f_escrow = e
+  && sv.Auth.payload.Msg.f_payment = t.payment
+  && Auth.verify_value t.registry ~ser:Msg.ser_funded sv

@@ -1,0 +1,57 @@
+(** Shared run environment: topology + parameters + ledgers + keys.
+
+    One {!t} describes a single payment attempt: who the participants are,
+    how much moves on each leg (Chloe's commissions make the amounts strictly
+    decreasing toward Bob), the per-escrow ledger {!Ledger.Book}s, and the
+    signature registry with per-participant signing capabilities. *)
+
+type t = {
+  topo : Topology.t;
+  params : Params.t;
+  payment : int;  (** payment identifier signed into certificates *)
+  value : int;  (** what Bob is owed *)
+  amounts : int array;
+      (** [amounts.(i)] is what c{_i} pays at e{_i}; decreasing in [i] *)
+  books : Ledger.Book.t array;  (** [books.(i)] is e{_i}'s ledger *)
+  registry : Xcrypto.Auth.registry;
+  signers : (int, Xcrypto.Auth.signer) Hashtbl.t;
+      (** per-pid signing capabilities; use {!signer_of} *)
+}
+
+val make :
+  topo:Topology.t ->
+  params:Params.t ->
+  ?payment:int ->
+  ?value:int ->
+  ?commission:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** Books are opened with exactly the balances the protocol needs: c{_i}
+    holds [amounts.(i)] at e{_i}, the downstream customer and the escrow
+    itself hold 0 there. Default [value] 1000, [commission] 10, [seed] 7. *)
+
+val signer_of : t -> int -> Xcrypto.Auth.signer
+(** The signing capability of pid — handed by the runner to the process
+    (and only to it; this is what makes signatures unforgeable in the
+    model). Idempotent per pid. *)
+
+val amount_at : t -> int -> int
+(** [amount_at t i] = what moves through escrow e{_i}. *)
+
+val initial_balance : t -> pid:int -> escrow:int -> int
+(** What [pid] held at escrow index [escrow] before the run — the baseline
+    for the safety properties. *)
+
+val chi_ok : t -> Msg.chi_body Xcrypto.Auth.signed -> bool
+(** Is this a genuine χ for this payment, signed by Bob? *)
+
+val make_chi : t -> Msg.chi_body Xcrypto.Auth.signed
+(** Bob's signature over the χ statement (usable only by code holding the
+    env — Byzantine strategies instead use {!Xcrypto.Auth.forge_value},
+    which verification rejects). *)
+
+val promise_g_ok : t -> escrow_index:int -> Msg.promise_g Xcrypto.Auth.signed -> bool
+val promise_p_ok : t -> escrow_index:int -> Msg.promise_p Xcrypto.Auth.signed -> bool
+val decision_ok : t -> tm:int -> Msg.decision_body Xcrypto.Auth.signed -> bool
+val funded_ok : t -> escrow_index:int -> Msg.funded_body Xcrypto.Auth.signed -> bool

@@ -1,0 +1,189 @@
+open Sim
+module E = Engine
+module HL = Xcrypto.Hashlock
+
+type config = { hop_window : Sim_time.t }
+
+let default_config (env : Env.t) =
+  let p = env.Env.params.Params.input in
+  let step = Sim_time.add p.Params.sigma p.Params.delta in
+  let base = Sim_time.add step p.Params.margin in
+  { hop_window = Params.up ~drift_ppm:p.Params.drift_ppm base }
+
+let window_of (env : Env.t) cfg i =
+  let n = Topology.hops env.Env.topo in
+  let rungs = ((n - i) * 4) + 2 in
+  Sim_time.scale cfg.hop_window ~num:rungs ~den:1
+
+let fresh_preimage ~seed = HL.fresh (Rng.create ~seed)
+
+(* Escrow e_i: accepts a hashlocked deposit from c_i, pays c_{i+1} against
+   the preimage before the leg's timelock, else refunds. *)
+let escrow_handlers (env : Env.t) cfg i =
+  let topo = env.Env.topo in
+  let self = Topology.escrow topo i in
+  let cust_up = Topology.customer topo i in
+  let cust_down = Topology.customer topo (i + 1) in
+  let amount = Env.amount_at env i in
+  let book = env.Env.books.(i) in
+  let window = window_of env cfg i in
+  let contract : (HL.lock * int) option ref = ref None in
+  let deposit = ref None in
+  let resolved = ref false in
+  let finish ctx outcome =
+    E.observe ctx (Obs.Terminated { pid = self; outcome });
+    E.halt ctx
+  in
+  {
+    E.on_start = (fun _ -> ());
+    on_receive =
+      (fun ctx ~src msg ->
+        if not !resolved then
+          match msg with
+          | Msg.Htlc_setup { lock; amount = a }
+            when src = cust_up && !contract = None && a = amount -> (
+              match Ledger.Book.deposit book ~from_:cust_up ~amount with
+              | Ok dep ->
+                  contract := Some (lock, a);
+                  deposit := Some dep;
+                  E.observe ctx
+                    (Obs.Deposited
+                       { escrow = self; depositor = cust_up; amount; deposit = dep });
+                  E.set_timer_after ctx ~after:window ~label:"timelock";
+                  (* tell the downstream customer her incoming leg exists *)
+                  E.send ctx ~dst:cust_down (Msg.Htlc_setup { lock; amount = a })
+              | Error e ->
+                  E.observe ctx
+                    (Obs.Rejected
+                       { pid = self; what = Fmt.str "deposit: %a" Ledger.Book.pp_error e }))
+          | Msg.Htlc_claim { preimage } when src = cust_down -> (
+              match (!contract, !deposit) with
+              | Some (lock, _), Some dep when HL.matches lock preimage -> (
+                  match Ledger.Book.release book dep ~to_:cust_down with
+                  | Ok () ->
+                      resolved := true;
+                      E.observe ctx
+                        (Obs.Released
+                           { escrow = self; deposit = dep; to_ = cust_down; amount });
+                      E.send ctx ~dst:cust_down (Msg.Money { amount });
+                      (* reveal the key upstream, as an on-chain claim would *)
+                      E.send ctx ~dst:cust_up (Msg.Htlc_key { preimage });
+                      finish ctx "released"
+                  | Error e ->
+                      E.observe ctx
+                        (Obs.Rejected
+                           { pid = self; what = Fmt.str "release: %a" Ledger.Book.pp_error e }))
+              | Some _, _ ->
+                  E.observe ctx
+                    (Obs.Rejected { pid = self; what = "claim: wrong preimage" })
+              | None, _ ->
+                  E.observe ctx
+                    (Obs.Rejected { pid = self; what = "claim: no contract" }))
+          | _ -> ());
+    on_timer =
+      (fun ctx ~label ->
+        if (not !resolved) && String.equal label "timelock" then
+          match !deposit with
+          | Some dep -> (
+              match Ledger.Book.refund book dep with
+              | Ok () ->
+                  resolved := true;
+                  E.observe ctx
+                    (Obs.Refunded
+                       { escrow = self; deposit = dep; depositor = cust_up; amount });
+                  E.send ctx ~dst:cust_up (Msg.Money { amount });
+                  finish ctx "refunded"
+              | Error e ->
+                  E.observe ctx
+                    (Obs.Rejected
+                       { pid = self; what = Fmt.str "refund: %a" Ledger.Book.pp_error e }))
+          | None -> ());
+  }
+
+(* Customer c_i, i < n: on learning the lock (from Bob's invoice for Alice,
+   from the upstream escrow's setup notice for connectors), fund the
+   outgoing leg; on the revealed key, claim the incoming leg. *)
+let customer_handlers (env : Env.t) _cfg i =
+  let topo = env.Env.topo in
+  let n = Topology.hops topo in
+  let self = Topology.customer topo i in
+  let e_down = Topology.escrow topo i in
+  let e_up = if i > 0 then Some (Topology.escrow topo (i - 1)) else None in
+  let amount = Env.amount_at env i in
+  let recv_amount = if i > 0 then Env.amount_at env (i - 1) else 0 in
+  let expected_src = if i = 0 then Topology.bob topo else Topology.escrow topo (i - 1) in
+  let funded = ref false in
+  let refunded = ref false in
+  let claimed = ref false in
+  let done_ = ref false in
+  let finish ctx outcome =
+    if not !done_ then begin
+      done_ := true;
+      E.observe ctx (Obs.Terminated { pid = self; outcome });
+      E.halt ctx
+    end
+  in
+  ignore n;
+  {
+    E.on_start = (fun _ -> ());
+    on_receive =
+      (fun ctx ~src msg ->
+        match msg with
+        | Msg.Htlc_setup { lock; amount = _ } when src = expected_src && not !funded ->
+            funded := true;
+            E.send ctx ~dst:e_down (Msg.Htlc_setup { lock; amount })
+        | Msg.Htlc_key { preimage } when src = e_down && not !claimed -> (
+            claimed := true;
+            E.observe ctx
+              (Obs.Note { pid = self; what = "preimage-learned" });
+            match e_up with
+            | Some e -> E.send ctx ~dst:e (Msg.Htlc_claim { preimage })
+            | None ->
+                (* Alice: the revealed preimage is all the receipt HTLC
+                   gives her *)
+                finish ctx "preimage-receipt")
+        | Msg.Money { amount = a } when src = e_down && a = amount ->
+            refunded := true;
+            finish ctx "refunded"
+        | Msg.Money { amount = a } ->
+            (match e_up with
+            | Some e when src = e && a = recv_amount -> finish ctx "paid"
+            | _ -> ())
+        | _ -> ());
+    on_timer = (fun _ ~label:_ -> ());
+  }
+
+let bob_handlers (env : Env.t) _cfg preimage =
+  let topo = env.Env.topo in
+  let n = Topology.hops topo in
+  let self = Topology.bob topo in
+  let e_up = Topology.escrow topo (n - 1) in
+  let alice = Topology.alice topo in
+  let recv_amount = Env.amount_at env (n - 1) in
+  let lock = HL.lock_of preimage in
+  {
+    E.on_start =
+      (fun ctx ->
+        (* the invoice: Bob hands Alice the lock *)
+        E.send ctx ~dst:alice (Msg.Htlc_setup { lock; amount = env.Env.value }));
+    on_receive =
+      (fun ctx ~src msg ->
+        match msg with
+        | Msg.Htlc_setup _ when src = e_up ->
+            (* incoming leg funded: claim it *)
+            E.send ctx ~dst:e_up (Msg.Htlc_claim { preimage })
+        | Msg.Money { amount } when src = e_up && amount = recv_amount ->
+            E.observe ctx (Obs.Terminated { pid = self; outcome = "paid" });
+            E.halt ctx
+        | _ -> ());
+    on_timer = (fun _ ~label:_ -> ());
+  }
+
+let handlers_for env cfg preimage pid =
+  let topo = env.Env.topo in
+  match Topology.role_of topo pid with
+  | Some Topology.Alice -> customer_handlers env cfg 0
+  | Some (Topology.Connector i) -> customer_handlers env cfg i
+  | Some Topology.Bob -> bob_handlers env cfg preimage
+  | Some (Topology.Escrow i) -> escrow_handlers env cfg i
+  | _ -> invalid_arg "Htlc_protocol.handlers_for: unknown pid"

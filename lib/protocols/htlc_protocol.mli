@@ -1,0 +1,40 @@
+(** Hashed-timelock payment chain — the folklore baseline.
+
+    This is the protocol family deployed by Lightning-style networks and by
+    the timelock side of Interledger: Bob mints a secret preimage [s] and
+    circulates the lock [H(s)]; each leg is deposited under that hashlock
+    with a refund timelock, timelocks {e decreasing} toward Bob so an
+    upstream escrow never refunds while a downstream claim is still
+    possible; Bob claims with [s], and the revealed key propagates upstream
+    hop by hop.
+
+    The baseline exists to quantify what the paper's protocol buys:
+
+    - no certificate χ: Alice's "receipt" is the bare preimage, which only
+      proves that {e someone} claimed, not that Bob's obligation
+      statement was met;
+    - worst-case money-lock time grows as Θ(n²·δ) summed over legs
+      (timelocks nest linearly per leg), against the paper's nested a{_i}
+      windows that release the moment χ passes — experiment E5 measures
+      this;
+    - the same drift-race on the refund deadline exists per leg. *)
+
+type config = {
+  hop_window : Sim.Sim_time.t;
+      (** per-hop slice of the timelock ladder; leg i refunds after
+          [(hops - i) * 4 + 2] of these plus drift inflation *)
+}
+
+val default_config : Env.t -> config
+(** A safe ladder derived from the env's δ, σ and drift. *)
+
+val window_of : Env.t -> config -> int -> Sim.Sim_time.t
+(** The refund timelock of leg [i] (local ticks from deposit). *)
+
+val handlers_for :
+  Env.t -> config -> Xcrypto.Hashlock.preimage -> int ->
+  (Msg.t, Obs.t) Sim.Engine.handlers
+(** Honest handlers by pid. The preimage is Bob's; other participants only
+    ever see it through protocol messages (their closures ignore it). *)
+
+val fresh_preimage : seed:int -> Xcrypto.Hashlock.preimage

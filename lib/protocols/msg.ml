@@ -1,0 +1,101 @@
+type promise_g = { g_escrow : int; g_customer : int; d : Sim.Sim_time.t }
+type promise_p = { p_escrow : int; p_customer : int; a : Sim.Sim_time.t }
+type chi_body = { x_payment : int; x_bob : int }
+type funded_body = { f_escrow : int; f_payment : int; f_amount : int }
+type decision_body = { dec_payment : int; dec_commit : bool }
+
+type chain_tx =
+  | Tx_funded of funded_body Xcrypto.Auth.signed
+  | Tx_abort of { customer : int; payment : int }
+
+type t =
+  | Money of { amount : int }
+  | Promise_g of promise_g Xcrypto.Auth.signed
+  | Promise_p of promise_p Xcrypto.Auth.signed
+  | Chi of chi_body Xcrypto.Auth.signed
+  | Funded of funded_body Xcrypto.Auth.signed
+  | Abort_req of { payment : int }
+  | Tm_decision of decision_body Xcrypto.Auth.signed
+  | Committee_decision of {
+      commit : bool;
+      cert : bool Consensus.Dls.decision_cert;
+    }
+  | Notary of bool Consensus.Dls.msg
+  | Chain_gossip of chain_tx Consensus.Chain.msg
+  | Htlc_setup of { lock : Xcrypto.Hashlock.lock; amount : int }
+  | Htlc_claim of { preimage : Xcrypto.Hashlock.preimage }
+  | Htlc_key of { preimage : Xcrypto.Hashlock.preimage }
+  | Start
+
+let tag = function
+  | Money _ -> "money"
+  | Promise_g _ -> "G"
+  | Promise_p _ -> "P"
+  | Chi _ -> "chi"
+  | Funded _ -> "funded"
+  | Abort_req _ -> "abort-req"
+  | Tm_decision _ -> "decision"
+  | Committee_decision _ -> "decision"
+  | Notary (Consensus.Dls.Propose _) -> "notary:propose"
+  | Notary (Consensus.Dls.Echo _) -> "notary:echo"
+  | Notary (Consensus.Dls.Commit _) -> "notary:commit"
+  | Notary (Consensus.Dls.New_round _) -> "notary:new-round"
+  | Chain_gossip (Consensus.Chain.Submit _) -> "chain:submit"
+  | Chain_gossip (Consensus.Chain.Announce _) -> "chain:block"
+  | Htlc_setup _ -> "htlc-setup"
+  | Htlc_claim _ -> "htlc-claim"
+  | Htlc_key _ -> "htlc-key"
+  | Start -> "start"
+
+let pp ppf m =
+  match m with
+  | Money { amount } -> Fmt.pf ppf "$%d" amount
+  | Promise_g sv ->
+      let g = sv.Xcrypto.Auth.payload in
+      Fmt.pf ppf "G(d=%a) e%d->c%d" Sim.Sim_time.pp g.d g.g_escrow g.g_customer
+  | Promise_p sv ->
+      let p = sv.Xcrypto.Auth.payload in
+      Fmt.pf ppf "P(a=%a) e%d->c%d" Sim.Sim_time.pp p.a p.p_escrow p.p_customer
+  | Chi sv ->
+      let c = sv.Xcrypto.Auth.payload in
+      Fmt.pf ppf "χ(pay=%d, bob=%d)" c.x_payment c.x_bob
+  | Funded sv ->
+      let f = sv.Xcrypto.Auth.payload in
+      Fmt.pf ppf "funded(e=%d, %d)" f.f_escrow f.f_amount
+  | Abort_req { payment } -> Fmt.pf ppf "abort-req(pay=%d)" payment
+  | Tm_decision sv ->
+      let d = sv.Xcrypto.Auth.payload in
+      Fmt.pf ppf "%s(pay=%d)" (if d.dec_commit then "χc" else "χa") d.dec_payment
+  | Committee_decision { commit; _ } ->
+      Fmt.pf ppf "%s(committee)" (if commit then "χc" else "χa")
+  | Notary _ | Chain_gossip _ -> Fmt.pf ppf "%s" (tag m)
+  | Htlc_setup { lock; amount } ->
+      Fmt.pf ppf "htlc-setup(%a, $%d)" Xcrypto.Hashlock.pp_lock lock amount
+  | Htlc_claim _ -> Fmt.string ppf "htlc-claim"
+  | Htlc_key _ -> Fmt.string ppf "htlc-key"
+  | Start -> Fmt.string ppf "start"
+
+let ser_promise_g g =
+  Printf.sprintf "G|%d|%d|%s" g.g_escrow g.g_customer (Sim.Sim_time.to_string g.d)
+
+let ser_promise_p p =
+  Printf.sprintf "P|%d|%d|%s" p.p_escrow p.p_customer (Sim.Sim_time.to_string p.a)
+
+let ser_chi c = Printf.sprintf "chi|%d|%d" c.x_payment c.x_bob
+
+let ser_funded f =
+  Printf.sprintf "funded|%d|%d|%d" f.f_escrow f.f_payment f.f_amount
+
+let ser_decision d =
+  Printf.sprintf "dec|%d|%b" d.dec_payment d.dec_commit
+
+let ser_bool b = if b then "commit" else "abort"
+
+let chain_tx_equal a b =
+  match (a, b) with
+  | Tx_funded x, Tx_funded y ->
+      x.Xcrypto.Auth.payload.f_escrow = y.Xcrypto.Auth.payload.f_escrow
+      && x.Xcrypto.Auth.payload.f_payment = y.Xcrypto.Auth.payload.f_payment
+  | Tx_abort x, Tx_abort y ->
+      x.customer = y.customer && x.payment = y.payment
+  | _, _ -> false

@@ -1,0 +1,80 @@
+(** Wire messages of all payment protocols.
+
+    One message type serves every protocol in the library (the engine is
+    monomorphic in its message type per run); each protocol uses the subset
+    it needs. The three message kinds of the paper's §4 appear directly:
+
+    - the value message [$] ({!constructor-Money}) — an instruction or
+      notification concerning funds held by the receiving/sending escrow;
+      value itself moves on the escrow's {!Ledger.Book};
+    - the certificate χ ({!constructor-Chi}) — "signed by Bob, saying that
+      Alice's obligation to pay him has been met";
+    - the promises G(d) and P(a) — signed by the escrow issuing them.
+
+    The weak protocol (Thm 3) adds funded reports, abort requests and the
+    transaction manager's decision certificates; the notary-committee
+    variant tunnels consensus messages; the HTLC baseline adds hashlock
+    setup/claim messages. *)
+
+type promise_g = { g_escrow : int; g_customer : int; d : Sim.Sim_time.t }
+(** "I guarantee that if I receive $ from you at my local time w, then I
+    will send you either $ or χ by my local time w + d." *)
+
+type promise_p = { p_escrow : int; p_customer : int; a : Sim.Sim_time.t }
+(** "I promise that if I receive χ from you at my time v, with
+    v < now + a, then I will send you $ by my local time v + ε." *)
+
+type chi_body = { x_payment : int; x_bob : int }
+(** χ's statement; [x_payment] identifies the payment, [x_bob] the signer
+    whose obligation-satisfaction it certifies. *)
+
+type funded_body = { f_escrow : int; f_payment : int; f_amount : int }
+type decision_body = { dec_payment : int; dec_commit : bool }
+
+type chain_tx =
+  | Tx_funded of funded_body Xcrypto.Auth.signed
+  | Tx_abort of { customer : int; payment : int }
+      (** transactions of the chain-hosted transaction-manager contract *)
+
+type t =
+  | Money of { amount : int }
+  | Promise_g of promise_g Xcrypto.Auth.signed
+  | Promise_p of promise_p Xcrypto.Auth.signed
+  | Chi of chi_body Xcrypto.Auth.signed
+  | Funded of funded_body Xcrypto.Auth.signed
+      (** weak protocol: escrow → TM, "my leg is deposited" *)
+  | Abort_req of { payment : int }  (** weak protocol: customer → TM *)
+  | Tm_decision of decision_body Xcrypto.Auth.signed
+      (** single-party TM's χc/χa *)
+  | Committee_decision of {
+      commit : bool;
+      cert : bool Consensus.Dls.decision_cert;
+    }  (** notary committee's χc/χa: a consensus decision certificate *)
+  | Notary of bool Consensus.Dls.msg  (** committee-internal *)
+  | Chain_gossip of chain_tx Consensus.Chain.msg
+      (** chain-TM internal: block announcements between validators *)
+  | Htlc_setup of { lock : Xcrypto.Hashlock.lock; amount : int }
+  | Htlc_claim of { preimage : Xcrypto.Hashlock.preimage }
+  | Htlc_key of { preimage : Xcrypto.Hashlock.preimage }
+      (** escrow → upstream customer: the revealed key *)
+  | Start  (** generic kick-off ping *)
+
+val tag : t -> string
+(** Stable label used in traces and by adversaries to target message
+    classes (e.g. delay only ["chi"]). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Serialization for signing} *)
+
+val ser_promise_g : promise_g -> string
+val ser_promise_p : promise_p -> string
+val ser_chi : chi_body -> string
+val ser_funded : funded_body -> string
+val ser_decision : decision_body -> string
+val ser_bool : bool -> string
+(** Serializer for committee consensus values (commit?). *)
+
+val chain_tx_equal : chain_tx -> chain_tx -> bool
+(** Structural identity used by the chain's mempool/replay dedupe: funded
+    reports are keyed by escrow, abort requests by customer. *)

@@ -1,0 +1,55 @@
+type cert_kind = Chi | Chi_commit | Chi_abort
+
+type t =
+  | Deposited of { escrow : int; depositor : int; amount : int; deposit : int }
+  | Released of { escrow : int; deposit : int; to_ : int; amount : int }
+  | Refunded of { escrow : int; deposit : int; depositor : int; amount : int }
+  | Cert_issued of { by : int; kind : cert_kind }
+  | Cert_received of { pid : int; kind : cert_kind; valid : bool }
+  | Funded_reported of { escrow : int; amount : int }
+  | Abort_requested of { by : int }
+  | Decision_made of { by : int; commit : bool }
+  | Terminated of { pid : int; outcome : string }
+  | Rejected of { pid : int; what : string }
+  | Note of { pid : int; what : string }
+
+let tag = function
+  | Deposited _ -> "deposited"
+  | Released _ -> "released"
+  | Refunded _ -> "refunded"
+  | Cert_issued _ -> "cert-issued"
+  | Cert_received _ -> "cert-received"
+  | Funded_reported _ -> "funded"
+  | Abort_requested _ -> "abort-requested"
+  | Decision_made _ -> "decision"
+  | Terminated _ -> "terminated"
+  | Rejected _ -> "rejected"
+  | Note _ -> "note"
+
+let pp_cert_kind ppf = function
+  | Chi -> Fmt.string ppf "χ"
+  | Chi_commit -> Fmt.string ppf "χc"
+  | Chi_abort -> Fmt.string ppf "χa"
+
+let pp ppf = function
+  | Deposited { escrow; depositor; amount; deposit } ->
+      Fmt.pf ppf "deposited(e=%d, by=%d, %d, #%d)" escrow depositor amount
+        deposit
+  | Released { escrow; deposit; to_; amount } ->
+      Fmt.pf ppf "released(e=%d, #%d -> %d, %d)" escrow deposit to_ amount
+  | Refunded { escrow; deposit; depositor; amount } ->
+      Fmt.pf ppf "refunded(e=%d, #%d -> %d, %d)" escrow deposit depositor
+        amount
+  | Cert_issued { by; kind } ->
+      Fmt.pf ppf "cert-issued(by=%d, %a)" by pp_cert_kind kind
+  | Cert_received { pid; kind; valid } ->
+      Fmt.pf ppf "cert-received(pid=%d, %a, valid=%b)" pid pp_cert_kind kind
+        valid
+  | Funded_reported { escrow; amount } ->
+      Fmt.pf ppf "funded(e=%d, %d)" escrow amount
+  | Abort_requested { by } -> Fmt.pf ppf "abort-requested(by=%d)" by
+  | Decision_made { by; commit } ->
+      Fmt.pf ppf "decision(by=%d, %s)" by (if commit then "commit" else "abort")
+  | Terminated { pid; outcome } -> Fmt.pf ppf "terminated(%d, %s)" pid outcome
+  | Rejected { pid; what } -> Fmt.pf ppf "rejected(%d, %s)" pid what
+  | Note { pid; what } -> Fmt.pf ppf "note(%d, %s)" pid what

@@ -1,0 +1,151 @@
+open Sim
+
+type input = {
+  hops : int;
+  delta : Sim_time.t;
+  sigma : Sim_time.t;
+  drift_ppm : int;
+  margin : Sim_time.t;
+}
+
+type t = {
+  input : input;
+  a : Sim_time.t array;
+  d : Sim_time.t array;
+  epsilon : Sim_time.t;
+  horizon : Sim_time.t;
+  customer_bound : Sim_time.t array;
+}
+
+let ppm = 1_000_000
+
+let default_input ~hops =
+  { hops; delta = 100; sigma = 10; drift_ppm = 10_000; margin = 5 }
+
+let up ~drift_ppm t = Sim_time.scale t ~num:(ppm + drift_ppm) ~den:ppm
+let down ~drift_ppm t = Sim_time.scale t ~num:ppm ~den:(ppm - drift_ppm)
+
+let validate_input i =
+  if i.hops < 1 then invalid_arg "Params: hops must be >= 1";
+  if i.delta < 1 then invalid_arg "Params: delta must be >= 1";
+  if Sim_time.(i.sigma < 0) then invalid_arg "Params: sigma must be >= 0";
+  if i.drift_ppm < 0 || i.drift_ppm >= ppm then
+    invalid_arg "Params: drift_ppm out of range";
+  if Sim_time.(i.margin < 1) then invalid_arg "Params: margin must be >= 1"
+
+let derive input =
+  validate_input input;
+  let n = input.hops in
+  let r = input.drift_ppm in
+  let step = Sim_time.add input.sigma input.delta in
+  let a = Array.make n Sim_time.zero in
+  a.(n - 1) <-
+    up ~drift_ppm:r
+      (Sim_time.add (Sim_time.scale step ~num:2 ~den:1) input.margin);
+  for i = n - 2 downto 0 do
+    let cost =
+      Sim_time.add
+        (Sim_time.scale step ~num:5 ~den:1)
+        (Sim_time.add (down ~drift_ppm:r a.(i + 1)) input.margin)
+    in
+    a.(i) <- up ~drift_ppm:r cost
+  done;
+  let d =
+    Array.map
+      (fun ai ->
+        Sim_time.add ai (Sim_time.add (up ~drift_ppm:r input.sigma) input.margin))
+      a
+  in
+  let epsilon =
+    Sim_time.add (up ~drift_ppm:r (Sim_time.scale input.sigma ~num:2 ~den:1))
+      input.margin
+  in
+  (* Real-time termination horizon: money reaches e_i within (3 + 2i) steps
+     of the start; each escrow resolves within down(a_i) real time after
+     that; the reply makes one more hop. a_0 dominates the a_i. *)
+  let money_reach =
+    Sim_time.scale step ~num:((2 * n) + 3) ~den:1
+  in
+  let horizon =
+    Sim_time.add money_reach
+      (Sim_time.add (down ~drift_ppm:r a.(0))
+         (Sim_time.add (Sim_time.scale step ~num:2 ~den:1)
+            (Sim_time.scale input.margin ~num:4 ~den:1)))
+  in
+  (* Per-customer bounds (property T is stated per customer): customer c_i
+     pays at e_i, whose window a_i opens within (3 + 2i) steps of the start
+     and lasts at most down(a_i) real ticks; the reply makes one more hop.
+     Bob (i = n) just needs the full forward path. *)
+  let customer_bound =
+    Array.init (n + 1) (fun i ->
+        if i = n then
+          Sim_time.add
+            (Sim_time.scale step ~num:((2 * n) + 3) ~den:1)
+            (Sim_time.scale input.margin ~num:4 ~den:1)
+        else
+          Sim_time.add
+            (Sim_time.scale step ~num:((2 * i) + 3) ~den:1)
+            (Sim_time.add (down ~drift_ppm:r a.(i))
+               (Sim_time.add (Sim_time.scale step ~num:2 ~den:1)
+                  (Sim_time.scale input.margin ~num:4 ~den:1))))
+  in
+  { input; a; d; epsilon; horizon; customer_bound }
+
+let check t =
+  let i = t.input in
+  let n = i.hops in
+  let r = i.drift_ppm in
+  let step = Sim_time.add i.sigma i.delta in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if Array.length t.a <> n || Array.length t.d <> n then
+    fail "parameter vectors have wrong length"
+  else begin
+    let problem = ref None in
+    let need idx cond msg =
+      if !problem = None && not cond then problem := Some (idx, msg)
+    in
+    need (n - 1)
+      Sim_time.(
+        t.a.(n - 1)
+        >= up ~drift_ppm:r
+             (Sim_time.add (Sim_time.scale step ~num:2 ~den:1) 1))
+      "a(n-1) cannot cover Bob's round trip";
+    for i' = 0 to n - 2 do
+      let lower =
+        up ~drift_ppm:r
+          (Sim_time.add
+             (Sim_time.scale step ~num:5 ~den:1)
+             (Sim_time.add (down ~drift_ppm:r t.a.(i' + 1)) 1))
+      in
+      need i' Sim_time.(t.a.(i') >= lower) "a(i) below the recurrence bound"
+    done;
+    for i' = 0 to n - 1 do
+      need i'
+        Sim_time.(t.d.(i') >= Sim_time.add t.a.(i') i.sigma)
+        "d(i) does not leave room to resolve after the window"
+    done;
+    match !problem with
+    | None -> Ok ()
+    | Some (idx, msg) -> fail "at index %d: %s" idx msg
+  end
+
+let scale_windows t ~num ~den =
+  if num < 0 || den <= 0 then invalid_arg "Params.scale_windows";
+  let sc x = Stdlib.max 1 (Sim_time.scale x ~num ~den) in
+  {
+    t with
+    a = Array.map sc t.a;
+    d = Array.map sc t.d;
+    (* keep the promised periods consistent with the windows they cover *)
+    customer_bound = Array.map sc t.customer_bound;
+    horizon = sc t.horizon;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>params n=%d δ=%a σ=%a ρ=%dppm margin=%a@,a=[%a]@,d=[%a]@,ε=%a horizon=%a@]"
+    t.input.hops Sim_time.pp t.input.delta Sim_time.pp t.input.sigma
+    t.input.drift_ppm Sim_time.pp t.input.margin
+    Fmt.(array ~sep:(any "; ") Sim_time.pp)
+    t.a
+    Fmt.(array ~sep:(any "; ") Sim_time.pp)
+    t.d Sim_time.pp t.epsilon Sim_time.pp t.horizon

@@ -1,0 +1,198 @@
+open Sim
+
+type protocol =
+  | Sync_timebound
+  | Naive_universal
+  | Htlc
+  | Weak of Weak_protocol.config
+  | Atomic of Atomic_protocol.config
+
+let protocol_name = function
+  | Sync_timebound -> "sync-timebound"
+  | Naive_universal -> "naive-universal"
+  | Htlc -> "htlc"
+  | Weak { tm = Weak_protocol.Single; _ } -> "weak-single-tm"
+  | Weak { tm = Weak_protocol.Committee { f }; _ } ->
+      Printf.sprintf "weak-committee-f%d" f
+  | Weak { tm = Weak_protocol.Chain { validators }; _ } ->
+      Printf.sprintf "weak-chain-m%d" validators
+  | Atomic _ -> "ilp-atomic"
+
+type network =
+  | Sync
+  | Psync of { gst : Sim_time.t }
+  | Async of { mean : Sim_time.t; cap : Sim_time.t }
+
+type config = {
+  hops : int;
+  value : int;
+  commission : int;
+  delta : Sim_time.t;
+  sigma : Sim_time.t;
+  drift_ppm : int;
+  margin : Sim_time.t;
+  network : network;
+  adversary : Network.adversary option;
+  faults : (int * Byzantine.t) list;
+  window_scale : (int * int) option;
+  clock_override : (int -> Sim.Clock.t) option;
+  seed : int;
+  horizon : Sim_time.t option;
+  max_events : int;
+}
+
+let default_config ~hops ~seed =
+  {
+    hops;
+    value = 1000;
+    commission = 10;
+    delta = 100;
+    sigma = 10;
+    drift_ppm = 10_000;
+    margin = 5;
+    network = Sync;
+    adversary = None;
+    faults = [];
+    window_scale = None;
+    clock_override = None;
+    seed;
+    horizon = None;
+    max_events = 200_000;
+  }
+
+type outcome = {
+  config : config;
+  protocol : protocol;
+  env : Env.t;
+  params : Params.t;
+  status : Engine.status;
+  trace : (Msg.t, Obs.t) Trace.t;
+  end_time : Sim_time.t;
+  message_count : int;
+  fault_names : (int * string) list;
+  tm_pids : int array;
+  clocks : Sim.Clock.t array;
+}
+
+let derive_params cfg protocol =
+  let drift =
+    match protocol with Naive_universal -> 0 | _ -> cfg.drift_ppm
+  in
+  let params =
+    Params.derive
+      {
+        Params.hops = cfg.hops;
+        delta = cfg.delta;
+        sigma = cfg.sigma;
+        drift_ppm = drift;
+        margin = cfg.margin;
+      }
+  in
+  match cfg.window_scale with
+  | None -> params
+  | Some (num, den) -> Params.scale_windows params ~num ~den
+
+let network_model cfg =
+  match cfg.network with
+  | Sync -> Network.Synchronous { delta = cfg.delta }
+  | Psync { gst } -> Network.Partially_synchronous { gst; delta = cfg.delta }
+  | Async { mean; cap } -> Network.Asynchronous { mean; cap }
+
+let default_horizon cfg params =
+  let base = Sim_time.scale params.Params.horizon ~num:10 ~den:1 in
+  let net_slack =
+    match cfg.network with
+    | Sync -> Sim_time.zero
+    | Psync { gst } -> Sim_time.scale gst ~num:4 ~den:1
+    | Async { cap; _ } -> Sim_time.scale cap ~num:20 ~den:1
+  in
+  Sim_time.add (Sim_time.add base net_slack) 2_000_000
+
+let run cfg protocol =
+  let params = derive_params cfg protocol in
+  let topo = Topology.create ~hops:cfg.hops in
+  let env =
+    Env.make ~topo ~params ~value:cfg.value ~commission:cfg.commission
+      ~seed:(cfg.seed + 101) ()
+  in
+  let tm_pids =
+    match protocol with
+    | Weak wcfg -> Weak_protocol.tm_pids env wcfg
+    | Atomic _ -> [| Atomic_protocol.tm_pid env |]
+    | _ -> [||]
+  in
+  Array.iteri
+    (fun k _ -> Topology.register_aux topo k)
+    tm_pids;
+  let nprocs = Topology.payment_count topo + Array.length tm_pids in
+  let net_rng = Rng.create ~seed:(cfg.seed + 17) in
+  let network =
+    Network.create ?adversary:cfg.adversary (network_model cfg) net_rng
+  in
+  let engine =
+    Engine.create ~tag_of:Msg.tag ~network ~sigma:cfg.sigma ~seed:cfg.seed ()
+  in
+  let clock_rng = Rng.create ~seed:(cfg.seed + 31) in
+  let honest pid =
+    match protocol with
+    | Sync_timebound | Naive_universal ->
+        let auto = Sync_protocol.automaton_for env pid in
+        fst (Anta.Executor.handlers auto ())
+    | Htlc ->
+        let preimage = Htlc_protocol.fresh_preimage ~seed:(cfg.seed + 57) in
+        Htlc_protocol.handlers_for env
+          (Htlc_protocol.default_config env)
+          preimage pid
+    | Weak wcfg -> Weak_protocol.handlers_for env wcfg pid
+    | Atomic acfg -> Atomic_protocol.handlers_for env acfg pid
+  in
+  let fault_names =
+    List.map (fun (pid, s) -> (pid, Byzantine.name s)) cfg.faults
+  in
+  for pid = 0 to nprocs - 1 do
+    let handlers =
+      match List.assoc_opt pid cfg.faults with
+      | Some strategy -> Byzantine.handlers env ~tms:tm_pids ~pid strategy
+      | None -> honest pid
+    in
+    let clock =
+      match cfg.clock_override with
+      | Some f -> f pid
+      | None -> Clock.random clock_rng ~drift_ppm:cfg.drift_ppm
+    in
+    let added = Engine.add_process engine ~clock handlers in
+    assert (added = pid)
+  done;
+  let horizon =
+    match cfg.horizon with
+    | Some h -> h
+    | None -> default_horizon cfg params
+  in
+  let status = Engine.run ~horizon ~max_events:cfg.max_events engine in
+  let trace = Engine.trace engine in
+  {
+    config = cfg;
+    protocol;
+    env;
+    params;
+    status;
+    trace;
+    end_time = Engine.now engine;
+    message_count = Trace.message_count trace;
+    fault_names;
+    tm_pids;
+    clocks = Array.init nprocs (Engine.clock_of engine);
+  }
+
+let observations outcome = Trace.observations outcome.trace
+
+let balance outcome ~escrow ~pid =
+  Ledger.Book.balance outcome.env.Env.books.(escrow) pid
+
+let terminated_pids outcome =
+  List.filter_map
+    (fun (t, _, obs) ->
+      match obs with
+      | Obs.Terminated { pid; outcome } -> Some (pid, outcome, t)
+      | _ -> None)
+    (observations outcome)

@@ -1,0 +1,81 @@
+(** Scenario assembly: wire a protocol, a network model, clocks, and faults
+    into an engine run; return the trace and everything the property
+    monitors need. *)
+
+type protocol =
+  | Sync_timebound
+      (** Theorem 1's protocol, timeout windows derived with the actual
+          drift bound *)
+  | Naive_universal
+      (** the same automata with drift-blind windows (derived at ρ = 0):
+          the uncorrected Thomas–Schwartz universal protocol — E9's
+          baseline *)
+  | Htlc  (** the hashed-timelock chain baseline *)
+  | Weak of Weak_protocol.config  (** Theorem 3's protocol *)
+  | Atomic of Atomic_protocol.config
+      (** the Interledger atomic protocol — safe but with no success
+          guarantee (E11's baseline) *)
+
+val protocol_name : protocol -> string
+
+type network =
+  | Sync  (** delays within [\[1, δ\]] *)
+  | Psync of { gst : Sim.Sim_time.t }  (** partial synchrony with that GST *)
+  | Async of { mean : Sim.Sim_time.t; cap : Sim.Sim_time.t }
+
+type config = {
+  hops : int;
+  value : int;
+  commission : int;
+  delta : Sim.Sim_time.t;
+  sigma : Sim.Sim_time.t;
+  drift_ppm : int;  (** actual clock drift of every participant *)
+  margin : Sim.Sim_time.t;
+  network : network;
+  adversary : Sim.Network.adversary option;
+  faults : (int * Byzantine.t) list;  (** pid → strategy substitutions *)
+  window_scale : (int * int) option;
+      (** scale the derived a/d windows by num/den — used by E2 to build
+          timeout-candidate families; [None] = as derived *)
+  clock_override : (int -> Sim.Clock.t) option;
+      (** exact per-pid clocks instead of seed-randomized ones — used by
+          the exhaustive corner explorer (E12) to pin every clock to an
+          envelope extreme *)
+  seed : int;
+  horizon : Sim.Sim_time.t option;  (** default: generous multiple of the
+                                        derived parameter horizon *)
+  max_events : int;
+}
+
+val default_config : hops:int -> seed:int -> config
+(** value 1000, commission 10, δ 100, σ 10, drift 1%, margin 5, synchronous
+    network, no adversary, no faults, 200_000 max events. *)
+
+type outcome = {
+  config : config;
+  protocol : protocol;
+  env : Env.t;
+  params : Params.t;  (** the windows the run actually used *)
+  status : Sim.Engine.status;
+  trace : (Msg.t, Obs.t) Sim.Trace.t;
+  end_time : Sim.Sim_time.t;
+  message_count : int;
+  fault_names : (int * string) list;
+  tm_pids : int array;  (** empty unless [Weak] *)
+  clocks : Sim.Clock.t array;
+      (** each participant's (drifting) local clock, for monitors that
+          check promises stated in local time *)
+}
+
+val run : config -> protocol -> outcome
+
+val derive_params : config -> protocol -> Params.t
+(** The parameter vector [run] will use (drift-blind for
+    {!Naive_universal}). *)
+
+val observations : outcome -> (Sim.Sim_time.t * int * Obs.t) list
+val balance : outcome -> escrow:int -> pid:int -> int
+(** Final book balance. *)
+
+val terminated_pids : outcome -> (int * string * Sim.Sim_time.t) list
+(** [(pid, outcome-tag, time)] for every Terminated observation. *)

@@ -1,0 +1,303 @@
+open Anta
+module A = Automaton
+module E = Sim.Engine
+
+let is_money amount = function
+  | Msg.Money { amount = a } -> a = amount
+  | _ -> false
+
+(* e_i: issue G(d_i); take the deposit; issue P(a_i); then forward χ and pay
+   downstream, or time out and refund. *)
+let escrow_automaton (env : Env.t) i =
+  let topo = env.topo in
+  let self = Topology.escrow topo i in
+  let cust_up = Topology.customer topo i in
+  let cust_down = Topology.customer topo (i + 1) in
+  let amount = Env.amount_at env i in
+  let book = env.books.(i) in
+  let a_i = env.params.Params.a.(i) in
+  let d_i = env.params.Params.d.(i) in
+  let signer = Env.signer_of env self in
+  let deposit = ref None in
+  let take_deposit ctx _store _msg =
+    match Ledger.Book.deposit book ~from_:cust_up ~amount with
+    | Ok dep ->
+        deposit := Some dep;
+        E.observe ctx
+          (Obs.Deposited { escrow = self; depositor = cust_up; amount; deposit = dep })
+    | Error e ->
+        E.observe ctx
+          (Obs.Rejected { pid = self; what = Fmt.str "deposit: %a" Ledger.Book.pp_error e })
+  in
+  let accept_chi ctx _store msg =
+    (match msg with
+    | Some (Msg.Chi sv) ->
+        E.observe ctx
+          (Obs.Cert_received { pid = self; kind = Obs.Chi; valid = Env.chi_ok env sv })
+    | Some _ | None -> ())
+  in
+  let pay_down ctx _store =
+    match !deposit with
+    | Some dep -> (
+        match Ledger.Book.release book dep ~to_:cust_down with
+        | Ok () ->
+            E.observe ctx
+              (Obs.Released { escrow = self; deposit = dep; to_ = cust_down; amount })
+        | Error e ->
+            E.observe ctx
+              (Obs.Rejected { pid = self; what = Fmt.str "release: %a" Ledger.Book.pp_error e }))
+    | None ->
+        E.observe ctx (Obs.Rejected { pid = self; what = "release: no deposit" })
+  in
+  let pay_back ctx _store =
+    match !deposit with
+    | Some dep -> (
+        match Ledger.Book.refund book dep with
+        | Ok () ->
+            E.observe ctx
+              (Obs.Refunded { escrow = self; deposit = dep; depositor = cust_up; amount })
+        | Error e ->
+            E.observe ctx
+              (Obs.Rejected { pid = self; what = Fmt.str "refund: %a" Ledger.Book.pp_error e }))
+    | None ->
+        E.observe ctx (Obs.Rejected { pid = self; what = "refund: no deposit" })
+  in
+  let terminated outcome ctx _store =
+    E.observe ctx (Obs.Terminated { pid = self; outcome })
+  in
+  A.make
+    ~name:(Fmt.str "escrow%d" i)
+    ~initial:"send_g"
+    ~nodes:
+      [
+        ( "send_g",
+          A.output ~to_:cust_up
+            ~message:(fun _ _ ->
+              Msg.Promise_g
+                (Xcrypto.Auth.sign_value signer ~ser:Msg.ser_promise_g
+                   { Msg.g_escrow = self; g_customer = cust_up; d = d_i }))
+            ~next:"await_money" () );
+        ( "await_money",
+          A.input
+            [
+              A.on_receive ~from_:cust_up ~describe:"$" ~accept:(is_money amount)
+                ~save_now:[ "u" ] ~act:take_deposit ~next:"send_p" ();
+            ] );
+        ( "send_p",
+          A.output ~to_:cust_down
+            ~message:(fun _ _ ->
+              Msg.Promise_p
+                (Xcrypto.Auth.sign_value signer ~ser:Msg.ser_promise_p
+                   { Msg.p_escrow = self; p_customer = cust_down; a = a_i }))
+            ~next:"await_chi" () );
+        ( "await_chi",
+          A.input
+            [
+              (* deadline first: at v = u + a_i the strict window is closed *)
+              A.on_deadline ~base:"u" ~offset:a_i ~next:"refund" ();
+              A.on_receive ~from_:cust_down ~describe:"χ"
+                ~accept:(function Msg.Chi sv -> Env.chi_ok env sv | _ -> false)
+                ~save_msg:"chi" ~act:accept_chi ~next:"fwd_chi" ();
+            ] );
+        ( "fwd_chi",
+          A.output ~to_:cust_up
+            ~message:(fun _ store -> Store.data store "chi")
+            ~next:"pay_down" () );
+        ( "pay_down",
+          A.output ~to_:cust_down ~act:pay_down
+            ~message:(fun _ _ -> Msg.Money { amount })
+            ~next:"done_released" () );
+        ( "refund",
+          A.output ~to_:cust_up ~act:pay_back
+            ~message:(fun _ _ -> Msg.Money { amount })
+            ~next:"done_refunded" () );
+        ("done_released", A.final ~act:(terminated "released") ());
+        ("done_refunded", A.final ~act:(terminated "refunded") ());
+      ]
+
+let cert_received_note self env ctx msg =
+  match msg with
+  | Some (Msg.Chi sv) ->
+      E.observe ctx
+        (Obs.Cert_received { pid = self; kind = Obs.Chi; valid = Env.chi_ok env sv })
+  | Some _ | None -> ()
+
+(* Chloe_i, 0 < i < n. *)
+let connector_automaton (env : Env.t) i =
+  let topo = env.topo in
+  if i <= 0 || i >= Topology.hops topo then
+    invalid_arg "Sync_protocol.connector_automaton: not a connector index";
+  let self = Topology.customer topo i in
+  let e_down = Topology.escrow topo i in
+  let e_up = Topology.escrow topo (i - 1) in
+  let pay_amount = Env.amount_at env i in
+  let recv_amount = Env.amount_at env (i - 1) in
+  let terminated outcome ctx _store =
+    E.observe ctx (Obs.Terminated { pid = self; outcome })
+  in
+  A.make
+    ~name:(Fmt.str "chloe%d" i)
+    ~initial:"await_g"
+    ~nodes:
+      [
+        ( "await_g",
+          A.input
+            [
+              A.on_receive ~from_:e_down ~describe:"G"
+                ~accept:(function
+                  | Msg.Promise_g sv -> Env.promise_g_ok env ~escrow_index:i sv
+                  | _ -> false)
+                ~next:"await_p" ();
+            ] );
+        ( "await_p",
+          A.input
+            [
+              A.on_receive ~from_:e_up ~describe:"P"
+                ~accept:(function
+                  | Msg.Promise_p sv ->
+                      Env.promise_p_ok env ~escrow_index:(i - 1) sv
+                  | _ -> false)
+                ~next:"send_money" ();
+            ] );
+        ( "send_money",
+          A.output ~to_:e_down
+            ~message:(fun _ _ -> Msg.Money { amount = pay_amount })
+            ~next:"await_outcome" () );
+        ( "await_outcome",
+          A.input
+            [
+              A.on_receive ~from_:e_down ~describe:"$refund"
+                ~accept:(is_money pay_amount) ~next:"done_refunded" ();
+              A.on_receive ~from_:e_down ~describe:"χ"
+                ~accept:(function Msg.Chi sv -> Env.chi_ok env sv | _ -> false)
+                ~save_msg:"chi"
+                ~act:(fun ctx _ m -> cert_received_note self env ctx m)
+                ~next:"fwd_chi" ();
+            ] );
+        ( "fwd_chi",
+          A.output ~to_:e_up
+            ~message:(fun _ store -> Store.data store "chi")
+            ~next:"await_payment" () );
+        ( "await_payment",
+          A.input
+            [
+              A.on_receive ~from_:e_up ~describe:"$"
+                ~accept:(is_money recv_amount) ~next:"done_paid" ();
+            ] );
+        ("done_refunded", A.final ~act:(terminated "refunded") ());
+        ("done_paid", A.final ~act:(terminated "paid") ());
+      ]
+
+let alice_automaton (env : Env.t) =
+  let topo = env.topo in
+  let self = Topology.alice topo in
+  let e0 = Topology.escrow topo 0 in
+  let amount = Env.amount_at env 0 in
+  let terminated outcome ctx _store =
+    E.observe ctx (Obs.Terminated { pid = self; outcome })
+  in
+  A.make ~name:"alice" ~initial:"await_g"
+    ~nodes:
+      [
+        ( "await_g",
+          A.input
+            [
+              A.on_receive ~from_:e0 ~describe:"G"
+                ~accept:(function
+                  | Msg.Promise_g sv -> Env.promise_g_ok env ~escrow_index:0 sv
+                  | _ -> false)
+                ~next:"send_money" ();
+            ] );
+        ( "send_money",
+          A.output ~to_:e0
+            ~message:(fun _ _ -> Msg.Money { amount })
+            ~next:"await_outcome" () );
+        ( "await_outcome",
+          A.input
+            [
+              A.on_receive ~from_:e0 ~describe:"$refund" ~accept:(is_money amount)
+                ~next:"done_refunded" ();
+              A.on_receive ~from_:e0 ~describe:"χ"
+                ~accept:(function Msg.Chi sv -> Env.chi_ok env sv | _ -> false)
+                ~act:(fun ctx _ m -> cert_received_note self env ctx m)
+                ~next:"done_certified" ();
+            ] );
+        ("done_refunded", A.final ~act:(terminated "refunded") ());
+        ("done_certified", A.final ~act:(terminated "certified") ());
+      ]
+
+let bob_automaton (env : Env.t) =
+  let topo = env.topo in
+  let n = Topology.hops topo in
+  let self = Topology.bob topo in
+  let e_up = Topology.escrow topo (n - 1) in
+  let recv_amount = Env.amount_at env (n - 1) in
+  let terminated outcome ctx _store =
+    E.observe ctx (Obs.Terminated { pid = self; outcome })
+  in
+  A.make ~name:"bob" ~initial:"await_p"
+    ~nodes:
+      [
+        ( "await_p",
+          A.input
+            [
+              A.on_receive ~from_:e_up ~describe:"P"
+                ~accept:(function
+                  | Msg.Promise_p sv ->
+                      Env.promise_p_ok env ~escrow_index:(n - 1) sv
+                  | _ -> false)
+                ~next:"send_chi" ();
+            ] );
+        ( "send_chi",
+          A.output ~to_:e_up
+            ~act:(fun ctx _ ->
+              E.observe ctx (Obs.Cert_issued { by = self; kind = Obs.Chi }))
+            ~message:(fun _ _ -> Msg.Chi (Env.make_chi env))
+            ~next:"await_money" () );
+        ( "await_money",
+          A.input
+            [
+              A.on_receive ~from_:e_up ~describe:"$" ~accept:(is_money recv_amount)
+                ~next:"done_paid" ();
+            ] );
+        ("done_paid", A.final ~act:(terminated "paid") ());
+      ]
+
+let automaton_for env pid =
+  let topo = env.Env.topo in
+  match Topology.role_of topo pid with
+  | Some Topology.Alice -> alice_automaton env
+  | Some Topology.Bob -> bob_automaton env
+  | Some (Topology.Connector i) -> connector_automaton env i
+  | Some (Topology.Escrow i) -> escrow_automaton env i
+  | Some (Topology.Aux _) | None ->
+      invalid_arg "Sync_protocol.automaton_for: not a payment participant"
+
+let check_all env =
+  let topo = env.Env.topo in
+  let pids = Topology.customers topo @ Topology.escrows topo in
+  let rec go = function
+    | [] -> Ok ()
+    | pid :: rest -> (
+        let auto = automaton_for env pid in
+        match A.check auto with
+        | Ok () -> go rest
+        | Error errs ->
+            Error
+              (Fmt.str "automaton %s: %a" (A.name auto)
+                 Fmt.(list ~sep:(any "; ") A.pp_check_error)
+                 errs))
+  in
+  match go pids with
+  | Error _ as e -> e
+  | Ok () -> (
+      (* per-automaton checks passed; now the channels must carry the
+         conversation (no dangling sends, no deaf receivers) *)
+      let network = List.map (fun pid -> (pid, automaton_for env pid)) pids in
+      match Anta.Network_check.(errors (check network)) with
+      | [] -> Ok ()
+      | issues ->
+          Error
+            (Fmt.str "network wiring: %a"
+               Fmt.(list ~sep:(any "; ") Anta.Network_check.pp_issue)
+               issues))

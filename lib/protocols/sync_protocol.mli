@@ -1,0 +1,47 @@
+(** The time-bounded cross-chain payment protocol of Theorem 1 / Figure 2.
+
+    This is the Interledger "universal" protocol of Thomas & Schwartz,
+    fine-tuned for clock drift via the {!Params} derivation, expressed as
+    the paper's four automata (escrow e{_i}, Alice, Chloe{_i}, Bob) in the
+    {!Anta} formalism. The automata are faithful to Figure 2:
+
+    {v
+    escrow e_i:  s(c_i, G(d_i)) ; r(c_i, $) ; s(c_{i+1}, P(a_i)), u := now ;
+                 then either r(c_{i+1}, χ) ; s(c_i, χ) ; s(c_{i+1}, $)
+                 or timeout now >= u + a_i ; s(c_i, $)
+    Chloe_i:     r(e_i, G(d_i)) ; r(e_{i-1}, P(a_{i-1})) ; s(e_i, $) ;
+                 then either r(e_i, $)            — refunded, done
+                 or r(e_i, χ) ; s(e_{i-1}, χ) ; r(e_{i-1}, $)
+    Alice = Chloe_0 without the upstream side;
+    Bob:         r(e_{n-1}, P(a_{n-1})) ; s(e_{n-1}, χ) ; r(e_{n-1}, $)
+    v}
+
+    The $ message from customer to escrow is a payment instruction executed
+    as a {!Ledger.Book.deposit}; the escrow's $ messages report a
+    {!Ledger.Book.release} (downstream) or {!Ledger.Book.refund}
+    (upstream). χ is accepted only if Bob's signature verifies and it
+    arrives strictly inside the promise window ([v < u + a{_i}]: the
+    deadline transition is armed first, so a tie resolves to refund,
+    matching the strict inequality).
+
+    Passing drift-blind parameters (derived with [drift_ppm = 0]) while the
+    clocks actually drift yields exactly the {e naive} universal protocol —
+    the E9 baseline; no separate implementation is needed (and one would be
+    wrong: the point is that only the parameters differ). *)
+
+val escrow_automaton : Env.t -> int -> (Msg.t, Obs.t) Anta.Automaton.t
+(** [escrow_automaton env i] — the automaton for e{_i}. *)
+
+val alice_automaton : Env.t -> (Msg.t, Obs.t) Anta.Automaton.t
+val connector_automaton : Env.t -> int -> (Msg.t, Obs.t) Anta.Automaton.t
+(** [connector_automaton env i] — Chloe{_i}, [0 < i < n]. *)
+
+val bob_automaton : Env.t -> (Msg.t, Obs.t) Anta.Automaton.t
+
+val automaton_for : Env.t -> int -> (Msg.t, Obs.t) Anta.Automaton.t
+(** By pid, for every payment participant. *)
+
+val check_all : Env.t -> (unit, string) result
+(** Well-formedness (property C): every participant's automaton checks
+    individually {e and} the network wiring carries the conversation
+    ({!Anta.Network_check} finds no dangling sends or deaf receivers). *)

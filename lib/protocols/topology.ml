@@ -1,0 +1,72 @@
+type t = { hops : int; mutable aux_count : int }
+
+type role =
+  | Alice
+  | Bob
+  | Connector of int
+  | Escrow of int
+  | Aux of int
+
+let create ~hops =
+  if hops < 1 then invalid_arg "Topology.create: need at least one escrow";
+  { hops; aux_count = 0 }
+
+let hops t = t.hops
+
+let customer t i =
+  if i < 0 || i > t.hops then invalid_arg "Topology.customer: out of range";
+  i
+
+let escrow t i =
+  if i < 0 || i >= t.hops then invalid_arg "Topology.escrow: out of range";
+  t.hops + 1 + i
+
+let alice t = customer t 0
+let bob t = customer t t.hops
+let aux_base t = (2 * t.hops) + 1
+let payment_count t = (2 * t.hops) + 1
+let register_aux t k = t.aux_count <- Stdlib.max t.aux_count (k + 1)
+
+let role_of t pid =
+  if pid < 0 then None
+  else if pid = 0 then Some Alice
+  else if pid = t.hops then Some Bob
+  else if pid < t.hops then Some (Connector pid)
+  else if pid <= 2 * t.hops then Some (Escrow (pid - t.hops - 1))
+  else
+    let k = pid - aux_base t in
+    if k < t.aux_count then Some (Aux k) else None
+
+let rec range lo hi = if lo > hi then [] else lo :: range (lo + 1) hi
+let customers t = List.map (customer t) (range 0 t.hops)
+let escrows t = List.map (escrow t) (range 0 (t.hops - 1))
+
+let connectors t =
+  if t.hops < 2 then [] else List.map (customer t) (range 1 (t.hops - 1))
+
+let customer_index t pid = if pid >= 0 && pid <= t.hops then Some pid else None
+
+let escrow_index t pid =
+  let i = pid - t.hops - 1 in
+  if i >= 0 && i < t.hops then Some i else None
+
+let escrow_of_customer_down t i =
+  if i < 0 || i > t.hops then None
+  else if i = t.hops then None
+  else Some (escrow t i)
+
+let escrow_of_customer_up t i =
+  if i <= 0 || i > t.hops then None else Some (escrow t (i - 1))
+
+let pp_role ppf = function
+  | Alice -> Fmt.string ppf "Alice"
+  | Bob -> Fmt.string ppf "Bob"
+  | Connector i -> Fmt.pf ppf "Chloe%d" i
+  | Escrow i -> Fmt.pf ppf "e%d" i
+  | Aux i -> Fmt.pf ppf "aux%d" i
+
+let pp ppf t =
+  Fmt.pf ppf "chain(n=%d): c0" t.hops;
+  for i = 0 to t.hops - 1 do
+    Fmt.pf ppf " - e%d - c%d" i (i + 1)
+  done

@@ -1,0 +1,86 @@
+(** The cross-chain payment protocol with weak liveness guarantees
+    (Theorem 3), solvable under partial synchrony with Byzantine failures.
+
+    Mechanism (per §3 of the paper): an external {e transaction manager}
+    (TM) issues either a commit certificate χc or an abort certificate χa —
+    never both (property CC). Deposits are conditional on that decision:
+
+    - each paying customer c{_i} (i < n) deposits her leg's amount at
+      escrow e{_i} when she feels ready (after [deposit_delay] on her
+      clock);
+    - each escrow reports its funded leg to the TM with a signed
+      certificate;
+    - the TM decides {e commit} once all n legs are funded, or {e abort}
+      when any customer loses patience and requests it;
+    - on χc every escrow releases its deposit downstream (Bob is paid at
+      e{_{n-1}}, Alice keeps χc as transferable proof that Bob was paid —
+      CC + CS2 make it one); on χa every escrow refunds.
+
+    Any customer may abort at any moment of their choice without risking
+    value — the [patience] parameter is the local delay after which she
+    does. If nobody loses patience and nobody fails, success is guaranteed
+    once the network stabilises (weak liveness: patience must outlast
+    GST-induced delays — experiment E4 sweeps exactly this).
+
+    The TM is instantiated all three ways the paper suggests: a single
+    trusted party ({!Single}); a smart contract replicated over a shared
+    blockchain ({!Chain}, built on {!Consensus.Chain}); and a committee of
+    3f+1 notaries running the {!Consensus.Dls} algorithm, of which at most
+    f are unreliable ({!Committee}). *)
+
+type tm_kind =
+  | Single
+  | Committee of { f : int }
+      (** 3f+1 notary processes; their pids follow the payment pids *)
+  | Chain of { validators : int }
+      (** the TM as a smart contract replicated over an authority
+          blockchain ({!Consensus.Chain}): escrows and customers submit
+          funded reports / abort requests as transactions; every validator
+          replays the unique chain, so the contract decides once and each
+          validator's signed decision is equivalent — the paper's
+          "smart contract running on a permissionless blockchain" *)
+
+type notary_fault =
+  | Notary_honest
+  | Notary_crash  (** silent from the start *)
+  | Notary_equivocate
+      (** as leader proposes conflicting values to different peers and
+          signs echoes for every value it sees *)
+
+type config = {
+  tm : tm_kind;
+  patience : Sim.Sim_time.t;
+      (** local delay after which a customer requests abort;
+          {!Sim.Sim_time.infinity} = never *)
+  deposit_delay : Sim.Sim_time.t;  (** local delay before depositing *)
+  tm_base_timeout : Sim.Sim_time.t;  (** committee round-0 timeout *)
+  notary_faults : notary_fault array;
+      (** per-notary behaviour; ignored for {!Single}. Length must be 3f+1
+          when given; [||] means all honest. *)
+}
+
+val default_config : config
+(** Single TM, patience 5_000, deposit delay 10, base timeout 200. *)
+
+val tm_pids : Env.t -> config -> int array
+(** The TM process pids implied by the config (aux pids after the payment
+    participants). *)
+
+val process_count : Env.t -> config -> int
+(** Total processes: payment participants + TM processes. *)
+
+val handlers_for :
+  Env.t -> config -> int -> (Msg.t, Obs.t) Sim.Engine.handlers
+(** Honest handlers for any pid (customers, escrows, TM/notaries). *)
+
+val customer_handlers :
+  Env.t -> config -> int -> (Msg.t, Obs.t) Sim.Engine.handlers
+(** By customer index 0..n. Exposed for fault-injection wrappers. *)
+
+val escrow_handlers :
+  Env.t -> config -> int -> (Msg.t, Obs.t) Sim.Engine.handlers
+
+val verify_committee_decision :
+  Env.t -> config -> bool Consensus.Dls.decision_cert -> bool
+(** What participants run on a {!Msg.Committee_decision}: checks 2f+1
+    notary signatures over the decided value. *)

@@ -1,0 +1,205 @@
+type 'msg event =
+  | Deliver of { src : int; dst : int; msg : 'msg; sent_at : Sim_time.t }
+  | Fire of { owner : int; label : string; epoch : int }
+
+type ('msg, 'obs) handlers = {
+  on_start : ('msg, 'obs) ctx -> unit;
+  on_receive : ('msg, 'obs) ctx -> src:int -> 'msg -> unit;
+  on_timer : ('msg, 'obs) ctx -> label:string -> unit;
+}
+
+and ('msg, 'obs) proc = {
+  handlers : ('msg, 'obs) handlers;
+  clock : Clock.t;
+  proc_rng : Rng.t;
+  timer_epochs : (string, int) Hashtbl.t;
+      (* current epoch per label: stale Fire events are dropped *)
+  mutable halted : bool;
+}
+
+and ('msg, 'obs) t = {
+  tag_of : 'msg -> string;
+  network : Network.t;
+  sigma : Sim_time.t;
+  root_rng : Rng.t;
+  queue : 'msg event Event_queue.t;
+  mutable procs : ('msg, 'obs) proc array;
+  mutable nprocs : int;
+  tr : ('msg, 'obs) Trace.t;
+  mutable clock_now : Sim_time.t;
+  mutable started : bool;
+}
+
+and ('msg, 'obs) ctx = { engine : ('msg, 'obs) t; self : int }
+
+let silent =
+  {
+    on_start = (fun _ -> ());
+    on_receive = (fun _ ~src:_ _ -> ());
+    on_timer = (fun _ ~label:_ -> ());
+  }
+
+let create ~tag_of ~network ?(sigma = Sim_time.zero) ~seed () =
+  {
+    tag_of;
+    network;
+    sigma;
+    root_rng = Rng.create ~seed;
+    queue = Event_queue.create ();
+    procs = [||];
+    nprocs = 0;
+    tr = Trace.create ();
+    clock_now = Sim_time.zero;
+    started = false;
+  }
+
+let add_process t ?(clock = Clock.perfect) handlers =
+  if t.started then invalid_arg "Engine.add_process: engine already running";
+  let proc =
+    {
+      handlers;
+      clock;
+      proc_rng = Rng.split t.root_rng;
+      timer_epochs = Hashtbl.create 8;
+      halted = false;
+    }
+  in
+  let pid = t.nprocs in
+  let cap = Array.length t.procs in
+  if t.nprocs >= cap then begin
+    let np = Array.make (Stdlib.max 8 (2 * cap)) proc in
+    Array.blit t.procs 0 np 0 t.nprocs;
+    t.procs <- np
+  end;
+  t.procs.(pid) <- proc;
+  t.nprocs <- pid + 1;
+  pid
+
+let process_count t = t.nprocs
+let proc t pid = t.procs.(pid)
+let trace t = t.tr
+let now t = t.clock_now
+let clock_of t pid = (proc t pid).clock
+let is_halted t pid = (proc t pid).halted
+
+(* --- ctx operations --- *)
+
+let pid ctx = ctx.self
+let rng ctx = (proc ctx.engine ctx.self).proc_rng
+
+let local_now ctx =
+  Clock.local_of_global (proc ctx.engine ctx.self).clock ctx.engine.clock_now
+
+let send ctx ~dst msg =
+  let t = ctx.engine in
+  if dst < 0 || dst >= t.nprocs then invalid_arg "Engine.send: bad destination";
+  let tag = t.tag_of msg in
+  let p = proc t ctx.self in
+  let compute =
+    if Sim_time.equal t.sigma Sim_time.zero then Sim_time.zero
+    else Rng.int_in p.proc_rng ~lo:0 ~hi:t.sigma
+  in
+  let depart = Sim_time.add t.clock_now compute in
+  let arrive =
+    Network.delivery_time t.network ~send_time:depart ~src:ctx.self ~dst ~tag
+  in
+  Trace.record t.tr (Sent { t = t.clock_now; src = ctx.self; dst; tag; msg });
+  ignore
+    (Event_queue.push t.queue ~time:arrive
+       (Deliver { src = ctx.self; dst; msg; sent_at = t.clock_now }))
+
+let set_timer ctx ~deadline ~label =
+  let t = ctx.engine in
+  let p = proc t ctx.self in
+  let epoch =
+    match Hashtbl.find_opt p.timer_epochs label with
+    | Some e -> e + 1
+    | None -> 0
+  in
+  Hashtbl.replace p.timer_epochs label epoch;
+  let global_fire = Clock.global_of_local p.clock deadline in
+  (* never fire in the past: a deadline already reached fires "now" *)
+  let global_fire = Sim_time.max global_fire t.clock_now in
+  Trace.record t.tr
+    (Timer_set
+       {
+         t = t.clock_now;
+         owner = ctx.self;
+         label;
+         local_deadline = deadline;
+         global_fire;
+       });
+  if not (Sim_time.is_infinite global_fire) then
+    ignore
+      (Event_queue.push t.queue ~time:global_fire
+         (Fire { owner = ctx.self; label; epoch }))
+
+let set_timer_after ctx ~after ~label =
+  set_timer ctx ~deadline:(Sim_time.add (local_now ctx) after) ~label
+
+let cancel_timer ctx ~label =
+  let p = proc ctx.engine ctx.self in
+  match Hashtbl.find_opt p.timer_epochs label with
+  | None -> ()
+  | Some e -> Hashtbl.replace p.timer_epochs label (e + 1)
+
+let observe ctx obs =
+  let t = ctx.engine in
+  Trace.record t.tr (Observed { t = t.clock_now; pid = ctx.self; obs })
+
+let halt ctx =
+  let t = ctx.engine in
+  let p = proc t ctx.self in
+  if not p.halted then begin
+    p.halted <- true;
+    Trace.record t.tr (Halted { t = t.clock_now; pid = ctx.self })
+  end
+
+(* --- main loop --- *)
+
+type status = Quiescent | Horizon_reached | Event_limit
+
+let dispatch t ev =
+  match ev with
+  | Deliver { src; dst; msg; sent_at } ->
+      let p = proc t dst in
+      Trace.record t.tr
+        (Delivered
+           { t = t.clock_now; sent_at; src; dst; tag = t.tag_of msg; msg });
+      if not p.halted then
+        p.handlers.on_receive { engine = t; self = dst } ~src msg
+  | Fire { owner; label; epoch } ->
+      let p = proc t owner in
+      let live =
+        match Hashtbl.find_opt p.timer_epochs label with
+        | Some e -> e = epoch
+        | None -> false
+      in
+      if live && not p.halted then begin
+        Trace.record t.tr (Timer_fired { t = t.clock_now; owner; label });
+        p.handlers.on_timer { engine = t; self = owner } ~label
+      end
+
+let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
+  if not t.started then begin
+    t.started <- true;
+    for i = 0 to t.nprocs - 1 do
+      let p = proc t i in
+      if not p.halted then p.handlers.on_start { engine = t; self = i }
+    done
+  end;
+  let rec loop n =
+    if n >= max_events then Event_limit
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> Quiescent
+      | Some time when Sim_time.(time > horizon) -> Horizon_reached
+      | Some _ -> (
+          match Event_queue.pop t.queue with
+          | None -> Quiescent
+          | Some (time, ev) ->
+              t.clock_now <- Sim_time.max t.clock_now time;
+              dispatch t ev;
+              loop (n + 1))
+  in
+  loop 0

@@ -1,0 +1,89 @@
+(** Deterministic discrete-event engine.
+
+    Processes are event handlers over private mutable state (captured in the
+    handler closures). The engine owns global time, each process owns a
+    drifting local {!Clock}. Handlers can only read their {e local} clock —
+    protocols are thereby forced to honour the paper's model, in which no
+    participant sees real time.
+
+    Execution is a deterministic function of (root RNG seed, network model,
+    adversary, process set): the event queue breaks timestamp ties by
+    insertion order and all randomness flows from seeded {!Rng} streams. *)
+
+type ('msg, 'obs) ctx
+(** Capabilities handed to a process while it is handling an event. *)
+
+val pid : ('msg, 'obs) ctx -> int
+
+val local_now : ('msg, 'obs) ctx -> Sim_time.t
+(** The process's own clock reading — the only notion of time a protocol may
+    use. *)
+
+val send : ('msg, 'obs) ctx -> dst:int -> 'msg -> unit
+(** Queue a message. It incurs a computation delay in [\[0, sigma\]] plus a
+    network delay chosen by the network model / adversary. *)
+
+val set_timer : ('msg, 'obs) ctx -> deadline:Sim_time.t -> label:string -> unit
+(** Arm (or re-arm) the timer [label] to fire when the process's local clock
+    reaches [deadline] (the paper's [now >= u + a] guard). Setting a timer
+    with the same label replaces the previous one. *)
+
+val set_timer_after :
+  ('msg, 'obs) ctx -> after:Sim_time.t -> label:string -> unit
+(** [set_timer_after ctx ~after] = [set_timer ~deadline:(local_now + after)]. *)
+
+val cancel_timer : ('msg, 'obs) ctx -> label:string -> unit
+
+val observe : ('msg, 'obs) ctx -> 'obs -> unit
+(** Emit a domain observation into the trace (value moved, certificate
+    issued, terminated, …). *)
+
+val halt : ('msg, 'obs) ctx -> unit
+(** Stop reacting to all future events (crash / graceful exit). *)
+
+val rng : ('msg, 'obs) ctx -> Rng.t
+(** A per-process random stream (split from the engine root seed). *)
+
+type ('msg, 'obs) handlers = {
+  on_start : ('msg, 'obs) ctx -> unit;
+  on_receive : ('msg, 'obs) ctx -> src:int -> 'msg -> unit;
+  on_timer : ('msg, 'obs) ctx -> label:string -> unit;
+}
+
+val silent : ('msg, 'obs) handlers
+(** A process that does nothing — useful as a crash-from-start fault. *)
+
+type ('msg, 'obs) t
+
+val create :
+  tag_of:('msg -> string) ->
+  network:Network.t ->
+  ?sigma:Sim_time.t ->
+  seed:int ->
+  unit ->
+  ('msg, 'obs) t
+(** [tag_of] labels messages for traces and for the adversary; [sigma] is the
+    computation-time bound (default 0: instantaneous computation). *)
+
+val add_process :
+  ('msg, 'obs) t -> ?clock:Clock.t -> ('msg, 'obs) handlers -> int
+(** Registers a process and returns its pid (consecutive from 0). All
+    processes must be added before {!run}. *)
+
+val process_count : ('msg, 'obs) t -> int
+
+type status =
+  | Quiescent  (** no events left — the system reached a fixpoint *)
+  | Horizon_reached  (** stopped at the time horizon with events pending *)
+  | Event_limit  (** stopped by the event-count safety valve *)
+
+val run :
+  ?horizon:Sim_time.t -> ?max_events:int -> ('msg, 'obs) t -> status
+(** Executes [on_start] for every process (in pid order, at time 0), then
+    processes events in timestamp order until quiescence, the horizon
+    (default {!Sim_time.infinity}), or [max_events] (default 1_000_000). *)
+
+val trace : ('msg, 'obs) t -> ('msg, 'obs) Trace.t
+val now : ('msg, 'obs) t -> Sim_time.t
+val clock_of : ('msg, 'obs) t -> int -> Clock.t
+val is_halted : ('msg, 'obs) t -> int -> bool

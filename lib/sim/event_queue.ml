@@ -1,0 +1,119 @@
+type 'a cell = { time : Sim_time.t; seq : int; token : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array; (* heap.(0) unused when empty *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable next_token : int;
+  dead : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  { heap = [||]; size = 0; next_seq = 0; next_token = 0; dead = Hashtbl.create 16 }
+
+let length q = q.size - Hashtbl.length q.dead
+let is_empty q = length q = 0
+
+let before a b =
+  let c = Sim_time.compare a.time b.time in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q =
+  let cap = Array.length q.heap in
+  if q.size >= cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nh = Array.make ncap q.heap.(0) in
+    Array.blit q.heap 0 nh 0 q.size;
+    q.heap <- nh
+  end
+
+let push q ~time payload =
+  let token = q.next_token in
+  q.next_token <- token + 1;
+  let cell = { time; seq = q.next_seq; token; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 cell
+  else grow q;
+  q.heap.(q.size) <- cell;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1);
+  token
+
+let pop_cell q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some top
+  end
+
+let rec pop q =
+  match pop_cell q with
+  | None -> None
+  | Some cell ->
+      if Hashtbl.mem q.dead cell.token then begin
+        Hashtbl.remove q.dead cell.token;
+        pop q
+      end
+      else Some (cell.time, cell.payload)
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else
+    let top = q.heap.(0) in
+    if Hashtbl.mem q.dead top.token then begin
+      Hashtbl.remove q.dead top.token;
+      ignore (pop_cell q);
+      peek_time q
+    end
+    else Some top.time
+
+let cancel q token =
+  if token < 0 || token >= q.next_token || Hashtbl.mem q.dead token then false
+  else begin
+    (* Only mark tokens that are still in the heap. *)
+    let live = ref false in
+    for i = 0 to q.size - 1 do
+      if q.heap.(i).token = token then live := true
+    done;
+    if !live then Hashtbl.add q.dead token ();
+    !live
+  end
+
+let clear q =
+  q.size <- 0;
+  Hashtbl.reset q.dead
+
+let drain q =
+  let rec go acc =
+    match pop q with None -> List.rev acc | Some te -> go (te :: acc)
+  in
+  go []

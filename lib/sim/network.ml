@@ -1,0 +1,85 @@
+type model =
+  | Synchronous of { delta : Sim_time.t }
+  | Partially_synchronous of { gst : Sim_time.t; delta : Sim_time.t }
+  | Asynchronous of { mean : Sim_time.t; cap : Sim_time.t }
+
+type bounds = { lo : Sim_time.t; hi : Sim_time.t }
+
+type adversary =
+  send_time:Sim_time.t ->
+  src:int ->
+  dst:int ->
+  tag:string ->
+  bounds:bounds ->
+  Sim_time.t option
+
+type t = {
+  model : model;
+  adversary : adversary option;
+  fifo : bool;
+  rng : Rng.t;
+  last_delivery : (int * int, Sim_time.t) Hashtbl.t;
+}
+
+let create ?adversary ?(fifo = true) model rng =
+  (match model with
+  | Synchronous { delta } ->
+      if delta < 1 then invalid_arg "Network: delta must be >= 1"
+  | Partially_synchronous { delta; _ } ->
+      if delta < 1 then invalid_arg "Network: delta must be >= 1"
+  | Asynchronous { mean; cap } ->
+      if mean < 1 || cap < mean then invalid_arg "Network: bad async params");
+  { model; adversary; fifo; rng; last_delivery = Hashtbl.create 64 }
+
+let model t = t.model
+
+let bounds_at model ~send_time =
+  match model with
+  | Synchronous { delta } -> { lo = 1; hi = delta }
+  | Partially_synchronous { gst; delta } ->
+      if Sim_time.(send_time >= gst) then { lo = 1; hi = delta }
+      else
+        (* delivered by gst + delta at the latest, but may also arrive
+           earlier — partial synchrony places no lower bound before GST. *)
+        { lo = 1; hi = Sim_time.add (Sim_time.sub gst send_time) delta }
+  | Asynchronous { cap; _ } -> { lo = 1; hi = cap }
+
+let sample t ~send_time:_ bounds =
+  match t.model with
+  | Synchronous _ | Partially_synchronous _ ->
+      Rng.int_in t.rng ~lo:bounds.lo ~hi:bounds.hi
+  | Asynchronous { mean; _ } ->
+      let d = Rng.exponential_ticks t.rng ~mean in
+      Stdlib.min (Stdlib.max d bounds.lo) bounds.hi
+
+let clamp bounds d = Stdlib.min (Stdlib.max d bounds.lo) bounds.hi
+
+let delivery_time t ~send_time ~src ~dst ~tag =
+  let bounds = bounds_at t.model ~send_time in
+  let delay =
+    match t.adversary with
+    | Some adv -> (
+        match adv ~send_time ~src ~dst ~tag ~bounds with
+        | Some d -> clamp bounds d
+        | None -> sample t ~send_time bounds)
+    | None -> sample t ~send_time bounds
+  in
+  let at = Sim_time.add send_time delay in
+  if not t.fifo then at
+  else begin
+    let key = (src, dst) in
+    let at =
+      match Hashtbl.find_opt t.last_delivery key with
+      | Some prev when Sim_time.(prev > at) -> prev
+      | _ -> at
+    in
+    Hashtbl.replace t.last_delivery key at;
+    at
+  end
+
+let pp_model ppf = function
+  | Synchronous { delta } -> Fmt.pf ppf "sync(δ=%a)" Sim_time.pp delta
+  | Partially_synchronous { gst; delta } ->
+      Fmt.pf ppf "psync(GST=%a, δ=%a)" Sim_time.pp gst Sim_time.pp delta
+  | Asynchronous { mean; cap } ->
+      Fmt.pf ppf "async(mean=%a, cap=%a)" Sim_time.pp mean Sim_time.pp cap

@@ -1,0 +1,58 @@
+(** Message-delay models and the adversarial scheduler interface.
+
+    The paper's theorems quantify over network behaviours in three classes:
+
+    - {e synchrony}: every message arrives within a known bound δ;
+    - {e partial synchrony} (Dwork–Lynch–Stockmeyer): there is an unknown
+      Global Stabilisation Time (GST) after which every message — including
+      those already in flight — arrives within δ; before GST delays are
+      finite but unbounded;
+    - {e asynchrony}: delays are finite but unbounded, with no GST.
+
+    A {!t} turns each send into a concrete delay, either by sampling within
+    the model's envelope or by delegating to an {e adversary} that may pick
+    any delay the model permits. Channels are reliable and FIFO-preserving
+    per (src, dst) pair when [fifo] is set. *)
+
+type model =
+  | Synchronous of { delta : Sim_time.t }
+      (** Delivery within [\[1, delta\]] ticks of the send. *)
+  | Partially_synchronous of { gst : Sim_time.t; delta : Sim_time.t }
+      (** Delivery by [max (send + delta) (gst + delta)]; after GST the bound
+          is δ. The GST is part of the schedule, not known to processes. *)
+  | Asynchronous of { mean : Sim_time.t; cap : Sim_time.t }
+      (** No bound known to processes; simulated delays are roughly
+          exponential with the given mean, hard-capped at [cap] so runs are
+          finite. *)
+
+type bounds = { lo : Sim_time.t; hi : Sim_time.t }
+(** The envelope within which a delay for a given send must fall. *)
+
+type adversary =
+  send_time:Sim_time.t ->
+  src:int ->
+  dst:int ->
+  tag:string ->
+  bounds:bounds ->
+  Sim_time.t option
+(** An adversary inspects a send (identified by its [tag], a protocol-chosen
+    message label) and may return a delay. A returned delay is clamped into
+    [bounds] — the adversary can never violate the model, only exploit it.
+    [None] falls back to random sampling. *)
+
+type t
+
+val create : ?adversary:adversary -> ?fifo:bool -> model -> Rng.t -> t
+(** [fifo] (default [true]) enforces per-channel FIFO by never letting a
+    later send on the same (src, dst) pair overtake an earlier one. *)
+
+val model : t -> model
+
+val bounds_at : model -> send_time:Sim_time.t -> bounds
+(** The permitted delay envelope for a message sent at [send_time]. *)
+
+val delivery_time : t -> send_time:Sim_time.t -> src:int -> dst:int ->
+  tag:string -> Sim_time.t
+(** The absolute global time at which this send will be delivered. *)
+
+val pp_model : Format.formatter -> model -> unit

@@ -1,0 +1,65 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = next_int64 g in
+  { state = mix64 s }
+
+let copy g = { state = g.state }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the low 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let rec go () =
+    let r = Int64.to_int (Int64.logand (next_int64 g) mask) in
+    let v = r mod bound in
+    if r - v > (1 lsl 62) - bound then go () else v
+  in
+  go ()
+
+let int_in g ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g x =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  x *. (r /. 9007199254740992.0)
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let exponential_ticks g ~mean =
+  if mean <= 0 then 1
+  else begin
+    (* Geometric with success probability 1/mean, via inversion on a uniform
+       float; clamped to [1, 50*mean] to keep schedules finite. *)
+    let u = float g 1.0 in
+    let u = if u <= 0.0 then 1e-12 else u in
+    let v = int_of_float (ceil (-.float_of_int mean *. log u)) in
+    let v = if v < 1 then 1 else v in
+    Stdlib.min v (50 * mean)
+  end

@@ -1,0 +1,45 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    A SplitMix64 generator: fast, high-quality for simulation purposes, and —
+    crucially for reproducible experiments — {e splittable}: {!split} derives
+    an independent child stream, so every process / run / experiment arm can
+    own its own generator while the whole fleet is a pure function of one
+    root seed. *)
+
+type t
+(** A mutable generator. *)
+
+val create : seed:int -> t
+
+val split : t -> t
+(** [split g] advances [g] and returns a fresh generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state; both copies then produce the same
+    stream. Used to replay a schedule. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2{^64} values. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. Only used for reporting jitter, never
+    for scheduling decisions. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val exponential_ticks : t -> mean:int -> int
+(** A geometric approximation of an exponential delay with the given mean, in
+    integer ticks, always at least 1. Used for randomized network latency. *)

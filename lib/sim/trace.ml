@@ -1,0 +1,130 @@
+type ('msg, 'obs) entry =
+  | Sent of { t : Sim_time.t; src : int; dst : int; tag : string; msg : 'msg }
+  | Delivered of {
+      t : Sim_time.t;
+      sent_at : Sim_time.t;
+      src : int;
+      dst : int;
+      tag : string;
+      msg : 'msg;
+    }
+  | Timer_set of {
+      t : Sim_time.t;
+      owner : int;
+      label : string;
+      local_deadline : Sim_time.t;
+      global_fire : Sim_time.t;
+    }
+  | Timer_fired of { t : Sim_time.t; owner : int; label : string }
+  | Observed of { t : Sim_time.t; pid : int; obs : 'obs }
+  | Halted of { t : Sim_time.t; pid : int }
+
+type ('msg, 'obs) t = {
+  mutable rev_entries : ('msg, 'obs) entry list;
+  mutable count : int;
+}
+
+let create () = { rev_entries = []; count = 0 }
+
+let record t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.count <- t.count + 1
+
+let to_list t = List.rev t.rev_entries
+let length t = t.count
+
+let time_of = function
+  | Sent { t; _ }
+  | Delivered { t; _ }
+  | Timer_set { t; _ }
+  | Timer_fired { t; _ }
+  | Observed { t; _ }
+  | Halted { t; _ } ->
+      t
+
+let observations t =
+  List.filter_map
+    (function Observed { t; pid; obs } -> Some (t, pid, obs) | _ -> None)
+    (to_list t)
+
+let message_count t =
+  List.fold_left
+    (fun acc e -> match e with Sent _ -> acc + 1 | _ -> acc)
+    0 (to_list t)
+
+let last_time t =
+  match t.rev_entries with [] -> Sim_time.zero | e :: _ -> time_of e
+
+let find_observation t ~f =
+  let rec go = function
+    | [] -> None
+    | Observed { t; pid; obs } :: _ when f pid obs -> Some (t, pid, obs)
+    | _ :: rest -> go rest
+  in
+  go (to_list t)
+
+let pp ~msg ~obs ppf t =
+  let pp_entry ppf = function
+    | Sent { t; src; dst; tag; msg = m } ->
+        Fmt.pf ppf "%a  %d -> %d  send [%s] %a" Sim_time.pp t src dst tag msg m
+    | Delivered { t; sent_at; src; dst; tag; msg = m } ->
+        Fmt.pf ppf "%a  %d -> %d  recv [%s] %a (sent %a)" Sim_time.pp t src dst
+          tag msg m Sim_time.pp sent_at
+    | Timer_set { t; owner; label; local_deadline; global_fire } ->
+        Fmt.pf ppf "%a  %d       timer-set %s @local %a (fires %a)" Sim_time.pp
+          t owner label Sim_time.pp local_deadline Sim_time.pp global_fire
+    | Timer_fired { t; owner; label } ->
+        Fmt.pf ppf "%a  %d       timer %s" Sim_time.pp t owner label
+    | Observed { t; pid; obs = o } ->
+        Fmt.pf ppf "%a  %d       obs %a" Sim_time.pp t pid obs o
+    | Halted { t; pid } -> Fmt.pf ppf "%a  %d       halted" Sim_time.pp t pid
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_entry) (to_list t)
+
+(* minimal JSON string escaping: quotes, backslashes, control chars *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_jsonl ~msg ~obs t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Sent { t; src; dst; tag; msg = m } ->
+          line {|{"kind":"sent","t":%d,"src":%d,"dst":%d,"tag":"%s","msg":"%s"}|}
+            t src dst (json_escape tag) (json_escape (msg m))
+      | Delivered { t; sent_at; src; dst; tag; msg = m } ->
+          line
+            {|{"kind":"delivered","t":%d,"sent_at":%d,"src":%d,"dst":%d,"tag":"%s","msg":"%s"}|}
+            t sent_at src dst (json_escape tag) (json_escape (msg m))
+      | Timer_set { t; owner; label; local_deadline; global_fire } ->
+          line
+            {|{"kind":"timer_set","t":%d,"owner":%d,"label":"%s","local_deadline":%s,"global_fire":%s}|}
+            t owner (json_escape label)
+            (if Sim_time.is_infinite local_deadline then {|"inf"|}
+             else string_of_int local_deadline)
+            (if Sim_time.is_infinite global_fire then {|"inf"|}
+             else string_of_int global_fire)
+      | Timer_fired { t; owner; label } ->
+          line {|{"kind":"timer_fired","t":%d,"owner":%d,"label":"%s"}|} t owner
+            (json_escape label)
+      | Observed { t; pid; obs = o } ->
+          line {|{"kind":"observed","t":%d,"pid":%d,"obs":"%s"}|} t pid
+            (json_escape (obs o))
+      | Halted { t; pid } -> line {|{"kind":"halted","t":%d,"pid":%d}|} t pid)
+    (to_list t);
+  Buffer.contents buf

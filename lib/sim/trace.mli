@@ -1,0 +1,72 @@
+(** Structured execution traces.
+
+    Every engine run produces a trace: the totally ordered list of events
+    that occurred, with global timestamps. Property monitors (library
+    [props]) are pure functions over traces, so correctness checking is
+    decoupled from execution.
+
+    ['msg] is the protocol's wire-message type; ['obs] is the protocol's
+    observation type — domain events such as "value moved" or "certificate
+    issued" that processes emit explicitly via their context. *)
+
+type ('msg, 'obs) entry =
+  | Sent of { t : Sim_time.t; src : int; dst : int; tag : string; msg : 'msg }
+  | Delivered of {
+      t : Sim_time.t;
+      sent_at : Sim_time.t;
+      src : int;
+      dst : int;
+      tag : string;
+      msg : 'msg;
+    }
+  | Timer_set of {
+      t : Sim_time.t;
+      owner : int;
+      label : string;
+      local_deadline : Sim_time.t;
+      global_fire : Sim_time.t;
+    }
+  | Timer_fired of { t : Sim_time.t; owner : int; label : string }
+  | Observed of { t : Sim_time.t; pid : int; obs : 'obs }
+  | Halted of { t : Sim_time.t; pid : int }
+
+type ('msg, 'obs) t
+
+val create : unit -> ('msg, 'obs) t
+val record : ('msg, 'obs) t -> ('msg, 'obs) entry -> unit
+val to_list : ('msg, 'obs) t -> ('msg, 'obs) entry list
+(** Entries in chronological order. *)
+
+val length : ('msg, 'obs) t -> int
+
+val time_of : ('msg, 'obs) entry -> Sim_time.t
+
+val observations : ('msg, 'obs) t -> (Sim_time.t * int * 'obs) list
+(** Just the [Observed] entries, in order, as [(time, pid, obs)]. *)
+
+val message_count : ('msg, 'obs) t -> int
+(** Number of [Sent] entries. *)
+
+val last_time : ('msg, 'obs) t -> Sim_time.t
+(** Timestamp of the final entry, or {!Sim_time.zero} for an empty trace. *)
+
+val find_observation :
+  ('msg, 'obs) t -> f:(int -> 'obs -> bool) -> (Sim_time.t * int * 'obs) option
+(** First observation satisfying [f pid obs]. *)
+
+val pp :
+  msg:(Format.formatter -> 'msg -> unit) ->
+  obs:(Format.formatter -> 'obs -> unit) ->
+  Format.formatter ->
+  ('msg, 'obs) t ->
+  unit
+
+val to_jsonl :
+  msg:('msg -> string) ->
+  obs:('obs -> string) ->
+  ('msg, 'obs) t ->
+  string
+(** One JSON object per line, chronological: machine-readable export for
+    external analysis. The [msg]/[obs] serializers render payloads as
+    plain strings (escaped into the JSON); structural fields (kind, time,
+    endpoints, tags, labels) are first-class JSON fields. *)

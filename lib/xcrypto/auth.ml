@@ -1,0 +1,49 @@
+type id = int
+type signature = { claimed : id; mac : Hash.t }
+type registry = { secrets : (id, string) Hashtbl.t; rng : Sim.Rng.t }
+type signer = { sid : id; secret : string }
+
+let create ~seed = { secrets = Hashtbl.create 16; rng = Sim.Rng.create ~seed }
+
+let register reg id =
+  if Hashtbl.mem reg.secrets id then
+    invalid_arg (Printf.sprintf "Auth.register: id %d already registered" id);
+  let secret =
+    Printf.sprintf "sk-%d-%Lx-%Lx" id (Sim.Rng.next_int64 reg.rng)
+      (Sim.Rng.next_int64 reg.rng)
+  in
+  Hashtbl.add reg.secrets id secret;
+  { sid = id; secret }
+
+let signer_id s = s.sid
+
+let mac ~secret ~id msg =
+  Hash.of_string (Printf.sprintf "%s|%d|%s" secret id msg)
+
+let sign s msg = { claimed = s.sid; mac = mac ~secret:s.secret ~id:s.sid msg }
+
+let verify reg id msg s =
+  s.claimed = id
+  &&
+  match Hashtbl.find_opt reg.secrets id with
+  | None -> false
+  | Some secret -> Hash.equal s.mac (mac ~secret ~id msg)
+
+let forged id = { claimed = id; mac = Hash.of_string "forged" }
+
+let pp_signature ppf s = Fmt.pf ppf "sig<%d:%s>" s.claimed (Hash.short s.mac)
+
+type 'a signed = { payload : 'a; author : id; signature : signature }
+
+let sign_value signer ~ser payload =
+  {
+    payload;
+    author = signer.sid;
+    signature = sign signer (ser payload);
+  }
+
+let verify_value reg ~ser sv =
+  verify reg sv.author (ser sv.payload) sv.signature
+
+let forge_value ~author payload =
+  { payload; author; signature = forged author }

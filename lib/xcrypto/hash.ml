@@ -1,0 +1,29 @@
+type t = { a : int64; b : int64 }
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv1a ~seed s =
+  let h = ref (Int64.logxor fnv_offset seed) in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  (* final avalanche (splitmix-style) to decorrelate the two passes *)
+  let z = !h in
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let of_string s = { a = fnv1a ~seed:0L s; b = fnv1a ~seed:0x9E3779B97F4A7C15L s }
+
+let to_hex t = Printf.sprintf "%016Lx%016Lx" t.a t.b
+let concat x y = of_string (to_hex x ^ to_hex y)
+let equal x y = Int64.equal x.a y.a && Int64.equal x.b y.b
+
+let compare x y =
+  let c = Int64.compare x.a y.a in
+  if c <> 0 then c else Int64.compare x.b y.b
+
+let pp ppf t = Fmt.string ppf (to_hex t)
+let short t = String.sub (to_hex t) 0 8

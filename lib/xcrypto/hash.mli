@@ -1,0 +1,24 @@
+(** Collision-resistant-enough hashing for simulation.
+
+    A 128-bit digest built from two independent 64-bit FNV-1a passes. This is
+    {e not} cryptographic strength — it is a stand-in whose only job inside
+    the simulator is to make accidental collisions and preimage guessing
+    astronomically unlikely, so that hashlocks and signatures behave like
+    their real counterparts. The paper only relies on unforgeability and
+    binding, which this provides against the simulated adversaries (who, by
+    construction, do not brute-force). *)
+
+type t
+(** A digest. Structural equality and comparison are meaningful. *)
+
+val of_string : string -> t
+val concat : t -> t -> t
+(** Digest of the pair, order-sensitive. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit
+
+val short : t -> string
+(** First 8 hex chars — for logs. *)

@@ -1,0 +1,91 @@
+Golden CLI tests. Every output below is deterministic by construction
+(integer time, seeded randomness, tie-breaking by insertion order), so
+any drift in these transcripts is a real behavioural change.
+
+The timeout-window derivation at zero drift is exact arithmetic:
+
+  $ xchain params -n 2 --drift-ppm 0
+  params n=2 δ=100 σ=10 ρ=0ppm margin=5
+  a=[780; 225]
+  d=[795; 240]
+  ε=25 horizon=1790
+  recurrence check: ok
+
+Drift inflates the windows, never deflates them:
+
+  $ xchain params -n 2 --drift-ppm 50000
+  params n=2 δ=100 σ=10 ρ=50000ppm margin=5
+  a=[846; 237]
+  d=[862; 253]
+  ε=26 horizon=1901
+  recurrence check: ok
+
+A seeded happy-path payment replays identically:
+
+  $ xchain pay -n 2 --seed 3
+  payment SUCCEEDED (12 messages, Bob paid at t=467)
+  terminations:
+    e1       released
+    Bob      paid
+    e0       released
+    Alice    certified
+    Chloe1   paid
+  properties:
+  C    ok       every honest step was executable
+  T    ok       all active honest customers terminated in bound
+  ES   ok       no honest escrow lost money
+  CS1  ok       Alice holds χ
+  CS2  ok       Bob was paid
+  CS3  ok       every terminated honest connector is whole
+  L    ok       Bob was paid
+
+The audit postmortem pinpoints a mute Bob and conditions CS2 exactly as
+the paper states it:
+
+  $ xchain audit -n 2 --fault mute@bob --seed 2
+  payment DID NOT COMPLETE under sync-timebound (8 messages, status quiescent)
+  
+  participants:
+    Alice    refunded at t=955, conforms to Fig.2
+    Chloe1   refunded at t=506, conforms to Fig.2
+    Bob      [byzantine: mute] never terminated, DEVIATES from Fig.2
+    e0       refunded at t=857, conforms to Fig.2
+    e1       refunded at t=489, conforms to Fig.2
+  
+  properties:
+  C    ok       every honest step was executable
+  T    ok       all active honest customers terminated
+  ES   ok       no honest escrow lost money
+  CS1  ok       Alice got her money back
+  CS2  n/a      Bob or his escrow is Byzantine
+  CS3  ok       every terminated honest connector is whole
+  L    n/a      some party does not abide
+  
+  promises: all honoured
+  conservation: every book audits
+
+
+
+
+An atomic swap deal completes with acceptable payoffs on both sides:
+
+  $ xchain deal swap
+  deal(2 parties)
+    0 -> 1: 5 coinA
+    1 -> 0: 3 coinB
+  well-formed: true
+  Safety         ok       all payoffs acceptable
+  Termination    ok       no compliant asset left in escrow
+  StrongLiveness ok       all transfers happened
+  party 0: gained {3 coinB}, lost {5 coinA}
+  party 1: gained {5 coinA}, lost {3 coinB}
+
+The Figure 2 escrow automaton renders with its grey output states:
+
+  $ xchain dot escrow | head -6
+  digraph "escrow0" {
+    rankdir=LR;
+    node [fontsize=10];
+    "send_g" [shape=box style=filled fillcolor=lightgrey];
+    "await_money" [shape=circle];
+    "send_p" [shape=box style=filled fillcolor=lightgrey];

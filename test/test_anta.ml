@@ -1,0 +1,646 @@
+(* Tests for the ANTA formalism: the store, automaton construction, the
+   well-formedness checker (property C's executable core) and the executor
+   semantics (pool buffering, branch priority, deadline guards). *)
+
+open Anta
+module A = Automaton
+module E = Sim.Engine
+
+let check = Alcotest.check
+
+let store_tests =
+  [
+    Alcotest.test_case "clock set/get" `Quick (fun () ->
+        let s = Store.create () in
+        Store.set_clock s "u" 42;
+        check Alcotest.int "u" 42 (Store.clock s "u"));
+    Alcotest.test_case "unset clock raises with the name" `Quick (fun () ->
+        let s : int Store.t = Store.create () in
+        Alcotest.check_raises "unset"
+          (Invalid_argument "Anta.Store.clock: w unset") (fun () ->
+            ignore (Store.clock s "w")));
+    Alcotest.test_case "data set/get" `Quick (fun () ->
+        let s = Store.create () in
+        Store.set_data s "m" "payload";
+        check Alcotest.string "m" "payload" (Store.data s "m"));
+    Alcotest.test_case "var listings" `Quick (fun () ->
+        let s = Store.create () in
+        Store.set_clock s "b" 1;
+        Store.set_clock s "a" 2;
+        Store.set_data s "x" 0;
+        check Alcotest.(list string) "clocks" [ "a"; "b" ] (Store.clock_vars s);
+        check Alcotest.(list string) "datas" [ "x" ] (Store.data_vars s));
+  ]
+
+(* small automata used below; messages are ints *)
+let receive_any ~from_ ~next = A.on_receive ~from_ ~accept:(fun _ -> true) ~next ()
+
+let construction_tests =
+  [
+    Alcotest.test_case "duplicate state raises" `Quick (fun () ->
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Automaton A: duplicate state s") (fun () ->
+            ignore
+              (A.make ~name:"A" ~initial:"s"
+                 ~nodes:[ ("s", A.final ()); ("s", A.final ()) ])));
+    Alcotest.test_case "unknown initial raises" `Quick (fun () ->
+        Alcotest.check_raises "init"
+          (Invalid_argument "Automaton A: unknown initial state nope") (fun () ->
+            ignore (A.make ~name:"A" ~initial:"nope" ~nodes:[ ("s", A.final ()) ])));
+    Alcotest.test_case "states and node lookup" `Quick (fun () ->
+        let a =
+          A.make ~name:"A" ~initial:"s"
+            ~nodes:[ ("s", A.input [ receive_any ~from_:0 ~next:"t" ]); ("t", A.final ()) ]
+        in
+        check Alcotest.(list string) "states" [ "s"; "t" ] (A.states a);
+        check Alcotest.bool "node" true (A.node a "t" <> None);
+        check Alcotest.bool "missing" true (A.node a "zz" = None));
+  ]
+
+let errs_of a = match A.check a with Ok () -> [] | Error es -> es
+
+let check_tests =
+  [
+    Alcotest.test_case "well-formed automaton passes" `Quick (fun () ->
+        let a =
+          A.make ~name:"ok" ~initial:"s"
+            ~nodes:
+              [
+                ("s", A.input [ receive_any ~from_:0 ~next:"t" ]);
+                ("t", A.final ());
+              ]
+        in
+        check Alcotest.bool "ok" true (A.check a = Ok ()));
+    Alcotest.test_case "unknown target detected" `Quick (fun () ->
+        let a =
+          A.make ~name:"bad" ~initial:"s"
+            ~nodes:[ ("s", A.input [ receive_any ~from_:0 ~next:"gone" ]) ]
+        in
+        check Alcotest.bool "err" true
+          (List.exists
+             (function A.Unknown_target _ -> true | _ -> false)
+             (errs_of a)));
+    Alcotest.test_case "empty input state detected" `Quick (fun () ->
+        let a = A.make ~name:"bad" ~initial:"s" ~nodes:[ ("s", A.input []) ] in
+        check Alcotest.bool "err" true
+          (List.exists (function A.Empty_input "s" -> true | _ -> false) (errs_of a)));
+    Alcotest.test_case "deadline on unassigned clock detected" `Quick (fun () ->
+        let a =
+          A.make ~name:"bad" ~initial:"s"
+            ~nodes:
+              [
+                ("s", A.input [ A.on_deadline ~base:"u" ~offset:5 ~next:"t" () ]);
+                ("t", A.final ());
+              ]
+        in
+        check Alcotest.bool "err" true
+          (List.exists
+             (function A.Unassigned_clock { var = "u"; _ } -> true | _ -> false)
+             (errs_of a)));
+    Alcotest.test_case "clock assigned on every path passes" `Quick (fun () ->
+        let a =
+          A.make ~name:"ok" ~initial:"s"
+            ~nodes:
+              [
+                ( "s",
+                  A.input
+                    [
+                      A.on_receive ~from_:0 ~accept:(fun _ -> true)
+                        ~save_now:[ "u" ] ~next:"w" ();
+                    ] );
+                ( "w",
+                  A.input
+                    [
+                      A.on_deadline ~base:"u" ~offset:5 ~next:"t" ();
+                      receive_any ~from_:0 ~next:"t";
+                    ] );
+                ("t", A.final ());
+              ]
+        in
+        check Alcotest.bool "ok" true (A.check a = Ok ()));
+    Alcotest.test_case "clock assigned on only one path fails" `Quick (fun () ->
+        let a =
+          A.make ~name:"bad" ~initial:"s"
+            ~nodes:
+              [
+                ( "s",
+                  A.input
+                    [
+                      A.on_receive ~from_:0 ~accept:(fun _ -> true)
+                        ~save_now:[ "u" ] ~next:"w" ();
+                      A.on_receive ~from_:1 ~accept:(fun _ -> true) ~next:"w" ();
+                    ] );
+                ("w", A.input [ A.on_deadline ~base:"u" ~offset:5 ~next:"t" () ]);
+                ("t", A.final ());
+              ]
+        in
+        check Alcotest.bool "err" true
+          (List.exists
+             (function A.Unassigned_clock _ -> true | _ -> false)
+             (errs_of a)));
+    Alcotest.test_case "unreachable state detected" `Quick (fun () ->
+        let a =
+          A.make ~name:"bad" ~initial:"s"
+            ~nodes:[ ("s", A.final ()); ("island", A.final ()) ]
+        in
+        check Alcotest.bool "err" true
+          (List.exists
+             (function A.Unreachable_state "island" -> true | _ -> false)
+             (errs_of a)));
+    Alcotest.test_case "no reachable final detected" `Quick (fun () ->
+        let a =
+          A.make ~name:"bad" ~initial:"s"
+            ~nodes:[ ("s", A.input [ receive_any ~from_:0 ~next:"s" ]) ]
+        in
+        check Alcotest.bool "err" true
+          (List.exists (function A.No_final_reachable -> true | _ -> false) (errs_of a)));
+    Alcotest.test_case "dot rendering mentions the states" `Quick (fun () ->
+        let a =
+          A.make ~name:"viz" ~initial:"s"
+            ~nodes:
+              [
+                ("s", A.input [ receive_any ~from_:3 ~next:"t" ]);
+                ("t", A.final ());
+              ]
+        in
+        let dot = A.to_dot a in
+        let mem sub =
+          let n = String.length sub and m = String.length dot in
+          let rec go i = i + n <= m && (String.sub dot i n = sub || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "s" true (mem "\"s\"");
+        check Alcotest.bool "r(3, msg)" true (mem "r(3, msg)"));
+  ]
+
+(* ------------------------- executor semantics ------------------------- *)
+
+let mk_engine ?(seed = 1) () =
+  let network =
+    Sim.Network.create
+      (Sim.Network.Synchronous { delta = 10 })
+      (Sim.Rng.create ~seed:(seed + 1))
+  in
+  E.create ~tag_of:string_of_int ~network ~seed ()
+
+(* process 0 runs [auto]; process 1 runs [driver] *)
+let run_pair auto driver =
+  let e = mk_engine () in
+  let handlers, running = Executor.handlers auto () in
+  ignore (E.add_process e handlers);
+  ignore (E.add_process e driver);
+  ignore (E.run e);
+  (running, e)
+
+let send_at_start msgs =
+  {
+    E.on_start = (fun ctx -> List.iter (fun m -> E.send ctx ~dst:0 m) msgs);
+    on_receive = (fun _ ~src:_ _ -> ());
+    on_timer = (fun _ ~label:_ -> ());
+  }
+
+let executor_tests =
+  [
+    Alcotest.test_case "receive transition fires and records visit" `Quick
+      (fun () ->
+        let auto =
+          A.make ~name:"recv" ~initial:"s"
+            ~nodes:
+              [ ("s", A.input [ receive_any ~from_:1 ~next:"t" ]); ("t", A.final ()) ]
+        in
+        let running, _ = run_pair auto (send_at_start [ 5 ]) in
+        check Alcotest.bool "done" true (Executor.terminated running);
+        check Alcotest.(list string) "visited" [ "s"; "t" ]
+          (Executor.visited running));
+    Alcotest.test_case "early message waits in the pool" `Quick (fun () ->
+        (* the automaton consumes msg A then msg B, but B is sent first *)
+        let auto =
+          A.make ~name:"pool" ~initial:"wait_a"
+            ~nodes:
+              [
+                ( "wait_a",
+                  A.input [ A.on_receive ~from_:1 ~accept:(( = ) 1) ~next:"wait_b" () ] );
+                ( "wait_b",
+                  A.input [ A.on_receive ~from_:1 ~accept:(( = ) 2) ~next:"t" () ] );
+                ("t", A.final ());
+              ]
+        in
+        (* with FIFO channels msg 2 arrives first *)
+        let running, _ = run_pair auto (send_at_start [ 2; 1 ]) in
+        check Alcotest.bool "done" true (Executor.terminated running);
+        check Alcotest.int "pool drained" 0 (Executor.pending_count running));
+    Alcotest.test_case "unmatched messages stay pending" `Quick (fun () ->
+        let auto =
+          A.make ~name:"picky" ~initial:"s"
+            ~nodes:
+              [
+                ("s", A.input [ A.on_receive ~from_:1 ~accept:(( = ) 7) ~next:"t" () ]);
+                ("t", A.final ());
+              ]
+        in
+        let running, _ = run_pair auto (send_at_start [ 1; 2; 3 ]) in
+        check Alcotest.bool "stuck" false (Executor.terminated running);
+        check Alcotest.int "pending" 3 (Executor.pending_count running));
+    Alcotest.test_case "textual branch order is the priority" `Quick (fun () ->
+        let hit = ref "" in
+        let auto =
+          A.make ~name:"prio" ~initial:"s"
+            ~nodes:
+              [
+                ( "s",
+                  A.input
+                    [
+                      A.on_receive ~from_:1 ~accept:(fun v -> v > 0)
+                        ~act:(fun _ _ _ -> hit := "first")
+                        ~next:"t" ();
+                      A.on_receive ~from_:1 ~accept:(fun v -> v > 0)
+                        ~act:(fun _ _ _ -> hit := "second")
+                        ~next:"t" ();
+                    ] );
+                ("t", A.final ());
+              ]
+        in
+        let _ = run_pair auto (send_at_start [ 9 ]) in
+        check Alcotest.string "first wins" "first" !hit);
+    Alcotest.test_case "deadline fires when no message comes" `Quick (fun () ->
+        let auto =
+          A.make ~name:"to" ~initial:"s"
+            ~nodes:
+              [
+                ( "s",
+                  A.input
+                    [
+                      A.on_receive ~from_:1 ~accept:(fun _ -> true)
+                        ~save_now:[ "u" ] ~next:"w" ();
+                    ] );
+                ( "w",
+                  A.input
+                    [
+                      A.on_receive ~from_:1 ~accept:(( = ) 99) ~next:"got" ();
+                      A.on_deadline ~base:"u" ~offset:50 ~next:"expired" ();
+                    ] );
+                ("got", A.final ());
+                ("expired", A.final ());
+              ]
+        in
+        let running, _ = run_pair auto (send_at_start [ 1 ]) in
+        check Alcotest.bool "done" true (Executor.terminated running);
+        check Alcotest.string "expired" "expired" (Executor.current_state running));
+    Alcotest.test_case "message beats a later deadline" `Quick (fun () ->
+        let driver =
+          {
+            E.on_start = (fun ctx -> E.send ctx ~dst:0 1);
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        let auto =
+          A.make ~name:"race" ~initial:"s"
+            ~nodes:
+              [
+                ( "s",
+                  A.input
+                    [
+                      A.on_receive ~from_:1 ~accept:(( = ) 1) ~save_now:[ "u" ]
+                        ~next:"w" ();
+                    ] );
+                ( "w",
+                  A.input
+                    [
+                      A.on_receive ~from_:1 ~accept:(( = ) 2) ~next:"got" ();
+                      A.on_deadline ~base:"u" ~offset:10_000 ~next:"expired" ();
+                    ] );
+                ("got", A.final ());
+                ("expired", A.final ());
+              ]
+        in
+        let e = mk_engine () in
+        let handlers, running = Executor.handlers auto () in
+        ignore (E.add_process e handlers);
+        ignore
+          (E.add_process e
+             {
+               driver with
+               E.on_receive = (fun _ ~src:_ _ -> ());
+               on_start =
+                 (fun ctx ->
+                   E.send ctx ~dst:0 1;
+                   E.send ctx ~dst:0 2);
+             });
+        ignore (E.run e);
+        check Alcotest.string "got" "got" (Executor.current_state running));
+    Alcotest.test_case "output chains send then land on input" `Quick (fun () ->
+        let got = ref [] in
+        let auto =
+          A.make ~name:"out" ~initial:"a"
+            ~nodes:
+              [
+                ("a", A.output ~to_:1 ~message:(fun _ _ -> 10) ~next:"b" ());
+                ("b", A.output ~to_:1 ~message:(fun _ _ -> 20) ~next:"t" ());
+                ("t", A.final ());
+              ]
+        in
+        let e = mk_engine () in
+        let handlers, running = Executor.handlers auto () in
+        ignore (E.add_process e handlers);
+        ignore
+          (E.add_process e
+             {
+               E.on_start = (fun _ -> ());
+               on_receive = (fun _ ~src:_ m -> got := m :: !got);
+               on_timer = (fun _ ~label:_ -> ());
+             });
+        ignore (E.run e);
+        check Alcotest.(list int) "both" [ 10; 20 ] (List.rev !got);
+        check Alcotest.bool "done" true (Executor.terminated running));
+    Alcotest.test_case "save_msg makes the payload forwardable" `Quick (fun () ->
+        let forwarded = ref 0 in
+        let auto =
+          A.make ~name:"fwd" ~initial:"s"
+            ~nodes:
+              [
+                ( "s",
+                  A.input
+                    [
+                      A.on_receive ~from_:1 ~accept:(fun _ -> true)
+                        ~save_msg:"m" ~next:"send" ();
+                    ] );
+                ( "send",
+                  A.output ~to_:1 ~message:(fun _ store -> Store.data store "m")
+                    ~next:"t" () );
+                ("t", A.final ());
+              ]
+        in
+        let e = mk_engine () in
+        let handlers, _ = Executor.handlers auto () in
+        ignore (E.add_process e handlers);
+        ignore
+          (E.add_process e
+             {
+               E.on_start = (fun ctx -> E.send ctx ~dst:0 77);
+               on_receive = (fun _ ~src:_ m -> forwarded := m);
+               on_timer = (fun _ ~label:_ -> ());
+             });
+        ignore (E.run e);
+        check Alcotest.int "echoed" 77 !forwarded);
+    Alcotest.test_case "init_clocks seeds the store at start" `Quick (fun () ->
+        let auto =
+          A.make ~name:"init" ~initial:"s"
+            ~nodes:
+              [
+                ("s", A.input [ A.on_deadline ~base:"birth" ~offset:5 ~next:"t" () ]);
+                ("t", A.final ());
+              ]
+        in
+        let e = mk_engine () in
+        let handlers, running =
+          Executor.handlers auto ~init_clocks:[ "birth" ] ()
+        in
+        ignore (E.add_process e handlers);
+        ignore (E.run e);
+        check Alcotest.bool "done" true (Executor.terminated running));
+    Alcotest.test_case "on_final hook runs" `Quick (fun () ->
+        let called = ref false in
+        let auto = A.make ~name:"f" ~initial:"t" ~nodes:[ ("t", A.final ()) ] in
+        let e = mk_engine () in
+        let handlers, _ =
+          Executor.handlers auto ~on_final:(fun _ _ -> called := true) ()
+        in
+        ignore (E.add_process e handlers);
+        ignore (E.run e);
+        check Alcotest.bool "hook" true !called);
+  ]
+
+(* ---------------------- trace conformance ----------------------------- *)
+
+let conformance_tests =
+  let open Protocols in
+  let run ?(faults = []) ?(seed = 1) () =
+    let cfg = { (Runner.default_config ~hops:3 ~seed) with faults } in
+    Runner.run cfg Runner.Sync_timebound
+  in
+  [
+    Alcotest.test_case "honest participants conform to Figure 2" `Quick
+      (fun () ->
+        let o = run () in
+        let env = o.Runner.env in
+        let topo = env.Env.topo in
+        List.iter
+          (fun pid ->
+            let auto = Sync_protocol.automaton_for env pid in
+            match
+              Conformance.check auto ~pid ~tag_of:Msg.tag o.Runner.trace
+            with
+            | Ok () -> ()
+            | Error d ->
+                Alcotest.failf "pid %d deviates: %a" pid
+                  Conformance.pp_deviation d)
+          (Topology.customers topo @ Topology.escrows topo));
+    Alcotest.test_case "honest runs conform across seeds" `Quick (fun () ->
+        for seed = 1 to 10 do
+          let o = run ~seed () in
+          let env = o.Runner.env in
+          List.iter
+            (fun pid ->
+              let auto = Sync_protocol.automaton_for env pid in
+              check Alcotest.bool "conforms" true
+                (Conformance.check auto ~pid ~tag_of:Msg.tag o.Runner.trace
+                 = Ok ()))
+            (Topology.escrows env.Env.topo)
+        done);
+    Alcotest.test_case "a thief escrow is flagged" `Quick (fun () ->
+        let topo = Topology.create ~hops:3 in
+        let e0 = Topology.escrow topo 0 in
+        let o = run ~faults:[ (e0, Byzantine.Thief_escrow) ] () in
+        let auto = Sync_protocol.automaton_for o.Runner.env e0 in
+        check Alcotest.bool "deviates" true
+          (Result.is_error
+             (Conformance.check auto ~pid:e0 ~tag_of:Msg.tag o.Runner.trace)));
+    Alcotest.test_case "a premature refunder is flagged" `Quick (fun () ->
+        let topo = Topology.create ~hops:3 in
+        let e1 = Topology.escrow topo 1 in
+        let o = run ~faults:[ (e1, Byzantine.Premature_refund_escrow) ] () in
+        let auto = Sync_protocol.automaton_for o.Runner.env e1 in
+        check Alcotest.bool "deviates" true
+          (Result.is_error
+             (Conformance.check auto ~pid:e1 ~tag_of:Msg.tag o.Runner.trace)));
+    Alcotest.test_case "an eager-chi Bob is flagged" `Quick (fun () ->
+        let topo = Topology.create ~hops:3 in
+        let bob = Topology.bob topo in
+        let o = run ~faults:[ (bob, Byzantine.Eager_chi_bob) ] () in
+        let auto = Sync_protocol.automaton_for o.Runner.env bob in
+        check Alcotest.bool "deviates" true
+          (Result.is_error
+             (Conformance.check auto ~pid:bob ~tag_of:Msg.tag o.Runner.trace)));
+    Alcotest.test_case "naive-protocol failures are conformant: the flaw is \
+                        the derivation, not the behaviour" `Quick (fun () ->
+        (* find a drift-violating naive run and verify every participant
+           still followed its automaton to the letter *)
+        let open Protocols in
+        let max_delay : Sim.Network.adversary =
+         fun ~send_time:_ ~src:_ ~dst:_ ~tag:_ ~bounds ->
+          Some bounds.Sim.Network.hi
+        in
+        let found = ref false in
+        let seed = ref 1 in
+        while (not !found) && !seed <= 40 do
+          let cfg =
+            {
+              (Runner.default_config ~hops:5 ~seed:!seed) with
+              drift_ppm = 80_000;
+              delta = 200;
+              margin = 1;
+              adversary = Some max_delay;
+            }
+          in
+          let o = Runner.run cfg Runner.Naive_universal in
+          let v = Props.Payment_props.view o in
+          if
+            not
+              (Props.Verdict.all_hold
+                 (Props.Payment_props.check_def1 ~time_bounded:false v))
+          then begin
+            found := true;
+            let env = o.Runner.env in
+            List.iter
+              (fun pid ->
+                let auto = Sync_protocol.automaton_for env pid in
+                match
+                  Conformance.check auto ~pid ~tag_of:Msg.tag o.Runner.trace
+                with
+                | Ok () -> ()
+                | Error d ->
+                    Alcotest.failf "pid %d wrongly flagged: %a" pid
+                      Conformance.pp_deviation d)
+              (Topology.customers env.Env.topo @ Topology.escrows env.Env.topo)
+          end;
+          incr seed
+        done;
+        check Alcotest.bool "found a violating run" true !found);
+    Alcotest.test_case "other participants still conform around a Byzantine \
+                        one" `Quick (fun () ->
+        let topo = Topology.create ~hops:3 in
+        let bob = Topology.bob topo in
+        let o = run ~faults:[ (bob, Byzantine.Withhold_chi_bob) ] () in
+        let env = o.Runner.env in
+        List.iter
+          (fun pid ->
+            if pid <> bob then
+              let auto = Sync_protocol.automaton_for env pid in
+              match
+                Conformance.check auto ~pid ~tag_of:Msg.tag o.Runner.trace
+              with
+              | Ok () -> ()
+              | Error d ->
+                  Alcotest.failf "pid %d wrongly flagged: %a" pid
+                    Conformance.pp_deviation d)
+          (Topology.customers topo @ Topology.escrows topo));
+  ]
+
+(* ----------------------- network-level checking ------------------------ *)
+
+let network_tests =
+  let mk_pair () =
+    (* 0 sends to 1; 1 listens to 0 and answers *)
+    let a0 =
+      A.make ~name:"a0" ~initial:"send"
+        ~nodes:
+          [
+            ("send", A.output ~to_:1 ~message:(fun _ _ -> 1) ~next:"wait" ());
+            ("wait", A.input [ receive_any ~from_:1 ~next:"done" ]);
+            ("done", A.final ());
+          ]
+    in
+    let a1 =
+      A.make ~name:"a1" ~initial:"wait"
+        ~nodes:
+          [
+            ("wait", A.input [ receive_any ~from_:0 ~next:"reply" ]);
+            ("reply", A.output ~to_:0 ~message:(fun _ _ -> 2) ~next:"done" ());
+            ("done", A.final ());
+          ]
+    in
+    (a0, a1)
+  in
+  [
+    Alcotest.test_case "a well-wired pair passes" `Quick (fun () ->
+        let a0, a1 = mk_pair () in
+        check Alcotest.int "clean" 0
+          (List.length (Network_check.check [ (0, a0); (1, a1) ])));
+    Alcotest.test_case "dangling send detected" `Quick (fun () ->
+        let a0, _ = mk_pair () in
+        let issues = Network_check.check [ (0, a0) ] in
+        check Alcotest.bool "dangling" true
+          (List.exists
+             (function
+               | Network_check.Dangling_send { to_ = 1; _ } -> true
+               | _ -> false)
+             issues));
+    Alcotest.test_case "deaf receiver detected" `Quick (fun () ->
+        let a0, _ = mk_pair () in
+        (* replace a1 with an automaton that never listens to 0 *)
+        let deaf =
+          A.make ~name:"deaf" ~initial:"wait"
+            ~nodes:
+              [
+                ("wait", A.input [ receive_any ~from_:9 ~next:"done" ]);
+                ("done", A.final ());
+              ]
+        in
+        let issues = Network_check.check [ (0, a0); (1, deaf); (9, a0) ] in
+        check Alcotest.bool "deaf" true
+          (List.exists
+             (function
+               | Network_check.Deaf_receiver { from_ = 0; to_ = 1 } -> true
+               | _ -> false)
+             issues));
+    Alcotest.test_case "unheard listener is a warning" `Quick (fun () ->
+        (* a pure listener waits on 0, but 0 is absent *)
+        let listener =
+          A.make ~name:"listener" ~initial:"wait"
+            ~nodes:
+              [
+                ("wait", A.input [ receive_any ~from_:0 ~next:"done" ]);
+                ("done", A.final ());
+              ]
+        in
+        let issues = Network_check.check [ (1, listener) ] in
+        check Alcotest.bool "warned" true
+          (List.exists
+             (function
+               | Network_check.Unheard_listener { from_ = 0; _ } -> true
+               | _ -> false)
+             issues);
+        check Alcotest.int "but no errors"
+          0
+          (List.length (Network_check.errors issues)));
+    Alcotest.test_case "the Figure 2 network is clean for every size" `Quick
+      (fun () ->
+        let open Protocols in
+        List.iter
+          (fun hops ->
+            let topo = Topology.create ~hops in
+            let params = Params.derive (Params.default_input ~hops) in
+            let env = Env.make ~topo ~params () in
+            let network =
+              List.map
+                (fun pid -> (pid, Sync_protocol.automaton_for env pid))
+                (Topology.customers topo @ Topology.escrows topo)
+            in
+            let issues = Network_check.check network in
+            check Alcotest.int
+              (Printf.sprintf "hops %d" hops)
+              0 (List.length issues))
+          [ 1; 2; 3; 8 ]);
+  ]
+
+let () =
+  Alcotest.run "anta"
+    [
+      ("store", store_tests);
+      ("construction", construction_tests);
+      ("check", check_tests);
+      ("executor", executor_tests);
+      ("conformance", conformance_tests);
+      ("network", network_tests);
+    ]

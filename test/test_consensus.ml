@@ -1,0 +1,552 @@
+(* Tests for the DLS-style committee consensus.
+
+   The module is a pure state machine, so these tests drive replica sets
+   by hand through a tiny dispatcher: effects become queued messages,
+   round timers are fired explicitly, and Byzantine behaviour is injected
+   as raw messages. Safety assertions (agreement, certificate validity)
+   are checked against every replica that decided. *)
+
+module Dls = Consensus.Dls
+open Xcrypto
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+type world = {
+  cfgs : string Dls.config array;
+  replicas : string Dls.t array;
+  queue : (int * int * string Dls.msg) Queue.t;  (* from, to, msg *)
+  mutable decisions : (int * string Dls.decision_cert) list;
+  mutable pending_timers : (int * int) list;  (* replica, round *)
+}
+
+let make_world ?(n = 4) ?(f = 1) ?(validate = fun _ -> true) () =
+  let registry = Auth.create ~seed:11 in
+  let auth_ids = Array.init n Fun.id in
+  let signers = Array.init n (fun i -> Auth.register registry i) in
+  let cfgs =
+    Array.init n (fun i ->
+        {
+          Dls.n;
+          f;
+          self = i;
+          auth_ids;
+          registry;
+          signer = signers.(i);
+          ser = Fun.id;
+          equal = String.equal;
+          validate;
+          base_timeout = 100;
+        })
+  in
+  {
+    cfgs;
+    replicas = Array.map Dls.create cfgs;
+    queue = Queue.create ();
+    decisions = [];
+    pending_timers = [];
+  }
+
+let handle w from effects =
+  List.iter
+    (fun eff ->
+      match eff with
+      | Dls.Send { to_; m } -> Queue.add (from, to_, m) w.queue
+      | Dls.Broadcast m ->
+          Array.iteri (fun to_ _ -> Queue.add (from, to_, m) w.queue) w.replicas
+      | Dls.Set_round_timer { round; _ } ->
+          w.pending_timers <- (from, round) :: w.pending_timers
+      | Dls.Decided dc -> w.decisions <- (from, dc) :: w.decisions)
+    effects
+
+let start w i v = handle w i (Dls.start w.replicas.(i) ~my_value:v)
+
+(* deliver until quiet, optionally dropping some messages *)
+let drain ?(drop = fun ~from:_ ~to_:_ _ -> false) ?(dead = fun _ -> false) w =
+  let budget = ref 100_000 in
+  while (not (Queue.is_empty w.queue)) && !budget > 0 do
+    decr budget;
+    let from, to_, m = Queue.pop w.queue in
+    if (not (drop ~from ~to_ m)) && not (dead to_) then
+      handle w to_ (Dls.on_msg w.replicas.(to_) ~from_:from m)
+  done;
+  if !budget = 0 then Alcotest.fail "dispatcher did not quiesce"
+
+let fire_timers ?(dead = fun _ -> false) w =
+  let timers = w.pending_timers in
+  w.pending_timers <- [];
+  List.iter
+    (fun (i, round) ->
+      if not (dead i) then
+        handle w i (Dls.on_round_timeout w.replicas.(i) round))
+    timers
+
+let agreement w =
+  match w.decisions with
+  | [] -> true
+  | (_, first) :: rest ->
+      List.for_all (fun (_, dc) -> String.equal dc.Dls.d_value first.Dls.d_value) rest
+
+let decided_count w = List.length w.decisions
+
+let basic_tests =
+  [
+    Alcotest.test_case "leader rotation" `Quick (fun () ->
+        check Alcotest.int "r0" 0 (Dls.leader_of ~n:4 0);
+        check Alcotest.int "r1" 1 (Dls.leader_of ~n:4 1);
+        check Alcotest.int "r5" 1 (Dls.leader_of ~n:4 5));
+    Alcotest.test_case "create rejects n < 3f+1" `Quick (fun () ->
+        let w = make_world () in
+        Alcotest.check_raises "small"
+          (Invalid_argument "Dls.create: need n >= 3f+1") (fun () ->
+            ignore (Dls.create { (w.cfgs.(0)) with Dls.n = 3; f = 1 })));
+    Alcotest.test_case "create rejects signer mismatch" `Quick (fun () ->
+        let w = make_world () in
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Dls.create: signer does not match self") (fun () ->
+            ignore (Dls.create { (w.cfgs.(0)) with Dls.self = 1 })));
+    Alcotest.test_case "unanimous start decides in round 0" `Quick (fun () ->
+        let w = make_world () in
+        for i = 0 to 3 do
+          start w i "commit"
+        done;
+        drain w;
+        check Alcotest.int "all decided" 4 (decided_count w);
+        check Alcotest.bool "agreement" true (agreement w);
+        List.iter
+          (fun (_, dc) -> check Alcotest.string "value" "commit" dc.Dls.d_value)
+          w.decisions);
+    Alcotest.test_case "divergent preferences still agree" `Quick (fun () ->
+        let w = make_world () in
+        start w 0 "commit";
+        start w 1 "abort";
+        start w 2 "abort";
+        start w 3 "commit";
+        drain w;
+        (* leader 0 proposes commit; everyone echoes *)
+        check Alcotest.bool "agreement" true (agreement w);
+        check Alcotest.int "all" 4 (decided_count w));
+    Alcotest.test_case "decision certificates verify for outsiders" `Quick
+      (fun () ->
+        let w = make_world () in
+        for i = 0 to 3 do
+          start w i "v"
+        done;
+        drain w;
+        List.iter
+          (fun (_, dc) ->
+            check Alcotest.bool "verify" true (Dls.verify_decision w.cfgs.(0) dc))
+          w.decisions);
+    Alcotest.test_case "tampered decision certificate fails" `Quick (fun () ->
+        let w = make_world () in
+        for i = 0 to 3 do
+          start w i "v"
+        done;
+        drain w;
+        let _, dc = List.hd w.decisions in
+        let tampered = { dc with Dls.d_value = "other" } in
+        check Alcotest.bool "reject" false
+          (Dls.verify_decision w.cfgs.(0) tampered));
+    Alcotest.test_case "too few signatures fail verification" `Quick (fun () ->
+        let w = make_world () in
+        for i = 0 to 3 do
+          start w i "v"
+        done;
+        drain w;
+        let _, dc = List.hd w.decisions in
+        let thin =
+          { dc with Dls.d_sigs = [ List.hd dc.Dls.d_sigs ] }
+        in
+        check Alcotest.bool "reject" false (Dls.verify_decision w.cfgs.(0) thin));
+    Alcotest.test_case "duplicate signatures do not inflate a quorum" `Quick
+      (fun () ->
+        let w = make_world () in
+        for i = 0 to 3 do
+          start w i "v"
+        done;
+        drain w;
+        let _, dc = List.hd w.decisions in
+        let one = List.hd dc.Dls.d_sigs in
+        let padded = { dc with Dls.d_sigs = [ one; one; one; one; one ] } in
+        check Alcotest.bool "reject" false
+          (Dls.verify_decision w.cfgs.(0) padded));
+  ]
+
+let fault_tests =
+  [
+    Alcotest.test_case "crashed follower does not block a decision" `Quick
+      (fun () ->
+        let w = make_world () in
+        let dead i = i = 3 in
+        for i = 0 to 2 do
+          start w i "v"
+        done;
+        drain ~dead w;
+        check Alcotest.bool "agreement" true (agreement w);
+        check Alcotest.bool "some decided" true (decided_count w >= 3));
+    Alcotest.test_case "crashed round-0 leader: round change decides" `Quick
+      (fun () ->
+        let w = make_world () in
+        let dead i = i = 0 in
+        for i = 1 to 3 do
+          start w i "v"
+        done;
+        drain ~dead w;
+        check Alcotest.int "nothing yet" 0 (decided_count w);
+        (* round 0 times out; round 1's leader (replica 1) proposes *)
+        fire_timers ~dead w;
+        drain ~dead w;
+        check Alcotest.bool "agreement" true (agreement w);
+        check Alcotest.bool "decided" true (decided_count w >= 3));
+    Alcotest.test_case "equivocating leader cannot split the committee" `Quick
+      (fun () ->
+        (* replica 0 is Byzantine: it sends Propose("commit") to 1 and
+           Propose("abort") to 2 and 3 in round 0. Echo quorums cannot form
+           for both; after the round change an honest leader decides. *)
+        let w = make_world () in
+        for i = 1 to 3 do
+          start w i "fallback"
+        done;
+        Queue.add (0, 1, Dls.Propose { round = 0; value = "commit"; justif = None }) w.queue;
+        Queue.add (0, 2, Dls.Propose { round = 0; value = "abort"; justif = None }) w.queue;
+        Queue.add (0, 3, Dls.Propose { round = 0; value = "abort"; justif = None }) w.queue;
+        let dead i = i = 0 in
+        drain ~dead w;
+        fire_timers ~dead w;
+        drain ~dead w;
+        fire_timers ~dead w;
+        drain ~dead w;
+        check Alcotest.bool "agreement" true (agreement w);
+        check Alcotest.bool "honest decided" true (decided_count w >= 3));
+    Alcotest.test_case "forged echoes are ignored" `Quick (fun () ->
+        let w = make_world () in
+        start w 1 "v";
+        (* an attacker fabricates echoes claiming to be replicas 0,2,3 *)
+        List.iter
+          (fun author ->
+            let body = { Dls.e_round = 0; e_value = "evil" } in
+            let sv = Auth.forge_value ~author body in
+            Queue.add (author, 1, Dls.Echo sv) w.queue)
+          [ 0; 2; 3 ];
+        drain ~dead:(fun i -> i <> 1) w;
+        check Alcotest.int "no decision from forgeries" 0 (decided_count w);
+        check Alcotest.bool "no lock" true (Dls.locked w.replicas.(1) = None));
+    Alcotest.test_case "external validity blocks invalid proposals" `Quick
+      (fun () ->
+        let w = make_world ~validate:(fun v -> v <> "invalid") () in
+        for i = 0 to 3 do
+          start w i "invalid"
+        done;
+        drain w;
+        check Alcotest.int "no decision" 0 (decided_count w));
+    Alcotest.test_case "join participates without proposing" `Quick (fun () ->
+        let w = make_world () in
+        (* replicas 1..3 join with no preference; 0 starts with a value *)
+        for i = 1 to 3 do
+          handle w i (Dls.join w.replicas.(i))
+        done;
+        start w 0 "v";
+        drain w;
+        check Alcotest.bool "decided" true (decided_count w >= 4);
+        check Alcotest.bool "agreement" true (agreement w));
+    Alcotest.test_case "update_preference lets a late leader propose" `Quick
+      (fun () ->
+        let w = make_world () in
+        (* everyone joins silently; then replica 0 (round-0 leader) gets a
+           preference and proposes *)
+        for i = 0 to 3 do
+          handle w i (Dls.join w.replicas.(i))
+        done;
+        drain w;
+        check Alcotest.int "nothing" 0 (decided_count w);
+        handle w 0 (Dls.update_preference w.replicas.(0) "late");
+        drain w;
+        check Alcotest.bool "decided" true (decided_count w >= 4));
+    Alcotest.test_case "stale round timer is a no-op" `Quick (fun () ->
+        let w = make_world () in
+        for i = 0 to 3 do
+          start w i "v"
+        done;
+        drain w;
+        let r = decided_count w in
+        (* fire leftover round-0 timers after the decision *)
+        fire_timers w;
+        drain w;
+        check Alcotest.int "unchanged" r (decided_count w));
+  ]
+
+let random_schedule_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"agreement under random drops and timers"
+         ~count:60
+         QCheck.(pair small_int (list (int_bound 20)))
+         (fun (seed, _) ->
+           let rng = Sim.Rng.create ~seed in
+           let w = make_world () in
+           for i = 0 to 3 do
+             start w i (if Sim.Rng.bool rng then "commit" else "abort")
+           done;
+           (* phase 1: drop ~30% of messages, then fire timers, then let
+              everything through — models a pre-GST mess followed by
+              stabilization *)
+           let drop ~from:_ ~to_:_ _ = Sim.Rng.int rng 10 < 3 in
+           drain ~drop w;
+           fire_timers w;
+           drain ~drop w;
+           fire_timers w;
+           drain w;
+           fire_timers w;
+           drain w;
+           agreement w));
+    qcheck
+      (QCheck.Test.make ~name:"decisions always carry verifiable certificates"
+         ~count:30
+         QCheck.small_int
+         (fun seed ->
+           let rng = Sim.Rng.create ~seed in
+           let w = make_world () in
+           for i = 0 to 3 do
+             start w i (if Sim.Rng.bool rng then "x" else "y")
+           done;
+           drain w;
+           List.for_all
+             (fun (_, dc) -> Dls.verify_decision w.cfgs.(0) dc)
+             w.decisions));
+  ]
+
+(* ---------------- bounded-exhaustive schedule exploration -------------- *)
+
+(* Systematic concurrency testing: explore EVERY delivery order of the
+   first [k] messages (the scheduler branches on which pending message to
+   deliver next), then drain deterministically, fire round timers, and
+   drain again. Agreement must hold at every leaf. This covers the
+   schedule prefixes where quorum races actually happen — a bounded
+   version of the quantification in the DLS safety proof. *)
+
+let explore_agreement ~k ~prefs =
+  let leaves = ref 0 in
+  let run_path path =
+    (* re-execute the whole world following [path]; return `Choice n if the
+       path ran out with n pending messages and budget left, else check the
+       leaf *)
+    let w = make_world () in
+    Array.iteri (fun i v -> start w i v) prefs;
+    let depth = ref 0 in
+    let rec step remaining_path =
+      if Queue.is_empty w.queue then `Leaf
+      else if !depth >= k then begin
+        (* deterministic tail: FIFO *)
+        let from, to_, m = Queue.pop w.queue in
+        handle w to_ (Dls.on_msg w.replicas.(to_) ~from_:from m);
+        step remaining_path
+      end
+      else
+        match remaining_path with
+        | [] -> `Choice (Queue.length w.queue)
+        | choice :: rest ->
+            (* deliver the [choice]-th pending message *)
+            let items = Queue.to_seq w.queue |> List.of_seq in
+            let n = List.length items in
+            let idx = choice mod n in
+            Queue.clear w.queue;
+            List.iteri (fun i it -> if i <> idx then Queue.add it w.queue) items;
+            let from, to_, m = List.nth items idx in
+            incr depth;
+            handle w to_ (Dls.on_msg w.replicas.(to_) ~from_:from m);
+            step rest
+    in
+    match step path with
+    | `Choice n -> `Choice n
+    | `Leaf ->
+        (* stabilise: timers + full drains until quiet *)
+        for _ = 1 to 3 do
+          fire_timers w;
+          drain w
+        done;
+        if not (agreement w) then
+          Alcotest.failf "disagreement on path [%s]"
+            (String.concat ";" (List.map string_of_int path));
+        incr leaves;
+        `Leaf
+  in
+  let rec dfs path =
+    match run_path path with
+    | `Leaf -> ()
+    | `Choice n ->
+        for i = 0 to n - 1 do
+          dfs (path @ [ i ])
+        done
+  in
+  dfs [];
+  !leaves
+
+let exploration_tests =
+  [
+    Alcotest.test_case "agreement over all orderings (unanimous, k=4)" `Slow
+      (fun () ->
+        let leaves =
+          explore_agreement ~k:4 ~prefs:[| "c"; "c"; "c"; "c" |]
+        in
+        check Alcotest.bool "explored some schedules" true (leaves > 10));
+    Alcotest.test_case "agreement over all orderings (split, k=4)" `Slow
+      (fun () ->
+        let leaves =
+          explore_agreement ~k:4 ~prefs:[| "c"; "a"; "a"; "c" |]
+        in
+        check Alcotest.bool "explored some schedules" true (leaves > 10));
+    Alcotest.test_case "agreement over all orderings (split, k=5)" `Slow
+      (fun () ->
+        let leaves =
+          explore_agreement ~k:5 ~prefs:[| "a"; "c"; "a"; "c" |]
+        in
+        check Alcotest.bool "explored some schedules" true (leaves > 50));
+  ]
+
+(* ------------------------ authority chain ------------------------------ *)
+
+module Chain = Consensus.Chain
+
+(* simpler driver: explicit broadcast fan-out *)
+let run_chain ?(n = 3) ~txs ~rounds () =
+  let cfgs =
+    Array.init n (fun i ->
+        {
+          Chain.n;
+          self = i;
+          block_interval = 100;
+          initial_state = [];
+          apply = (fun st tx -> (tx :: st, [ tx ]));
+          tx_equal = String.equal;
+        })
+  in
+  let validators = Array.map Chain.create cfgs in
+  let pending : (int * int option * string Chain.msg) Queue.t = Queue.create () in
+  let emitted = Array.make n [] in
+  let timers = ref [] in
+  let rec handle i effs =
+    List.iter
+      (fun eff ->
+        match eff with
+        | Chain.Broadcast m ->
+            for j = 0 to n - 1 do
+              Queue.add (j, Some i, m) pending
+            done
+        | Chain.Set_round_timer { round; _ } -> timers := (i, round) :: !timers
+        | Chain.Emit evs -> emitted.(i) <- emitted.(i) @ evs)
+      effs;
+    ignore handle
+  in
+  Array.iteri (fun i v -> handle i (Chain.start v)) validators;
+  (* submit txs to every validator *)
+  List.iter
+    (fun tx ->
+      for j = 0 to n - 1 do
+        Queue.add (j, None, Chain.Submit tx) pending
+      done)
+    txs;
+  for _ = 1 to rounds do
+    (* drain messages *)
+    while not (Queue.is_empty pending) do
+      let to_, from_, m = Queue.pop pending in
+      handle to_ (Chain.on_msg validators.(to_) ~from_ m)
+    done;
+    (* fire pending round timers *)
+    let ts = !timers in
+    timers := [];
+    List.iter
+      (fun (i, round) -> handle i (Chain.on_round_timeout validators.(i) round))
+      ts
+  done;
+  (validators, emitted)
+
+let chain_tests =
+  [
+    Alcotest.test_case "submitted transactions reach every replica in the \
+                        same order" `Quick (fun () ->
+        let validators, _emitted = run_chain ~txs:[ "a"; "b"; "c" ] ~rounds:8 () in
+        let h0 = Chain.height validators.(0) in
+        check Alcotest.bool "chain grew" true (h0 > 0);
+        Array.iter
+          (fun v -> check Alcotest.int "same height" h0 (Chain.height v))
+          validators;
+        let s0 = Chain.state validators.(0) in
+        Array.iter
+          (fun v -> check Alcotest.(list string) "same state" s0 (Chain.state v))
+          validators;
+        check Alcotest.int "all applied" 3 (List.length s0));
+    Alcotest.test_case "every replica emits each event exactly once" `Quick
+      (fun () ->
+        let _, emitted = run_chain ~txs:[ "x"; "y" ] ~rounds:8 () in
+        Array.iter
+          (fun evs ->
+            check Alcotest.int "two events" 2 (List.length evs);
+            check Alcotest.bool "x once" true
+              (List.length (List.filter (String.equal "x") evs) = 1))
+          emitted);
+    Alcotest.test_case "duplicate submissions are deduplicated" `Quick
+      (fun () ->
+        let validators, emitted =
+          run_chain ~txs:[ "a"; "a"; "a" ] ~rounds:8 ()
+        in
+        check Alcotest.int "one tx" 1 (List.length (Chain.state validators.(0)));
+        Array.iter
+          (fun evs -> check Alcotest.int "one event" 1 (List.length evs))
+          emitted);
+    Alcotest.test_case "height rotates the proposer" `Quick (fun () ->
+        let validators, _ =
+          run_chain ~n:3
+            ~txs:[ "t1" ] ~rounds:4 ()
+        in
+        (* submit more txs in a second wave so later heights get produced
+           by later proposers *)
+        let blocks = Chain.chain validators.(1) in
+        List.iter
+          (fun (b : string Chain.block) ->
+            check Alcotest.int "proposer = height mod n" (b.Chain.height mod 3)
+              b.Chain.proposer)
+          blocks);
+    Alcotest.test_case "announcements from non-validators are ignored" `Quick
+      (fun () ->
+        let cfg =
+          {
+            Chain.n = 2;
+            self = 0;
+            block_interval = 50;
+            initial_state = [];
+            apply = (fun st tx -> (tx :: st, []));
+            tx_equal = String.equal;
+          }
+        in
+        let v = Chain.create cfg in
+        ignore (Chain.start v);
+        let bogus =
+          { Chain.height = 0; round = 0; proposer = 0; txs = [ "evil" ] }
+        in
+        let effs = Chain.on_msg v ~from_:None (Chain.Announce bogus) in
+        check Alcotest.int "no effects" 0 (List.length effs);
+        check Alcotest.int "height unchanged" 0 (Chain.height v));
+    Alcotest.test_case "create validates its config" `Quick (fun () ->
+        Alcotest.check_raises "bad self"
+          (Invalid_argument "Chain.create: bad self") (fun () ->
+            ignore
+              (Chain.create
+                 {
+                   Chain.n = 2;
+                   self = 5;
+                   block_interval = 10;
+                   initial_state = ();
+                   apply = (fun () _ -> ((), []));
+                   tx_equal = (fun (_ : int) _ -> true);
+                 })));
+  ]
+
+let () =
+  Alcotest.run "consensus"
+    [
+      ("basic", basic_tests);
+      ("faults", fault_tests);
+      ("random", random_schedule_tests);
+      ("exploration", exploration_tests);
+      ("chain", chain_tests);
+    ]

@@ -1,0 +1,327 @@
+(* Tests for the cross-chain deals library (§5): the deal model, the HLS
+   acceptability predicate, the two commit protocols, and their property
+   monitors. *)
+
+open Deals
+module Asset = Ledger.Asset
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let coin c n = Asset.make ~currency:c ~amount:n
+
+let model_tests =
+  [
+    Alcotest.test_case "make validates its input" `Quick (fun () ->
+        Alcotest.check_raises "range" (Invalid_argument "Deal.make: party out of range")
+          (fun () -> ignore (Deal.make ~parties:2 ~transfers:[ (0, 5, coin "a" 1) ]));
+        Alcotest.check_raises "self" (Invalid_argument "Deal.make: self-transfer")
+          (fun () -> ignore (Deal.make ~parties:2 ~transfers:[ (0, 0, coin "a" 1) ]));
+        Alcotest.check_raises "zero" (Invalid_argument "Deal.make: zero asset")
+          (fun () -> ignore (Deal.make ~parties:2 ~transfers:[ (0, 1, coin "a" 0) ]));
+        Alcotest.check_raises "dup" (Invalid_argument "Deal.make: duplicate arc")
+          (fun () ->
+            ignore
+              (Deal.make ~parties:2
+                 ~transfers:[ (0, 1, coin "a" 1); (0, 1, coin "b" 1) ])));
+    Alcotest.test_case "strong connectivity" `Quick (fun () ->
+        check Alcotest.bool "swap" true (Deal.strongly_connected (Deal.two_party_swap ()));
+        check Alcotest.bool "cycle" true (Deal.strongly_connected (Deal.three_cycle ()));
+        check Alcotest.bool "dag" false (Deal.strongly_connected (Deal.broker_dag ())));
+    Alcotest.test_case "well-formedness needs arcs" `Quick (fun () ->
+        check Alcotest.bool "no arcs" false
+          (Deal.well_formed (Deal.make ~parties:1 ~transfers:[])));
+    Alcotest.test_case "diameter" `Quick (fun () ->
+        check Alcotest.int "swap" 1 (Deal.diameter (Deal.two_party_swap ()));
+        check Alcotest.int "cycle" 2 (Deal.diameter (Deal.three_cycle ()));
+        (* dag: some pairs unreachable -> penalised with [parties] *)
+        check Alcotest.int "dag" 3 (Deal.diameter (Deal.broker_dag ())));
+    Alcotest.test_case "incoming/outgoing/transfer" `Quick (fun () ->
+        let d = Deal.three_cycle () in
+        check Alcotest.int "out 0" 1 (List.length (Deal.outgoing d 0));
+        check Alcotest.int "in 0" 1 (List.length (Deal.incoming d 0));
+        check Alcotest.bool "arc 0->1" true (Deal.transfer d ~from_:0 ~to_:1 <> None);
+        check Alcotest.bool "no arc 1->0" true (Deal.transfer d ~from_:1 ~to_:0 = None));
+    Alcotest.test_case "expected gain and loss" `Quick (fun () ->
+        let d = Deal.two_party_swap () in
+        check Alcotest.int "p0 gains coinB" 3
+          (Asset.Bag.amount (Deal.expected_gain d 0) "coinB");
+        check Alcotest.int "p0 loses coinA" 5
+          (Asset.Bag.amount (Deal.expected_loss d 0) "coinA"));
+  ]
+
+let acceptability_tests =
+  let d = Deal.two_party_swap () in
+  [
+    Alcotest.test_case "full execution is acceptable" `Quick (fun () ->
+        check Alcotest.bool "full" true
+          (Deal.acceptable d 0
+             ~gained:(Asset.Bag.of_list [ coin "coinB" 3 ])
+             ~lost:(Asset.Bag.of_list [ coin "coinA" 5 ])));
+    Alcotest.test_case "losing nothing is acceptable" `Quick (fun () ->
+        check Alcotest.bool "nothing" true
+          (Deal.acceptable d 0 ~gained:Asset.Bag.empty ~lost:Asset.Bag.empty));
+    Alcotest.test_case "gaining without losing is acceptable" `Quick (fun () ->
+        check Alcotest.bool "windfall" true
+          (Deal.acceptable d 0
+             ~gained:(Asset.Bag.of_list [ coin "coinB" 3 ])
+             ~lost:Asset.Bag.empty));
+    Alcotest.test_case "losing without gaining is unacceptable" `Quick (fun () ->
+        check Alcotest.bool "robbed" false
+          (Deal.acceptable d 0 ~gained:Asset.Bag.empty
+             ~lost:(Asset.Bag.of_list [ coin "coinA" 5 ])));
+    Alcotest.test_case "partial gain with full loss is unacceptable" `Quick
+      (fun () ->
+        check Alcotest.bool "short-changed" false
+          (Deal.acceptable d 0
+             ~gained:(Asset.Bag.of_list [ coin "coinB" 2 ])
+             ~lost:(Asset.Bag.of_list [ coin "coinA" 5 ])));
+    Alcotest.test_case "over-delivery on the gain side is acceptable" `Quick
+      (fun () ->
+        check Alcotest.bool "bonus" true
+          (Deal.acceptable d 0
+             ~gained:(Asset.Bag.of_list [ coin "coinB" 4 ])
+             ~lost:(Asset.Bag.of_list [ coin "coinA" 5 ])));
+  ]
+
+let run ?(compliant = [||]) ?(gst = None) ?(seed = 11) deal protocol =
+  let cfg = { (Deal_runner.default_config deal protocol) with gst; seed } in
+  let cfg =
+    if Array.length compliant = 0 then cfg
+    else { cfg with Deal_runner.compliant }
+  in
+  Deal_runner.run cfg
+
+let protocol_tests =
+  [
+    Alcotest.test_case "swap completes under timelock" `Quick (fun () ->
+        let o = run (Deal.two_party_swap ()) Deal_runner.Timelock in
+        check Alcotest.bool "all" true (Deal_props.all_hold (Deal_props.all o));
+        check Alcotest.int "p0 got coinB" 3
+          (Asset.Bag.amount (Deal_runner.gained o 0) "coinB");
+        check Alcotest.int "p1 got coinA" 5
+          (Asset.Bag.amount (Deal_runner.gained o 1) "coinA"));
+    Alcotest.test_case "cycle completes under timelock" `Quick (fun () ->
+        let o = run (Deal.three_cycle ()) Deal_runner.Timelock in
+        check Alcotest.bool "all" true (Deal_props.all_hold (Deal_props.all o)));
+    Alcotest.test_case "cbc completes under partial synchrony" `Quick (fun () ->
+        let o = run ~gst:(Some 2_000) (Deal.three_cycle ()) Deal_runner.Cbc in
+        check Alcotest.bool "all" true (Deal_props.all_hold (Deal_props.all o)));
+    Alcotest.test_case "all-compliant broker DAG completes via the reveal \
+                        cascade" `Quick (fun () ->
+        let o = run (Deal.broker_dag ()) Deal_runner.Timelock in
+        check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds;
+        (* the broker recovers the full vote set from the on-chain claim of
+           her outgoing leg and redeems her incoming one *)
+        check Alcotest.int "broker got coinA" 5
+          (Asset.Bag.amount (Deal_runner.gained o 1) "coinA"));
+    Alcotest.test_case "disconnected deal refunds safely but is not live"
+      `Quick (fun () ->
+        let o = run (Deal.disconnected_pair ()) Deal_runner.Timelock in
+        check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds;
+        check Alcotest.bool "terminates" true
+          (Deal_props.termination o).Deal_props.holds;
+        check Alcotest.bool "not live" false
+          (Deal_props.strong_liveness o).Deal_props.holds);
+    Alcotest.test_case "broker DAG is safe under cbc" `Quick (fun () ->
+        let o = run (Deal.broker_dag ()) Deal_runner.Cbc in
+        check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds);
+    Alcotest.test_case "a silent party aborts the timelock deal harmlessly"
+      `Quick (fun () ->
+        let o =
+          run ~compliant:[| true; false; true |] (Deal.three_cycle ())
+            Deal_runner.Timelock
+        in
+        check Alcotest.bool "safety" true (Deal_props.safety o).Deal_props.holds;
+        check Alcotest.bool "termination" true
+          (Deal_props.termination o).Deal_props.holds;
+        (* nothing moved: every compliant deposit refunded *)
+        check Alcotest.bool "p0 kept coinA" true
+          (Asset.Bag.is_empty (Deal_runner.lost o 0)));
+    Alcotest.test_case "a silent party aborts the cbc deal via patience" `Quick
+      (fun () ->
+        let o =
+          run ~compliant:[| true; false; true |] (Deal.three_cycle ())
+            Deal_runner.Cbc
+        in
+        check Alcotest.bool "safety" true (Deal_props.safety o).Deal_props.holds;
+        check Alcotest.bool "termination" true
+          (Deal_props.termination o).Deal_props.holds;
+        (* the certifier must have issued an abort *)
+        let aborted =
+          List.exists
+            (fun (_, _, ob) ->
+              match ob with Dobs.Cb_decided { commit = false } -> true | _ -> false)
+            (Sim.Trace.observations o.Deal_runner.trace)
+        in
+        check Alcotest.bool "cb aborted" true aborted);
+    Alcotest.test_case "books audit after every run" `Quick (fun () ->
+        List.iter
+          (fun (deal, proto) ->
+            let o = run deal proto in
+            Array.iter
+              (fun b ->
+                check Alcotest.bool "audit" true (Result.is_ok (Ledger.Book.audit b)))
+              o.Deal_runner.books)
+          [
+            (Deal.two_party_swap (), Deal_runner.Timelock);
+            (Deal.three_cycle (), Deal_runner.Cbc);
+            (Deal.broker_dag (), Deal_runner.Timelock);
+          ]);
+    Alcotest.test_case "compliant-size mismatch raises" `Quick (fun () ->
+        Alcotest.check_raises "size"
+          (Invalid_argument "Deal_runner.run: compliant array size mismatch")
+          (fun () ->
+            ignore
+              (run ~compliant:[| true |] (Deal.two_party_swap ())
+                 Deal_runner.Timelock)));
+  ]
+
+(* random well-formed deals: cycles with random extra chords *)
+let random_deal_gen =
+  QCheck.Gen.(
+    let* parties = int_range 2 5 in
+    let* extra = int_range 0 3 in
+    let* seed = int_range 0 10_000 in
+    return (parties, extra, seed))
+
+let random_deal (parties, extra, seed) =
+  let rng = Sim.Rng.create ~seed in
+  let base =
+    List.init parties (fun i ->
+        (i, (i + 1) mod parties, coin (Printf.sprintf "c%d" i) (1 + Sim.Rng.int rng 9)))
+  in
+  let chords =
+    List.filteri
+      (fun k _ -> k < extra)
+      (List.init 10 (fun k ->
+           let from_ = Sim.Rng.int rng parties in
+           let to_ = (from_ + 1 + Sim.Rng.int rng (parties - 1)) mod parties in
+           (from_, to_, coin (Printf.sprintf "x%d" k) (1 + Sim.Rng.int rng 9))))
+  in
+  let seen = Hashtbl.create 8 in
+  let transfers =
+    List.filter
+      (fun (f, t, _) ->
+        if f = t || Hashtbl.mem seen (f, t) then false
+        else begin
+          Hashtbl.add seen (f, t) ();
+          true
+        end)
+      (base @ chords)
+  in
+  Deal.make ~parties ~transfers
+
+let property_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"well-formed deals satisfy all HLS properties"
+         ~count:40
+         (QCheck.make random_deal_gen)
+         (fun spec ->
+           let deal = random_deal spec in
+           QCheck.assume (Deal.well_formed deal);
+           let o = run deal Deal_runner.Timelock in
+           Deal_props.all_hold (Deal_props.all o)));
+    qcheck
+      (QCheck.Test.make ~name:"termination holds on every deal, even ill-formed"
+         ~count:40
+         (QCheck.make random_deal_gen)
+         (fun spec ->
+           let deal = random_deal spec in
+           let o = run deal Deal_runner.Timelock in
+           (Deal_props.termination o).Deal_props.holds));
+    qcheck
+      (QCheck.Test.make ~name:"cbc is safe on every deal"
+         ~count:30
+         (QCheck.make random_deal_gen)
+         (fun spec ->
+           let deal = random_deal spec in
+           let o = run deal Deal_runner.Cbc in
+           (Deal_props.safety o).Deal_props.holds));
+  ]
+
+let byz_run ?(deal = Deal.three_cycle ()) ?(proto = Deal_runner.Timelock)
+    ?(seed = 11) faults =
+  let cfg = { (Deal_runner.default_config deal proto) with seed } in
+  Deal_byzantine.run_with_faults cfg ~faults
+
+let byzantine_tests =
+  [
+    Alcotest.test_case "freeloader gains nothing and hurts nobody" `Quick
+      (fun () ->
+        let o = byz_run [ (1, Deal_byzantine.Freeloader) ] in
+        check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds;
+        check Alcotest.bool "freeloader empty-handed" true
+          (Asset.Bag.is_empty (Deal_runner.gained o 1)));
+    Alcotest.test_case "forged votes never redeem a leg" `Quick (fun () ->
+        let o = byz_run [ (1, Deal_byzantine.Forged_votes) ] in
+        check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds;
+        check Alcotest.bool "nothing paid to the forger" true
+          (Asset.Bag.is_empty (Deal_runner.gained o 1));
+        (* the escrow logged the rejection *)
+        check Alcotest.bool "rejected" true
+          (List.exists
+             (fun (_, _, ob) ->
+               match ob with Dobs.Rejected _ -> true | _ -> false)
+             (Sim.Trace.observations o.Deal_runner.trace)));
+    Alcotest.test_case "premature claims are rejected" `Quick (fun () ->
+        let o = byz_run [ (1, Deal_byzantine.Premature_claim) ] in
+        check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds;
+        check Alcotest.bool "nothing gained" true
+          (Asset.Bag.is_empty (Deal_runner.gained o 1)));
+    Alcotest.test_case "double claims settle exactly once" `Quick (fun () ->
+        let o = byz_run [ (1, Deal_byzantine.Double_claim) ] in
+        (* the double claimer plays an otherwise honest game, so the deal
+           completes; the ledger audit proves nothing was paid twice *)
+        check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds;
+        Array.iter
+          (fun b ->
+            check Alcotest.bool "audit" true (Result.is_ok (Ledger.Book.audit b)))
+          o.Deal_runner.books;
+        check Alcotest.int "paid once" 4
+          (Asset.Bag.amount (Deal_runner.gained o 2) "coinB"));
+    Alcotest.test_case "vote hoarding cannot break a well-formed deal" `Quick
+      (fun () ->
+        for seed = 1 to 10 do
+          let o = byz_run ~seed [ (1, Deal_byzantine.Vote_hoarder) ] in
+          check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds;
+          check Alcotest.bool "terminates" true
+            (Deal_props.termination o).Deal_props.holds
+        done);
+    Alcotest.test_case "lazy claiming is harmless in a strongly connected \
+                        deal" `Quick (fun () ->
+        for seed = 1 to 15 do
+          let o = byz_run ~seed [ (2, Deal_byzantine.Lazy_claim) ] in
+          check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds
+        done);
+    Alcotest.test_case "lazy claiming breaks the broker DAG's safety" `Quick
+      (fun () ->
+        let violated = ref 0 in
+        for seed = 1 to 20 do
+          let o =
+            byz_run ~deal:(Deal.broker_dag ()) ~seed
+              [ (2, Deal_byzantine.Lazy_claim) ]
+          in
+          if not (Deal_props.safety o).Deal_props.holds then incr violated
+        done;
+        check Alcotest.bool "some corner lost" true (!violated > 0));
+    Alcotest.test_case "cbc keeps even the lazy broker DAG safe" `Quick
+      (fun () ->
+        for seed = 1 to 10 do
+          let o =
+            byz_run ~deal:(Deal.broker_dag ()) ~proto:Deal_runner.Cbc ~seed
+              [ (2, Deal_byzantine.Lazy_claim) ]
+          in
+          check Alcotest.bool "safe" true (Deal_props.safety o).Deal_props.holds
+        done);
+  ]
+
+let () =
+  Alcotest.run "deals"
+    [
+      ("model", model_tests);
+      ("acceptability", acceptability_tests);
+      ("protocols", protocol_tests);
+      ("byzantine", byzantine_tests);
+      ("random", property_tests);
+    ]

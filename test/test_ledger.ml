@@ -1,0 +1,255 @@
+(* Tests for the escrow-ledger substrate: assets, multi-asset bags, and
+   the per-escrow book with its conservation invariants. *)
+
+open Ledger
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let coin c n = Asset.make ~currency:c ~amount:n
+
+let asset_tests =
+  [
+    Alcotest.test_case "make rejects negatives" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Asset.make: negative amount")
+          (fun () -> ignore (Asset.make ~currency:"x" ~amount:(-1))));
+    Alcotest.test_case "add same currency" `Quick (fun () ->
+        check Alcotest.bool "sum" true
+          (Asset.equal (coin "btc" 8) (Asset.add (coin "btc" 3) (coin "btc" 5))));
+    Alcotest.test_case "add rejects currency mismatch" `Quick (fun () ->
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Asset.add: currency mismatch (btc vs eth)")
+          (fun () -> ignore (Asset.add (coin "btc" 1) (coin "eth" 1))));
+    Alcotest.test_case "sub cannot go negative" `Quick (fun () ->
+        Alcotest.check_raises "neg"
+          (Invalid_argument "Asset.sub: would go negative") (fun () ->
+            ignore (Asset.sub (coin "btc" 1) (coin "btc" 2))));
+    Alcotest.test_case "is_zero" `Quick (fun () ->
+        check Alcotest.bool "zero" true (Asset.is_zero (Asset.zero "x"));
+        check Alcotest.bool "nonzero" false (Asset.is_zero (coin "x" 1)));
+    Alcotest.test_case "compare orders by currency then amount" `Quick (fun () ->
+        check Alcotest.bool "a<b" true (Asset.compare (coin "a" 9) (coin "b" 1) < 0);
+        check Alcotest.bool "amount" true (Asset.compare (coin "a" 1) (coin "a" 2) < 0));
+  ]
+
+let bag_tests =
+  [
+    Alcotest.test_case "of_list merges currencies" `Quick (fun () ->
+        let b = Asset.Bag.of_list [ coin "a" 2; coin "b" 1; coin "a" 3 ] in
+        check Alcotest.int "a" 5 (Asset.Bag.amount b "a");
+        check Alcotest.int "b" 1 (Asset.Bag.amount b "b"));
+    Alcotest.test_case "to_list omits zero entries and sorts" `Quick (fun () ->
+        let b = Asset.Bag.of_list [ coin "z" 1; Asset.zero "a"; coin "b" 2 ] in
+        check Alcotest.(list string) "currencies" [ "b"; "z" ]
+          (List.map (fun (a : Asset.t) -> a.Asset.currency) (Asset.Bag.to_list b)));
+    Alcotest.test_case "sub success and failure" `Quick (fun () ->
+        let b = Asset.Bag.of_list [ coin "a" 5 ] in
+        (match Asset.Bag.sub b (coin "a" 3) with
+        | Ok b' -> check Alcotest.int "left" 2 (Asset.Bag.amount b' "a")
+        | Error e -> Alcotest.fail e);
+        check Alcotest.bool "too much" true
+          (Result.is_error (Asset.Bag.sub b (coin "a" 6))));
+    Alcotest.test_case "geq is pointwise" `Quick (fun () ->
+        let big = Asset.Bag.of_list [ coin "a" 5; coin "b" 1 ] in
+        let small = Asset.Bag.of_list [ coin "a" 2 ] in
+        check Alcotest.bool "big>=small" true (Asset.Bag.geq big small);
+        check Alcotest.bool "small>=big" false (Asset.Bag.geq small big));
+    Alcotest.test_case "empty bag behaviour" `Quick (fun () ->
+        check Alcotest.bool "empty" true (Asset.Bag.is_empty Asset.Bag.empty);
+        check Alcotest.bool "geq empty" true
+          (Asset.Bag.geq Asset.Bag.empty Asset.Bag.empty));
+    Alcotest.test_case "diff" `Quick (fun () ->
+        let x = Asset.Bag.of_list [ coin "a" 5; coin "b" 2 ] in
+        let y = Asset.Bag.of_list [ coin "a" 3 ] in
+        match Asset.Bag.diff x y with
+        | Ok d ->
+            check Alcotest.int "a" 2 (Asset.Bag.amount d "a");
+            check Alcotest.int "b" 2 (Asset.Bag.amount d "b")
+        | Error e -> Alcotest.fail e);
+    qcheck
+      (QCheck.Test.make ~name:"union totals are additive"
+         QCheck.(pair (list (pair (int_range 0 3) (int_bound 100)))
+                   (list (pair (int_range 0 3) (int_bound 100))))
+         (fun (l1, l2) ->
+           let mk l =
+             Asset.Bag.of_list
+               (List.map (fun (c, n) -> coin (string_of_int c) n) l)
+           in
+           let b1 = mk l1 and b2 = mk l2 in
+           let u = Asset.Bag.union b1 b2 in
+           List.for_all
+             (fun c ->
+               Asset.Bag.amount u c = Asset.Bag.amount b1 c + Asset.Bag.amount b2 c)
+             [ "0"; "1"; "2"; "3" ]));
+    qcheck
+      (QCheck.Test.make ~name:"add then sub is identity"
+         QCheck.(pair (int_range 0 3) (int_bound 100))
+         (fun (c, n) ->
+           let b = Asset.Bag.of_list [ coin "seed" 7 ] in
+           let a = coin (string_of_int c) n in
+           match Asset.Bag.sub (Asset.Bag.add b a) a with
+           | Ok b' -> Asset.Bag.equal b b'
+           | Error _ -> false));
+  ]
+
+let book () =
+  let b = Book.create ~currency:"cur" in
+  Book.open_account b ~owner:0 ~balance:100;
+  Book.open_account b ~owner:1 ~balance:50;
+  Book.open_account b ~owner:2 ~balance:0;
+  b
+
+let ok = function Ok v -> v | Error _ -> Alcotest.fail "unexpected error"
+
+let book_tests =
+  [
+    Alcotest.test_case "opening balances" `Quick (fun () ->
+        let b = book () in
+        check Alcotest.int "0" 100 (Book.balance b 0);
+        check Alcotest.int "unknown" 0 (Book.balance b 99);
+        check Alcotest.int "supply" 150 (Book.total_supply b));
+    Alcotest.test_case "idempotent reopen with same balance" `Quick (fun () ->
+        let b = book () in
+        Book.open_account b ~owner:0 ~balance:100;
+        check Alcotest.int "unchanged" 100 (Book.balance b 0));
+    Alcotest.test_case "reopen with different balance raises" `Quick (fun () ->
+        let b = book () in
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Book.open_account: account exists with other balance")
+          (fun () -> Book.open_account b ~owner:0 ~balance:7));
+    Alcotest.test_case "transfer moves value" `Quick (fun () ->
+        let b = book () in
+        ok (Book.transfer b ~src:0 ~dst:1 ~amount:30);
+        check Alcotest.int "src" 70 (Book.balance b 0);
+        check Alcotest.int "dst" 80 (Book.balance b 1));
+    Alcotest.test_case "transfer rejects insufficient funds" `Quick (fun () ->
+        let b = book () in
+        match Book.transfer b ~src:1 ~dst:0 ~amount:51 with
+        | Error (Book.Insufficient_funds { account = 1; has = 50; needs = 51 }) -> ()
+        | _ -> Alcotest.fail "expected insufficient funds");
+    Alcotest.test_case "transfer rejects unknown accounts" `Quick (fun () ->
+        let b = book () in
+        check Alcotest.bool "src" true
+          (Result.is_error (Book.transfer b ~src:9 ~dst:0 ~amount:1));
+        check Alcotest.bool "dst" true
+          (Result.is_error (Book.transfer b ~src:0 ~dst:9 ~amount:1)));
+    Alcotest.test_case "deposit moves value into the pool" `Quick (fun () ->
+        let b = book () in
+        let dep = ok (Book.deposit b ~from_:0 ~amount:40) in
+        check Alcotest.int "balance" 60 (Book.balance b 0);
+        check Alcotest.int "pool" 40 (Book.pool_total b);
+        check Alcotest.(option int) "amount" (Some 40) (Book.deposit_amount b dep);
+        check Alcotest.bool "held" true (Book.deposit_status b dep = Some Book.Held));
+    Alcotest.test_case "release pays the target" `Quick (fun () ->
+        let b = book () in
+        let dep = ok (Book.deposit b ~from_:0 ~amount:40) in
+        ok (Book.release b dep ~to_:1);
+        check Alcotest.int "target" 90 (Book.balance b 1);
+        check Alcotest.int "pool" 0 (Book.pool_total b);
+        check Alcotest.bool "status" true
+          (Book.deposit_status b dep = Some (Book.Released 1)));
+    Alcotest.test_case "refund restores the depositor" `Quick (fun () ->
+        let b = book () in
+        let dep = ok (Book.deposit b ~from_:0 ~amount:40) in
+        ok (Book.refund b dep);
+        check Alcotest.int "restored" 100 (Book.balance b 0);
+        check Alcotest.bool "status" true
+          (Book.deposit_status b dep = Some Book.Refunded));
+    Alcotest.test_case "double resolution is rejected" `Quick (fun () ->
+        let b = book () in
+        let dep = ok (Book.deposit b ~from_:0 ~amount:40) in
+        ok (Book.release b dep ~to_:1);
+        (match Book.refund b dep with
+        | Error (Book.Already_resolved _) -> ()
+        | _ -> Alcotest.fail "expected Already_resolved");
+        match Book.release b dep ~to_:2 with
+        | Error (Book.Already_resolved _) -> ()
+        | _ -> Alcotest.fail "expected Already_resolved");
+    Alcotest.test_case "unknown deposit is rejected" `Quick (fun () ->
+        let b = book () in
+        match Book.refund b 77 with
+        | Error (Book.Unknown_deposit 77) -> ()
+        | _ -> Alcotest.fail "expected Unknown_deposit");
+    Alcotest.test_case "release to unknown account is rejected" `Quick (fun () ->
+        let b = book () in
+        let dep = ok (Book.deposit b ~from_:0 ~amount:10) in
+        check Alcotest.bool "err" true (Result.is_error (Book.release b dep ~to_:9));
+        (* deposit must remain resolvable *)
+        ok (Book.refund b dep));
+    Alcotest.test_case "audit passes on a fresh book" `Quick (fun () ->
+        check Alcotest.bool "ok" true (Result.is_ok (Book.audit (book ()))));
+    Alcotest.test_case "journal records every successful operation" `Quick
+      (fun () ->
+        let b = book () in
+        let before = Book.journal_length b in
+        ok (Book.transfer b ~src:0 ~dst:1 ~amount:1);
+        let dep = ok (Book.deposit b ~from_:0 ~amount:2) in
+        ok (Book.release b dep ~to_:2);
+        check Alcotest.int "three more" (before + 3) (Book.journal_length b);
+        (* a failed operation leaves no journal entry *)
+        ignore (Book.transfer b ~src:1 ~dst:0 ~amount:10_000);
+        check Alcotest.int "unchanged" (before + 3) (Book.journal_length b));
+    Alcotest.test_case "error rendering is informative" `Quick (fun () ->
+        let s e = Fmt.str "%a" Book.pp_error e in
+        check Alcotest.string "unknown" "unknown account 9" (s (Book.Unknown_account 9));
+        check Alcotest.string "funds" "account 1 has 5, needs 7"
+          (s (Book.Insufficient_funds { account = 1; has = 5; needs = 7 }));
+        check Alcotest.string "dep" "unknown deposit 3" (s (Book.Unknown_deposit 3));
+        check Alcotest.string "resolved" "deposit 3 already resolved"
+          (s (Book.Already_resolved 3)));
+    Alcotest.test_case "book and bag rendering smoke" `Quick (fun () ->
+        let b = book () in
+        let rendered = Fmt.str "%a" Book.pp b in
+        check Alcotest.bool "mentions currency" true (String.length rendered > 5);
+        let bag = Asset.Bag.of_list [ coin "btc" 2; coin "eth" 1 ] in
+        let rendered_bag = Fmt.str "%a" Asset.Bag.pp bag in
+        check Alcotest.bool "mentions btc" true
+          (let n = String.length rendered_bag in
+           let rec go i =
+             i + 3 <= n && (String.sub rendered_bag i 3 = "btc" || go (i + 1))
+           in
+           go 0);
+        check Alcotest.string "empty bag" "∅" (Fmt.str "%a" Asset.Bag.pp Asset.Bag.empty));
+    Alcotest.test_case "negative amounts are rejected outright" `Quick
+      (fun () ->
+        let b = book () in
+        Alcotest.check_raises "transfer"
+          (Invalid_argument "Book.transfer: negative amount") (fun () ->
+            ignore (Book.transfer b ~src:0 ~dst:1 ~amount:(-1)));
+        Alcotest.check_raises "deposit"
+          (Invalid_argument "Book.deposit: negative amount") (fun () ->
+            ignore (Book.deposit b ~from_:0 ~amount:(-1))));
+    qcheck
+      (QCheck.Test.make ~name:"conservation under random op sequences"
+         ~count:200
+         QCheck.(list (pair (int_range 0 4) (pair (int_range 0 2) (int_bound 60))))
+         (fun ops ->
+           let b = book () in
+           let deposits = ref [] in
+           List.iter
+             (fun (op, (acct, amount)) ->
+               match op with
+               | 0 -> ignore (Book.transfer b ~src:acct ~dst:((acct + 1) mod 3) ~amount)
+               | 1 -> (
+                   match Book.deposit b ~from_:acct ~amount with
+                   | Ok d -> deposits := d :: !deposits
+                   | Error _ -> ())
+               | 2 -> (
+                   match !deposits with
+                   | d :: rest when amount mod 2 = 0 ->
+                       ignore (Book.release b d ~to_:acct);
+                       deposits := rest
+                   | _ -> ())
+               | 3 -> (
+                   match !deposits with
+                   | d :: rest ->
+                       ignore (Book.refund b d);
+                       deposits := rest
+                   | [] -> ())
+               | _ -> ignore (Book.refund b amount))
+             ops;
+           Book.total_supply b = 150 && Result.is_ok (Book.audit b)));
+  ]
+
+let () =
+  Alcotest.run "ledger"
+    [ ("asset", asset_tests); ("bag", bag_tests); ("book", book_tests) ]

@@ -1,0 +1,883 @@
+(* Tests for the protocol layer: topology, the timeout-parameter
+   derivation (the Thm 1 fine-tuning), the run environment, the Figure 2
+   automata, the HTLC baseline, the weak protocol, Byzantine strategies,
+   and the runner. *)
+
+open Protocols
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------ topology ------------------------------ *)
+
+let topology_tests =
+  [
+    Alcotest.test_case "pid layout" `Quick (fun () ->
+        let t = Topology.create ~hops:3 in
+        check Alcotest.int "alice" 0 (Topology.alice t);
+        check Alcotest.int "bob" 3 (Topology.bob t);
+        check Alcotest.int "c1" 1 (Topology.customer t 1);
+        check Alcotest.int "e0" 4 (Topology.escrow t 0);
+        check Alcotest.int "e2" 6 (Topology.escrow t 2);
+        check Alcotest.int "aux" 7 (Topology.aux_base t);
+        check Alcotest.int "count" 7 (Topology.payment_count t));
+    Alcotest.test_case "role_of covers the payment pids" `Quick (fun () ->
+        let t = Topology.create ~hops:2 in
+        check Alcotest.bool "alice" true (Topology.role_of t 0 = Some Topology.Alice);
+        check Alcotest.bool "chloe" true
+          (Topology.role_of t 1 = Some (Topology.Connector 1));
+        check Alcotest.bool "bob" true (Topology.role_of t 2 = Some Topology.Bob);
+        check Alcotest.bool "e0" true (Topology.role_of t 3 = Some (Topology.Escrow 0));
+        check Alcotest.bool "aux unknown" true (Topology.role_of t 5 = None);
+        Topology.register_aux t 0;
+        check Alcotest.bool "aux known" true (Topology.role_of t 5 = Some (Topology.Aux 0)));
+    Alcotest.test_case "connectors list" `Quick (fun () ->
+        check Alcotest.(list int) "hops 1" [] (Topology.connectors (Topology.create ~hops:1));
+        check Alcotest.(list int) "hops 4" [ 1; 2; 3 ]
+          (Topology.connectors (Topology.create ~hops:4)));
+    Alcotest.test_case "customer/escrow adjacency" `Quick (fun () ->
+        let t = Topology.create ~hops:3 in
+        check Alcotest.(option int) "alice down" (Some 4)
+          (Topology.escrow_of_customer_down t 0);
+        check Alcotest.(option int) "alice up" None (Topology.escrow_of_customer_up t 0);
+        check Alcotest.(option int) "bob up" (Some 6) (Topology.escrow_of_customer_up t 3);
+        check Alcotest.(option int) "bob down" None (Topology.escrow_of_customer_down t 3));
+    Alcotest.test_case "index inverses" `Quick (fun () ->
+        let t = Topology.create ~hops:3 in
+        check Alcotest.(option int) "cust" (Some 2) (Topology.customer_index t 2);
+        check Alcotest.(option int) "escrow" (Some 1) (Topology.escrow_index t 5);
+        check Alcotest.(option int) "out of range" None (Topology.escrow_index t 99));
+    Alcotest.test_case "needs at least one escrow" `Quick (fun () ->
+        Alcotest.check_raises "hops 0"
+          (Invalid_argument "Topology.create: need at least one escrow") (fun () ->
+            ignore (Topology.create ~hops:0)));
+  ]
+
+(* ------------------------------- params ------------------------------- *)
+
+let params_tests =
+  [
+    Alcotest.test_case "windows shrink toward Bob" `Quick (fun () ->
+        let p = Params.derive (Params.default_input ~hops:4) in
+        for i = 0 to 2 do
+          check Alcotest.bool "a(i) > a(i+1)" true (p.Params.a.(i) > p.Params.a.(i + 1))
+        done);
+    Alcotest.test_case "derived parameters pass the recurrence check" `Quick
+      (fun () ->
+        List.iter
+          (fun hops ->
+            let p = Params.derive (Params.default_input ~hops) in
+            check Alcotest.bool "check" true (Params.check p = Ok ()))
+          [ 1; 2; 5; 16; 64 ]);
+    Alcotest.test_case "shrunk windows fail the check" `Quick (fun () ->
+        let p = Params.derive (Params.default_input ~hops:3) in
+        let shrunk = Params.scale_windows p ~num:1 ~den:3 in
+        check Alcotest.bool "fails" true (Result.is_error (Params.check shrunk)));
+    Alcotest.test_case "d leaves room beyond a" `Quick (fun () ->
+        let p = Params.derive (Params.default_input ~hops:3) in
+        Array.iteri
+          (fun i a -> check Alcotest.bool "d > a" true (p.Params.d.(i) > a))
+          p.Params.a);
+    Alcotest.test_case "zero drift means no inflation" `Quick (fun () ->
+        let input = { (Params.default_input ~hops:2) with Params.drift_ppm = 0 } in
+        let p = Params.derive input in
+        let step = input.Params.delta + input.Params.sigma in
+        check Alcotest.int "a1 exact" ((2 * step) + input.Params.margin)
+          p.Params.a.(1));
+    Alcotest.test_case "drift inflates windows" `Quick (fun () ->
+        let base = Params.derive { (Params.default_input ~hops:3) with Params.drift_ppm = 0 } in
+        let drifted =
+          Params.derive { (Params.default_input ~hops:3) with Params.drift_ppm = 50_000 }
+        in
+        for i = 0 to 2 do
+          check Alcotest.bool "bigger" true (drifted.Params.a.(i) > base.Params.a.(i))
+        done);
+    Alcotest.test_case "horizon dominates the largest window" `Quick (fun () ->
+        let p = Params.derive (Params.default_input ~hops:5) in
+        check Alcotest.bool "horizon" true (p.Params.horizon > p.Params.a.(0)));
+    Alcotest.test_case "per-customer bounds are within the horizon" `Quick
+      (fun () ->
+        let p = Params.derive (Params.default_input ~hops:5) in
+        check Alcotest.int "length" 6 (Array.length p.Params.customer_bound);
+        Array.iter
+          (fun b -> check Alcotest.bool "<= horizon" true (b <= p.Params.horizon))
+          p.Params.customer_bound);
+    Alcotest.test_case "Alice's bound is the tightest payer bound" `Quick
+      (fun () ->
+        let p = Params.derive (Params.default_input ~hops:4) in
+        for i = 0 to 2 do
+          check Alcotest.bool "increasing... or not: a_i shrinks downstream"
+            true
+            (p.Params.customer_bound.(i) > 0
+            && p.Params.customer_bound.(i + 1) > 0)
+        done);
+    Alcotest.test_case "input validation" `Quick (fun () ->
+        Alcotest.check_raises "hops" (Invalid_argument "Params: hops must be >= 1")
+          (fun () -> ignore (Params.derive { (Params.default_input ~hops:1) with Params.hops = 0 }));
+        Alcotest.check_raises "margin" (Invalid_argument "Params: margin must be >= 1")
+          (fun () ->
+            ignore (Params.derive { (Params.default_input ~hops:1) with Params.margin = 0 })));
+    qcheck
+      (QCheck.Test.make ~name:"up/down compose to at least identity"
+         QCheck.(pair (int_range 1 1_000_000) (int_range 0 200_000))
+         (fun (t, drift_ppm) ->
+           Params.down ~drift_ppm (Params.up ~drift_ppm t) >= t));
+    qcheck
+      (QCheck.Test.make ~name:"derive always passes its own check" ~count:50
+         QCheck.(
+           triple (int_range 1 12) (int_range 1 500) (int_range 0 100_000))
+         (fun (hops, delta, drift_ppm) ->
+           let p =
+             Params.derive
+               { Params.hops; delta; sigma = delta / 4; drift_ppm; margin = 2 }
+           in
+           Params.check p = Ok ()));
+  ]
+
+(* --------------------------------- env --------------------------------- *)
+
+let mk_env ?(hops = 3) ?(seed = 5) () =
+  let topo = Topology.create ~hops in
+  let params = Params.derive (Params.default_input ~hops) in
+  Env.make ~topo ~params ~seed ()
+
+let env_tests =
+  [
+    Alcotest.test_case "amounts decrease toward Bob by the commission" `Quick
+      (fun () ->
+        let env = mk_env () in
+        check Alcotest.int "a0" 1020 (Env.amount_at env 0);
+        check Alcotest.int "a1" 1010 (Env.amount_at env 1);
+        check Alcotest.int "a2" 1000 (Env.amount_at env 2));
+    Alcotest.test_case "books open with the needed balances" `Quick (fun () ->
+        let env = mk_env () in
+        let topo = env.Env.topo in
+        check Alcotest.int "payer" 1010
+          (Ledger.Book.balance env.Env.books.(1) (Topology.customer topo 1));
+        check Alcotest.int "payee" 0
+          (Ledger.Book.balance env.Env.books.(1) (Topology.customer topo 2)));
+    Alcotest.test_case "genuine chi verifies, forged does not" `Quick (fun () ->
+        let env = mk_env () in
+        check Alcotest.bool "real" true (Env.chi_ok env (Env.make_chi env));
+        let bob = Topology.bob env.Env.topo in
+        let fake =
+          Xcrypto.Auth.forge_value ~author:bob
+            { Msg.x_payment = env.Env.payment; x_bob = bob }
+        in
+        check Alcotest.bool "forged" false (Env.chi_ok env fake));
+    Alcotest.test_case "chi for another payment is rejected" `Quick (fun () ->
+        let env = mk_env () in
+        let bob = Topology.bob env.Env.topo in
+        let signer = Env.signer_of env bob in
+        let other =
+          Xcrypto.Auth.sign_value signer ~ser:Msg.ser_chi
+            { Msg.x_payment = env.Env.payment + 1; x_bob = bob }
+        in
+        check Alcotest.bool "wrong payment" false (Env.chi_ok env other));
+    Alcotest.test_case "chi signed by a non-Bob is rejected" `Quick (fun () ->
+        let env = mk_env () in
+        let bob = Topology.bob env.Env.topo in
+        let chloe_signer = Env.signer_of env (Topology.customer env.Env.topo 1) in
+        let bogus =
+          Xcrypto.Auth.sign_value chloe_signer ~ser:Msg.ser_chi
+            { Msg.x_payment = env.Env.payment; x_bob = bob }
+        in
+        check Alcotest.bool "wrong signer" false (Env.chi_ok env bogus));
+    Alcotest.test_case "promise verification binds the escrow" `Quick (fun () ->
+        let env = mk_env () in
+        let e0 = Topology.escrow env.Env.topo 0 in
+        let signer = Env.signer_of env e0 in
+        let g =
+          Xcrypto.Auth.sign_value signer ~ser:Msg.ser_promise_g
+            { Msg.g_escrow = e0; g_customer = 0; d = 100 }
+        in
+        check Alcotest.bool "right escrow" true (Env.promise_g_ok env ~escrow_index:0 g);
+        check Alcotest.bool "wrong escrow" false (Env.promise_g_ok env ~escrow_index:1 g));
+    Alcotest.test_case "signer_of is idempotent" `Quick (fun () ->
+        let env = mk_env () in
+        let s1 = Env.signer_of env 0 and s2 = Env.signer_of env 0 in
+        check Alcotest.int "same id" (Xcrypto.Auth.signer_id s1)
+          (Xcrypto.Auth.signer_id s2));
+  ]
+
+(* ----------------------------- sync protocol --------------------------- *)
+
+let run_sync ?(hops = 3) ?(seed = 1) ?(drift = 10_000) ?(faults = []) () =
+  let cfg =
+    { (Runner.default_config ~hops ~seed) with drift_ppm = drift; faults }
+  in
+  Runner.run cfg Runner.Sync_timebound
+
+let outcome_of pid o =
+  List.find_map
+    (fun (p, tag, _) -> if p = pid then Some tag else None)
+    (Runner.terminated_pids o)
+
+let sync_tests =
+  [
+    Alcotest.test_case "all Figure 2 automata are well-formed (property C)"
+      `Quick (fun () ->
+        List.iter
+          (fun hops ->
+            let env = mk_env ~hops () in
+            check Alcotest.bool "check_all" true (Sync_protocol.check_all env = Ok ()))
+          [ 1; 2; 3; 8 ]);
+    Alcotest.test_case "happy path: money and certificate flow" `Quick (fun () ->
+        let o = run_sync () in
+        let env = o.Runner.env in
+        let topo = env.Env.topo in
+        check Alcotest.int "bob" 1000
+          (Runner.balance o ~escrow:2 ~pid:(Topology.bob topo));
+        check Alcotest.int "alice" 0
+          (Runner.balance o ~escrow:0 ~pid:(Topology.alice topo));
+        check Alcotest.int "chloe1 in" 1020 (Runner.balance o ~escrow:0 ~pid:1);
+        check Alcotest.int "chloe1 out" 0 (Runner.balance o ~escrow:1 ~pid:1);
+        check Alcotest.(option string) "alice outcome" (Some "certified")
+          (outcome_of (Topology.alice topo) o);
+        check Alcotest.(option string) "bob outcome" (Some "paid")
+          (outcome_of (Topology.bob topo) o));
+    Alcotest.test_case "single-hop payment works" `Quick (fun () ->
+        let o = run_sync ~hops:1 () in
+        check Alcotest.(option string) "bob" (Some "paid") (outcome_of 1 o));
+    Alcotest.test_case "same seed reproduces the identical run" `Quick (fun () ->
+        let o1 = run_sync ~seed:9 () and o2 = run_sync ~seed:9 () in
+        check Alcotest.int "msgs" o1.Runner.message_count o2.Runner.message_count;
+        check Alcotest.int "end" o1.Runner.end_time o2.Runner.end_time;
+        check Alcotest.int "trace" (Sim.Trace.length o1.Runner.trace)
+          (Sim.Trace.length o2.Runner.trace));
+    Alcotest.test_case "message complexity is 6 per hop" `Quick (fun () ->
+        List.iter
+          (fun hops ->
+            let o = run_sync ~hops () in
+            check Alcotest.int "msgs" (6 * hops) o.Runner.message_count)
+          [ 1; 2; 4 ]);
+    Alcotest.test_case "mute Bob leads to universal refund" `Quick (fun () ->
+        let topo = Topology.create ~hops:3 in
+        let o = run_sync ~faults:[ (Topology.bob topo, Byzantine.Mute) ] () in
+        check Alcotest.(option string) "alice refunded" (Some "refunded")
+          (outcome_of (Topology.alice topo) o);
+        check Alcotest.(option string) "chloe1 refunded" (Some "refunded")
+          (outcome_of 1 o);
+        Array.iteri
+          (fun i book ->
+            check Alcotest.int "payer restored" (Env.amount_at o.Runner.env i)
+              (Ledger.Book.balance book (Topology.customer topo i)))
+          o.Runner.env.Env.books);
+    Alcotest.test_case "forged chi is never accepted by an escrow" `Quick
+      (fun () ->
+        let topo = Topology.create ~hops:3 in
+        let o =
+          run_sync
+            ~faults:[ (Topology.customer topo 2, Byzantine.Forge_chi_connector) ]
+            ()
+        in
+        let accepted_forgery =
+          List.exists
+            (fun (_, _, ob) ->
+              match ob with
+              | Obs.Cert_received { kind = Obs.Chi; valid = true; _ } -> true
+              | _ -> false)
+            (Runner.observations o)
+        in
+        check Alcotest.bool "no valid chi" false accepted_forgery);
+  ]
+
+(* -------------------------------- htlc --------------------------------- *)
+
+let htlc_tests =
+  [
+    Alcotest.test_case "happy path pays everyone" `Quick (fun () ->
+        let cfg = Runner.default_config ~hops:3 ~seed:2 in
+        let o = Runner.run cfg Runner.Htlc in
+        check Alcotest.(option string) "bob" (Some "paid") (outcome_of 3 o);
+        check Alcotest.(option string) "alice" (Some "preimage-receipt")
+          (outcome_of 0 o);
+        check Alcotest.int "bob money" 1000 (Runner.balance o ~escrow:2 ~pid:3));
+    Alcotest.test_case "mute Bob: every leg refunds at its timelock" `Quick
+      (fun () ->
+        let topo = Topology.create ~hops:3 in
+        let cfg =
+          {
+            (Runner.default_config ~hops:3 ~seed:2) with
+            faults = [ (Topology.bob topo, Byzantine.Mute) ];
+          }
+        in
+        let o = Runner.run cfg Runner.Htlc in
+        Array.iteri
+          (fun i book ->
+            check Alcotest.int "restored" (Env.amount_at o.Runner.env i)
+              (Ledger.Book.balance book (Topology.customer topo i)))
+          o.Runner.env.Env.books);
+    Alcotest.test_case "timelock ladder decreases toward Bob" `Quick (fun () ->
+        let env = mk_env ~hops:4 () in
+        let cfg = Htlc_protocol.default_config env in
+        for i = 0 to 2 do
+          check Alcotest.bool "monotone" true
+            (Htlc_protocol.window_of env cfg i > Htlc_protocol.window_of env cfg (i + 1))
+        done);
+  ]
+
+(* ----------------------------- weak protocol --------------------------- *)
+
+let run_weak ?(hops = 3) ?(seed = 1) ?(gst = 0) ?(patience = 20_000)
+    ?(tm = Weak_protocol.Single) ?(faults = []) () =
+  let cfg =
+    {
+      (Runner.default_config ~hops ~seed) with
+      network = (if gst = 0 then Runner.Sync else Runner.Psync { gst });
+      faults;
+    }
+  in
+  Runner.run cfg (Runner.Weak { Weak_protocol.default_config with patience; tm })
+
+let weak_tests =
+  [
+    Alcotest.test_case "happy path commits and pays Bob" `Quick (fun () ->
+        let o = run_weak () in
+        check Alcotest.(option string) "bob" (Some "paid") (outcome_of 3 o);
+        check Alcotest.(option string) "alice" (Some "certified") (outcome_of 0 o);
+        check Alcotest.int "bob money" 1000 (Runner.balance o ~escrow:2 ~pid:3));
+    Alcotest.test_case "zero patience aborts safely" `Quick (fun () ->
+        let o = run_weak ~patience:0 () in
+        check Alcotest.(option string) "alice refunded" (Some "refunded")
+          (outcome_of 0 o);
+        check Alcotest.int "bob unpaid" 0 (Runner.balance o ~escrow:2 ~pid:3);
+        let decisions =
+          List.filter_map
+            (fun (_, _, ob) ->
+              match ob with Obs.Decision_made { commit; _ } -> Some commit | _ -> None)
+            (Runner.observations o)
+        in
+        check Alcotest.(list bool) "abort only" [ false ] decisions);
+    Alcotest.test_case "committee matches the single TM on the happy path"
+      `Quick (fun () ->
+        let o = run_weak ~tm:(Weak_protocol.Committee { f = 1 }) () in
+        check Alcotest.(option string) "bob" (Some "paid") (outcome_of 3 o));
+    Alcotest.test_case "committee under partial synchrony still commits" `Quick
+      (fun () ->
+        let o =
+          run_weak ~gst:1_500 ~patience:100_000
+            ~tm:(Weak_protocol.Committee { f = 1 }) ()
+        in
+        check Alcotest.(option string) "bob" (Some "paid") (outcome_of 3 o));
+    Alcotest.test_case "chain-hosted contract commits on the happy path"
+      `Quick (fun () ->
+        let o = run_weak ~tm:(Weak_protocol.Chain { validators = 4 }) () in
+        check Alcotest.(option string) "bob" (Some "paid") (outcome_of 3 o);
+        check Alcotest.(option string) "alice" (Some "certified") (outcome_of 0 o));
+    Alcotest.test_case "chain-hosted contract aborts on impatience" `Quick
+      (fun () ->
+        let o =
+          run_weak ~patience:0 ~tm:(Weak_protocol.Chain { validators = 4 }) ()
+        in
+        check Alcotest.int "bob unpaid" 0 (Runner.balance o ~escrow:2 ~pid:3);
+        (* every validator announces the same abort *)
+        let decisions =
+          List.filter_map
+            (fun (_, _, ob) ->
+              match ob with Obs.Decision_made { commit; _ } -> Some commit | _ -> None)
+            (Runner.observations o)
+        in
+        check Alcotest.bool "all abort" true
+          (decisions <> [] && List.for_all (fun c -> not c) decisions));
+    Alcotest.test_case "chain-hosted contract under partial synchrony" `Quick
+      (fun () ->
+        for seed = 1 to 8 do
+          let o =
+            run_weak ~seed ~gst:1_500 ~patience:100_000
+              ~tm:(Weak_protocol.Chain { validators = 3 }) ()
+          in
+          let v = Props.Payment_props.view o in
+          check Alcotest.bool "def2" true
+            (Props.Verdict.all_hold
+               (Props.Payment_props.check_def2 ~patience_sufficient:true v));
+          check Alcotest.bool "paid" true (Props.Payment_props.bob_paid v)
+        done);
+    Alcotest.test_case "chain validators agree on the decision across seeds"
+      `Quick (fun () ->
+        for seed = 1 to 10 do
+          (* race aborts against commits on the chain *)
+          let o =
+            run_weak ~seed ~patience:150
+              ~tm:(Weak_protocol.Chain { validators = 4 }) ()
+          in
+          let decisions =
+            List.filter_map
+              (fun (_, _, ob) ->
+                match ob with
+                | Obs.Decision_made { commit; _ } -> Some commit
+                | _ -> None)
+              (Runner.observations o)
+          in
+          match decisions with
+          | [] -> Alcotest.fail "no decision"
+          | d :: rest ->
+              check Alcotest.bool "agreement" true (List.for_all (Bool.equal d) rest)
+        done);
+    Alcotest.test_case "never-depositing Chloe forces a refund, not a theft"
+      `Quick (fun () ->
+        let o =
+          run_weak ~patience:2_000 ~faults:[ (1, Byzantine.Never_deposit) ] ()
+        in
+        check Alcotest.int "alice restored" 1020 (Runner.balance o ~escrow:0 ~pid:0);
+        check Alcotest.int "bob unpaid" 0 (Runner.balance o ~escrow:2 ~pid:3));
+    Alcotest.test_case
+      "false-funded escrow cannot corrupt honest books" `Quick (fun () ->
+        let topo = Topology.create ~hops:3 in
+        let o =
+          run_weak ~faults:[ (Topology.escrow topo 1, Byzantine.False_funded_escrow) ] ()
+        in
+        Array.iter
+          (fun book ->
+            check Alcotest.bool "audit" true (Result.is_ok (Ledger.Book.audit book)))
+          o.Runner.env.Env.books);
+    Alcotest.test_case "tm_pids layout" `Quick (fun () ->
+        let env = mk_env ~hops:2 () in
+        let single = Weak_protocol.tm_pids env Weak_protocol.default_config in
+        check Alcotest.(array int) "single" [| 5 |] single;
+        let committee =
+          Weak_protocol.tm_pids env
+            { Weak_protocol.default_config with tm = Weak_protocol.Committee { f = 1 } }
+        in
+        check Alcotest.(array int) "committee" [| 5; 6; 7; 8 |] committee);
+  ]
+
+(* -------------------- weak protocol race conditions -------------------- *)
+
+let decisions_of o =
+  List.filter_map
+    (fun (_, _, ob) ->
+      match ob with Obs.Decision_made { commit; _ } -> Some commit | _ -> None)
+    (Runner.observations o)
+
+let weak_race_tests =
+  [
+    Alcotest.test_case "abort racing commit: exactly one decision wins"
+      `Quick (fun () ->
+        (* patience in the same ballpark as the funded-collection time, so
+           across seeds both orders occur; the single TM must still decide
+           exactly once and every run must stay safe *)
+        let commits = ref 0 and aborts = ref 0 in
+        for seed = 1 to 40 do
+          let o = run_weak ~hops:3 ~seed ~patience:150 () in
+          let ds = decisions_of o in
+          check Alcotest.int "one decision" 1 (List.length ds);
+          if List.hd ds then incr commits else incr aborts;
+          let v = Props.Payment_props.view o in
+          check Alcotest.bool "safe" true
+            (Props.Verdict.all_hold
+               (Props.Payment_props.check_def2 ~patience_sufficient:false v))
+        done;
+        check Alcotest.bool "both orders occurred" true
+          (!commits > 0 && !aborts > 0));
+    Alcotest.test_case "a late deposit after the abort is refunded" `Quick
+      (fun () ->
+        (* Chloe1 aborts immediately; Alice's deposit races the decision.
+           Whatever the interleaving, her money must come back. *)
+        for seed = 1 to 15 do
+          let o =
+            run_weak ~hops:2 ~seed
+              ~faults:[ (1, Byzantine.Impatient 0) ]
+              ~patience:50_000 ()
+          in
+          check Alcotest.int "alice restored"
+            (Env.amount_at o.Runner.env 0)
+            (Runner.balance o ~escrow:0 ~pid:0)
+        done);
+    Alcotest.test_case "several simultaneous aborts yield one decision"
+      `Quick (fun () ->
+        let o = run_weak ~hops:3 ~seed:5 ~patience:0 () in
+        check Alcotest.int "one decision" 1 (List.length (decisions_of o));
+        check Alcotest.(list bool) "it is an abort" [ false ] (decisions_of o));
+    Alcotest.test_case "infinite patience never aborts" `Quick (fun () ->
+        let o = run_weak ~hops:2 ~seed:3 ~patience:Sim.Sim_time.infinity () in
+        check Alcotest.(list bool) "commit" [ true ] (decisions_of o);
+        let aborts =
+          List.exists
+            (fun (_, _, ob) ->
+              match ob with Obs.Abort_requested _ -> true | _ -> false)
+            (Runner.observations o)
+        in
+        check Alcotest.bool "no abort requests" false aborts);
+    Alcotest.test_case "committee: abort racing commit stays consistent"
+      `Quick (fun () ->
+        for seed = 1 to 15 do
+          let o =
+            run_weak ~hops:2 ~seed ~patience:280
+              ~tm:(Weak_protocol.Committee { f = 1 }) ()
+          in
+          let v = Props.Payment_props.view o in
+          check Alcotest.bool "CC" true
+            (Props.Verdict.holds
+               (Props.Payment_props.check_def2 ~patience_sufficient:false v)
+               "CC")
+        done);
+  ]
+
+(* ---------------------------- atomic (ILP) ----------------------------- *)
+
+let run_atomic ?(hops = 3) ?(seed = 1) ?(gst = 0) ?(deadline = 5_000) () =
+  let cfg =
+    {
+      (Runner.default_config ~hops ~seed) with
+      network = (if gst = 0 then Runner.Sync else Runner.Psync { gst });
+    }
+  in
+  Runner.run cfg (Runner.Atomic { Atomic_protocol.deadline })
+
+let atomic_tests =
+  [
+    Alcotest.test_case "happy path executes and pays Bob" `Quick (fun () ->
+        let o = run_atomic () in
+        check Alcotest.(option string) "bob" (Some "paid") (outcome_of 3 o);
+        check Alcotest.(option string) "alice" (Some "certified") (outcome_of 0 o);
+        check Alcotest.int "bob money" 1000 (Runner.balance o ~escrow:2 ~pid:3));
+    Alcotest.test_case "a short deadline aborts the payment safely" `Quick
+      (fun () ->
+        let o = run_atomic ~deadline:3 () in
+        check Alcotest.int "bob unpaid" 0 (Runner.balance o ~escrow:2 ~pid:3);
+        (* every deposit that was made got refunded *)
+        Array.iteri
+          (fun i book ->
+            check Alcotest.int "restored" (Env.amount_at o.Runner.env i)
+              (Ledger.Book.balance book (Topology.customer o.Runner.env.Env.topo i)))
+          o.Runner.env.Env.books);
+    Alcotest.test_case "the notary decides exactly once" `Quick (fun () ->
+        let o = run_atomic ~gst:2_000 ~deadline:1_000 () in
+        let decisions =
+          List.filter
+            (fun (_, _, ob) ->
+              match ob with Obs.Decision_made _ -> true | _ -> false)
+            (Runner.observations o)
+        in
+        check Alcotest.int "one decision" 1 (List.length decisions));
+    Alcotest.test_case "GST past the deadline kills success, never safety"
+      `Quick (fun () ->
+        let o = run_atomic ~gst:20_000 ~deadline:2_000 ~seed:5 () in
+        let v = Props.Payment_props.view o in
+        check Alcotest.bool "unpaid" false (Props.Payment_props.bob_paid v);
+        check Alcotest.bool "conserved" true (Props.Payment_props.money_conserved v);
+        check Alcotest.bool "def2 safety" true
+          (Props.Verdict.all_hold
+             (Props.Payment_props.check_def2 ~patience_sufficient:false v)));
+    qcheck
+      (QCheck.Test.make ~name:"atomic runs satisfy Def.2 safety on any seed"
+         ~count:25 QCheck.small_int
+         (fun seed ->
+           let o = run_atomic ~hops:2 ~seed ~gst:(seed mod 7 * 1000) () in
+           let v = Props.Payment_props.view o in
+           Props.Verdict.all_hold
+             (Props.Payment_props.check_def2 ~patience_sufficient:false v)
+           && Props.Payment_props.money_conserved v));
+  ]
+
+(* ------------------------------ byzantine ------------------------------ *)
+
+let byzantine_tests =
+  [
+    Alcotest.test_case "applicability matrix" `Quick (fun () ->
+        let open Byzantine in
+        check Alcotest.bool "thief on escrow" true
+          (applicable_to Thief_escrow (Topology.Escrow 0));
+        check Alcotest.bool "thief on alice" false
+          (applicable_to Thief_escrow Topology.Alice);
+        check Alcotest.bool "withhold on bob" true
+          (applicable_to Withhold_chi_bob Topology.Bob);
+        check Alcotest.bool "withhold on chloe" false
+          (applicable_to Withhold_chi_bob (Topology.Connector 1));
+        check Alcotest.bool "crash anywhere" true
+          (applicable_to Crash_at_start (Topology.Escrow 2)));
+    Alcotest.test_case "inapplicable strategy raises" `Quick (fun () ->
+        let env = mk_env () in
+        Alcotest.check_raises "bad"
+          (Invalid_argument
+             "Byzantine.handlers: thief-escrow not applicable to Alice")
+          (fun () -> ignore (Byzantine.handlers env ~pid:0 Byzantine.Thief_escrow)));
+    Alcotest.test_case "thief escrow really takes the money" `Quick (fun () ->
+        let topo = Topology.create ~hops:2 in
+        let e0 = Topology.escrow topo 0 in
+        let o = run_sync ~hops:2 ~faults:[ (e0, Byzantine.Thief_escrow) ] () in
+        check Alcotest.int "stolen" (Env.amount_at o.Runner.env 0)
+          (Runner.balance o ~escrow:0 ~pid:e0);
+        check Alcotest.bool "audit still passes" true
+          (Result.is_ok (Ledger.Book.audit o.Runner.env.Env.books.(0))));
+    Alcotest.test_case "names are stable" `Quick (fun () ->
+        check Alcotest.string "thief" "thief-escrow" (Byzantine.name Byzantine.Thief_escrow);
+        check Alcotest.string "impatient" "impatient-5"
+          (Byzantine.name (Byzantine.Impatient 5)));
+  ]
+
+(* -------------------------------- runner ------------------------------- *)
+
+let runner_tests =
+  [
+    Alcotest.test_case "naive params are drift-blind" `Quick (fun () ->
+        let cfg = Runner.default_config ~hops:3 ~seed:1 in
+        let tuned = Runner.derive_params cfg Runner.Sync_timebound in
+        let naive = Runner.derive_params cfg Runner.Naive_universal in
+        check Alcotest.bool "tuned wider" true (tuned.Params.a.(0) > naive.Params.a.(0)));
+    Alcotest.test_case "window_scale applies" `Quick (fun () ->
+        let cfg =
+          { (Runner.default_config ~hops:2 ~seed:1) with window_scale = Some (3, 1) }
+        in
+        let scaled = Runner.derive_params cfg Runner.Sync_timebound in
+        let base =
+          Runner.derive_params { cfg with Runner.window_scale = None }
+            Runner.Sync_timebound
+        in
+        check Alcotest.int "tripled" (3 * base.Params.a.(0)) scaled.Params.a.(0));
+    Alcotest.test_case "fault names are recorded" `Quick (fun () ->
+        let o = run_sync ~faults:[ (3, Byzantine.Mute) ] () in
+        check Alcotest.(list (pair int string)) "names" [ (3, "mute") ]
+          o.Runner.fault_names);
+    Alcotest.test_case "protocol names" `Quick (fun () ->
+        check Alcotest.string "sync" "sync-timebound"
+          (Runner.protocol_name Runner.Sync_timebound);
+        check Alcotest.string "weak" "weak-single-tm"
+          (Runner.protocol_name (Runner.Weak Weak_protocol.default_config)));
+    qcheck
+      (QCheck.Test.make ~name:"sync protocol satisfies Def.1 on random seeds"
+         ~count:40 QCheck.small_int
+         (fun seed ->
+           let o = run_sync ~hops:2 ~seed () in
+           let v = Props.Payment_props.view o in
+           Props.Verdict.all_hold
+             (Props.Payment_props.check_def1 ~time_bounded:true v)));
+    qcheck
+      (QCheck.Test.make ~name:"weak protocol satisfies Def.2 on random seeds"
+         ~count:25 QCheck.small_int
+         (fun seed ->
+           let o = run_weak ~hops:2 ~seed () in
+           let v = Props.Payment_props.view o in
+           Props.Verdict.all_hold
+             (Props.Payment_props.check_def2 ~patience_sufficient:true v)));
+    qcheck
+      (QCheck.Test.make
+         ~name:"safety survives a random single Byzantine participant"
+         ~count:40
+         QCheck.(pair small_int (int_bound 100))
+         (fun (seed, pick) ->
+           let topo = Topology.create ~hops:3 in
+           let candidates =
+             [
+               (Topology.alice topo, Byzantine.Crash_at_start);
+               (Topology.customer topo 1, Byzantine.Mute);
+               (Topology.customer topo 2, Byzantine.Forge_chi_connector);
+               (Topology.bob topo, Byzantine.Withhold_chi_bob);
+               (Topology.bob topo, Byzantine.Eager_chi_bob);
+               (Topology.escrow topo 0, Byzantine.Thief_escrow);
+               (Topology.escrow topo 1, Byzantine.Premature_refund_escrow);
+               (Topology.escrow topo 2, Byzantine.No_resolve_escrow);
+             ]
+           in
+           let fault = List.nth candidates (pick mod List.length candidates) in
+           let o = run_sync ~hops:3 ~seed ~faults:[ fault ] () in
+           let v = Props.Payment_props.view o in
+           Props.Verdict.all_hold
+             (Props.Payment_props.check_def1 ~time_bounded:false v)));
+  ]
+
+let window_robustness_tests =
+  let max_delay : Sim.Network.adversary =
+   fun ~send_time:_ ~src:_ ~dst:_ ~tag:_ ~bounds -> Some bounds.Sim.Network.hi
+  in
+  let safety_only v =
+    (* the safety fragment of Def.1: everything except progress *)
+    let r = Props.Payment_props.check_def1 ~time_bounded:false v in
+    List.for_all
+      (fun name -> Props.Verdict.holds r name)
+      [ "ES"; "CS1"; "CS2"; "CS3" ]
+  in
+  [
+    qcheck
+      (QCheck.Test.make
+         ~name:"shrunken windows can only lose progress, never safety"
+         ~count:50
+         QCheck.(pair small_int (int_range 1 3))
+         (fun (seed, denom) ->
+           let cfg =
+             {
+               (Runner.default_config ~hops:3 ~seed) with
+               window_scale = Some (1, denom + 1);
+               adversary = Some max_delay;
+             }
+           in
+           let o = Runner.run cfg Runner.Sync_timebound in
+           safety_only (Props.Payment_props.view o)));
+    Alcotest.test_case "shrunken windows do lose liveness" `Quick (fun () ->
+        (* with windows cut to a quarter and worst-case delays, at least one
+           seed must fail to pay Bob — the windows were tight by design *)
+        let lost = ref false in
+        for seed = 1 to 20 do
+          let cfg =
+            {
+              (Runner.default_config ~hops:3 ~seed) with
+              window_scale = Some (1, 4);
+              adversary = Some max_delay;
+            }
+          in
+          let o = Runner.run cfg Runner.Sync_timebound in
+          if not (Props.Payment_props.bob_paid (Props.Payment_props.view o))
+          then lost := true
+        done;
+        check Alcotest.bool "some liveness loss" true !lost);
+    qcheck
+      (QCheck.Test.make
+         ~name:"full asynchrony: the weak protocol stays safe" ~count:25
+         QCheck.small_int
+         (fun seed ->
+           let cfg =
+             {
+               (Runner.default_config ~hops:2 ~seed) with
+               network = Runner.Async { mean = 500; cap = 20_000 };
+             }
+           in
+           let o =
+             Runner.run cfg
+               (Runner.Weak
+                  { Weak_protocol.default_config with patience = 2_000 })
+           in
+           let v = Props.Payment_props.view o in
+           Props.Verdict.all_hold
+             (Props.Payment_props.check_def2 ~patience_sufficient:false v)
+           && Props.Payment_props.money_conserved v));
+    qcheck
+      (QCheck.Test.make
+         ~name:"full asynchrony: the time-bounded protocol stays safe"
+         ~count:25 QCheck.small_int
+         (fun seed ->
+           let cfg =
+             {
+               (Runner.default_config ~hops:2 ~seed) with
+               network = Runner.Async { mean = 500; cap = 20_000 };
+             }
+           in
+           let o = Runner.run cfg Runner.Sync_timebound in
+           safety_only (Props.Payment_props.view o)));
+  ]
+
+let economics_tests =
+  [
+    qcheck
+      (QCheck.Test.make
+         ~name:"every connector nets exactly her commission on success"
+         ~count:40
+         QCheck.(triple (int_range 1 4) (int_range 1 5000) (int_range 0 50))
+         (fun (hops, value, commission) ->
+           let cfg =
+             { (Runner.default_config ~hops ~seed:(value + commission)) with
+               value; commission }
+           in
+           let o = Runner.run cfg Runner.Sync_timebound in
+           let v = Props.Payment_props.view o in
+           let topo = o.Runner.env.Env.topo in
+           Props.Payment_props.bob_paid v
+           && v.Props.Payment_props.net (Topology.bob topo) = value
+           && v.Props.Payment_props.net (Topology.alice topo)
+              = -(value + (commission * (hops - 1)))
+           && List.for_all
+                (fun pid -> v.Props.Payment_props.net pid = commission)
+                (Topology.connectors topo)));
+    qcheck
+      (QCheck.Test.make
+         ~name:"on refund every customer nets exactly zero" ~count:30
+         QCheck.(pair (int_range 1 4) (int_range 1 5000))
+         (fun (hops, value) ->
+           let topo = Topology.create ~hops in
+           let cfg =
+             { (Runner.default_config ~hops ~seed:value) with
+               value;
+               faults = [ (Topology.bob topo, Byzantine.Mute) ] }
+           in
+           let o = Runner.run cfg Runner.Sync_timebound in
+           let v = Props.Payment_props.view o in
+           List.for_all
+             (fun pid -> v.Props.Payment_props.net pid = 0)
+             (Topology.customers topo
+             |> List.filter (fun p -> p <> Topology.bob topo))));
+    Alcotest.test_case "env validates value and commission" `Quick (fun () ->
+        let topo = Topology.create ~hops:2 in
+        let params = Params.derive (Params.default_input ~hops:2) in
+        Alcotest.check_raises "value"
+          (Invalid_argument "Env.make: value must be positive") (fun () ->
+            ignore (Env.make ~topo ~params ~value:0 ()));
+        Alcotest.check_raises "commission"
+          (Invalid_argument "Env.make: negative commission") (fun () ->
+            ignore (Env.make ~topo ~params ~commission:(-1) ())));
+  ]
+
+let multi_fault_tests =
+  [
+    qcheck
+      (QCheck.Test.make
+         ~name:"safety survives two simultaneous Byzantine participants"
+         ~count:60
+         QCheck.(triple small_int (int_bound 100) (int_bound 100))
+         (fun (seed, p1, p2) ->
+           let topo = Topology.create ~hops:3 in
+           let candidates =
+             [|
+               (Topology.alice topo, Byzantine.Crash_at_start);
+               (Topology.customer topo 1, Byzantine.Mute);
+               (Topology.customer topo 2, Byzantine.Forge_chi_connector);
+               (Topology.bob topo, Byzantine.Withhold_chi_bob);
+               (Topology.bob topo, Byzantine.Eager_chi_bob);
+               (Topology.escrow topo 0, Byzantine.Thief_escrow);
+               (Topology.escrow topo 1, Byzantine.Premature_refund_escrow);
+               (Topology.escrow topo 2, Byzantine.No_resolve_escrow);
+               (Topology.escrow topo 1, Byzantine.Crash_at_start);
+             |]
+           in
+           let f1 = candidates.(p1 mod Array.length candidates) in
+           let f2 = candidates.(p2 mod Array.length candidates) in
+           QCheck.assume (fst f1 <> fst f2);
+           let o = run_sync ~hops:3 ~seed ~faults:[ f1; f2 ] () in
+           let v = Props.Payment_props.view o in
+           Props.Verdict.all_hold
+             (Props.Payment_props.check_def1 ~time_bounded:false v)
+           && Props.Payment_props.money_conserved v));
+    qcheck
+      (QCheck.Test.make
+         ~name:"weak protocol: safety survives two Byzantine participants"
+         ~count:40
+         QCheck.(triple small_int (int_bound 100) (int_bound 100))
+         (fun (seed, p1, p2) ->
+           let topo = Topology.create ~hops:3 in
+           let candidates =
+             [|
+               (Topology.alice topo, Byzantine.Impatient 0);
+               (Topology.customer topo 1, Byzantine.Never_deposit);
+               (Topology.customer topo 2, Byzantine.Crash_at_start);
+               (Topology.bob topo, Byzantine.Impatient 50);
+               (Topology.escrow topo 0, Byzantine.False_funded_escrow);
+               (Topology.escrow topo 1, Byzantine.Crash_at_start);
+               (Topology.escrow topo 2, Byzantine.Mute);
+             |]
+           in
+           let f1 = candidates.(p1 mod Array.length candidates) in
+           let f2 = candidates.(p2 mod Array.length candidates) in
+           QCheck.assume (fst f1 <> fst f2);
+           let o = run_weak ~hops:3 ~seed ~faults:[ f1; f2 ] () in
+           let v = Props.Payment_props.view o in
+           Props.Verdict.all_hold
+             (Props.Payment_props.check_def2 ~patience_sufficient:false v)
+           && Props.Payment_props.money_conserved v));
+  ]
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ("topology", topology_tests);
+      ("params", params_tests);
+      ("env", env_tests);
+      ("sync_protocol", sync_tests);
+      ("htlc", htlc_tests);
+      ("weak_protocol", weak_tests);
+      ("weak_races", weak_race_tests);
+      ("atomic", atomic_tests);
+      ("byzantine", byzantine_tests);
+      ("runner", runner_tests);
+      ("robustness", window_robustness_tests);
+      ("multi_fault", multi_fault_tests);
+      ("economics", economics_tests);
+    ]

@@ -1,0 +1,764 @@
+(* Tests for the simulation substrate: time arithmetic, RNG, event queue,
+   drifting clocks, statistics, network models, and the engine itself. *)
+
+open Sim
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------ Sim_time ------------------------------ *)
+
+let time_tests =
+  [
+    Alcotest.test_case "add basic" `Quick (fun () ->
+        check Alcotest.int "3+4" 7 (Sim_time.add 3 4));
+    Alcotest.test_case "add saturates at infinity" `Quick (fun () ->
+        check Alcotest.bool "inf" true
+          (Sim_time.is_infinite (Sim_time.add Sim_time.infinity 1));
+        check Alcotest.bool "overflow" true
+          (Sim_time.is_infinite (Sim_time.add max_int (max_int / 2))));
+    Alcotest.test_case "sub clamps at zero" `Quick (fun () ->
+        check Alcotest.int "3-7" 0 (Sim_time.sub 3 7);
+        check Alcotest.int "7-3" 4 (Sim_time.sub 7 3));
+    Alcotest.test_case "sub of infinity stays infinite" `Quick (fun () ->
+        check Alcotest.bool "inf" true
+          (Sim_time.is_infinite (Sim_time.sub Sim_time.infinity 5)));
+    Alcotest.test_case "scale exact" `Quick (fun () ->
+        check Alcotest.int "10*3/2" 15 (Sim_time.scale 10 ~num:3 ~den:2));
+    Alcotest.test_case "scale rounds up" `Quick (fun () ->
+        check Alcotest.int "ceil(10/3)" 4 (Sim_time.scale 10 ~num:1 ~den:3);
+        check Alcotest.int "ceil(7*3/2)" 11 (Sim_time.scale 7 ~num:3 ~den:2));
+    Alcotest.test_case "scale by zero" `Quick (fun () ->
+        check Alcotest.int "0" 0 (Sim_time.scale 1000 ~num:0 ~den:7));
+    Alcotest.test_case "scale of infinity" `Quick (fun () ->
+        check Alcotest.bool "inf" true
+          (Sim_time.is_infinite (Sim_time.scale Sim_time.infinity ~num:1 ~den:2)));
+    Alcotest.test_case "scale rejects bad den" `Quick (fun () ->
+        Alcotest.check_raises "den 0" (Invalid_argument "Sim_time.scale: den must be positive")
+          (fun () -> ignore (Sim_time.scale 1 ~num:1 ~den:0)));
+    Alcotest.test_case "of_int rejects negatives" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Sim_time.of_int: negative")
+          (fun () -> ignore (Sim_time.of_int (-1))));
+    Alcotest.test_case "pp" `Quick (fun () ->
+        check Alcotest.string "42" "42" (Sim_time.to_string 42);
+        check Alcotest.string "inf" "inf" (Sim_time.to_string Sim_time.infinity));
+    qcheck
+      (QCheck.Test.make ~name:"scale never under-approximates"
+         QCheck.(triple (int_bound 1_000_000) (int_bound 1000) (int_range 1 1000))
+         (fun (t, num, den) ->
+           (* ceil semantics: scale t * den >= t * num *)
+           Sim_time.scale t ~num ~den * den >= t * num));
+    qcheck
+      (QCheck.Test.make ~name:"scale tight: subtracting one breaks the bound"
+         QCheck.(pair (int_range 1 1_000_000) (int_range 1 1000))
+         (fun (t, den) ->
+           let s = Sim_time.scale t ~num:1 ~den in
+           (s - 1) * den < t));
+  ]
+
+(* -------------------------------- Rng --------------------------------- *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "same seed same stream" `Quick (fun () ->
+        let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+        for _ = 1 to 100 do
+          check Alcotest.int64 "same" (Rng.next_int64 a) (Rng.next_int64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+        check Alcotest.bool "differ" true (Rng.next_int64 a <> Rng.next_int64 b));
+    Alcotest.test_case "copy replays" `Quick (fun () ->
+        let a = Rng.create ~seed:7 in
+        ignore (Rng.next_int64 a);
+        let b = Rng.copy a in
+        check Alcotest.int64 "replay" (Rng.next_int64 a) (Rng.next_int64 b));
+    Alcotest.test_case "split independent of parent continuation" `Quick
+      (fun () ->
+        let a = Rng.create ~seed:9 in
+        let child = Rng.split a in
+        let c1 = Rng.next_int64 child in
+        (* child's future must not depend on further parent draws *)
+        let a2 = Rng.create ~seed:9 in
+        let child2 = Rng.split a2 in
+        ignore (Rng.next_int64 a2);
+        check Alcotest.int64 "stable" c1 (Rng.next_int64 child2));
+    Alcotest.test_case "int rejects non-positive bound" `Quick (fun () ->
+        Alcotest.check_raises "bound 0"
+          (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+            ignore (Rng.int (Rng.create ~seed:1) 0)));
+    Alcotest.test_case "shuffle preserves elements" `Quick (fun () ->
+        let a = Array.init 100 Fun.id in
+        Rng.shuffle (Rng.create ~seed:5) a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        check Alcotest.(array int) "permutation" (Array.init 100 Fun.id) sorted);
+    qcheck
+      (QCheck.Test.make ~name:"int within bound"
+         QCheck.(pair small_int (int_range 1 10_000))
+         (fun (seed, bound) ->
+           let g = Rng.create ~seed in
+           let v = Rng.int g bound in
+           v >= 0 && v < bound));
+    qcheck
+      (QCheck.Test.make ~name:"int_in inclusive range"
+         QCheck.(triple small_int (int_range (-500) 500) (int_bound 1000))
+         (fun (seed, lo, extra) ->
+           let hi = lo + extra in
+           let g = Rng.create ~seed in
+           let v = Rng.int_in g ~lo ~hi in
+           v >= lo && v <= hi));
+    qcheck
+      (QCheck.Test.make ~name:"exponential positive and capped"
+         QCheck.(pair small_int (int_range 1 1000))
+         (fun (seed, mean) ->
+           let g = Rng.create ~seed in
+           let v = Rng.exponential_ticks g ~mean in
+           v >= 1 && v <= 50 * mean));
+  ]
+
+(* ----------------------------- Event_queue ---------------------------- *)
+
+let queue_tests =
+  [
+    Alcotest.test_case "pops in time order" `Quick (fun () ->
+        let q = Event_queue.create () in
+        ignore (Event_queue.push q ~time:30 "c");
+        ignore (Event_queue.push q ~time:10 "a");
+        ignore (Event_queue.push q ~time:20 "b");
+        check
+          Alcotest.(list (pair int string))
+          "order"
+          [ (10, "a"); (20, "b"); (30, "c") ]
+          (Event_queue.drain q));
+    Alcotest.test_case "insertion order breaks ties" `Quick (fun () ->
+        let q = Event_queue.create () in
+        ignore (Event_queue.push q ~time:5 "first");
+        ignore (Event_queue.push q ~time:5 "second");
+        ignore (Event_queue.push q ~time:5 "third");
+        check
+          Alcotest.(list string)
+          "fifo" [ "first"; "second"; "third" ]
+          (List.map snd (Event_queue.drain q)));
+    Alcotest.test_case "cancel hides an event" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let tok = Event_queue.push q ~time:1 "gone" in
+        ignore (Event_queue.push q ~time:2 "kept");
+        check Alcotest.bool "cancelled" true (Event_queue.cancel q tok);
+        check
+          Alcotest.(list string)
+          "remaining" [ "kept" ]
+          (List.map snd (Event_queue.drain q)));
+    Alcotest.test_case "cancel after pop returns false" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let tok = Event_queue.push q ~time:1 () in
+        ignore (Event_queue.pop q);
+        check Alcotest.bool "late cancel" false (Event_queue.cancel q tok));
+    Alcotest.test_case "peek skips cancelled" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let tok = Event_queue.push q ~time:1 "x" in
+        ignore (Event_queue.push q ~time:9 "y");
+        ignore (Event_queue.cancel q tok);
+        check Alcotest.(option int) "peek" (Some 9) (Event_queue.peek_time q));
+    Alcotest.test_case "length counts live only" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let tok = Event_queue.push q ~time:1 () in
+        ignore (Event_queue.push q ~time:2 ());
+        ignore (Event_queue.cancel q tok);
+        check Alcotest.int "len" 1 (Event_queue.length q));
+    Alcotest.test_case "clear empties" `Quick (fun () ->
+        let q = Event_queue.create () in
+        ignore (Event_queue.push q ~time:1 ());
+        Event_queue.clear q;
+        check Alcotest.bool "empty" true (Event_queue.is_empty q));
+    qcheck
+      (QCheck.Test.make ~name:"drain equals stable sort"
+         QCheck.(list (int_bound 1000))
+         (fun times ->
+           let q = Event_queue.create () in
+           List.iteri (fun i t -> ignore (Event_queue.push q ~time:t i)) times;
+           let drained = Event_queue.drain q in
+           let expected =
+             List.mapi (fun i t -> (t, i)) times
+             |> List.stable_sort (fun (t1, i1) (t2, i2) ->
+                    if t1 <> t2 then compare t1 t2 else compare i1 i2)
+           in
+           drained = expected));
+  ]
+
+(* -------------------------------- Clock ------------------------------- *)
+
+let clock_tests =
+  [
+    Alcotest.test_case "perfect clock is identity" `Quick (fun () ->
+        check Alcotest.int "read" 12345 (Clock.local_of_global Clock.perfect 12345);
+        check Alcotest.int "inverse" 12345 (Clock.global_of_local Clock.perfect 12345));
+    Alcotest.test_case "fast clock runs ahead" `Quick (fun () ->
+        let c = Clock.create ~num:11 ~den:10 () in
+        check Alcotest.int "110" 110 (Clock.local_of_global c 100));
+    Alcotest.test_case "slow clock lags" `Quick (fun () ->
+        let c = Clock.create ~num:9 ~den:10 () in
+        check Alcotest.int "90" 90 (Clock.local_of_global c 100));
+    Alcotest.test_case "offset applies" `Quick (fun () ->
+        let c = Clock.create ~l0:500 ~num:1 ~den:1 () in
+        check Alcotest.int "shifted" 600 (Clock.local_of_global c 100));
+    Alcotest.test_case "envelope check" `Quick (fun () ->
+        let c = Clock.create ~num:1_005_000 ~den:1_000_000 () in
+        check Alcotest.bool "within 1%" true (Clock.envelope_ok c ~drift_ppm:10_000);
+        check Alcotest.bool "outside 0.1%" false (Clock.envelope_ok c ~drift_ppm:1_000));
+    Alcotest.test_case "create rejects bad rate" `Quick (fun () ->
+        Alcotest.check_raises "zero num"
+          (Invalid_argument "Clock.create: rate must be positive") (fun () ->
+            ignore (Clock.create ~num:0 ~den:1 ())));
+    qcheck
+      (QCheck.Test.make ~name:"local_of_global monotone"
+         QCheck.(
+           quad (int_range 900_000 1_100_000) (int_bound 100_000)
+             (int_bound 100_000) (int_bound 10_000))
+         (fun (num, g1, g2, l0) ->
+           let c = Clock.create ~l0 ~num ~den:1_000_000 () in
+           let lo = min g1 g2 and hi = max g1 g2 in
+           Clock.local_of_global c lo <= Clock.local_of_global c hi));
+    qcheck
+      (QCheck.Test.make ~name:"global_of_local is the exact inverse bound"
+         QCheck.(pair (int_range 900_000 1_100_000) (int_bound 1_000_000))
+         (fun (num, deadline) ->
+           let c = Clock.create ~num ~den:1_000_000 () in
+           let g = Clock.global_of_local c deadline in
+           (* minimal global time whose local reading reaches the deadline *)
+           Clock.local_of_global c g >= deadline
+           && (g = 0 || Clock.local_of_global c (g - 1) < deadline)));
+    qcheck
+      (QCheck.Test.make ~name:"random clocks stay in the drift envelope"
+         QCheck.(pair small_int (int_range 0 200_000))
+         (fun (seed, drift_ppm) ->
+           let rng = Rng.create ~seed in
+           Clock.envelope_ok (Clock.random rng ~drift_ppm) ~drift_ppm));
+  ]
+
+(* -------------------------------- Stats ------------------------------- *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "summary of a known sample" `Quick (fun () ->
+        let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+        check (Alcotest.float 1e-9) "mean" 3.0 s.Stats.mean;
+        check (Alcotest.float 1e-9) "min" 1.0 s.Stats.min;
+        check (Alcotest.float 1e-9) "max" 5.0 s.Stats.max;
+        check (Alcotest.float 1e-9) "median" 3.0 s.Stats.p50);
+    Alcotest.test_case "stddev of constant sample is 0" `Quick (fun () ->
+        check (Alcotest.float 1e-9) "sd" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]));
+    Alcotest.test_case "percentile interpolates" `Quick (fun () ->
+        check (Alcotest.float 1e-9) "p50" 1.5
+          (Stats.percentile [| 1.0; 2.0 |] 50.0));
+    Alcotest.test_case "summarize rejects empty" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Stats.summarize: empty sample") (fun () ->
+            ignore (Stats.summarize [])));
+    Alcotest.test_case "rate" `Quick (fun () ->
+        check (Alcotest.float 1e-9) "50%" 50.0 (Stats.rate ~hits:1 ~total:2);
+        check (Alcotest.float 1e-9) "empty" 0.0 (Stats.rate ~hits:0 ~total:0));
+    Alcotest.test_case "wilson interval brackets the point estimate" `Quick
+      (fun () ->
+        let lo, hi = Stats.wilson ~hits:32 ~total:400 in
+        let p = Stats.rate ~hits:32 ~total:400 in
+        check Alcotest.bool "lo < p < hi" true (lo < p && p < hi);
+        check Alcotest.bool "ordered" true (lo >= 0.0 && hi <= 100.0));
+    Alcotest.test_case "wilson at the extremes" `Quick (fun () ->
+        let lo0, _ = Stats.wilson ~hits:0 ~total:100 in
+        check (Alcotest.float 1e-9) "zero hits lo" 0.0 lo0;
+        let _, hi1 = Stats.wilson ~hits:100 ~total:100 in
+        check (Alcotest.float 1e-6) "all hits hi" 100.0 hi1;
+        check Alcotest.bool "empty sample" true
+          (Stats.wilson ~hits:0 ~total:0 = (0.0, 100.0)));
+    Alcotest.test_case "wilson narrows with sample size" `Quick (fun () ->
+        let lo1, hi1 = Stats.wilson ~hits:5 ~total:20 in
+        let lo2, hi2 = Stats.wilson ~hits:100 ~total:400 in
+        check Alcotest.bool "narrower" true (hi2 -. lo2 < hi1 -. lo1));
+  ]
+
+(* ------------------------------- Network ------------------------------ *)
+
+let network_tests =
+  [
+    Alcotest.test_case "sync bounds" `Quick (fun () ->
+        let b =
+          Network.bounds_at (Network.Synchronous { delta = 50 }) ~send_time:123
+        in
+        check Alcotest.int "lo" 1 b.Network.lo;
+        check Alcotest.int "hi" 50 b.Network.hi);
+    Alcotest.test_case "psync bounds before GST stretch to GST+delta" `Quick
+      (fun () ->
+        let model = Network.Partially_synchronous { gst = 1000; delta = 50 } in
+        let b = Network.bounds_at model ~send_time:200 in
+        check Alcotest.int "hi pre-GST" 850 b.Network.hi;
+        let b2 = Network.bounds_at model ~send_time:1500 in
+        check Alcotest.int "hi post-GST" 50 b2.Network.hi);
+    Alcotest.test_case "adversary is clamped to the model" `Quick (fun () ->
+        let adversary ~send_time:_ ~src:_ ~dst:_ ~tag:_ ~bounds:_ =
+          Some 1_000_000
+        in
+        let t =
+          Network.create ~adversary ~fifo:false
+            (Network.Synchronous { delta = 10 })
+            (Rng.create ~seed:1)
+        in
+        let at = Network.delivery_time t ~send_time:100 ~src:0 ~dst:1 ~tag:"x" in
+        check Alcotest.bool "within delta" true (at <= 110 && at >= 101));
+    Alcotest.test_case "fifo prevents overtaking" `Quick (fun () ->
+        let slow_then_fast =
+          let n = ref 0 in
+          fun ~send_time:_ ~src:_ ~dst:_ ~tag:_ ~bounds:(_ : Network.bounds) ->
+            incr n;
+            if !n = 1 then Some 100 else Some 1
+        in
+        let t =
+          Network.create ~adversary:slow_then_fast
+            (Network.Synchronous { delta = 100 })
+            (Rng.create ~seed:1)
+        in
+        let a1 = Network.delivery_time t ~send_time:0 ~src:0 ~dst:1 ~tag:"m" in
+        let a2 = Network.delivery_time t ~send_time:1 ~src:0 ~dst:1 ~tag:"m" in
+        check Alcotest.bool "no overtake" true (a2 >= a1));
+    Alcotest.test_case "distinct channels are independent" `Quick (fun () ->
+        let slow_then_fast =
+          let n = ref 0 in
+          fun ~send_time:_ ~src:_ ~dst:_ ~tag:_ ~bounds:(_ : Network.bounds) ->
+            incr n;
+            if !n = 1 then Some 100 else Some 1
+        in
+        let t =
+          Network.create ~adversary:slow_then_fast
+            (Network.Synchronous { delta = 100 })
+            (Rng.create ~seed:1)
+        in
+        let _ = Network.delivery_time t ~send_time:0 ~src:0 ~dst:1 ~tag:"m" in
+        let a2 = Network.delivery_time t ~send_time:1 ~src:0 ~dst:2 ~tag:"m" in
+        check Alcotest.int "fast on other channel" 2 a2);
+    qcheck
+      (QCheck.Test.make ~name:"sampled delays within model bounds"
+         QCheck.(pair small_int (int_bound 10_000))
+         (fun (seed, send_time) ->
+           let model = Network.Partially_synchronous { gst = 5_000; delta = 77 } in
+           let t = Network.create ~fifo:false model (Rng.create ~seed) in
+           let at =
+             Network.delivery_time t ~send_time ~src:0 ~dst:1 ~tag:"q"
+           in
+           let b = Network.bounds_at model ~send_time in
+           let d = at - send_time in
+           d >= b.Network.lo && d <= b.Network.hi));
+  ]
+
+(* -------------------------------- Engine ------------------------------ *)
+
+type msg = Ping | Pong | Data of int
+
+let tag_of = function Ping -> "ping" | Pong -> "pong" | Data _ -> "data"
+
+let mk_engine ?(delta = 10) ?(sigma = 0) ?(seed = 1) () =
+  let network =
+    Network.create (Network.Synchronous { delta }) (Rng.create ~seed:(seed + 1))
+  in
+  Engine.create ~tag_of ~network ~sigma ~seed ()
+
+let engine_tests =
+  [
+    Alcotest.test_case "message delivery triggers handler" `Quick (fun () ->
+        let e = mk_engine () in
+        let got = ref None in
+        let p0 =
+          {
+            Engine.on_start = (fun ctx -> Engine.send ctx ~dst:1 (Data 42));
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        let p1 =
+          {
+            Engine.on_start = (fun _ -> ());
+            on_receive =
+              (fun _ ~src m ->
+                match m with Data v -> got := Some (src, v) | _ -> ());
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        ignore (Engine.add_process e p0);
+        ignore (Engine.add_process e p1);
+        check Alcotest.bool "quiescent" true (Engine.run e = Engine.Quiescent);
+        check Alcotest.(option (pair int int)) "got" (Some (0, 42)) !got);
+    Alcotest.test_case "timer fires at the drifted local deadline" `Quick
+      (fun () ->
+        let e = mk_engine () in
+        let fired_at = ref (-1) in
+        let clock = Clock.create ~num:2 ~den:1 () in
+        let p =
+          {
+            Engine.on_start =
+              (fun ctx -> Engine.set_timer ctx ~deadline:100 ~label:"t");
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer =
+              (fun ctx ~label:_ -> fired_at := Engine.local_now ctx);
+          }
+        in
+        ignore (Engine.add_process e ~clock p);
+        ignore (Engine.run e);
+        (* rate 2: local 100 reached at global 50; local reading >= 100 *)
+        check Alcotest.bool "fired" true (!fired_at >= 100 && !fired_at <= 101));
+    Alcotest.test_case "cancel_timer suppresses firing" `Quick (fun () ->
+        let e = mk_engine () in
+        let fired = ref false in
+        let p =
+          {
+            Engine.on_start =
+              (fun ctx ->
+                Engine.set_timer_after ctx ~after:10 ~label:"t";
+                Engine.cancel_timer ctx ~label:"t");
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer = (fun _ ~label:_ -> fired := true);
+          }
+        in
+        ignore (Engine.add_process e p);
+        ignore (Engine.run e);
+        check Alcotest.bool "not fired" false !fired);
+    Alcotest.test_case "re-arming replaces the previous deadline" `Quick
+      (fun () ->
+        let e = mk_engine () in
+        let count = ref 0 in
+        let p =
+          {
+            Engine.on_start =
+              (fun ctx ->
+                Engine.set_timer_after ctx ~after:10 ~label:"t";
+                Engine.set_timer_after ctx ~after:20 ~label:"t");
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer = (fun _ ~label:_ -> incr count);
+          }
+        in
+        ignore (Engine.add_process e p);
+        ignore (Engine.run e);
+        check Alcotest.int "fires once" 1 !count);
+    Alcotest.test_case "halted process ignores deliveries" `Quick (fun () ->
+        let e = mk_engine () in
+        let received = ref 0 in
+        let sender =
+          {
+            Engine.on_start =
+              (fun ctx ->
+                Engine.send ctx ~dst:1 Ping;
+                Engine.send ctx ~dst:1 Ping);
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        let quitter =
+          {
+            Engine.on_start = (fun _ -> ());
+            on_receive =
+              (fun ctx ~src:_ _ ->
+                incr received;
+                Engine.halt ctx);
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        ignore (Engine.add_process e sender);
+        ignore (Engine.add_process e quitter);
+        ignore (Engine.run e);
+        check Alcotest.int "one delivery" 1 !received);
+    Alcotest.test_case "identical seeds give identical traces" `Quick
+      (fun () ->
+        let build () =
+          let e = mk_engine ~seed:33 () in
+          let p0 =
+            {
+              Engine.on_start =
+                (fun ctx ->
+                  for i = 1 to 10 do
+                    Engine.send ctx ~dst:1 (Data i)
+                  done);
+              on_receive = (fun _ ~src:_ _ -> ());
+              on_timer = (fun _ ~label:_ -> ());
+            }
+          in
+          let p1 =
+            {
+              Engine.on_start = (fun _ -> ());
+              on_receive =
+                (fun ctx ~src _ -> Engine.send ctx ~dst:src Pong);
+              on_timer = (fun _ ~label:_ -> ());
+            }
+          in
+          ignore (Engine.add_process e p0);
+          ignore (Engine.add_process e p1);
+          ignore (Engine.run e);
+          List.map
+            (function
+              | Trace.Delivered { t; src; dst; tag; _ } ->
+                  Printf.sprintf "%d:%d->%d:%s" t src dst tag
+              | _ -> "")
+            (Trace.to_list (Engine.trace e))
+        in
+        check Alcotest.(list string) "equal traces" (build ()) (build ()));
+    Alcotest.test_case "horizon stops the run" `Quick (fun () ->
+        let e = mk_engine () in
+        let p =
+          {
+            Engine.on_start =
+              (fun ctx -> Engine.set_timer_after ctx ~after:1_000 ~label:"t");
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer =
+              (fun ctx ~label:_ ->
+                Engine.set_timer_after ctx ~after:1_000 ~label:"t");
+          }
+        in
+        ignore (Engine.add_process e p);
+        check Alcotest.bool "horizon" true
+          (Engine.run ~horizon:5_000 e = Engine.Horizon_reached));
+    Alcotest.test_case "event limit stops the run" `Quick (fun () ->
+        let e = mk_engine () in
+        let p0 =
+          {
+            Engine.on_start = (fun ctx -> Engine.send ctx ~dst:1 Ping);
+            on_receive = (fun ctx ~src _ -> Engine.send ctx ~dst:src Pong);
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        let p1 =
+          {
+            Engine.on_start = (fun _ -> ());
+            on_receive = (fun ctx ~src _ -> Engine.send ctx ~dst:src Ping);
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        ignore (Engine.add_process e p0);
+        ignore (Engine.add_process e p1);
+        check Alcotest.bool "limit" true
+          (Engine.run ~max_events:50 e = Engine.Event_limit));
+    Alcotest.test_case "observations land in the trace" `Quick (fun () ->
+        let e = mk_engine () in
+        let p =
+          {
+            Engine.on_start = (fun ctx -> Engine.observe ctx Ping);
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        ignore (Engine.add_process e p);
+        ignore (Engine.run e);
+        check Alcotest.int "one obs" 1
+          (List.length (Trace.observations (Engine.trace e))));
+    Alcotest.test_case "sigma delays departures" `Quick (fun () ->
+        let e = mk_engine ~sigma:5 ~delta:1 () in
+        let p0 =
+          {
+            Engine.on_start = (fun ctx -> Engine.send ctx ~dst:1 Ping);
+            on_receive = (fun _ ~src:_ _ -> ());
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        ignore (Engine.add_process e p0);
+        ignore (Engine.add_process e Engine.silent);
+        ignore (Engine.run e);
+        let t =
+          List.find_map
+            (function Trace.Delivered { t; _ } -> Some t | _ -> None)
+            (Trace.to_list (Engine.trace e))
+        in
+        check Alcotest.bool "within sigma+delta" true
+          (match t with Some t -> t >= 1 && t <= 6 | None -> false));
+  ]
+
+let semantics_tests =
+  [
+    Alcotest.test_case "an earlier-armed timer beats a same-tick delivery"
+      `Quick (fun () ->
+        (* the escrow window rule v < u + a relies on this: when χ lands on
+           the very tick the timer fires, the timer (armed long before)
+           must be dispatched first *)
+        let e = mk_engine ~delta:10 () in
+        let order = ref [] in
+        let p0 =
+          {
+            Engine.on_start =
+              (fun ctx ->
+                (* timer at t=10; message also arrives at t=10 *)
+                Engine.set_timer ctx ~deadline:10 ~label:"window");
+            on_receive = (fun _ ~src:_ _ -> order := "msg" :: !order);
+            on_timer = (fun _ ~label:_ -> order := "timer" :: !order);
+          }
+        in
+        let adversary ~send_time:_ ~src:_ ~dst:_ ~tag:_ ~bounds:_ = Some 10 in
+        let network =
+          Network.create ~adversary
+            (Network.Synchronous { delta = 10 })
+            (Rng.create ~seed:3)
+        in
+        let e2 = Engine.create ~tag_of ~network ~seed:4 () in
+        ignore e;
+        let _ = Engine.add_process e2 p0 in
+        let _ =
+          Engine.add_process e2
+            {
+              Engine.on_start = (fun ctx -> Engine.send ctx ~dst:0 Ping);
+              on_receive = (fun _ ~src:_ _ -> ());
+              on_timer = (fun _ ~label:_ -> ());
+            }
+        in
+        ignore (Engine.run e2);
+        check Alcotest.(list string) "timer first" [ "msg"; "timer" ] !order);
+    Alcotest.test_case "same-tick sends dispatch in send order" `Quick
+      (fun () ->
+        let adversary ~send_time:_ ~src:_ ~dst:_ ~tag:_ ~bounds:_ = Some 5 in
+        let network =
+          Network.create ~adversary ~fifo:true
+            (Network.Synchronous { delta = 10 })
+            (Rng.create ~seed:3)
+        in
+        let e = Engine.create ~tag_of ~network ~seed:4 () in
+        let got = ref [] in
+        let _ =
+          Engine.add_process e
+            {
+              Engine.on_start =
+                (fun ctx ->
+                  Engine.send ctx ~dst:1 (Data 1);
+                  Engine.send ctx ~dst:1 (Data 2);
+                  Engine.send ctx ~dst:1 (Data 3));
+              on_receive = (fun _ ~src:_ _ -> ());
+              on_timer = (fun _ ~label:_ -> ());
+            }
+        in
+        let _ =
+          Engine.add_process e
+            {
+              Engine.on_start = (fun _ -> ());
+              on_receive =
+                (fun _ ~src:_ m ->
+                  match m with Data v -> got := v :: !got | _ -> ());
+              on_timer = (fun _ ~label:_ -> ());
+            }
+        in
+        ignore (Engine.run e);
+        check Alcotest.(list int) "order" [ 1; 2; 3 ] (List.rev !got));
+    qcheck
+      (QCheck.Test.make ~name:"async delays respect the cap" ~count:60
+         QCheck.small_int
+         (fun seed ->
+           let model = Network.Asynchronous { mean = 100; cap = 5_000 } in
+           let t = Network.create ~fifo:false model (Rng.create ~seed) in
+           let ok = ref true in
+           for k = 0 to 50 do
+             let at =
+               Network.delivery_time t ~send_time:(k * 10) ~src:0 ~dst:1 ~tag:"x"
+             in
+             if at - (k * 10) > 5_000 || at <= k * 10 then ok := false
+           done;
+           !ok));
+    qcheck
+      (QCheck.Test.make
+         ~name:"queue with random cancellations matches a model" ~count:100
+         QCheck.(list (pair (int_bound 100) bool))
+         (fun ops ->
+           (* push everything; cancel the even-indexed pushes where the
+              bool says so; drain and compare against a reference list *)
+           let q = Event_queue.create () in
+           let tokens =
+             List.mapi
+               (fun i (time, _) -> (i, time, Event_queue.push q ~time i))
+               ops
+           in
+           let cancelled =
+             List.filteri
+               (fun i (_, c) -> c && i mod 2 = 0)
+               ops
+             |> List.length
+           in
+           ignore cancelled;
+           let dead =
+             List.filter_map
+               (fun (i, _, tok) ->
+                 let _, c = List.nth ops i in
+                 if c && i mod 2 = 0 then begin
+                   ignore (Event_queue.cancel q tok);
+                   Some i
+                 end
+                 else None)
+               tokens
+           in
+           let expected =
+             List.filter (fun (i, _, _) -> not (List.mem i dead)) tokens
+             |> List.map (fun (i, time, _) -> (time, i))
+             |> List.stable_sort (fun (t1, i1) (t2, i2) ->
+                    if t1 <> t2 then compare t1 t2 else compare i1 i2)
+           in
+           Event_queue.drain q = expected));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "jsonl export covers every entry kind" `Quick (fun () ->
+        let tr : (string, string) Trace.t = Trace.create () in
+        Trace.record tr (Trace.Sent { t = 1; src = 0; dst = 1; tag = "m"; msg = "hi" });
+        Trace.record tr
+          (Trace.Delivered { t = 2; sent_at = 1; src = 0; dst = 1; tag = "m"; msg = "hi" });
+        Trace.record tr
+          (Trace.Timer_set
+             { t = 3; owner = 1; label = "w"; local_deadline = 9; global_fire = 10 });
+        Trace.record tr (Trace.Timer_fired { t = 10; owner = 1; label = "w" });
+        Trace.record tr (Trace.Observed { t = 11; pid = 1; obs = "done" });
+        Trace.record tr (Trace.Halted { t = 12; pid = 1 });
+        let out = Trace.to_jsonl ~msg:Fun.id ~obs:Fun.id tr in
+        let lines = String.split_on_char '\n' (String.trim out) in
+        check Alcotest.int "six lines" 6 (List.length lines);
+        List.iter
+          (fun l ->
+            check Alcotest.bool "object" true
+              (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+          lines);
+    Alcotest.test_case "jsonl escapes quotes and control characters" `Quick
+      (fun () ->
+        let tr : (string, string) Trace.t = Trace.create () in
+        Trace.record tr (Trace.Observed { t = 1; pid = 0; obs = "say \"hi\"\nplease" });
+        let out = Trace.to_jsonl ~msg:Fun.id ~obs:Fun.id tr in
+        let mem sub =
+          let n = String.length sub and m = String.length out in
+          let rec go i = i + n <= m && (String.sub out i n = sub || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "escaped quote" true (mem {|\"hi\"|});
+        check Alcotest.bool "escaped newline" true (mem {|\n|});
+        check Alcotest.bool "no raw newline inside" true
+          (not (mem "hi\"\nplease")));
+    Alcotest.test_case "infinite deadlines serialize as strings" `Quick
+      (fun () ->
+        let tr : (string, string) Trace.t = Trace.create () in
+        Trace.record tr
+          (Trace.Timer_set
+             {
+               t = 0;
+               owner = 0;
+               label = "never";
+               local_deadline = Sim_time.infinity;
+               global_fire = Sim_time.infinity;
+             });
+        let out = Trace.to_jsonl ~msg:Fun.id ~obs:Fun.id tr in
+        let mem sub =
+          let n = String.length sub and m = String.length out in
+          let rec go i = i + n <= m && (String.sub out i n = sub || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "inf" true (mem {|"inf"|}));
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ("sim_time", time_tests);
+      ("rng", rng_tests);
+      ("event_queue", queue_tests);
+      ("clock", clock_tests);
+      ("stats", stats_tests);
+      ("network", network_tests);
+      ("engine", engine_tests);
+      ("semantics", semantics_tests);
+      ("trace", trace_tests);
+    ]

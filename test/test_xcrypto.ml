@@ -1,0 +1,134 @@
+(* Tests for the simulated-authentication substrate: hashing, signatures,
+   signed values, hashlocks. *)
+
+open Xcrypto
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let hash_tests =
+  [
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        check Alcotest.bool "eq" true
+          (Hash.equal (Hash.of_string "abc") (Hash.of_string "abc")));
+    Alcotest.test_case "different inputs differ" `Quick (fun () ->
+        check Alcotest.bool "neq" false
+          (Hash.equal (Hash.of_string "abc") (Hash.of_string "abd")));
+    Alcotest.test_case "empty vs non-empty" `Quick (fun () ->
+        check Alcotest.bool "neq" false
+          (Hash.equal (Hash.of_string "") (Hash.of_string "x")));
+    Alcotest.test_case "concat is order-sensitive" `Quick (fun () ->
+        let a = Hash.of_string "a" and b = Hash.of_string "b" in
+        check Alcotest.bool "neq" false
+          (Hash.equal (Hash.concat a b) (Hash.concat b a)));
+    Alcotest.test_case "hex is 32 chars" `Quick (fun () ->
+        check Alcotest.int "len" 32 (String.length (Hash.to_hex (Hash.of_string "q"))));
+    Alcotest.test_case "short is an 8-char prefix" `Quick (fun () ->
+        let h = Hash.of_string "q" in
+        check Alcotest.string "prefix" (String.sub (Hash.to_hex h) 0 8) (Hash.short h));
+    Alcotest.test_case "compare consistent with equal" `Quick (fun () ->
+        let a = Hash.of_string "m" and b = Hash.of_string "m" in
+        check Alcotest.int "cmp" 0 (Hash.compare a b));
+    qcheck
+      (QCheck.Test.make ~name:"no collisions on random distinct strings"
+         QCheck.(pair string string)
+         (fun (s1, s2) ->
+           String.equal s1 s2
+           || not (Hash.equal (Hash.of_string s1) (Hash.of_string s2))));
+  ]
+
+let auth_tests =
+  [
+    Alcotest.test_case "sign/verify roundtrip" `Quick (fun () ->
+        let reg = Auth.create ~seed:1 in
+        let s = Auth.register reg 7 in
+        let signature = Auth.sign s "hello" in
+        check Alcotest.bool "ok" true (Auth.verify reg 7 "hello" signature));
+    Alcotest.test_case "wrong message fails" `Quick (fun () ->
+        let reg = Auth.create ~seed:1 in
+        let s = Auth.register reg 7 in
+        let signature = Auth.sign s "hello" in
+        check Alcotest.bool "bad" false (Auth.verify reg 7 "hellp" signature));
+    Alcotest.test_case "wrong identity fails" `Quick (fun () ->
+        let reg = Auth.create ~seed:1 in
+        let s7 = Auth.register reg 7 in
+        let _s8 = Auth.register reg 8 in
+        let signature = Auth.sign s7 "hello" in
+        check Alcotest.bool "bad id" false (Auth.verify reg 8 "hello" signature));
+    Alcotest.test_case "forged signature fails" `Quick (fun () ->
+        let reg = Auth.create ~seed:1 in
+        let _ = Auth.register reg 7 in
+        check Alcotest.bool "forged" false
+          (Auth.verify reg 7 "hello" (Auth.forged 7)));
+    Alcotest.test_case "unknown identity fails" `Quick (fun () ->
+        let reg = Auth.create ~seed:1 in
+        check Alcotest.bool "unknown" false
+          (Auth.verify reg 99 "hello" (Auth.forged 99)));
+    Alcotest.test_case "re-registration raises" `Quick (fun () ->
+        let reg = Auth.create ~seed:1 in
+        let _ = Auth.register reg 7 in
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Auth.register: id 7 already registered") (fun () ->
+            ignore (Auth.register reg 7)));
+    Alcotest.test_case "signer_id" `Quick (fun () ->
+        let reg = Auth.create ~seed:1 in
+        check Alcotest.int "id" 3 (Auth.signer_id (Auth.register reg 3)));
+    Alcotest.test_case "signed value verifies" `Quick (fun () ->
+        let reg = Auth.create ~seed:2 in
+        let s = Auth.register reg 0 in
+        let sv = Auth.sign_value s ~ser:string_of_int 42 in
+        check Alcotest.bool "ok" true (Auth.verify_value reg ~ser:string_of_int sv);
+        check Alcotest.int "payload" 42 sv.Auth.payload;
+        check Alcotest.int "author" 0 sv.Auth.author);
+    Alcotest.test_case "forged signed value fails" `Quick (fun () ->
+        let reg = Auth.create ~seed:2 in
+        let _ = Auth.register reg 0 in
+        let sv = Auth.forge_value ~author:0 42 in
+        check Alcotest.bool "bad" false (Auth.verify_value reg ~ser:string_of_int sv));
+    Alcotest.test_case "serialization change invalidates" `Quick (fun () ->
+        (* same payload signed under one serializer must not verify under
+           another — signatures bind the exact statement *)
+        let reg = Auth.create ~seed:2 in
+        let s = Auth.register reg 0 in
+        let sv = Auth.sign_value s ~ser:string_of_int 42 in
+        check Alcotest.bool "other ser" false
+          (Auth.verify_value reg ~ser:(fun n -> Printf.sprintf "%d!" n) sv));
+    Alcotest.test_case "cross-registry verification fails" `Quick (fun () ->
+        let reg1 = Auth.create ~seed:1 and reg2 = Auth.create ~seed:99 in
+        let s = Auth.register reg1 0 in
+        let _ = Auth.register reg2 0 in
+        let signature = Auth.sign s "m" in
+        check Alcotest.bool "bad" false (Auth.verify reg2 0 "m" signature));
+    qcheck
+      (QCheck.Test.make ~name:"verify accepts exactly the signed message"
+         QCheck.(pair string string)
+         (fun (m1, m2) ->
+           let reg = Auth.create ~seed:5 in
+           let s = Auth.register reg 1 in
+           let signature = Auth.sign s m1 in
+           Auth.verify reg 1 m2 signature = String.equal m1 m2));
+  ]
+
+let hashlock_tests =
+  [
+    Alcotest.test_case "preimage matches its lock" `Quick (fun () ->
+        let p = Hashlock.fresh (Sim.Rng.create ~seed:3) in
+        check Alcotest.bool "match" true (Hashlock.matches (Hashlock.lock_of p) p));
+    Alcotest.test_case "bogus preimage fails" `Quick (fun () ->
+        let p = Hashlock.fresh (Sim.Rng.create ~seed:3) in
+        check Alcotest.bool "no match" false
+          (Hashlock.matches (Hashlock.lock_of p) (Hashlock.bogus_preimage ())));
+    Alcotest.test_case "distinct preimages give distinct locks" `Quick (fun () ->
+        let g = Sim.Rng.create ~seed:3 in
+        let p1 = Hashlock.fresh g and p2 = Hashlock.fresh g in
+        check Alcotest.bool "distinct" false
+          (Hashlock.equal_lock (Hashlock.lock_of p1) (Hashlock.lock_of p2)));
+    Alcotest.test_case "lock equality is structural" `Quick (fun () ->
+        let p = Hashlock.fresh (Sim.Rng.create ~seed:3) in
+        check Alcotest.bool "eq" true
+          (Hashlock.equal_lock (Hashlock.lock_of p) (Hashlock.lock_of p)));
+  ]
+
+let () =
+  Alcotest.run "xcrypto"
+    [ ("hash", hash_tests); ("auth", auth_tests); ("hashlock", hashlock_tests) ]
