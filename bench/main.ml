@@ -20,12 +20,49 @@ let scale =
 
 (* ----------------------- reproduction tables -------------------------- *)
 
+(* Runs every experiment, rendering its table and isolating its telemetry:
+   the registry is reset before each experiment and snapshotted (as JSON)
+   after it, so the BENCH_metrics.json written below attributes counters
+   to the experiment that produced them. *)
 let print_tables () =
   Fmt.pr "##### Reproduction tables (%s scale) #####@.@."
     (match scale with Xchain.Experiments.Quick -> "quick" | Full -> "full");
-  List.iter
-    (fun t -> Fmt.pr "%a@." Xchain.Table.render t)
-    (Xchain.Experiments.all scale)
+  Obsv.Span.set_capture Obsv.Span.default false;
+  List.map
+    (fun name ->
+      Obsv.Metrics.reset Obsv.Metrics.default;
+      let table =
+        match Xchain.Experiments.by_name name with
+        | Some f -> f scale
+        | None -> Fmt.invalid_arg "unknown experiment %s" name
+      in
+      Fmt.pr "%a@." Xchain.Table.render table;
+      (name, Obsv.Metrics.to_json Obsv.Metrics.default))
+    Xchain.Experiments.names
+
+let metrics_json_file = "BENCH_metrics.json"
+
+let write_metrics_json per_experiment =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"scale\":";
+  Buffer.add_string buf
+    (match scale with
+    | Xchain.Experiments.Quick -> "\"quick\""
+    | Full -> "\"full\"");
+  Buffer.add_string buf ",\"experiments\":{";
+  List.iteri
+    (fun i (name, json) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf name;
+      Buffer.add_string buf "\":";
+      Buffer.add_string buf json)
+    per_experiment;
+  Buffer.add_string buf "}}\n";
+  let oc = open_out metrics_json_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "telemetry snapshots written to %s@." metrics_json_file
 
 (* -------------------------- micro-benchmarks -------------------------- *)
 
@@ -184,6 +221,7 @@ let run_benchmarks () =
     groups
 
 let () =
-  print_tables ();
+  let per_experiment = print_tables () in
+  write_metrics_json per_experiment;
   run_benchmarks ();
   Fmt.pr "@.done.@."

@@ -3,10 +3,58 @@
    xchain pay         — run one payment and report outcome + properties
    xchain experiment  — regenerate the reproduction tables (e1..e12, all)
    xchain params      — show the derived timeout windows (Thm 1 tuning)
+   xchain metrics     — the telemetry catalogue / a probe-run exposition
    xchain dot         — emit the Figure 2 automata as Graphviz *)
 
 open Cmdliner
 open Protocols
+
+(* ----------------------------- telemetry ------------------------------- *)
+
+(* Every simulation subcommand accepts --metrics-out / --spans-out; "-"
+   writes to stdout (after the human-readable report). Span capture is
+   enabled only when a sink was requested, so bulk commands (experiment)
+   don't accumulate spans nobody will read. *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry as Prometheus text exposition to \
+           $(docv) after the run ('-' for stdout). See docs/observability.md \
+           for the metric catalogue.")
+
+let spans_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans-out" ] ~docv:"FILE"
+        ~doc:
+          "Write payment/deal spans as JSON lines to $(docv) after the run \
+           ('-' for stdout). One object per span; root spans carry the \
+           commit/abort status.")
+
+let write_sink path content =
+  match path with
+  | None -> ()
+  | Some "-" -> print_string content
+  | Some file -> (
+      try
+        let oc = open_out file in
+        output_string oc content;
+        close_out oc
+      with Sys_error msg ->
+        Fmt.epr "xchain: cannot write telemetry: %s@." msg;
+        exit 2)
+
+let arm_span_capture spans_out =
+  Obsv.Span.set_capture Obsv.Span.default (spans_out <> None)
+
+let dump_telemetry ~metrics_out ~spans_out =
+  write_sink metrics_out (Obsv.Prometheus.render Obsv.Metrics.default);
+  write_sink spans_out (Obsv.Span.to_jsonl Obsv.Span.default)
 
 (* ------------------------------- pay ---------------------------------- *)
 
@@ -32,7 +80,8 @@ let protocol_conv =
 
 let pay_cmd =
   let run protocol hops value commission drift gst patience seed trace_wanted
-      jsonl_wanted =
+      jsonl_wanted metrics_out spans_out =
+    arm_span_capture spans_out;
     let network =
       match gst with
       | None -> Xchain.Api.Synchronous
@@ -61,6 +110,7 @@ let pay_cmd =
            ~msg:(Fmt.str "%a" Msg.pp)
            ~obs:(Fmt.str "%a" Obs.pp)
            result.Xchain.Api.outcome.Runner.trace);
+    dump_telemetry ~metrics_out ~spans_out;
     if result.Xchain.Api.all_properties_hold then 0 else 1
   in
   let protocol =
@@ -98,27 +148,32 @@ let pay_cmd =
     (Cmd.info "pay" ~doc:"Run one cross-chain payment and check the paper's properties")
     Term.(
       const run $ protocol $ hops $ value $ commission $ drift $ gst $ patience
-      $ seed $ trace $ jsonl)
+      $ seed $ trace $ jsonl $ metrics_out_arg $ spans_out_arg)
 
 (* ---------------------------- experiment ------------------------------- *)
 
 let experiment_cmd =
-  let run name full =
+  let run name full metrics_out spans_out =
+    arm_span_capture spans_out;
     let scale = if full then Xchain.Experiments.Full else Xchain.Experiments.Quick in
-    match name with
-    | "all" ->
-        List.iter
-          (fun t -> Fmt.pr "%a@." Xchain.Table.render t)
-          (Xchain.Experiments.all scale);
-        0
-    | name -> (
-        match Xchain.Experiments.by_name name with
-        | Some f ->
-            Fmt.pr "%a@." Xchain.Table.render (f scale);
-            0
-        | None ->
-            Fmt.epr "unknown experiment %S (use e1..e12 or all)@." name;
-            2)
+    let code =
+      match name with
+      | "all" ->
+          List.iter
+            (fun t -> Fmt.pr "%a@." Xchain.Table.render t)
+            (Xchain.Experiments.all scale);
+          0
+      | name -> (
+          match Xchain.Experiments.by_name name with
+          | Some f ->
+              Fmt.pr "%a@." Xchain.Table.render (f scale);
+              0
+          | None ->
+              Fmt.epr "unknown experiment %S (use e1..e12 or all)@." name;
+              2)
+    in
+    if code = 0 then dump_telemetry ~metrics_out ~spans_out;
+    code
   in
   let name_arg =
     Arg.(value & pos 0 string "all"
@@ -130,7 +185,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the reproduction tables (see EXPERIMENTS.md)")
-    Term.(const run $ name_arg $ full)
+    Term.(const run $ name_arg $ full $ metrics_out_arg $ spans_out_arg)
 
 (* ------------------------------ params --------------------------------- *)
 
@@ -192,7 +247,8 @@ let parse_fault topo spec =
   | _ -> failwith (Printf.sprintf "fault %S is not strategy@role" spec)
 
 let audit_cmd =
-  let run protocol hops gst seed fault_specs =
+  let run protocol hops gst seed fault_specs metrics_out spans_out =
+    arm_span_capture spans_out;
     let topo = Topology.create ~hops in
     let faults =
       try List.map (parse_fault topo) fault_specs
@@ -222,6 +278,7 @@ let audit_cmd =
     let outcome = Runner.run cfg runner_protocol in
     let report = Xchain.Report.build outcome in
     Fmt.pr "%a@." Xchain.Report.pp report;
+    dump_telemetry ~metrics_out ~spans_out;
     if Props.Verdict.all_hold report.Xchain.Report.verdicts then 0 else 1
   in
   let protocol =
@@ -243,7 +300,55 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Run a payment and print the full postmortem (verdicts, promise              breaches, Figure 2 conformance)")
-    Term.(const run $ protocol $ hops $ gst $ seed $ faults)
+    Term.(const run $ protocol $ hops $ gst $ seed $ faults $ metrics_out_arg
+          $ spans_out_arg)
+
+(* ------------------------------- metrics ------------------------------- *)
+
+(* Populate the registry with one probe run of each workload family so the
+   exposition lists every metric family the binary can emit, then print
+   either the catalogue (default) or the full exposition.  Span capture is
+   left off during the probes: the catalogue is about metric names, and the
+   probe spans would only add noise to --spans-out users. *)
+let metrics_cmd =
+  let run full =
+    Obsv.Span.set_capture Obsv.Span.default false;
+    let silently f =
+      (* Probe runs must not print their own reports. *)
+      ignore (f ())
+    in
+    silently (fun () ->
+        Runner.run (Runner.default_config ~hops:3 ~seed:1) Runner.Sync_timebound);
+    silently (fun () ->
+        Runner.run
+          { (Runner.default_config ~hops:3 ~seed:1) with
+            network = Runner.Psync { gst = 150 } }
+          (Runner.Weak
+             { Weak_protocol.default_config with
+               tm = Weak_protocol.Committee { f = 1 } }));
+    silently (fun () ->
+        Deals.Deal_runner.run
+          (Deals.Deal_runner.default_config
+             (Deals.Deal.two_party_swap ())
+             Deals.Deal_runner.Timelock));
+    if full then print_string (Obsv.Prometheus.render Obsv.Metrics.default)
+    else begin
+      Fmt.pr "# metric families registered after probe workloads@.";
+      List.iter
+        (fun (name, kind, help) -> Fmt.pr "%-42s %-9s %s@." name kind help)
+        (Obsv.Metrics.families Obsv.Metrics.default)
+    end;
+    0
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Print the full Prometheus exposition (per-label samples)                    instead of the family catalogue.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"List every telemetry metric the simulator can emit (runs small               probe workloads to populate the registry)")
+    Term.(const run $ full)
 
 (* -------------------------------- deal --------------------------------- *)
 
@@ -352,4 +457,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd ]))
+          [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
+            metrics_cmd ]))

@@ -60,6 +60,28 @@ type 'v t = {
   mutable proposed : round list;
 }
 
+(* Registered at module init so the consensus families appear in the
+   catalogue even before any committee runs; handles are shared by every
+   Dls instance in the process (the registry is process-wide anyway). *)
+let m_rounds =
+  Obsv.Metrics.counter Obsv.Metrics.default
+    ~help:"Consensus rounds entered (across all replicas)"
+    "xchain_consensus_rounds_total"
+
+let m_view_changes =
+  Obsv.Metrics.counter Obsv.Metrics.default
+    ~help:"Round timeouts that forced a view change"
+    "xchain_consensus_view_changes_total"
+
+let m_decisions =
+  Obsv.Metrics.counter Obsv.Metrics.default
+    ~help:"Decision certificates assembled" "xchain_consensus_decisions_total"
+
+let m_rounds_to_decide =
+  Obsv.Metrics.histogram Obsv.Metrics.default
+    ~help:"Rounds needed to reach a decision (1 = decided in round 0)"
+    "xchain_consensus_rounds_to_decide"
+
 let quorum cfg = (2 * cfg.f) + 1
 
 let leader_of ~n round = ((round mod n) + n) mod n
@@ -185,6 +207,7 @@ let propose_effects t =
 let enter_round t round =
   if round <= t.round && round <> 0 then []
   else begin
+    Obsv.Metrics.inc m_rounds;
     t.round <- Stdlib.max t.round round;
     let timer =
       Set_round_timer { round = t.round; after = round_timeout t t.round }
@@ -292,6 +315,8 @@ let on_commit t (sv : 'v commit_body Auth.signed) =
         { d_value = b.c_value; d_round = b.c_round; d_sigs = collect_sigs bucket }
       in
       t.decision <- Some dc;
+      Obsv.Metrics.inc m_decisions;
+      Obsv.Metrics.observe m_rounds_to_decide (b.c_round + 1);
       [ Decided dc ]
     end
     else []
@@ -330,6 +355,7 @@ let on_msg t ~from_ m =
 let on_round_timeout t round =
   if t.decision <> None || round <> t.round then []
   else begin
+    Obsv.Metrics.inc m_view_changes;
     let next = t.round + 1 in
     let nr = New_round { round = next; locked = t.lock } in
     let effs = Broadcast nr :: enter_round t next in

@@ -347,6 +347,99 @@ let certified_chain cfg registry signer =
 
 (* ------------------------------- run ---------------------------------- *)
 
+(* ----------------------------- telemetry ------------------------------- *)
+
+let protocol_label = function Timelock -> "timelock" | Cbc -> "cbc"
+
+(* Post-run, trace-derived (like Protocols.Runner): one root span per deal,
+   one child per party carrying its termination status, plus the per-arc
+   settlement spans (escrow -> paid/refunded). *)
+let emit_telemetry (o : outcome) =
+  let reg = Obsv.Metrics.default in
+  let cfg = o.config in
+  let labels = [ ("protocol", protocol_label cfg.protocol) ] in
+  let obs = Trace.observations o.trace in
+  let arcs_total = Deal.arc_count cfg.deal in
+  let paid_arcs =
+    List.length
+      (List.filter (fun (_, _, e) -> match e with Dobs.Paid_out _ -> true | _ -> false) obs)
+  in
+  let status =
+    if paid_arcs = arcs_total then "commit"
+    else if paid_arcs = 0 then "abort"
+    else "mixed"
+  in
+  Obsv.Metrics.inc
+    (Obsv.Metrics.counter reg ~help:"Deals started" ~labels
+       "xchain_deals_started_total");
+  Obsv.Metrics.inc
+    (Obsv.Metrics.counter reg ~help:"Deals settled, by final status"
+       ~labels:(("status", status) :: labels)
+       "xchain_deals_settled_total");
+  Obsv.Metrics.observe
+    (Obsv.Metrics.histogram reg ~labels
+       ~help:"Deal wall-clock, init to quiescence, ticks" "xchain_deal_latency")
+    o.end_time;
+  let spans = Obsv.Span.default in
+  if Obsv.Span.capture spans then begin
+    let root =
+      Obsv.Span.start spans ~name:"deal"
+        ~attrs:
+          [
+            ("protocol", protocol_label cfg.protocol);
+            ("parties", string_of_int (Deal.parties cfg.deal));
+            ("arcs", string_of_int arcs_total);
+            ("seed", string_of_int cfg.seed);
+          ]
+        ~at:0 ()
+    in
+    (* per-party children, closed by their Terminated observation *)
+    for p = 0 to Deal.parties cfg.deal - 1 do
+      let pspan =
+        Obsv.Span.start spans ~parent:root
+          ~name:(Printf.sprintf "party:%d" p)
+          ~at:0 ()
+      in
+      match
+        List.find_opt
+          (fun (_, pid, e) ->
+            pid = party_pid p
+            && match e with Dobs.Terminated _ -> true | _ -> false)
+          obs
+      with
+      | Some (t, _, Dobs.Terminated { outcome; _ }) ->
+          Obsv.Span.finish ~status:outcome ~at:t pspan
+      | _ -> Obsv.Span.finish ~status:"running" ~at:o.end_time pspan
+    done;
+    (* per-arc settlement: escrow observation opens, pay/refund closes *)
+    List.iter
+      (fun (k, _) ->
+        let find f = List.find_opt (fun (_, _, e) -> f e) obs in
+        let escrowed =
+          find (function Dobs.Escrowed { arc; _ } -> arc = k | _ -> false)
+        in
+        match escrowed with
+        | None -> ()
+        | Some (t0, _, _) ->
+            let closed =
+              find (function
+                | Dobs.Paid_out { arc; _ } | Dobs.Refunded { arc; _ } -> arc = k
+                | _ -> false)
+            in
+            let aspan =
+              Obsv.Span.start spans ~parent:root
+                ~name:(Printf.sprintf "arc:%d" k)
+                ~at:t0 ()
+            in
+            (match closed with
+            | Some (t1, _, Dobs.Paid_out _) ->
+                Obsv.Span.finish ~status:"paid" ~at:t1 aspan
+            | Some (t1, _, _) -> Obsv.Span.finish ~status:"refunded" ~at:t1 aspan
+            | None -> Obsv.Span.finish ~status:"held" ~at:o.end_time aspan))
+      (indexed_arcs cfg);
+    Obsv.Span.finish ~status ~at:o.end_time root
+  end
+
 let run ?(substitute = fun ~party:_ ~registry:_ ~signer:_ -> None) cfg =
   let p = Deal.parties cfg.deal in
   if Array.length cfg.compliant <> p then
@@ -397,14 +490,18 @@ let run ?(substitute = fun ~party:_ ~registry:_ ~signer:_ -> None) cfg =
       add (certified_chain cfg registry cb_signer)
   | Timelock -> ());
   let status = E.run ~max_events:cfg.max_events engine in
-  {
-    config = cfg;
-    status;
-    trace = E.trace engine;
-    books;
-    end_time = E.now engine;
-    message_count = Trace.message_count (E.trace engine);
-  }
+  let o =
+    {
+      config = cfg;
+      status;
+      trace = E.trace engine;
+      books;
+      end_time = E.now engine;
+      message_count = Trace.message_count (E.trace engine);
+    }
+  in
+  emit_telemetry o;
+  o
 
 let events outcome = Trace.observations outcome.trace
 

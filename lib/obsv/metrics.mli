@@ -1,0 +1,134 @@
+(** Process-wide metrics registry.
+
+    Counters, gauges and histograms, named and optionally labeled, in the
+    Prometheus data model. The design goal is a hot path that can stay
+    enabled at production scale: resolving a (name, labels) pair to an
+    instrument handle is done once, up front, and the per-event operations
+    on a handle ({!inc}, {!add}, {!set}, {!observe}) are plain mutations of
+    preallocated records — they allocate zero words and never take a lock
+    (the simulator is single-threaded by construction).
+
+    All values are integers: simulation time is integer ticks
+    ({!Sim.Sim_time.t}), and counts are counts. Histograms use preallocated
+    bucket arrays; see {!log_buckets} for the default log-scale layout.
+
+    Instruments registered under the same name must agree on kind and
+    bucket layout; disagreement is a programming error and raises
+    [Invalid_argument]. Label sets are canonicalized (sorted by key), so
+    label order at the call site does not create duplicate children. *)
+
+type t
+(** A registry: an ordered collection of metric families, each holding one
+    child instrument per distinct label set. *)
+
+type counter
+(** Monotonically increasing integer. *)
+
+type gauge
+(** Integer that can go up and down. *)
+
+type histogram
+(** Integer-valued distribution over preallocated buckets. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry. Library instrumentation (engine, network,
+    runners, consensus) records here unless handed an explicit registry. *)
+
+val log_buckets : int array
+(** The default 1–2–5 log-scale upper bounds, 1 .. 10^7 (21 buckets plus
+    the implicit [+Inf]). Chosen to resolve both single-hop message delays
+    (~10^2 ticks) and full payment horizons (~10^6 ticks). *)
+
+val cardinality_cap : int
+(** Maximum number of distinct label sets per family (64). Past the cap,
+    lookups return the family's shared overflow child, labeled
+    [overflow="true"] — unbounded label values can degrade a metric but
+    can never exhaust memory. *)
+
+(** {1 Registration}
+
+    Registering an existing (name, labels) pair returns the same handle,
+    so call sites may re-register idempotently; hot paths should still
+    hoist the handle out of their loop. *)
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?buckets:int array ->
+  ?labels:(string * string) list ->
+  string ->
+  histogram
+(** [buckets] are strictly increasing upper bounds (default
+    {!log_buckets}); an implicit [+Inf] bucket is always appended. *)
+
+(** {1 Hot path} — zero allocation, O(1) (O(log buckets) for observe). *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** [add c n] with [n < 0] raises [Invalid_argument]: counters only go up. *)
+
+val set : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+
+val observe : histogram -> int -> unit
+(** Records a value: binary search over the preallocated bounds, two
+    integer stores. *)
+
+(** {1 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+val histogram_buckets : histogram -> (int * int) list
+(** [(upper_bound, cumulative_count)] pairs, ascending; the final pair is
+    [(max_int, count)] standing for [+Inf]. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of { sum : int; count : int; buckets : (int * int) list }
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_kind : [ `Counter | `Gauge | `Histogram ];
+  s_labels : (string * string) list;  (** canonical (key-sorted) order *)
+  s_value : value;
+}
+
+val snapshot : t -> sample list
+(** Every child of every family, in registration order — the stable
+    iteration order both exporters rely on. *)
+
+val families : t -> (string * string * string) list
+(** [(name, kind, help)] per family, registration order — the catalogue
+    view used by [xchain metrics]. *)
+
+val reset : t -> unit
+(** Zero every value, keeping all families and children registered. Used
+    by the bench harness to isolate per-experiment snapshots. *)
+
+val to_json : t -> string
+(** The whole registry as one JSON object:
+    [{"metrics":[{"name":...,"kind":...,"labels":{...},"value":...}, ...]}].
+    Histogram children carry [sum], [count] and a [buckets] array of
+    [[upper_bound, cumulative_count]] pairs ([null] bound for +Inf). *)
+
+val validate_name : string -> unit
+(** Prometheus metric-name grammar [[a-zA-Z_:][a-zA-Z0-9_:]*]; raises
+    [Invalid_argument] otherwise. Label names additionally must not start
+    with [__] (reserved). *)
+
+val json_escape : string -> string
+(** JSON string-body escaping shared by the exporters: quote, backslash,
+    and control characters. *)

@@ -1,0 +1,111 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_time : int;
+  mutable end_time : int; (* -1 while running *)
+  mutable status : string;
+  mutable attrs : (string * string) list;
+  recorded : bool; (* false for the dummy returned when capture is off *)
+}
+
+type t = {
+  mutable next_id : int;
+  mutable rev_spans : span list;
+  mutable n : int;
+  mutable capturing : bool;
+}
+
+let create () = { next_id = 0; rev_spans = []; n = 0; capturing = true }
+let default = create ()
+let set_capture t b = t.capturing <- b
+let capture t = t.capturing
+
+let start t ?parent ?(attrs = []) ~name ~at () =
+  if at < 0 then invalid_arg "Span.start: negative time";
+  let parent =
+    match parent with
+    | Some p when p.recorded -> Some p.id
+    | _ -> None
+  in
+  if not t.capturing then
+    {
+      id = -1;
+      parent = None;
+      name;
+      start_time = at;
+      end_time = -1;
+      status = "running";
+      attrs;
+      recorded = false;
+    }
+  else begin
+    let s =
+      {
+        id = t.next_id;
+        parent;
+        name;
+        start_time = at;
+        end_time = -1;
+        status = "running";
+        attrs;
+        recorded = true;
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.rev_spans <- s :: t.rev_spans;
+    t.n <- t.n + 1;
+    s
+  end
+
+let finish ?(status = "ok") ~at s =
+  if s.end_time >= 0 then invalid_arg "Span.finish: span already finished";
+  if at < s.start_time then invalid_arg "Span.finish: ends before it starts";
+  s.end_time <- at;
+  s.status <- status
+
+let set_attr s k v = s.attrs <- (k, v) :: List.remove_assoc k s.attrs
+
+let span_id s = s.id
+let span_name s = s.name
+let span_parent s = s.parent
+let span_start s = s.start_time
+let span_end s = if s.end_time < 0 then None else Some s.end_time
+let span_status s = s.status
+let span_attrs s = List.rev s.attrs
+
+let count t = t.n
+let spans t = List.rev t.rev_spans
+let roots t = List.filter (fun s -> s.parent = None) (spans t)
+
+let clear t =
+  t.rev_spans <- [];
+  t.n <- 0;
+  t.next_id <- 0
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "{\"id\":%d,\"parent\":" s.id);
+      (match s.parent with
+      | None -> Buffer.add_string buf "null"
+      | Some p -> Buffer.add_string buf (string_of_int p));
+      Buffer.add_string buf
+        (Printf.sprintf ",\"name\":\"%s\",\"start\":%d,\"end\":"
+           (Metrics.json_escape s.name) s.start_time);
+      if s.end_time < 0 then Buffer.add_string buf "null"
+      else Buffer.add_string buf (string_of_int s.end_time);
+      Buffer.add_string buf
+        (Printf.sprintf ",\"status\":\"%s\",\"attrs\":{"
+           (Metrics.json_escape s.status));
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (Metrics.json_escape k)
+               (Metrics.json_escape v)))
+        (span_attrs s);
+      Buffer.add_string buf "}}\n")
+    (spans t);
+  Buffer.contents buf

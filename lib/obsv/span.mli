@@ -1,0 +1,79 @@
+(** Hierarchical spans over simulated time.
+
+    A span is a named interval [\[start, end\]] in simulation ticks, with an
+    optional parent link — the usual tracing model, except the clock is the
+    engine's deterministic sim clock, so two runs with the same seed emit
+    identical spans. The runners emit one {e root} span per payment / deal
+    (init through commit or abort) with per-participant and per-phase child
+    spans underneath.
+
+    Spans accumulate in a collector; {!to_jsonl} dumps them one JSON object
+    per line for external tooling. Capture can be switched off (see
+    {!set_capture}) to keep timing loops allocation-light: a disabled
+    collector records nothing and {!start} returns a dummy span. *)
+
+type t
+(** A span collector. *)
+
+type span
+
+val create : unit -> t
+
+val default : t
+(** The process-wide collector, used by the runners unless handed an
+    explicit one. *)
+
+val set_capture : t -> bool -> unit
+(** Enable or disable recording (default: enabled). *)
+
+val capture : t -> bool
+
+val start :
+  t ->
+  ?parent:span ->
+  ?attrs:(string * string) list ->
+  name:string ->
+  at:int ->
+  unit ->
+  span
+(** Opens a span at sim-time [at]. The result is recorded in the collector
+    (unless capture is off) and stays [running] until {!finish}. *)
+
+val finish : ?status:string -> at:int -> span -> unit
+(** Closes the span at sim-time [at] with a status (conventionally
+    ["ok"], ["commit"], ["abort"], ["error"]; default ["ok"]). Finishing a
+    finished span, or finishing before the start time, raises
+    [Invalid_argument]. *)
+
+val set_attr : span -> string -> string -> unit
+(** Attach or replace a [key=value] attribute. *)
+
+(** {1 Reading} *)
+
+val span_id : span -> int
+val span_name : span -> string
+val span_parent : span -> int option
+val span_start : span -> int
+
+val span_end : span -> int option
+(** [None] while running. *)
+
+val span_status : span -> string
+(** ["running"] until finished. *)
+
+val span_attrs : span -> (string * string) list
+
+val count : t -> int
+val roots : t -> span list
+(** Spans with no parent, in start order. *)
+
+val spans : t -> span list
+(** All spans, in start order. *)
+
+val clear : t -> unit
+
+val to_jsonl : t -> string
+(** One JSON object per span, in start order:
+    [{"id":0,"parent":null,"name":"payment","start":0,"end":467,
+      "status":"commit","attrs":{"protocol":"sync-timebound"}}].
+    A still-running span exports ["end":null] and status ["running"]. *)

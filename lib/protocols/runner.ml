@@ -108,7 +108,9 @@ let default_horizon cfg params =
   in
   Sim_time.add (Sim_time.add base net_slack) 2_000_000
 
-let run cfg protocol =
+(* Build and execute the engine run; [run] below wraps this with the
+   post-run telemetry pass. *)
+let run_engine cfg protocol =
   let params = derive_params cfg protocol in
   let topo = Topology.create ~hops:cfg.hops in
   let env =
@@ -183,6 +185,113 @@ let run cfg protocol =
     tm_pids;
     clocks = Array.init nprocs (Engine.clock_of engine);
   }
+
+(* ----------------------------- telemetry ------------------------------- *)
+
+let role_name topo pid =
+  match Topology.role_of topo pid with
+  | Some Topology.Alice -> "alice"
+  | Some Topology.Bob -> "bob"
+  | Some (Topology.Connector i) -> Printf.sprintf "chloe%d" i
+  | Some (Topology.Escrow i) -> Printf.sprintf "e%d" i
+  | Some (Topology.Aux i) -> Printf.sprintf "tm%d" i
+  | None -> Printf.sprintf "pid%d" pid
+
+(* One root span per payment (init -> commit/abort), one child span per
+   participant, and under each participant one span per protocol phase —
+   the interval between consecutive observable state changes, keyed by the
+   observation tag that opened it. All derived from the trace after the
+   run, so instrumentation cannot perturb the schedule. *)
+let emit_spans o ~terms ~committed ~settled_at =
+  let spans = Obsv.Span.default in
+  if Obsv.Span.capture spans then begin
+    let topo = o.env.Env.topo in
+    let root =
+      Obsv.Span.start spans ~name:"payment"
+        ~attrs:
+          [
+            ("protocol", protocol_name o.protocol);
+            ("hops", string_of_int o.config.hops);
+            ("seed", string_of_int o.config.seed);
+          ]
+        ~at:0 ()
+    in
+    let n = Array.length o.clocks in
+    let obs_by_pid = Array.make n [] in
+    List.iter
+      (fun (t, pid, obs) ->
+        if pid >= 0 && pid < n then
+          obs_by_pid.(pid) <- (t, obs) :: obs_by_pid.(pid))
+      (Trace.observations o.trace);
+    for pid = 0 to n - 1 do
+      let pspan =
+        Obsv.Span.start spans ~parent:root
+          ~name:("participant:" ^ role_name topo pid)
+          ~at:0 ()
+      in
+      let t_prev = ref 0 and phase = ref "init" in
+      List.iter
+        (fun (t, obs) ->
+          let ph =
+            Obsv.Span.start spans ~parent:pspan ~name:("phase:" ^ !phase)
+              ~at:!t_prev ()
+          in
+          Obsv.Span.finish ~at:t ph;
+          t_prev := t;
+          phase := Obs.tag obs)
+        (List.rev obs_by_pid.(pid));
+      match List.find_opt (fun (p, _, _) -> p = pid) terms with
+      | Some (_, outcome, t) -> Obsv.Span.finish ~status:outcome ~at:t pspan
+      | None -> Obsv.Span.finish ~status:"running" ~at:o.end_time pspan
+    done;
+    Obsv.Span.finish
+      ~status:(if committed then "commit" else "abort")
+      ~at:settled_at root
+  end
+
+let emit_telemetry o =
+  let reg = Obsv.Metrics.default in
+  let labels = [ ("protocol", protocol_name o.protocol) ] in
+  let terms =
+    List.filter_map
+      (fun (t, _, obs) ->
+        match obs with
+        | Obs.Terminated { pid; outcome } -> Some (pid, outcome, t)
+        | _ -> None)
+      (Trace.observations o.trace)
+  in
+  let bob = Topology.bob o.env.Env.topo in
+  let bob_term = List.find_opt (fun (pid, _, _) -> pid = bob) terms in
+  let committed =
+    match bob_term with Some (_, "paid", _) -> true | _ -> false
+  in
+  let settled_at =
+    match bob_term with Some (_, _, t) -> t | None -> o.end_time
+  in
+  let started =
+    Obsv.Metrics.counter reg ~help:"Payments started" ~labels
+      "xchain_payments_started_total"
+  and commits =
+    Obsv.Metrics.counter reg ~help:"Payments where Bob was paid" ~labels
+      "xchain_payments_committed_total"
+  and aborts =
+    Obsv.Metrics.counter reg
+      ~help:"Payments settled without paying Bob" ~labels
+      "xchain_payments_aborted_total"
+  in
+  Obsv.Metrics.inc started;
+  Obsv.Metrics.inc (if committed then commits else aborts);
+  Obsv.Metrics.observe
+    (Obsv.Metrics.histogram reg ~labels
+       ~help:"End-to-end payment latency (init to Bob's settlement), ticks"
+       "xchain_payment_latency")
+    settled_at;
+  emit_spans o ~terms ~committed ~settled_at
+
+let run cfg protocol =
+  let o = run_engine cfg protocol in
+  emit_telemetry o;
+  o
 
 let observations outcome = Trace.observations outcome.trace
 

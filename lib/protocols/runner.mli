@@ -68,6 +68,18 @@ type outcome = {
 }
 
 val run : config -> protocol -> outcome
+(** Executes the payment and, after the engine stops, records telemetry in
+    the process-wide {!Obsv} registries: the
+    [xchain_payments_started_total] / [_committed_total] / [_aborted_total]
+    counters and the [xchain_payment_latency] histogram (all labeled
+    [protocol="..."]), plus one root [payment] span with per-participant
+    and per-phase children in {!Obsv.Span.default}. Span capture can be
+    disabled via {!Obsv.Span.set_capture}; spans are derived from the
+    trace post-run, so they never perturb the schedule. *)
+
+val role_name : Topology.t -> int -> string
+(** Stable lower-case participant name ("alice", "chloe1", "e0", "tm0"),
+    as used in span names. *)
 
 val derive_params : config -> protocol -> Params.t
 (** The parameter vector [run] will use (drift-blind for

@@ -17,6 +17,18 @@ and ('msg, 'obs) proc = {
   mutable halted : bool;
 }
 
+(* Handles resolved once at [create]: the per-event updates below are plain
+   integer stores (see lib/obsv), cheap enough to stay on at any scale. *)
+and telemetry = {
+  m_events : Obsv.Metrics.counter;
+  m_sent : Obsv.Metrics.counter;
+  m_delivered : Obsv.Metrics.counter;
+  m_timers_set : Obsv.Metrics.counter;
+  m_timers_fired : Obsv.Metrics.counter;
+  m_timers_stale : Obsv.Metrics.counter;
+  m_queue_depth : Obsv.Metrics.gauge;
+}
+
 and ('msg, 'obs) t = {
   tag_of : 'msg -> string;
   network : Network.t;
@@ -28,6 +40,7 @@ and ('msg, 'obs) t = {
   tr : ('msg, 'obs) Trace.t;
   mutable clock_now : Sim_time.t;
   mutable started : bool;
+  tm : telemetry;
 }
 
 and ('msg, 'obs) ctx = { engine : ('msg, 'obs) t; self : int }
@@ -39,7 +52,25 @@ let silent =
     on_timer = (fun _ ~label:_ -> ());
   }
 
-let create ~tag_of ~network ?(sigma = Sim_time.zero) ~seed () =
+let telemetry_handles reg =
+  let counter = Obsv.Metrics.counter reg in
+  {
+    m_events = counter ~help:"Events dequeued by the engine" "xchain_events_total";
+    m_sent = counter ~help:"Messages sent" "xchain_messages_sent_total";
+    m_delivered =
+      counter ~help:"Messages delivered" "xchain_messages_delivered_total";
+    m_timers_set = counter ~help:"Timers armed" "xchain_timers_set_total";
+    m_timers_fired = counter ~help:"Timers fired live" "xchain_timers_fired_total";
+    m_timers_stale =
+      counter ~help:"Stale timer firings dropped (re-armed or cancelled)"
+        "xchain_timers_stale_total";
+    m_queue_depth =
+      Obsv.Metrics.gauge reg ~help:"Pending events in the engine queue"
+        "xchain_event_queue_depth";
+  }
+
+let create ~tag_of ~network ?(sigma = Sim_time.zero)
+    ?(metrics = Obsv.Metrics.default) ~seed () =
   {
     tag_of;
     network;
@@ -51,6 +82,7 @@ let create ~tag_of ~network ?(sigma = Sim_time.zero) ~seed () =
     tr = Trace.create ();
     clock_now = Sim_time.zero;
     started = false;
+    tm = telemetry_handles metrics;
   }
 
 let add_process t ?(clock = Clock.perfect) handlers =
@@ -104,9 +136,11 @@ let send ctx ~dst msg =
     Network.delivery_time t.network ~send_time:depart ~src:ctx.self ~dst ~tag
   in
   Trace.record t.tr (Sent { t = t.clock_now; src = ctx.self; dst; tag; msg });
+  Obsv.Metrics.inc t.tm.m_sent;
   ignore
     (Event_queue.push t.queue ~time:arrive
-       (Deliver { src = ctx.self; dst; msg; sent_at = t.clock_now }))
+       (Deliver { src = ctx.self; dst; msg; sent_at = t.clock_now }));
+  Obsv.Metrics.set t.tm.m_queue_depth (Event_queue.length t.queue)
 
 let set_timer ctx ~deadline ~label =
   let t = ctx.engine in
@@ -129,10 +163,13 @@ let set_timer ctx ~deadline ~label =
          local_deadline = deadline;
          global_fire;
        });
-  if not (Sim_time.is_infinite global_fire) then
+  Obsv.Metrics.inc t.tm.m_timers_set;
+  if not (Sim_time.is_infinite global_fire) then begin
     ignore
       (Event_queue.push t.queue ~time:global_fire
-         (Fire { owner = ctx.self; label; epoch }))
+         (Fire { owner = ctx.self; label; epoch }));
+    Obsv.Metrics.set t.tm.m_queue_depth (Event_queue.length t.queue)
+  end
 
 let set_timer_after ctx ~after ~label =
   set_timer ctx ~deadline:(Sim_time.add (local_now ctx) after) ~label
@@ -166,6 +203,7 @@ let dispatch t ev =
       Trace.record t.tr
         (Delivered
            { t = t.clock_now; sent_at; src; dst; tag = t.tag_of msg; msg });
+      Obsv.Metrics.inc t.tm.m_delivered;
       if not p.halted then
         p.handlers.on_receive { engine = t; self = dst } ~src msg
   | Fire { owner; label; epoch } ->
@@ -177,8 +215,10 @@ let dispatch t ev =
       in
       if live && not p.halted then begin
         Trace.record t.tr (Timer_fired { t = t.clock_now; owner; label });
+        Obsv.Metrics.inc t.tm.m_timers_fired;
         p.handlers.on_timer { engine = t; self = owner } ~label
       end
+      else Obsv.Metrics.inc t.tm.m_timers_stale
 
 let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
   if not t.started then begin
@@ -199,6 +239,8 @@ let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
           | None -> Quiescent
           | Some (time, ev) ->
               t.clock_now <- Sim_time.max t.clock_now time;
+              Obsv.Metrics.inc t.tm.m_events;
+              Obsv.Metrics.set t.tm.m_queue_depth (Event_queue.length t.queue);
               dispatch t ev;
               loop (n + 1))
   in

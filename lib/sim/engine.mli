@@ -59,11 +59,19 @@ val create :
   tag_of:('msg -> string) ->
   network:Network.t ->
   ?sigma:Sim_time.t ->
+  ?metrics:Obsv.Metrics.t ->
   seed:int ->
   unit ->
   ('msg, 'obs) t
 (** [tag_of] labels messages for traces and for the adversary; [sigma] is the
-    computation-time bound (default 0: instantaneous computation). *)
+    computation-time bound (default 0: instantaneous computation).
+
+    [metrics] (default {!Obsv.Metrics.default}) receives the engine's
+    telemetry: [xchain_events_total], [xchain_messages_sent_total],
+    [xchain_messages_delivered_total], [xchain_timers_set_total],
+    [xchain_timers_fired_total], [xchain_timers_stale_total] and the
+    [xchain_event_queue_depth] gauge. Handles are resolved here, once; the
+    per-event updates allocate nothing. *)
 
 val add_process :
   ('msg, 'obs) t -> ?clock:Clock.t -> ('msg, 'obs) handlers -> int

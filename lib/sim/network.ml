@@ -19,9 +19,14 @@ type t = {
   fifo : bool;
   rng : Rng.t;
   last_delivery : (int * int, Sim_time.t) Hashtbl.t;
+  reg : Obsv.Metrics.t;
+  link_delay : (int * int, Obsv.Metrics.histogram) Hashtbl.t;
+  m_adversary : Obsv.Metrics.counter;
+  m_fifo_holds : Obsv.Metrics.counter;
 }
 
-let create ?adversary ?(fifo = true) model rng =
+let create ?adversary ?(fifo = true) ?(metrics = Obsv.Metrics.default) model
+    rng =
   (match model with
   | Synchronous { delta } ->
       if delta < 1 then invalid_arg "Network: delta must be >= 1"
@@ -29,7 +34,23 @@ let create ?adversary ?(fifo = true) model rng =
       if delta < 1 then invalid_arg "Network: delta must be >= 1"
   | Asynchronous { mean; cap } ->
       if mean < 1 || cap < mean then invalid_arg "Network: bad async params");
-  { model; adversary; fifo; rng; last_delivery = Hashtbl.create 64 }
+  {
+    model;
+    adversary;
+    fifo;
+    rng;
+    last_delivery = Hashtbl.create 64;
+    reg = metrics;
+    link_delay = Hashtbl.create 64;
+    m_adversary =
+      Obsv.Metrics.counter metrics
+        ~help:"Message delays chosen by the adversary (vs sampled)"
+        "xchain_network_adversary_delays_total";
+    m_fifo_holds =
+      Obsv.Metrics.counter metrics
+        ~help:"Deliveries pushed later to preserve per-link FIFO order"
+        "xchain_network_fifo_holds_total";
+  }
 
 let model t = t.model
 
@@ -54,28 +75,53 @@ let sample t ~send_time:_ bounds =
 
 let clamp bounds d = Stdlib.min (Stdlib.max d bounds.lo) bounds.hi
 
+(* The per-link histogram child is created on the link's first message and
+   cached; steady-state cost is one hashtable probe plus the histogram
+   store. Label cardinality is links × 1, capped by the registry. *)
+let link_histogram t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.link_delay key with
+  | Some h -> h
+  | None ->
+      let h =
+        Obsv.Metrics.histogram t.reg
+          ~help:"Per-link message delay, in ticks"
+          ~labels:[ ("link", Printf.sprintf "%d->%d" src dst) ]
+          "xchain_network_delay"
+      in
+      Hashtbl.add t.link_delay key h;
+      h
+
 let delivery_time t ~send_time ~src ~dst ~tag =
   let bounds = bounds_at t.model ~send_time in
   let delay =
     match t.adversary with
     | Some adv -> (
         match adv ~send_time ~src ~dst ~tag ~bounds with
-        | Some d -> clamp bounds d
+        | Some d ->
+            Obsv.Metrics.inc t.m_adversary;
+            clamp bounds d
         | None -> sample t ~send_time bounds)
     | None -> sample t ~send_time bounds
   in
   let at = Sim_time.add send_time delay in
-  if not t.fifo then at
-  else begin
-    let key = (src, dst) in
-    let at =
-      match Hashtbl.find_opt t.last_delivery key with
-      | Some prev when Sim_time.(prev > at) -> prev
-      | _ -> at
-    in
-    Hashtbl.replace t.last_delivery key at;
-    at
-  end
+  let at =
+    if not t.fifo then at
+    else begin
+      let key = (src, dst) in
+      let at' =
+        match Hashtbl.find_opt t.last_delivery key with
+        | Some prev when Sim_time.(prev > at) ->
+            Obsv.Metrics.inc t.m_fifo_holds;
+            prev
+        | _ -> at
+      in
+      Hashtbl.replace t.last_delivery key at';
+      at'
+    end
+  in
+  Obsv.Metrics.observe (link_histogram t ~src ~dst) (Sim_time.sub at send_time);
+  at
 
 let pp_model ppf = function
   | Synchronous { delta } -> Fmt.pf ppf "sync(δ=%a)" Sim_time.pp delta

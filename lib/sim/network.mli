@@ -42,9 +42,16 @@ type adversary =
 
 type t
 
-val create : ?adversary:adversary -> ?fifo:bool -> model -> Rng.t -> t
+val create :
+  ?adversary:adversary -> ?fifo:bool -> ?metrics:Obsv.Metrics.t -> model ->
+  Rng.t -> t
 (** [fifo] (default [true]) enforces per-channel FIFO by never letting a
-    later send on the same (src, dst) pair overtake an earlier one. *)
+    later send on the same (src, dst) pair overtake an earlier one.
+
+    [metrics] (default {!Obsv.Metrics.default}) receives a per-link
+    [xchain_network_delay] histogram (label [link="src->dst"]) plus the
+    [xchain_network_adversary_delays_total] and
+    [xchain_network_fifo_holds_total] counters. *)
 
 val model : t -> model
 

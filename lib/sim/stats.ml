@@ -43,8 +43,14 @@ let summarize xs =
   match xs with
   | [] -> invalid_arg "Stats.summarize: empty sample"
   | _ ->
+      if List.exists Float.is_nan xs then
+        invalid_arg "Stats.summarize: NaN in sample";
       let a = Array.of_list xs in
-      Array.sort compare a;
+      (* Float.compare, not polymorphic compare: the latter treats every
+         NaN comparison as an unordered lie and can leave the array
+         mis-sorted; with NaN rejected above the two agree, but keep the
+         sort total on principle. *)
+      Array.sort Float.compare a;
       let n = Array.length a in
       {
         n;

@@ -12,7 +12,8 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** Summary of a non-empty sample. Raises [Invalid_argument] on []. *)
+(** Summary of a non-empty sample. Raises [Invalid_argument] on [] and on
+    samples containing NaN (which would otherwise silently mis-sort). *)
 
 val summarize_int : int list -> summary
 

@@ -42,15 +42,19 @@ let time_of = function
   | Halted { t; _ } ->
       t
 
+(* Folding over [rev_entries] directly (newest first, consing onto the
+   accumulator) yields chronological order without materialising the O(n)
+   intermediate list that [to_list] would. *)
 let observations t =
-  List.filter_map
-    (function Observed { t; pid; obs } -> Some (t, pid, obs) | _ -> None)
-    (to_list t)
+  List.fold_left
+    (fun acc e ->
+      match e with Observed { t; pid; obs } -> (t, pid, obs) :: acc | _ -> acc)
+    [] t.rev_entries
 
 let message_count t =
   List.fold_left
     (fun acc e -> match e with Sent _ -> acc + 1 | _ -> acc)
-    0 (to_list t)
+    0 t.rev_entries
 
 let last_time t =
   match t.rev_entries with [] -> Sim_time.zero | e :: _ -> time_of e
@@ -101,30 +105,33 @@ let json_escape s =
 let to_jsonl ~msg ~obs t =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
-  List.iter
-    (fun entry ->
+  List.iteri
+    (fun seq entry ->
       match entry with
       | Sent { t; src; dst; tag; msg = m } ->
-          line {|{"kind":"sent","t":%d,"src":%d,"dst":%d,"tag":"%s","msg":"%s"}|}
-            t src dst (json_escape tag) (json_escape (msg m))
+          line
+            {|{"seq":%d,"kind":"sent","t":%d,"src":%d,"dst":%d,"tag":"%s","msg":"%s"}|}
+            seq t src dst (json_escape tag) (json_escape (msg m))
       | Delivered { t; sent_at; src; dst; tag; msg = m } ->
           line
-            {|{"kind":"delivered","t":%d,"sent_at":%d,"src":%d,"dst":%d,"tag":"%s","msg":"%s"}|}
-            t sent_at src dst (json_escape tag) (json_escape (msg m))
+            {|{"seq":%d,"kind":"delivered","t":%d,"sent_at":%d,"src":%d,"dst":%d,"tag":"%s","msg":"%s"}|}
+            seq t sent_at src dst (json_escape tag) (json_escape (msg m))
       | Timer_set { t; owner; label; local_deadline; global_fire } ->
           line
-            {|{"kind":"timer_set","t":%d,"owner":%d,"label":"%s","local_deadline":%s,"global_fire":%s}|}
-            t owner (json_escape label)
+            {|{"seq":%d,"kind":"timer_set","t":%d,"owner":%d,"label":"%s","local_deadline":%s,"global_fire":%s}|}
+            seq t owner (json_escape label)
             (if Sim_time.is_infinite local_deadline then {|"inf"|}
              else string_of_int local_deadline)
             (if Sim_time.is_infinite global_fire then {|"inf"|}
              else string_of_int global_fire)
       | Timer_fired { t; owner; label } ->
-          line {|{"kind":"timer_fired","t":%d,"owner":%d,"label":"%s"}|} t owner
-            (json_escape label)
+          line {|{"seq":%d,"kind":"timer_fired","t":%d,"owner":%d,"label":"%s"}|}
+            seq t owner (json_escape label)
       | Observed { t; pid; obs = o } ->
-          line {|{"kind":"observed","t":%d,"pid":%d,"obs":"%s"}|} t pid
+          line {|{"seq":%d,"kind":"observed","t":%d,"pid":%d,"obs":"%s"}|} seq t
+            pid
             (json_escape (obs o))
-      | Halted { t; pid } -> line {|{"kind":"halted","t":%d,"pid":%d}|} t pid)
+      | Halted { t; pid } ->
+          line {|{"seq":%d,"kind":"halted","t":%d,"pid":%d}|} seq t pid)
     (to_list t);
   Buffer.contents buf

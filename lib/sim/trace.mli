@@ -69,4 +69,7 @@ val to_jsonl :
 (** One JSON object per line, chronological: machine-readable export for
     external analysis. The [msg]/[obs] serializers render payloads as
     plain strings (escaped into the JSON); structural fields (kind, time,
-    endpoints, tags, labels) are first-class JSON fields. *)
+    endpoints, tags, labels) are first-class JSON fields. Every line
+    carries a ["seq"] field — the entry's 0-based position in the trace —
+    so consumers can re-establish total order after filtering or merging
+    (timestamps alone tie on same-tick events). *)

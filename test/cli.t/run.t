@@ -80,6 +80,44 @@ An atomic swap deal completes with acceptable payoffs on both sides:
   party 0: gained {3 coinB}, lost {5 coinA}
   party 1: gained {5 coinA}, lost {3 coinB}
 
+The metrics catalogue enumerates every telemetry family the binary can
+emit, populated by deterministic probe workloads:
+
+  $ xchain metrics | head -8
+  # metric families registered after probe workloads
+  xchain_consensus_rounds_total              counter   Consensus rounds entered (across all replicas)
+  xchain_consensus_view_changes_total        counter   Round timeouts that forced a view change
+  xchain_consensus_decisions_total           counter   Decision certificates assembled
+  xchain_consensus_rounds_to_decide          histogram Rounds needed to reach a decision (1 = decided in round 0)
+  xchain_network_fifo_holds_total            counter   Deliveries pushed later to preserve per-link FIFO order
+  xchain_network_adversary_delays_total      counter   Message delays chosen by the adversary (vs sampled)
+  xchain_event_queue_depth                   gauge     Pending events in the engine queue
+
+  $ xchain metrics --help | head -6
+  NAME
+         xchain-metrics - List every telemetry metric the simulator can emit
+         (runs small probe workloads to populate the registry)
+  
+  SYNOPSIS
+         xchain metrics [--full] [OPTION]…
+
+
+Simulation commands export their registry as Prometheus text with
+"--metrics-out -"; the metric names below are a stable interface:
+
+  $ xchain pay -n 2 --seed 3 --metrics-out - --spans-out spans.jsonl > pay.out
+  $ grep -E '^xchain_(messages_sent_total|payments_committed_total|payment_latency_count)' pay.out
+  xchain_messages_sent_total 12
+  xchain_payments_committed_total{protocol="sync-timebound"} 1
+  xchain_payment_latency_count{protocol="sync-timebound"} 1
+
+The same run writes one JSONL span per participant and phase under a
+root payment span carrying the commit status:
+
+  $ head -2 spans.jsonl
+  {"id":0,"parent":null,"name":"payment","start":0,"end":467,"status":"commit","attrs":{"seed":"3","hops":"2","protocol":"sync-timebound"}}
+  {"id":1,"parent":0,"name":"participant:alice","start":0,"end":545,"status":"certified","attrs":{}}
+
 The Figure 2 escrow automaton renders with its grey output states:
 
   $ xchain dot escrow | head -6

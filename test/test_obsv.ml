@@ -1,0 +1,456 @@
+(* Tests for the telemetry subsystem: metrics registry semantics, label
+   cardinality, Prometheus escaping, span JSONL round-trips, and the
+   zero-allocation guarantee on the hot path. *)
+
+open Obsv
+
+let check = Alcotest.check
+
+(* ------------------------------ counters ------------------------------ *)
+
+let counter_tests =
+  [
+    Alcotest.test_case "starts at zero, inc and add" `Quick (fun () ->
+        let r = Metrics.create () in
+        let c = Metrics.counter r "t_counter_basic" in
+        check Alcotest.int "zero" 0 (Metrics.counter_value c);
+        Metrics.inc c;
+        Metrics.inc c;
+        Metrics.add c 40;
+        check Alcotest.int "42" 42 (Metrics.counter_value c));
+    Alcotest.test_case "add rejects negative" `Quick (fun () ->
+        let r = Metrics.create () in
+        let c = Metrics.counter r "t_counter_neg" in
+        Alcotest.check_raises "neg"
+          (Invalid_argument "Metrics.add: counters only go up") (fun () ->
+            Metrics.add c (-1)));
+    Alcotest.test_case "re-registration returns same handle" `Quick (fun () ->
+        let r = Metrics.create () in
+        let a = Metrics.counter r ~labels:[ ("k", "v") ] "t_counter_idem" in
+        let b = Metrics.counter r ~labels:[ ("k", "v") ] "t_counter_idem" in
+        Metrics.inc a;
+        Metrics.inc b;
+        check Alcotest.int "shared" 2 (Metrics.counter_value a));
+    Alcotest.test_case "label order does not split children" `Quick (fun () ->
+        let r = Metrics.create () in
+        let a =
+          Metrics.counter r ~labels:[ ("x", "1"); ("y", "2") ] "t_counter_ord"
+        in
+        let b =
+          Metrics.counter r ~labels:[ ("y", "2"); ("x", "1") ] "t_counter_ord"
+        in
+        Metrics.inc a;
+        Metrics.inc b;
+        check Alcotest.int "canonical" 2 (Metrics.counter_value b));
+    Alcotest.test_case "kind mismatch raises" `Quick (fun () ->
+        let r = Metrics.create () in
+        ignore (Metrics.counter r "t_kind_clash");
+        Alcotest.check_raises "gauge over counter"
+          (Invalid_argument
+             "Metrics: t_kind_clash re-registered as gauge (was counter)")
+          (fun () -> ignore (Metrics.gauge r "t_kind_clash")));
+    Alcotest.test_case "bad names rejected" `Quick (fun () ->
+        let r = Metrics.create () in
+        Alcotest.check_raises "leading digit"
+          (Invalid_argument "Metrics: invalid metric name \"9lives\"")
+          (fun () -> ignore (Metrics.counter r "9lives")));
+  ]
+
+(* ------------------------------- gauges ------------------------------- *)
+
+let gauge_tests =
+  [
+    Alcotest.test_case "set and add both directions" `Quick (fun () ->
+        let r = Metrics.create () in
+        let g = Metrics.gauge r "t_gauge" in
+        Metrics.set g 10;
+        Metrics.gauge_add g 5;
+        Metrics.gauge_add g (-12);
+        check Alcotest.int "3" 3 (Metrics.gauge_value g));
+  ]
+
+(* ----------------------------- histograms ----------------------------- *)
+
+let histogram_tests =
+  [
+    Alcotest.test_case "observe fills cumulative buckets" `Quick (fun () ->
+        let r = Metrics.create () in
+        let h = Metrics.histogram r ~buckets:[| 10; 100 |] "t_hist" in
+        List.iter (Metrics.observe h) [ 1; 10; 11; 1000 ];
+        check Alcotest.int "count" 4 (Metrics.histogram_count h);
+        check Alcotest.int "sum" 1022 (Metrics.histogram_sum h);
+        check
+          Alcotest.(list (pair int int))
+          "buckets"
+          [ (10, 2); (100, 3); (max_int, 4) ]
+          (Metrics.histogram_buckets h));
+    Alcotest.test_case "bucket layout mismatch raises" `Quick (fun () ->
+        let r = Metrics.create () in
+        ignore (Metrics.histogram r ~buckets:[| 1; 2 |] "t_hist_layout");
+        Alcotest.check_raises "layout"
+          (Invalid_argument
+             "Metrics: t_hist_layout re-registered with different buckets")
+          (fun () ->
+            ignore (Metrics.histogram r ~buckets:[| 1; 3 |] "t_hist_layout")));
+    Alcotest.test_case "default buckets are strictly increasing" `Quick
+      (fun () ->
+        let b = Metrics.log_buckets in
+        Array.iteri
+          (fun i v -> if i > 0 then check Alcotest.bool "incr" true (v > b.(i - 1)))
+          b);
+  ]
+
+(* --------------------------- cardinality cap --------------------------- *)
+
+let cardinality_tests =
+  [
+    Alcotest.test_case "past the cap lands in the overflow child" `Quick
+      (fun () ->
+        let r = Metrics.create () in
+        for i = 1 to Metrics.cardinality_cap + 10 do
+          let c =
+            Metrics.counter r
+              ~labels:[ ("id", string_of_int i) ]
+              "t_cardinality"
+          in
+          Metrics.inc c
+        done;
+        let samples =
+          List.filter
+            (fun s -> s.Metrics.s_name = "t_cardinality")
+            (Metrics.snapshot r)
+        in
+        (* cap distinct children plus one shared overflow child *)
+        check Alcotest.int "children" (Metrics.cardinality_cap + 1)
+          (List.length samples);
+        let overflow =
+          List.find
+            (fun s -> List.mem_assoc "overflow" s.Metrics.s_labels)
+            samples
+        in
+        (match overflow.Metrics.s_value with
+        | Metrics.Counter_v v -> check Alcotest.int "overflowed" 10 v
+        | _ -> Alcotest.fail "overflow child is not a counter");
+        check Alcotest.string "marker" "true"
+          (List.assoc "overflow" overflow.Metrics.s_labels));
+  ]
+
+(* --------------------------- prometheus text --------------------------- *)
+
+let prometheus_tests =
+  [
+    Alcotest.test_case "label escaping" `Quick (fun () ->
+        check Alcotest.string "backslash" {|a\\b|}
+          (Prometheus.escape_label_value {|a\b|});
+        check Alcotest.string "quote" {|a\"b|}
+          (Prometheus.escape_label_value {|a"b|});
+        check Alcotest.string "newline" {|a\nb|}
+          (Prometheus.escape_label_value "a\nb"));
+    Alcotest.test_case "exposition carries escaped label values" `Quick
+      (fun () ->
+        let r = Metrics.create () in
+        let c =
+          Metrics.counter r
+            ~labels:[ ("path", "a\\b\"c\nd") ]
+            ~help:"tricky" "t_promtext"
+        in
+        Metrics.inc c;
+        let text = Prometheus.render r in
+        let expected = {|t_promtext{path="a\\b\"c\nd"} 1|} in
+        let found =
+          String.split_on_char '\n' text |> List.exists (String.equal expected)
+        in
+        if not found then
+          Alcotest.failf "missing %S in:\n%s" expected text);
+    Alcotest.test_case "histogram exposition shape" `Quick (fun () ->
+        let r = Metrics.create () in
+        let h = Metrics.histogram r ~buckets:[| 5 |] ~help:"h" "t_promhist" in
+        Metrics.observe h 3;
+        Metrics.observe h 9;
+        let text = Prometheus.render r in
+        List.iter
+          (fun line ->
+            let found =
+              String.split_on_char '\n' text |> List.exists (String.equal line)
+            in
+            if not found then Alcotest.failf "missing %S in:\n%s" line text)
+          [
+            "# TYPE t_promhist histogram";
+            {|t_promhist_bucket{le="5"} 1|};
+            {|t_promhist_bucket{le="+Inf"} 2|};
+            "t_promhist_sum 12";
+            "t_promhist_count 2";
+          ]);
+    Alcotest.test_case "help text printed once per family" `Quick (fun () ->
+        let r = Metrics.create () in
+        ignore (Metrics.counter r ~labels:[ ("a", "1") ] ~help:"x" "t_once");
+        ignore (Metrics.counter r ~labels:[ ("a", "2") ] ~help:"x" "t_once");
+        let text = Prometheus.render r in
+        let headers =
+          String.split_on_char '\n' text
+          |> List.filter (fun l -> l = "# TYPE t_once counter")
+        in
+        check Alcotest.int "one TYPE line" 1 (List.length headers));
+  ]
+
+(* ------------------------- minimal JSON parser ------------------------- *)
+(* Just enough JSON to round-trip the exporters' output without a JSON
+   dependency: objects, arrays, strings (with escapes), ints, null, bools. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = Alcotest.failf "JSON parse error at %d: %s" !pos msg in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some 'u' ->
+              (* only ever produced for control chars by our exporters *)
+              advance ();
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 3;
+              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)))
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while match peek () with Some '0' .. '9' -> true | _ -> false do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    J_int (int_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          J_obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                J_obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          J_list [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                J_list (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elems []
+    | Some '"' -> J_string (parse_string ())
+    | Some 'n' -> literal "null" J_null
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some _ -> parse_int ()
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let obj_field o k =
+  match o with
+  | J_obj kvs -> (
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> Alcotest.failf "missing field %S" k)
+  | _ -> Alcotest.fail "not an object"
+
+(* -------------------------------- spans -------------------------------- *)
+
+let span_tests =
+  [
+    Alcotest.test_case "lifecycle and accessors" `Quick (fun () ->
+        let t = Span.create () in
+        let root = Span.start t ~name:"payment" ~at:0 () in
+        let child =
+          Span.start t ~parent:root ~attrs:[ ("pid", "3") ] ~name:"leg" ~at:5 ()
+        in
+        check Alcotest.string "running" "running" (Span.span_status child);
+        check Alcotest.(option int) "open" None (Span.span_end child);
+        Span.finish ~status:"ok" ~at:9 child;
+        Span.finish ~status:"commit" ~at:12 root;
+        check Alcotest.(option int) "parent" (Some (Span.span_id root))
+          (Span.span_parent child);
+        check Alcotest.(option int) "closed" (Some 9) (Span.span_end child);
+        check Alcotest.int "roots" 1 (List.length (Span.roots t));
+        check Alcotest.int "count" 2 (Span.count t));
+    Alcotest.test_case "double finish raises" `Quick (fun () ->
+        let t = Span.create () in
+        let s = Span.start t ~name:"x" ~at:0 () in
+        Span.finish ~at:1 s;
+        Alcotest.check_raises "twice"
+          (Invalid_argument "Span.finish: span already finished") (fun () ->
+            Span.finish ~at:2 s));
+    Alcotest.test_case "capture off records nothing" `Quick (fun () ->
+        let t = Span.create () in
+        Span.set_capture t false;
+        let s = Span.start t ~name:"ghost" ~at:0 () in
+        Span.finish ~at:1 s;
+        check Alcotest.int "empty" 0 (Span.count t);
+        Span.set_capture t true);
+    Alcotest.test_case "jsonl round-trips line by line" `Quick (fun () ->
+        let t = Span.create () in
+        let root =
+          Span.start t
+            ~attrs:[ ("protocol", "sync"); ("note", "q\"uo\\te\nnl") ]
+            ~name:"payment" ~at:0 ()
+        in
+        let child = Span.start t ~parent:root ~name:"leg" ~at:3 () in
+        Span.finish ~status:"ok" ~at:8 child;
+        Span.finish ~status:"commit" ~at:11 root;
+        ignore (Span.start t ~name:"dangling" ~at:20 ());
+        let lines =
+          Span.to_jsonl t |> String.split_on_char '\n'
+          |> List.filter (fun l -> l <> "")
+        in
+        check Alcotest.int "3 lines" 3 (List.length lines);
+        let parsed = List.map parse_json lines in
+        (match parsed with
+        | [ r; c; d ] ->
+            check Alcotest.string "root name" "payment"
+              (match obj_field r "name" with
+              | J_string s -> s
+              | _ -> Alcotest.fail "name");
+            (match obj_field r "parent" with
+            | J_null -> ()
+            | _ -> Alcotest.fail "root parent should be null");
+            check Alcotest.string "escaped attr survives" "q\"uo\\te\nnl"
+              (match obj_field (obj_field r "attrs") "note" with
+              | J_string s -> s
+              | _ -> Alcotest.fail "attr");
+            (match (obj_field c "parent", obj_field r "id") with
+            | J_int p, J_int id -> check Alcotest.int "link" id p
+            | _ -> Alcotest.fail "ids");
+            (match (obj_field d "end", obj_field d "status") with
+            | J_null, J_string "running" -> ()
+            | _ -> Alcotest.fail "running span must export end:null")
+        | _ -> Alcotest.fail "expected 3 spans"));
+    Alcotest.test_case "registry to_json parses" `Quick (fun () ->
+        let r = Metrics.create () in
+        Metrics.inc (Metrics.counter r ~labels:[ ("a", "b\"c") ] "t_json");
+        Metrics.observe (Metrics.histogram r ~buckets:[| 2 |] "t_json_h") 1;
+        match parse_json (Metrics.to_json r) with
+        | J_obj [ ("metrics", J_list (_ :: _)) ] -> ()
+        | _ -> Alcotest.fail "unexpected to_json shape");
+  ]
+
+(* ------------------------------ allocation ----------------------------- *)
+
+let allocation_tests =
+  [
+    Alcotest.test_case "hot path allocates zero words" `Quick (fun () ->
+        let r = Metrics.create () in
+        let c = Metrics.counter r "t_alloc_c" in
+        let g = Metrics.gauge r "t_alloc_g" in
+        let h = Metrics.histogram r "t_alloc_h" in
+        (* warm up: first calls may trigger lazy init inside the runtime *)
+        Metrics.inc c;
+        Metrics.set g 1;
+        Metrics.observe h 1;
+        let before = Gc.minor_words () in
+        for i = 1 to 10_000 do
+          Metrics.inc c;
+          Metrics.add c 2;
+          Metrics.set g i;
+          Metrics.gauge_add g (-1);
+          Metrics.observe h i
+        done;
+        let after = Gc.minor_words () in
+        let delta = int_of_float (after -. before) in
+        (* 50k instrument operations; allow a few words of slack for the
+           Gc.minor_words calls themselves. *)
+        if delta > 16 then
+          Alcotest.failf "hot path allocated %d words over 50k ops" delta);
+  ]
+
+let () =
+  Alcotest.run "obsv"
+    [
+      ("counters", counter_tests);
+      ("gauges", gauge_tests);
+      ("histograms", histogram_tests);
+      ("cardinality", cardinality_tests);
+      ("prometheus", prometheus_tests);
+      ("spans", span_tests);
+      ("allocation", allocation_tests);
+    ]
