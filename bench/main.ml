@@ -136,6 +136,21 @@ let experiment_tests =
            payment_run
              (Runner.Atomic Atomic_protocol.default_config)
              ~hops:3 ~seed:1));
+    Test.make ~name:"chaos_faulted_payment"
+      (Staged.stage
+         (let plan =
+            match
+              Faults.Fault_plan.of_string
+                "drop *>* 0.1; dup *>* 0.05; crash 1@500+800"
+            with
+            | Ok p -> p
+            | Error e -> failwith e
+          in
+          fun () ->
+            ignore (Xchain.Chaos.run_one ~hops:3 ~plan ~seed:1 ())));
+    Test.make ~name:"chaos_soak_10plans"
+      (Staged.stage (fun () ->
+           ignore (Xchain.Chaos.soak ~hops:2 ~runs:10 ~seed:1 ())));
   ]
 
 let substrate_tests =

@@ -420,6 +420,116 @@ let deal_cmd =
        ~doc:"Run a Herlihy-Liskov-Shrira cross-chain deal (§5) and check its              properties")
     Term.(const run $ which $ protocol $ gst $ seed $ lazy_party)
 
+(* -------------------------------- chaos -------------------------------- *)
+
+let runner_protocol_of = function
+  | `Sync -> Runner.Sync_timebound
+  | `Naive -> Runner.Naive_universal
+  | `Htlc -> Runner.Htlc
+  | `Weak -> Runner.Weak Weak_protocol.default_config
+  | `Committee ->
+      Runner.Weak
+        { Weak_protocol.default_config with
+          tm = Weak_protocol.Committee { f = 1 } }
+
+let chaos_cmd =
+  let run protocol hops seed plan plan_file soak runs repro_out metrics_out =
+    let protocol = runner_protocol_of protocol in
+    let parse_plan ~what s =
+      match Faults.Fault_plan.of_string s with
+      | Ok p -> p
+      | Error e ->
+          Fmt.epr "xchain chaos: bad fault plan (%s): %s@." what e;
+          exit 2
+    in
+    let plan =
+      match (plan_file, plan) with
+      | Some file, _ -> (
+          match In_channel.with_open_text file In_channel.input_all with
+          | contents -> parse_plan ~what:file (String.trim contents)
+          | exception Sys_error msg ->
+              Fmt.epr "xchain chaos: cannot read plan file: %s@." msg;
+              exit 2)
+      | None, Some s -> parse_plan ~what:"--plan" s
+      | None, None -> Faults.Fault_plan.none
+    in
+    let code =
+      if soak then begin
+        let s = Xchain.Chaos.soak ~hops ~protocol ~runs ~seed () in
+        Fmt.pr "%a@." Xchain.Chaos.pp_summary s;
+        (match repro_out with
+        | None -> ()
+        | Some file ->
+            let lines =
+              List.map Xchain.Chaos.repro_line s.Xchain.Chaos.violations
+            in
+            write_sink (Some file)
+              (String.concat "" (List.map (fun l -> l ^ "\n") lines)));
+        if s.Xchain.Chaos.violations = [] then 0 else 1
+      end
+      else begin
+        let r = Xchain.Chaos.run_one ~hops ~protocol ~plan ~seed () in
+        Fmt.pr "plan: %a@.classification: %s@." Faults.Fault_plan.pp
+          r.Xchain.Chaos.plan
+          (Xchain.Chaos.classification_name r.Xchain.Chaos.classification);
+        List.iter
+          (fun v ->
+            Fmt.pr "violated %s: %s@." v.Props.Verdict.property
+              v.Props.Verdict.detail)
+          r.Xchain.Chaos.failures;
+        match r.Xchain.Chaos.classification with
+        | Xchain.Chaos.Safety_violation ->
+            Fmt.pr "repro: %s@." (Xchain.Chaos.repro_line r);
+            1
+        | _ -> 0
+      end
+    in
+    dump_telemetry ~metrics_out ~spans_out:None;
+    code
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv `Sync
+         & info [ "p"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Protocol under test: sync | naive | htlc | weak | committee.")
+  in
+  let hops = Arg.(value & opt int 2 & info [ "n"; "hops" ] ~doc:"Escrows.") in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~doc:"Schedule seed (soak: seed of run 0).")
+  in
+  let plan =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:"Fault plan, e.g. 'drop *>3 0.2; crash 2AT500+800' (see \
+                   docs/fault_injection.md for the grammar). Default: none.")
+  in
+  let plan_file =
+    Arg.(value & opt (some string) None
+         & info [ "plan-file" ] ~docv:"FILE"
+             ~doc:"Read the fault plan from $(docv) (overrides --plan).")
+  in
+  let soak =
+    Arg.(value & flag
+         & info [ "soak" ]
+             ~doc:"Sweep random fault plans across seeds and classify every \
+                   run; exit non-zero on any safety violation.")
+  in
+  let runs =
+    Arg.(value & opt int 200
+         & info [ "runs" ] ~doc:"Soak: number of random plans to run.")
+  in
+  let repro_out =
+    Arg.(value & opt (some string) None
+         & info [ "repro-out" ] ~docv:"FILE"
+             ~doc:"Soak: write one repro line per safety violation to $(docv) \
+                   ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run payments under a declarative fault plan (lossy links,               crashes, partitions), or soak hundreds of random plans and check              the safety properties")
+    Term.(const run $ protocol $ hops $ seed $ plan $ plan_file $ soak $ runs
+          $ repro_out $ metrics_out_arg)
+
 (* -------------------------------- dot ---------------------------------- *)
 
 let dot_cmd =
@@ -458,4 +568,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
-            metrics_cmd ]))
+            chaos_cmd; metrics_cmd ]))

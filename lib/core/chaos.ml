@@ -1,0 +1,142 @@
+module Runner = Protocols.Runner
+module Topology = Protocols.Topology
+module P = Props.Payment_props
+module V = Props.Verdict
+module Fault_plan = Faults.Fault_plan
+
+type classification = Safe_commit | Safe_abort | Stuck | Safety_violation
+
+let classification_name = function
+  | Safe_commit -> "safe-commit"
+  | Safe_abort -> "safe-abort"
+  | Stuck -> "stuck"
+  | Safety_violation -> "safety-violation"
+
+type run_result = {
+  seed : int;
+  hops : int;
+  protocol : Runner.protocol;
+  plan : Fault_plan.t;
+  classification : classification;
+  failures : V.t list;
+  status : Sim.Engine.status;
+  end_time : Sim.Sim_time.t;
+}
+
+(* the CLI's -p spelling of a protocol, for repro lines *)
+let protocol_flag = function
+  | Runner.Sync_timebound -> "sync"
+  | Runner.Naive_universal -> "naive"
+  | Runner.Htlc -> "htlc"
+  | Runner.Weak { Protocols.Weak_protocol.tm = Protocols.Weak_protocol.Single; _ }
+    ->
+      "weak"
+  | Runner.Weak
+      { Protocols.Weak_protocol.tm = Protocols.Weak_protocol.Committee _; _ } ->
+      "committee"
+  | p -> Runner.protocol_name p
+
+let safety_report view =
+  [
+    P.check_c view;
+    P.check_es view;
+    P.check_cs1 view;
+    P.check_cs2 view;
+    P.check_cs3 view;
+    (if P.money_conserved view then V.ok "M" "money conserved"
+     else V.violated "M" "money not conserved across books");
+  ]
+
+let classify view report =
+  let failed = List.filter (fun v -> v.V.applicable && not v.V.holds) report in
+  if failed <> [] then (Safety_violation, failed)
+  else if P.bob_paid view then (Safe_commit, [])
+  else begin
+    let topo = view.P.outcome.Runner.env.Protocols.Env.topo in
+    let settled =
+      List.for_all
+        (fun pid ->
+          view.P.byzantine pid || Option.is_some (view.P.terminated pid))
+        (Topology.customers topo)
+    in
+    ((if settled then Safe_abort else Stuck), [])
+  end
+
+let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ~plan ~seed () =
+  let cfg =
+    { (Runner.default_config ~hops ~seed) with fault_plan = Some plan }
+  in
+  let outcome = Runner.run cfg protocol in
+  let view = P.view outcome in
+  let report = safety_report view in
+  let classification, failures = classify view report in
+  {
+    seed;
+    hops;
+    protocol;
+    plan;
+    classification;
+    failures;
+    status = outcome.Runner.status;
+    end_time = outcome.Runner.end_time;
+  }
+
+let repro_line r =
+  Printf.sprintf "xchain chaos -p %s --hops %d --seed %d --plan '%s'"
+    (protocol_flag r.protocol) r.hops r.seed
+    (Fault_plan.to_string r.plan)
+
+type summary = {
+  runs : int;
+  commits : int;
+  aborts : int;
+  stuck : int;
+  violations : run_result list;
+}
+
+let soak ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?(runs = 200) ~seed ()
+    =
+  let nprocs = 2 * hops + 1 in
+  let horizon =
+    (Runner.derive_params (Runner.default_config ~hops ~seed) protocol)
+      .Protocols.Params.horizon
+  in
+  let commits = ref 0
+  and aborts = ref 0
+  and stuck = ref 0
+  and violations = ref [] in
+  for i = 0 to runs - 1 do
+    let run_seed = seed + i in
+    (* the plan is a function of the run seed alone, so a single run
+       replays from its printed repro without re-running the sweep *)
+    let prng = Sim.Rng.create ~seed:(run_seed + 7919) in
+    let plan = Fault_plan.random prng ~nprocs ~horizon in
+    let r = run_one ~hops ~protocol ~plan ~seed:run_seed () in
+    match r.classification with
+    | Safe_commit -> incr commits
+    | Safe_abort -> incr aborts
+    | Stuck -> incr stuck
+    | Safety_violation -> violations := r :: !violations
+  done;
+  {
+    runs;
+    commits = !commits;
+    aborts = !aborts;
+    stuck = !stuck;
+    violations = List.rev !violations;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "chaos soak: %d runs — %d safe-commit, %d safe-abort, %d stuck, %d \
+     safety-violation"
+    s.runs s.commits s.aborts s.stuck
+    (List.length s.violations);
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "@.VIOLATION %s"
+        (repro_line r);
+      List.iter
+        (fun v -> Fmt.pf ppf "@.  %s: %s" v.V.property v.V.detail)
+        r.failures)
+    s.violations

@@ -1,0 +1,77 @@
+(** Chaos harness: payments under randomized environment faults.
+
+    Each chaos run executes one payment with a {!Faults.Fault_plan.t}
+    installed — lossy links, crash–recovery schedules, partitions, GST
+    jitter — and checks the {e safety} subset of the paper's properties:
+    C, ES, CS1–CS3 and global money conservation. Liveness (T, L) is
+    deliberately excluded: a fault plan is allowed to stall a payment, it
+    is never allowed to lose or mint money. A stalled run is classified,
+    not failed.
+
+    The soak sweeps hundreds of random plans across seeds. Every run is a
+    pure function of [(seed, plan)], so each reported violation carries a
+    one-line repro ([xchain chaos --seed … --plan '…']) that replays it
+    bit-for-bit. *)
+
+type classification =
+  | Safe_commit  (** Bob was paid; safety held *)
+  | Safe_abort
+      (** Bob unpaid, every non-faulted customer terminated; safety held *)
+  | Stuck
+      (** some non-faulted customer never terminated — liveness lost to
+          the faults (expected under drops and partitions), safety held *)
+  | Safety_violation  (** an applicable safety property failed *)
+
+val classification_name : classification -> string
+(** ["safe-commit"], ["safe-abort"], ["stuck"], ["safety-violation"]. *)
+
+type run_result = {
+  seed : int;
+  hops : int;
+  protocol : Protocols.Runner.protocol;
+  plan : Faults.Fault_plan.t;
+  classification : classification;
+  failures : Props.Verdict.t list;
+      (** the failed verdicts; non-empty iff [Safety_violation] *)
+  status : Sim.Engine.status;
+  end_time : Sim.Sim_time.t;
+}
+
+val safety_report : Props.Payment_props.run_view -> Props.Verdict.report
+(** C, ES, CS1, CS2, CS3 plus an [M] (money conservation) verdict. *)
+
+val run_one :
+  ?hops:int ->
+  ?protocol:Protocols.Runner.protocol ->
+  plan:Faults.Fault_plan.t ->
+  seed:int ->
+  unit ->
+  run_result
+(** One payment (default: 2 hops, {!Protocols.Runner.Sync_timebound},
+    synchronous network) under [plan], classified. *)
+
+val repro_line : run_result -> string
+(** [xchain chaos -p PROTO --hops H --seed N --plan 'P'] — replays this
+    run exactly. *)
+
+type summary = {
+  runs : int;
+  commits : int;
+  aborts : int;
+  stuck : int;
+  violations : run_result list;
+}
+
+val soak :
+  ?hops:int ->
+  ?protocol:Protocols.Runner.protocol ->
+  ?runs:int ->
+  seed:int ->
+  unit ->
+  summary
+(** [runs] (default 200) chaos runs: run [i] uses seed [seed + i] and a
+    random plan derived from that seed alone, so any single run replays
+    from its repro line without re-running the sweep. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One line of counts, then a repro line per violation. *)

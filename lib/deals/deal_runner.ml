@@ -15,6 +15,7 @@ type config = {
   drift_ppm : int;
   gst : Sim_time.t option;
   cb_patience : Sim_time.t;
+  fault_plan : Faults.Fault_plan.t option;
   seed : int;
   max_events : int;
 }
@@ -29,6 +30,7 @@ let default_config deal protocol =
     drift_ppm = 10_000;
     gst = None;
     cb_patience = 20_000;
+    fault_plan = None;
     seed = 11;
     max_events = 100_000;
   }
@@ -460,12 +462,36 @@ let run ?(substitute = fun ~party:_ ~registry:_ ~signer:_ -> None) cfg =
            book)
          (indexed_arcs cfg))
   in
+  let nprocs =
+    p + Deal.arc_count cfg.deal
+    + (match cfg.protocol with Cbc -> 1 | Timelock -> 0)
+  in
+  let injector =
+    match cfg.fault_plan with
+    | None -> None
+    | Some plan when Faults.Fault_plan.is_none plan -> None
+    | Some plan -> (
+        match Faults.Fault_plan.validate plan ~nprocs with
+        | Error e -> invalid_arg ("Deal_runner.run: bad fault plan: " ^ e)
+        | Ok () ->
+            Some (Faults.Injector.create ~plan ~seed:(cfg.seed + 47) ()))
+  in
   let model =
     match cfg.gst with
     | None -> Network.Synchronous { delta = cfg.delta }
     | Some gst -> Network.Partially_synchronous { gst; delta = cfg.delta }
   in
-  let network = Network.create model (Rng.create ~seed:(cfg.seed + 19)) in
+  let model =
+    match injector with
+    | None -> model
+    | Some inj -> Faults.Injector.jittered_model inj model
+  in
+  let network =
+    Network.create
+      ?tamper:(Option.map Faults.Injector.tamper injector)
+      model
+      (Rng.create ~seed:(cfg.seed + 19))
+  in
   let engine =
     E.create ~tag_of:Dmsg.tag ~network ~sigma:cfg.sigma ~seed:cfg.seed ()
   in
@@ -489,6 +515,9 @@ let run ?(substitute = fun ~party:_ ~registry:_ ~signer:_ -> None) cfg =
       let cb_signer = Auth.register registry (cb_pid cfg) in
       add (certified_chain cfg registry cb_signer)
   | Timelock -> ());
+  Option.iter
+    (fun inj -> Faults.Injector.schedule_crashes inj engine)
+    injector;
   let status = E.run ~max_events:cfg.max_events engine in
   let o =
     {

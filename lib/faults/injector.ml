@@ -1,0 +1,108 @@
+open Sim
+
+type t = {
+  plan : Fault_plan.t;
+  rng : Rng.t;
+  m_drop : Obsv.Metrics.counter;
+  m_dup : Obsv.Metrics.counter;
+  m_corrupt : Obsv.Metrics.counter;
+  m_partition : Obsv.Metrics.counter;
+}
+
+let create ?(metrics = Obsv.Metrics.default) ~plan ~seed () =
+  let help = "Faults injected into the network by the active fault plan" in
+  let kind k =
+    Obsv.Metrics.counter metrics ~help ~labels:[ ("kind", k) ]
+      "xchain_faults_injected_total"
+  in
+  {
+    plan;
+    rng = Rng.split (Rng.create ~seed);
+    m_drop = kind "drop";
+    m_dup = kind "duplicate";
+    m_corrupt = kind "corrupt";
+    m_partition = kind "partition";
+  }
+
+let plan t = t.plan
+
+(* Does an active partition separate src from dst at [now]? A pid absent
+   from every group of a spec is unaffected by that spec. *)
+let partitioned plan ~now ~src ~dst =
+  List.exists
+    (fun (s : Fault_plan.partition_spec) ->
+      let active =
+        Sim_time.(s.from_ <= now)
+        && match s.until_ with None -> true | Some u -> Sim_time.(now < u)
+      in
+      active
+      &&
+      let group_of pid =
+        let rec go i = function
+          | [] -> None
+          | g :: rest -> if List.mem pid g then Some i else go (i + 1) rest
+        in
+        go 0 s.groups
+      in
+      match (group_of src, group_of dst) with
+      | Some a, Some b -> a <> b
+      | _ -> false)
+    plan.Fault_plan.partitions
+
+(* Max per-kind probabilities over all rules matching (src, dst). *)
+let link_pms plan ~src ~dst =
+  List.fold_left
+    (fun (drop, dup, corrupt) (r : Fault_plan.link_rule) ->
+      let m side pid =
+        match side with None -> true | Some p -> p = pid
+      in
+      if m r.src src && m r.dst dst then
+        ( Stdlib.max drop r.drop_pm,
+          Stdlib.max dup r.dup_pm,
+          Stdlib.max corrupt r.corrupt_pm )
+      else (drop, dup, corrupt))
+    (0, 0, 0) plan.Fault_plan.links
+
+let tamper t : Network.tamper =
+ fun ~send_time ~src ~dst ~tag:_ ->
+  if partitioned t.plan ~now:send_time ~src ~dst then begin
+    Obsv.Metrics.inc t.m_partition;
+    []
+  end
+  else begin
+    let drop_pm, dup_pm, corrupt_pm = link_pms t.plan ~src ~dst in
+    let roll pm = pm > 0 && Rng.int t.rng 1000 < pm in
+    if roll drop_pm then begin
+      Obsv.Metrics.inc t.m_drop;
+      []
+    end
+    else begin
+      let ncopies =
+        if roll dup_pm then begin
+          Obsv.Metrics.inc t.m_dup;
+          2
+        end
+        else 1
+      in
+      List.init ncopies (fun _ ->
+          if roll corrupt_pm then begin
+            Obsv.Metrics.inc t.m_corrupt;
+            Network.Corrupted
+          end
+          else Network.Intact)
+    end
+  end
+
+let schedule_crashes t engine =
+  List.iter
+    (fun (c : Fault_plan.crash_spec) ->
+      Engine.schedule_crash engine ~pid:c.pid ~at:c.at ?recover_at:c.recover_at
+        ())
+    t.plan.Fault_plan.crashes
+
+let jittered_model t = function
+  | Network.Partially_synchronous { gst; delta }
+    when t.plan.Fault_plan.gst_jitter > 0 ->
+      Network.Partially_synchronous
+        { gst = Sim_time.add gst t.plan.Fault_plan.gst_jitter; delta }
+  | m -> m

@@ -1,0 +1,36 @@
+(** Deterministic fault-plan interpreter.
+
+    An injector owns a private RNG stream (split from its seed) and turns a
+    {!Fault_plan.t} into concrete per-send decisions: which sends are
+    dropped, duplicated or corrupted ({!tamper}, plugged into
+    {!Sim.Network.create}), and which processes crash and reboot
+    ({!schedule_crashes}, applied to an engine before [run]). The same
+    (plan, seed) pair always produces the same fault schedule, so every
+    chaos failure replays exactly from its printed repro line.
+
+    Injections are counted in [xchain_faults_injected_total{kind=…}] with
+    [kind] one of [drop], [duplicate], [corrupt] or [partition]. *)
+
+type t
+
+val create : ?metrics:Obsv.Metrics.t -> plan:Fault_plan.t -> seed:int -> unit -> t
+(** [metrics] defaults to {!Obsv.Metrics.default}. The injector's random
+    stream is derived from [seed] alone — independent of the engine's and
+    network's streams, so adding faults does not perturb the underlying
+    schedule. *)
+
+val plan : t -> Fault_plan.t
+
+val tamper : t -> Sim.Network.tamper
+(** The per-send fate decision. Active partitions take priority: a send
+    between different groups of an active partition is dropped outright
+    (counted as [kind="partition"]), before any link rule rolls. Link
+    rules then combine by max per kind; corruption is rolled per copy. *)
+
+val schedule_crashes : t -> ('msg, 'obs) Sim.Engine.t -> unit
+(** Apply the plan's crash–recovery schedules via
+    {!Sim.Engine.schedule_crash}. Call after [add_process], before [run]. *)
+
+val jittered_model : t -> Sim.Network.model -> Sim.Network.model
+(** Add the plan's GST jitter to a partially-synchronous model's GST;
+    other models are returned unchanged. *)

@@ -34,6 +34,7 @@ type config = {
   network : network;
   adversary : Network.adversary option;
   faults : (int * Byzantine.t) list;
+  fault_plan : Faults.Fault_plan.t option;
   window_scale : (int * int) option;
   clock_override : (int -> Sim.Clock.t) option;
   seed : int;
@@ -53,6 +54,7 @@ let default_config ~hops ~seed =
     network = Sync;
     adversary = None;
     faults = [];
+    fault_plan = None;
     window_scale = None;
     clock_override = None;
     seed;
@@ -108,9 +110,23 @@ let default_horizon cfg params =
   in
   Sim_time.add (Sim_time.add base net_slack) 2_000_000
 
+let validate_config cfg =
+  let fail fmt = Fmt.kstr invalid_arg ("Runner.run: " ^^ fmt) in
+  if cfg.hops < 1 then fail "hops must be >= 1 (got %d)" cfg.hops;
+  if cfg.value <= 0 then fail "value must be positive (got %d)" cfg.value;
+  if cfg.commission < 0 then
+    fail "commission must be >= 0 (got %d)" cfg.commission;
+  if Sim_time.(cfg.margin < zero) then
+    fail "margin must be >= 0 (got %a)" Sim_time.pp cfg.margin;
+  match cfg.network with
+  | Psync { gst } when Sim_time.(gst < zero) ->
+      fail "partially-synchronous GST must be >= 0 (got %a)" Sim_time.pp gst
+  | _ -> ()
+
 (* Build and execute the engine run; [run] below wraps this with the
    post-run telemetry pass. *)
 let run_engine cfg protocol =
+  validate_config cfg;
   let params = derive_params cfg protocol in
   let topo = Topology.create ~hops:cfg.hops in
   let env =
@@ -127,9 +143,26 @@ let run_engine cfg protocol =
     (fun k _ -> Topology.register_aux topo k)
     tm_pids;
   let nprocs = Topology.payment_count topo + Array.length tm_pids in
+  let injector =
+    match cfg.fault_plan with
+    | None -> None
+    | Some plan when Faults.Fault_plan.is_none plan -> None
+    | Some plan -> (
+        match Faults.Fault_plan.validate plan ~nprocs with
+        | Error e -> invalid_arg ("Runner.run: bad fault plan: " ^ e)
+        | Ok () ->
+            Some (Faults.Injector.create ~plan ~seed:(cfg.seed + 47) ()))
+  in
   let net_rng = Rng.create ~seed:(cfg.seed + 17) in
+  let model =
+    match injector with
+    | None -> network_model cfg
+    | Some inj -> Faults.Injector.jittered_model inj (network_model cfg)
+  in
   let network =
-    Network.create ?adversary:cfg.adversary (network_model cfg) net_rng
+    Network.create ?adversary:cfg.adversary
+      ?tamper:(Option.map Faults.Injector.tamper injector)
+      model net_rng
   in
   let engine =
     Engine.create ~tag_of:Msg.tag ~network ~sigma:cfg.sigma ~seed:cfg.seed ()
@@ -151,6 +184,27 @@ let run_engine cfg protocol =
   let fault_names =
     List.map (fun (pid, s) -> (pid, Byzantine.name s)) cfg.faults
   in
+  (* Crashed participants are non-abiding: registering them here lets the
+     conditional properties (CS1–CS3) go vacuous instead of blaming the
+     protocol for a host we pulled the plug on. *)
+  let fault_names =
+    match injector with
+    | None -> fault_names
+    | Some inj ->
+        List.fold_left
+          (fun acc (c : Faults.Fault_plan.crash_spec) ->
+            if List.mem_assoc c.pid acc then acc
+            else
+              acc
+              @ [
+                  ( c.pid,
+                    match c.recover_at with
+                    | None -> "crash-stop"
+                    | Some _ -> "crash-recovery" );
+                ])
+          fault_names
+          (Faults.Injector.plan inj).Faults.Fault_plan.crashes
+  in
   for pid = 0 to nprocs - 1 do
     let handlers =
       match List.assoc_opt pid cfg.faults with
@@ -165,6 +219,9 @@ let run_engine cfg protocol =
     let added = Engine.add_process engine ~clock handlers in
     assert (added = pid)
   done;
+  Option.iter
+    (fun inj -> Faults.Injector.schedule_crashes inj engine)
+    injector;
   let horizon =
     match cfg.horizon with
     | Some h -> h

@@ -34,6 +34,12 @@ type config = {
   network : network;
   adversary : Sim.Network.adversary option;
   faults : (int * Byzantine.t) list;  (** pid → strategy substitutions *)
+  fault_plan : Faults.Fault_plan.t option;
+      (** environment faults — lossy links, crash–recovery schedules,
+          partitions, GST jitter — interpreted deterministically from
+          [seed + 47]; crashed pids are registered as non-abiding in
+          [outcome.fault_names]. [None] (the default): reliable channels,
+          no crashes. *)
   window_scale : (int * int) option;
       (** scale the derived a/d windows by num/den — used by E2 to build
           timeout-candidate families; [None] = as derived *)
@@ -68,7 +74,12 @@ type outcome = {
 }
 
 val run : config -> protocol -> outcome
-(** Executes the payment and, after the engine stops, records telemetry in
+(** Validates the config first — hops >= 1, value > 0, commission >= 0,
+    margin >= 0, partially-synchronous GST >= 0, and any fault plan
+    well-formed for the scenario's process count — raising
+    [Invalid_argument] with a descriptive message otherwise.
+
+    Executes the payment and, after the engine stops, records telemetry in
     the process-wide {!Obsv} registries: the
     [xchain_payments_started_total] / [_committed_total] / [_aborted_total]
     counters and the [xchain_payment_latency] histogram (all labeled

@@ -1,6 +1,8 @@
 type 'msg event =
   | Deliver of { src : int; dst : int; msg : 'msg; sent_at : Sim_time.t }
   | Fire of { owner : int; label : string; epoch : int }
+  | Crash of { pid : int; recover_at : Sim_time.t option }
+  | Recover of { pid : int }
 
 type ('msg, 'obs) handlers = {
   on_start : ('msg, 'obs) ctx -> unit;
@@ -15,6 +17,8 @@ and ('msg, 'obs) proc = {
   timer_epochs : (string, int) Hashtbl.t;
       (* current epoch per label: stale Fire events are dropped *)
   mutable halted : bool;
+  mutable down : bool; (* crashed by fault injection, may recover *)
+  mutable up_at : Sim_time.t option; (* scheduled reboot while down *)
 }
 
 (* Handles resolved once at [create]: the per-event updates below are plain
@@ -27,10 +31,17 @@ and telemetry = {
   m_timers_fired : Obsv.Metrics.counter;
   m_timers_stale : Obsv.Metrics.counter;
   m_queue_depth : Obsv.Metrics.gauge;
+  m_crashes : Obsv.Metrics.counter;
+  m_recoveries : Obsv.Metrics.counter;
+  m_procs_down : Obsv.Metrics.gauge;
+  m_down_drops : Obsv.Metrics.counter;
+  m_timers_deferred : Obsv.Metrics.counter;
+  m_corrupt_drops : Obsv.Metrics.counter;
 }
 
 and ('msg, 'obs) t = {
   tag_of : 'msg -> string;
+  mangle : ('msg -> Rng.t -> 'msg option) option;
   network : Network.t;
   sigma : Sim_time.t;
   root_rng : Rng.t;
@@ -67,12 +78,32 @@ let telemetry_handles reg =
     m_queue_depth =
       Obsv.Metrics.gauge reg ~help:"Pending events in the engine queue"
         "xchain_event_queue_depth";
+    m_crashes =
+      counter ~help:"Processes taken down by fault injection"
+        "xchain_crashes_total";
+    m_recoveries =
+      counter ~help:"Crashed processes that rebooted" "xchain_recoveries_total";
+    m_procs_down =
+      Obsv.Metrics.gauge reg ~help:"Processes currently down (crashed)"
+        "xchain_procs_down";
+    m_down_drops =
+      counter ~help:"Deliveries discarded because the destination was down"
+        "xchain_deliveries_dropped_down_total";
+    m_timers_deferred =
+      counter
+        ~help:"Timer firings deferred to the owner's scheduled recovery"
+        "xchain_timers_deferred_total";
+    m_corrupt_drops =
+      counter
+        ~help:"Corrupted copies discarded for want of a message mangler"
+        "xchain_corrupt_copies_dropped_total";
   }
 
-let create ~tag_of ~network ?(sigma = Sim_time.zero)
+let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
     ?(metrics = Obsv.Metrics.default) ~seed () =
   {
     tag_of;
+    mangle;
     network;
     sigma;
     root_rng = Rng.create ~seed;
@@ -94,6 +125,8 @@ let add_process t ?(clock = Clock.perfect) handlers =
       proc_rng = Rng.split t.root_rng;
       timer_epochs = Hashtbl.create 8;
       halted = false;
+      down = false;
+      up_at = None;
     }
   in
   let pid = t.nprocs in
@@ -113,6 +146,22 @@ let trace t = t.tr
 let now t = t.clock_now
 let clock_of t pid = (proc t pid).clock
 let is_halted t pid = (proc t pid).halted
+let is_down t pid = (proc t pid).down
+
+let schedule_crash t ~pid ~at ?recover_at () =
+  if t.started then
+    invalid_arg "Engine.schedule_crash: engine already running";
+  if pid < 0 || pid >= t.nprocs then
+    invalid_arg "Engine.schedule_crash: bad pid";
+  (match recover_at with
+  | Some r when Sim_time.(r <= at) ->
+      invalid_arg "Engine.schedule_crash: recovery must follow the crash"
+  | _ -> ());
+  ignore (Event_queue.push t.queue ~time:at (Crash { pid; recover_at }));
+  match recover_at with
+  | Some r when not (Sim_time.is_infinite r) ->
+      ignore (Event_queue.push t.queue ~time:r (Recover { pid }))
+  | _ -> ()
 
 (* --- ctx operations --- *)
 
@@ -132,14 +181,35 @@ let send ctx ~dst msg =
     else Rng.int_in p.proc_rng ~lo:0 ~hi:t.sigma
   in
   let depart = Sim_time.add t.clock_now compute in
-  let arrive =
-    Network.delivery_time t.network ~send_time:depart ~src:ctx.self ~dst ~tag
-  in
   Trace.record t.tr (Sent { t = t.clock_now; src = ctx.self; dst; tag; msg });
   Obsv.Metrics.inc t.tm.m_sent;
-  ignore
-    (Event_queue.push t.queue ~time:arrive
-       (Deliver { src = ctx.self; dst; msg; sent_at = t.clock_now }));
+  let deliver msg =
+    let arrive =
+      Network.delivery_time t.network ~send_time:depart ~src:ctx.self ~dst ~tag
+    in
+    ignore
+      (Event_queue.push t.queue ~time:arrive
+         (Deliver { src = ctx.self; dst; msg; sent_at = t.clock_now }))
+  in
+  (* the fault injector decides how many copies the channel carries (none =
+     dropped); each surviving copy draws its own delay, so duplicates still
+     obey the per-link FIFO clamp *)
+  List.iter
+    (fun copy ->
+      match (copy : Network.copy) with
+      | Network.Intact -> deliver msg
+      | Network.Corrupted -> (
+          match t.mangle with
+          | Some f -> (
+              match f msg p.proc_rng with
+              | Some damaged -> deliver damaged
+              | None -> Obsv.Metrics.inc t.tm.m_corrupt_drops)
+          | None ->
+              (* authenticated channels: an undetectably-corrupted payload
+                 cannot be fabricated, so the receiver discards it — model
+                 that as a drop at the network *)
+              Obsv.Metrics.inc t.tm.m_corrupt_drops))
+    (Network.fate t.network ~send_time:depart ~src:ctx.self ~dst ~tag);
   Obsv.Metrics.set t.tm.m_queue_depth (Event_queue.length t.queue)
 
 let set_timer ctx ~deadline ~label =
@@ -200,12 +270,18 @@ let dispatch t ev =
   match ev with
   | Deliver { src; dst; msg; sent_at } ->
       let p = proc t dst in
-      Trace.record t.tr
-        (Delivered
-           { t = t.clock_now; sent_at; src; dst; tag = t.tag_of msg; msg });
-      Obsv.Metrics.inc t.tm.m_delivered;
-      if not p.halted then
-        p.handlers.on_receive { engine = t; self = dst } ~src msg
+      if p.down then
+        (* a crashed host receives nothing: the message is gone, like a
+           network drop — recovery does not replay it *)
+        Obsv.Metrics.inc t.tm.m_down_drops
+      else begin
+        Trace.record t.tr
+          (Delivered
+             { t = t.clock_now; sent_at; src; dst; tag = t.tag_of msg; msg });
+        Obsv.Metrics.inc t.tm.m_delivered;
+        if not p.halted then
+          p.handlers.on_receive { engine = t; self = dst } ~src msg
+      end
   | Fire { owner; label; epoch } ->
       let p = proc t owner in
       let live =
@@ -213,12 +289,39 @@ let dispatch t ev =
         | Some e -> e = epoch
         | None -> false
       in
-      if live && not p.halted then begin
+      if live && p.down then begin
+        match p.up_at with
+        | Some r when Sim_time.(r > t.clock_now) ->
+            (* deadlines persist across a reboot (they live in the automaton
+               store): re-check them the moment the process comes back *)
+            Obsv.Metrics.inc t.tm.m_timers_deferred;
+            ignore (Event_queue.push t.queue ~time:r (Fire { owner; label; epoch }))
+        | _ -> Obsv.Metrics.inc t.tm.m_timers_stale
+      end
+      else if live && not p.halted then begin
         Trace.record t.tr (Timer_fired { t = t.clock_now; owner; label });
         Obsv.Metrics.inc t.tm.m_timers_fired;
         p.handlers.on_timer { engine = t; self = owner } ~label
       end
       else Obsv.Metrics.inc t.tm.m_timers_stale
+  | Crash { pid; recover_at } ->
+      let p = proc t pid in
+      if not p.down then begin
+        p.down <- true;
+        p.up_at <- recover_at;
+        Trace.record t.tr (Crashed { t = t.clock_now; pid; recover_at });
+        Obsv.Metrics.inc t.tm.m_crashes;
+        Obsv.Metrics.gauge_add t.tm.m_procs_down 1
+      end
+  | Recover { pid } ->
+      let p = proc t pid in
+      if p.down then begin
+        p.down <- false;
+        p.up_at <- None;
+        Trace.record t.tr (Recovered { t = t.clock_now; pid });
+        Obsv.Metrics.inc t.tm.m_recoveries;
+        Obsv.Metrics.gauge_add t.tm.m_procs_down (-1)
+      end
 
 let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
   if not t.started then begin

@@ -57,6 +57,7 @@ type ('msg, 'obs) t
 
 val create :
   tag_of:('msg -> string) ->
+  ?mangle:('msg -> Rng.t -> 'msg option) ->
   network:Network.t ->
   ?sigma:Sim_time.t ->
   ?metrics:Obsv.Metrics.t ->
@@ -66,12 +67,22 @@ val create :
 (** [tag_of] labels messages for traces and for the adversary; [sigma] is the
     computation-time bound (default 0: instantaneous computation).
 
+    [mangle] materialises in-flight corruption when the network's tamper
+    hook marks a copy {!Network.Corrupted}: it receives the original
+    message and the sender's random stream and returns the damaged payload,
+    or [None] to discard the copy. Without a mangler, corrupted copies are
+    discarded (authenticated channels: garbage fails verification at the
+    receiver), counted in [xchain_corrupt_copies_dropped_total].
+
     [metrics] (default {!Obsv.Metrics.default}) receives the engine's
     telemetry: [xchain_events_total], [xchain_messages_sent_total],
     [xchain_messages_delivered_total], [xchain_timers_set_total],
-    [xchain_timers_fired_total], [xchain_timers_stale_total] and the
-    [xchain_event_queue_depth] gauge. Handles are resolved here, once; the
-    per-event updates allocate nothing. *)
+    [xchain_timers_fired_total], [xchain_timers_stale_total], the
+    [xchain_event_queue_depth] gauge, and the fault-injection families
+    [xchain_crashes_total], [xchain_recoveries_total], [xchain_procs_down],
+    [xchain_deliveries_dropped_down_total], [xchain_timers_deferred_total]
+    and [xchain_corrupt_copies_dropped_total]. Handles are resolved here,
+    once; the per-event updates allocate nothing. *)
 
 val add_process :
   ('msg, 'obs) t -> ?clock:Clock.t -> ('msg, 'obs) handlers -> int
@@ -95,3 +106,23 @@ val trace : ('msg, 'obs) t -> ('msg, 'obs) Trace.t
 val now : ('msg, 'obs) t -> Sim_time.t
 val clock_of : ('msg, 'obs) t -> int -> Clock.t
 val is_halted : ('msg, 'obs) t -> int -> bool
+
+(** {2 Crash–recovery fault injection}
+
+    A {e down} process is a crashed host: deliveries addressed to it are
+    discarded (never replayed), and its armed timers do not fire while it
+    is down. If a recovery is scheduled, timer firings swallowed by the
+    outage are re-checked at the reboot instant — deadlines live in the
+    automaton's persisted store ({!Anta.Store}), so a recovered process
+    takes its expired-deadline branches immediately and resumes from the
+    exact control state it crashed in (handler closures, including the
+    store, survive the outage; only in-flight events are lost). *)
+
+val schedule_crash :
+  ('msg, 'obs) t -> pid:int -> at:Sim_time.t -> ?recover_at:Sim_time.t ->
+  unit -> unit
+(** Schedule [pid] to go down at global time [at] and (optionally) reboot
+    at [recover_at]. Must be called before {!run}; [recover_at], when
+    given, must be strictly after [at]. *)
+
+val is_down : ('msg, 'obs) t -> int -> bool

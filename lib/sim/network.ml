@@ -13,20 +13,27 @@ type adversary =
   bounds:bounds ->
   Sim_time.t option
 
+type copy = Intact | Corrupted
+
+type tamper =
+  send_time:Sim_time.t -> src:int -> dst:int -> tag:string -> copy list
+
 type t = {
   model : model;
   adversary : adversary option;
+  tamper : tamper option;
   fifo : bool;
   rng : Rng.t;
   last_delivery : (int * int, Sim_time.t) Hashtbl.t;
   reg : Obsv.Metrics.t;
   link_delay : (int * int, Obsv.Metrics.histogram) Hashtbl.t;
   m_adversary : Obsv.Metrics.counter;
+  m_adversary_clamped : Obsv.Metrics.counter;
   m_fifo_holds : Obsv.Metrics.counter;
 }
 
-let create ?adversary ?(fifo = true) ?(metrics = Obsv.Metrics.default) model
-    rng =
+let create ?adversary ?tamper ?(fifo = true) ?(metrics = Obsv.Metrics.default)
+    model rng =
   (match model with
   | Synchronous { delta } ->
       if delta < 1 then invalid_arg "Network: delta must be >= 1"
@@ -37,6 +44,7 @@ let create ?adversary ?(fifo = true) ?(metrics = Obsv.Metrics.default) model
   {
     model;
     adversary;
+    tamper;
     fifo;
     rng;
     last_delivery = Hashtbl.create 64;
@@ -44,8 +52,12 @@ let create ?adversary ?(fifo = true) ?(metrics = Obsv.Metrics.default) model
     link_delay = Hashtbl.create 64;
     m_adversary =
       Obsv.Metrics.counter metrics
-        ~help:"Message delays chosen by the adversary (vs sampled)"
+        ~help:"Message delays chosen by the adversary and honored as picked"
         "xchain_network_adversary_delays_total";
+    m_adversary_clamped =
+      Obsv.Metrics.counter metrics
+        ~help:"Adversary delay picks overridden by clamping into the model"
+        "xchain_network_adversary_clamped_total";
     m_fifo_holds =
       Obsv.Metrics.counter metrics
         ~help:"Deliveries pushed later to preserve per-link FIFO order"
@@ -92,6 +104,11 @@ let link_histogram t ~src ~dst =
       Hashtbl.add t.link_delay key h;
       h
 
+let fate t ~send_time ~src ~dst ~tag =
+  match t.tamper with
+  | None -> [ Intact ]
+  | Some f -> f ~send_time ~src ~dst ~tag
+
 let delivery_time t ~send_time ~src ~dst ~tag =
   let bounds = bounds_at t.model ~send_time in
   let delay =
@@ -99,8 +116,12 @@ let delivery_time t ~send_time ~src ~dst ~tag =
     | Some adv -> (
         match adv ~send_time ~src ~dst ~tag ~bounds with
         | Some d ->
-            Obsv.Metrics.inc t.m_adversary;
-            clamp bounds d
+            let d' = clamp bounds d in
+            (* an out-of-bounds pick was overridden, not honored — count it
+               separately so metrics distinguish the two *)
+            Obsv.Metrics.inc
+              (if d' = d then t.m_adversary else t.m_adversary_clamped);
+            d'
         | None -> sample t ~send_time bounds)
     | None -> sample t ~send_time bounds
   in

@@ -40,23 +40,47 @@ type adversary =
     [bounds] — the adversary can never violate the model, only exploit it.
     [None] falls back to random sampling. *)
 
+type copy = Intact | Corrupted
+(** One scheduled delivery of a send. [Corrupted] copies reach the engine,
+    which damages (or, lacking a mangler, discards) the payload. *)
+
+type tamper =
+  send_time:Sim_time.t -> src:int -> dst:int -> tag:string -> copy list
+(** A fault injector inspects a send and decides which copies of it the
+    network will carry: [[]] drops the message, [[Intact]] is a faithful
+    channel, two elements duplicate the send, [Corrupted] elements are
+    damaged in flight. Unlike the {!adversary} (which can only stretch
+    time within the model), a tamper hook makes channels {e unreliable} —
+    it exists for the fault-injection subsystem ({!Faults}) and steps
+    outside the paper's reliable-channel assumption by design. *)
+
 type t
 
 val create :
-  ?adversary:adversary -> ?fifo:bool -> ?metrics:Obsv.Metrics.t -> model ->
-  Rng.t -> t
+  ?adversary:adversary -> ?tamper:tamper -> ?fifo:bool ->
+  ?metrics:Obsv.Metrics.t -> model -> Rng.t -> t
 (** [fifo] (default [true]) enforces per-channel FIFO by never letting a
     later send on the same (src, dst) pair overtake an earlier one.
 
+    [tamper] (default: none — reliable channels) decides drops, duplicates
+    and corruption per send; see {!tamper}.
+
     [metrics] (default {!Obsv.Metrics.default}) receives a per-link
     [xchain_network_delay] histogram (label [link="src->dst"]) plus the
-    [xchain_network_adversary_delays_total] and
+    [xchain_network_adversary_delays_total],
+    [xchain_network_adversary_clamped_total] and
     [xchain_network_fifo_holds_total] counters. *)
 
 val model : t -> model
 
 val bounds_at : model -> send_time:Sim_time.t -> bounds
 (** The permitted delay envelope for a message sent at [send_time]. *)
+
+val fate : t -> send_time:Sim_time.t -> src:int -> dst:int -> tag:string ->
+  copy list
+(** The copies the network will actually carry for this send —
+    [[Intact]] unless a [tamper] hook was installed. The engine calls this
+    once per send, then {!delivery_time} once per surviving copy. *)
 
 val delivery_time : t -> send_time:Sim_time.t -> src:int -> dst:int ->
   tag:string -> Sim_time.t

@@ -18,6 +18,8 @@ type ('msg, 'obs) entry =
   | Timer_fired of { t : Sim_time.t; owner : int; label : string }
   | Observed of { t : Sim_time.t; pid : int; obs : 'obs }
   | Halted of { t : Sim_time.t; pid : int }
+  | Crashed of { t : Sim_time.t; pid : int; recover_at : Sim_time.t option }
+  | Recovered of { t : Sim_time.t; pid : int }
 
 type ('msg, 'obs) t = {
   mutable rev_entries : ('msg, 'obs) entry list;
@@ -39,7 +41,9 @@ let time_of = function
   | Timer_set { t; _ }
   | Timer_fired { t; _ }
   | Observed { t; _ }
-  | Halted { t; _ } ->
+  | Halted { t; _ }
+  | Crashed { t; _ }
+  | Recovered { t; _ } ->
       t
 
 (* Folding over [rev_entries] directly (newest first, consing onto the
@@ -82,6 +86,12 @@ let pp ~msg ~obs ppf t =
     | Observed { t; pid; obs = o } ->
         Fmt.pf ppf "%a  %d       obs %a" Sim_time.pp t pid obs o
     | Halted { t; pid } -> Fmt.pf ppf "%a  %d       halted" Sim_time.pp t pid
+    | Crashed { t; pid; recover_at } ->
+        Fmt.pf ppf "%a  %d       crashed%a" Sim_time.pp t pid
+          Fmt.(option (any " (recovers " ++ Sim_time.pp ++ any ")"))
+          recover_at
+    | Recovered { t; pid } ->
+        Fmt.pf ppf "%a  %d       recovered" Sim_time.pp t pid
   in
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_entry) (to_list t)
 
@@ -132,6 +142,14 @@ let to_jsonl ~msg ~obs t =
             pid
             (json_escape (obs o))
       | Halted { t; pid } ->
-          line {|{"seq":%d,"kind":"halted","t":%d,"pid":%d}|} seq t pid)
+          line {|{"seq":%d,"kind":"halted","t":%d,"pid":%d}|} seq t pid
+      | Crashed { t; pid; recover_at } ->
+          line {|{"seq":%d,"kind":"crashed","t":%d,"pid":%d,"recover_at":%s}|}
+            seq t pid
+            (match recover_at with
+            | None -> "null"
+            | Some r -> string_of_int r)
+      | Recovered { t; pid } ->
+          line {|{"seq":%d,"kind":"recovered","t":%d,"pid":%d}|} seq t pid)
     (to_list t);
   Buffer.contents buf

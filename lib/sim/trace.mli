@@ -29,6 +29,10 @@ type ('msg, 'obs) entry =
   | Timer_fired of { t : Sim_time.t; owner : int; label : string }
   | Observed of { t : Sim_time.t; pid : int; obs : 'obs }
   | Halted of { t : Sim_time.t; pid : int }
+  | Crashed of { t : Sim_time.t; pid : int; recover_at : Sim_time.t option }
+      (** Fault injection took the process down; [recover_at] is the
+          scheduled reboot time, if any. *)
+  | Recovered of { t : Sim_time.t; pid : int }
 
 type ('msg, 'obs) t
 

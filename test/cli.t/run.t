@@ -90,8 +90,8 @@ emit, populated by deterministic probe workloads:
   xchain_consensus_decisions_total           counter   Decision certificates assembled
   xchain_consensus_rounds_to_decide          histogram Rounds needed to reach a decision (1 = decided in round 0)
   xchain_network_fifo_holds_total            counter   Deliveries pushed later to preserve per-link FIFO order
-  xchain_network_adversary_delays_total      counter   Message delays chosen by the adversary (vs sampled)
-  xchain_event_queue_depth                   gauge     Pending events in the engine queue
+  xchain_network_adversary_clamped_total     counter   Adversary delay picks overridden by clamping into the model
+  xchain_network_adversary_delays_total      counter   Message delays chosen by the adversary and honored as picked
 
   $ xchain metrics --help | head -6
   NAME
@@ -117,6 +117,34 @@ root payment span carrying the commit status:
   $ head -2 spans.jsonl
   {"id":0,"parent":null,"name":"payment","start":0,"end":467,"status":"commit","attrs":{"seed":"3","hops":"2","protocol":"sync-timebound"}}
   {"id":1,"parent":0,"name":"participant:alice","start":0,"end":545,"status":"certified","attrs":{}}
+
+A chaos run with no plan is an ordinary payment and commits; a forced
+crash of a connector stalls it without ever violating safety, and the
+outcome replays from the printed seed and plan:
+
+  $ xchain chaos --seed 3
+  plan: none
+  classification: safe-commit
+
+  $ xchain chaos --seed 3 --plan 'crash 1@100'
+  plan: crash 1@100
+  classification: stuck
+
+A bounded soak sweeps random plans and reports the outcome taxonomy on
+one line (zero safety violations is the exit-0 criterion):
+
+  $ xchain chaos --soak --runs 20 --seed 1
+  chaos soak: 20 runs — 10 safe-commit, 0 safe-abort, 10 stuck, 0 safety-violation
+
+Malformed plans and unreadable plan files are usage errors:
+
+  $ xchain chaos --plan 'flood *>* 1'
+  xchain chaos: bad fault plan (--plan): unrecognised clause "flood *>* 1"
+  [2]
+
+  $ xchain chaos --plan-file no-such.plan
+  xchain chaos: cannot read plan file: no-such.plan: No such file or directory
+  [2]
 
 The Figure 2 escrow automaton renders with its grey output states:
 

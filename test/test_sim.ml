@@ -347,6 +347,55 @@ let network_tests =
            let b = Network.bounds_at model ~send_time in
            let d = at - send_time in
            d >= b.Network.lo && d <= b.Network.hi));
+    qcheck
+      (QCheck.Test.make
+         ~name:"fifo keeps per-link deliveries monotone under any fault plan"
+         ~count:100 QCheck.small_int
+         (fun seed ->
+           (* drive the network exactly as the engine does — fate first,
+              then one delivery_time per surviving copy — under a random
+              fault plan (drops, duplicates, corruption, partitions) and a
+              randomly meddling adversary, and require that on every
+              (src, dst) link delivery times never go backwards *)
+           let prng = Rng.create ~seed:(seed + 1) in
+           let plan = Faults.Fault_plan.random prng ~nprocs:4 ~horizon:1_000 in
+           let inj =
+             Faults.Injector.create
+               ~metrics:(Obsv.Metrics.create ())
+               ~plan ~seed ()
+           in
+           let arng = Rng.create ~seed:(seed + 2) in
+           let adversary ~send_time:_ ~src:_ ~dst:_ ~tag:_
+               ~bounds:(b : Network.bounds) =
+             if Rng.bool arng then
+               Some (Rng.int_in arng ~lo:b.Network.lo ~hi:b.Network.hi)
+             else None
+           in
+           let t =
+             Network.create ~adversary ~tamper:(Faults.Injector.tamper inj)
+               ~fifo:true
+               ~metrics:(Obsv.Metrics.create ())
+               (Network.Synchronous { delta = 50 })
+               (Rng.create ~seed:(seed + 3))
+           in
+           let last = Hashtbl.create 16 in
+           let ok = ref true in
+           for i = 0 to 199 do
+             let send_time = i * 3 in
+             let src = Rng.int arng 4 and dst = Rng.int arng 4 in
+             let copies = Network.fate t ~send_time ~src ~dst ~tag:"m" in
+             List.iter
+               (fun (_ : Network.copy) ->
+                 let at =
+                   Network.delivery_time t ~send_time ~src ~dst ~tag:"m"
+                 in
+                 (match Hashtbl.find_opt last (src, dst) with
+                 | Some prev when at < prev -> ok := false
+                 | _ -> ());
+                 Hashtbl.replace last (src, dst) at)
+               copies
+           done;
+           !ok));
   ]
 
 (* -------------------------------- Engine ------------------------------ *)
