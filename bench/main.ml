@@ -64,6 +64,86 @@ let write_metrics_json per_experiment =
   close_out oc;
   Fmt.pr "telemetry snapshots written to %s@." metrics_json_file
 
+(* --------------------------- load workloads ---------------------------- *)
+
+(* Canonical load workloads: each is one deterministic Load.run whose full
+   report lands in BENCH_load.json. Quick scale trims the payment counts;
+   full scale is the 10k-payment run recorded in EXPERIMENTS.md. *)
+let load_workloads =
+  let n = match scale with Xchain.Experiments.Quick -> 500 | Full -> 10_000 in
+  let w s =
+    match Traffic.Workload.of_string s with
+    | Ok w -> w
+    | Error e -> failwith e
+  in
+  [
+    ( "mixed_open_loop",
+      w
+        (Printf.sprintf
+           "payments=%d hops=2 value=1000 commission=10 arrival=poisson:4 \
+            mix=sync:2,weak:2,htlc:1,atomic:1,committee:1 policy=reserve \
+            cap=0 liquidity=0 patience=2000 stuck=0 drift=10000 gst=none"
+           n) );
+    ( "closed_loop_contention",
+      w
+        (Printf.sprintf
+           "payments=%d hops=2 value=1000 commission=10 arrival=closed:16:5 \
+            mix=weak policy=reserve cap=0 liquidity=%d patience=500 stuck=0 \
+            drift=10000 gst=none"
+           (n / 2) (n / 8)) );
+    (* a healed escrow crash stays inside the paper's model (eventual
+       delivery), so zero violations is asserted; silent drops would not —
+       the weak protocol genuinely loses CS2 without reliable delivery,
+       and both this classifier and chaos report that truthfully *)
+    ( "crash_heal",
+      w
+        (Printf.sprintf
+           "payments=%d hops=2 value=1000 commission=10 arrival=poisson:40 \
+            mix=weak:1,atomic:1 policy=reserve cap=0 liquidity=0 \
+            patience=2000 stuck=0 drift=10000 gst=none"
+           (n / 5)) );
+  ]
+
+let load_plan_for = function
+  | "crash_heal" -> (
+      match Faults.Fault_plan.of_string "crash 3@1500+2500" with
+      | Ok p -> Some p
+      | Error e -> failwith e)
+  | _ -> None
+
+let load_json_file = "BENCH_load.json"
+
+let write_load_json () =
+  Fmt.pr "@.##### Load workloads (one run each, seed 1) #####@.@.";
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"scale\":";
+  Buffer.add_string buf
+    (match scale with
+    | Xchain.Experiments.Quick -> "\"quick\""
+    | Full -> "\"full\"");
+  Buffer.add_string buf ",\"workloads\":{";
+  List.iteri
+    (fun i (name, workload) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let r =
+        match load_plan_for name with
+        | Some plan -> Traffic.Load.run ~plan ~workload ~seed:1 ()
+        | None -> Traffic.Load.run ~workload ~seed:1 ()
+      in
+      Fmt.pr "%s:@.%a@.@." name Traffic.Load.pp_summary r;
+      if r.Traffic.Load.violated > 0 || not r.Traffic.Load.conservation_ok
+      then Fmt.failwith "load workload %s violated safety" name;
+      Buffer.add_char buf '"';
+      Buffer.add_string buf name;
+      Buffer.add_string buf "\":";
+      Buffer.add_string buf (Traffic.Load.to_json r))
+    load_workloads;
+  Buffer.add_string buf "}}\n";
+  let oc = open_out load_json_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "load reports written to %s@." load_json_file
+
 (* -------------------------- micro-benchmarks -------------------------- *)
 
 let payment_run protocol ~hops ~seed =
@@ -151,10 +231,54 @@ let experiment_tests =
     Test.make ~name:"chaos_soak_10plans"
       (Staged.stage (fun () ->
            ignore (Xchain.Chaos.soak ~hops:2 ~runs:10 ~seed:1 ())));
+    Test.make ~name:"load_100_mixed_payments"
+      (Staged.stage
+         (let workload =
+            match
+              Traffic.Workload.of_string
+                "payments=100 hops=2 value=1000 commission=10 \
+                 arrival=poisson:10 mix=sync:1,weak:1 policy=reserve cap=0 \
+                 liquidity=0 patience=2000 stuck=0 drift=10000 gst=none"
+            with
+            | Ok w -> w
+            | Error e -> failwith e
+          in
+          fun () -> ignore (Traffic.Load.run ~workload ~seed:1 ())));
   ]
 
+(* Occupancy churn for the event queue's cancel path: build a heap of n
+   timers, cancel every other one through the O(1) liveness table, then
+   drain (pops lazily discard the tombstones). Before the liveness table,
+   cancel was a heap scan and this was quadratic in n. *)
+let queue_churn n =
+  let q = Sim.Event_queue.create () in
+  let toks =
+    Array.init n (fun i -> Sim.Event_queue.push q ~time:((i * 7919) land 0xfffff) i)
+  in
+  let cancelled = ref 0 in
+  Array.iteri
+    (fun i t ->
+      if i land 1 = 0 && Sim.Event_queue.cancel q t then incr cancelled)
+    toks;
+  while not (Sim.Event_queue.is_empty q) do
+    ignore (Sim.Event_queue.pop q)
+  done;
+  assert (!cancelled = (n + 1) / 2)
+
+let queue_occupancy_tests =
+  let mk n label =
+    Test.make
+      ~name:(Printf.sprintf "sim_event_queue_churn_%s" label)
+      (Staged.stage (fun () -> queue_churn n))
+  in
+  [ mk 10_000 "10k"; mk 100_000 "100k" ]
+  @ (match scale with
+    | Xchain.Experiments.Full -> [ mk 1_000_000 "1M" ]
+    | Quick -> [])
+
 let substrate_tests =
-  [
+  queue_occupancy_tests
+  @ [
     Test.make ~name:"sim_event_queue_push_pop_1k"
       (Staged.stage (fun () ->
            let q = Sim.Event_queue.create () in
@@ -238,5 +362,6 @@ let run_benchmarks () =
 let () =
   let per_experiment = print_tables () in
   write_metrics_json per_experiment;
+  write_load_json ();
   run_benchmarks ();
   Fmt.pr "@.done.@."

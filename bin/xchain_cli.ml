@@ -530,6 +530,162 @@ let chaos_cmd =
     Term.(const run $ protocol $ hops $ seed $ plan $ plan_file $ soak $ runs
           $ repro_out $ metrics_out_arg)
 
+(* -------------------------------- load --------------------------------- *)
+
+let load_cmd =
+  let run spec payments hops value commission arrival mix policy cap liquidity
+      patience stuck drift gst seed plan plan_file trace_cap out metrics_out
+      spans_out =
+    arm_span_capture spans_out;
+    let fail fmt = Fmt.kstr (fun s -> Fmt.epr "xchain load: %s@." s; exit 2) fmt in
+    let workload =
+      match spec with
+      | Some s -> (
+          match Traffic.Workload.of_string s with
+          | Ok w -> w
+          | Error e -> fail "bad --spec: %s" e)
+      | None ->
+          let parse what f s = match f s with Ok v -> v | Error e -> fail "bad %s: %s" what e in
+          let w =
+            {
+              (Traffic.Workload.default ~payments) with
+              Traffic.Workload.hops;
+              value;
+              commission;
+              arrival = parse "--arrival" Traffic.Workload.arrival_of_string arrival;
+              mix = parse "--mix" Traffic.Workload.mix_of_string mix;
+              policy = parse "--policy" Traffic.Workload.policy_of_string policy;
+              cap;
+              liquidity;
+              patience;
+              stuck_after = stuck;
+              drift_ppm = drift;
+              gst;
+            }
+          in
+          (match Traffic.Workload.validate w with
+          | Ok () -> w
+          | Error e -> fail "bad workload: %s" e)
+    in
+    let plan =
+      let parse_plan ~what s =
+        match Faults.Fault_plan.of_string s with
+        | Ok p -> p
+        | Error e -> fail "bad fault plan (%s): %s" what e
+      in
+      match (plan_file, plan) with
+      | Some file, _ -> (
+          match In_channel.with_open_text file In_channel.input_all with
+          | contents -> parse_plan ~what:file (String.trim contents)
+          | exception Sys_error msg -> fail "cannot read plan file: %s" msg)
+      | None, Some s -> parse_plan ~what:"--plan" s
+      | None, None -> Faults.Fault_plan.none
+    in
+    let report =
+      try Traffic.Load.run ~plan ~trace_capacity:trace_cap ~workload ~seed ()
+      with Invalid_argument e -> fail "%s" e
+    in
+    Fmt.pr "%a@." Traffic.Load.pp_summary report;
+    write_sink out (Traffic.Load.to_json report ^ "\n");
+    dump_telemetry ~metrics_out ~spans_out;
+    if report.Traffic.Load.violations = [] && report.Traffic.Load.conservation_ok
+    then 0
+    else 1
+  in
+  let spec =
+    Arg.(value & opt (some string) None
+         & info [ "spec" ] ~docv:"WORKLOAD"
+             ~doc:"Full workload as the one-line key=value grammar (exactly \
+                   what a report embeds); overrides the individual flags.")
+  in
+  let payments =
+    Arg.(value & opt int 100 & info [ "payments" ] ~doc:"Concurrent payment instances.")
+  in
+  let hops = Arg.(value & opt int 2 & info [ "n"; "hops" ] ~doc:"Escrows per payment.") in
+  let value = Arg.(value & opt int 1000 & info [ "value" ] ~doc:"What Bob is owed.") in
+  let commission =
+    Arg.(value & opt int 10 & info [ "commission" ] ~doc:"Per-connector commission.")
+  in
+  let arrival =
+    Arg.(value & opt string "poisson:40"
+         & info [ "arrival" ] ~docv:"PROC"
+             ~doc:"Arrival process: poisson:GAP | closed:CLIENTS:THINK | \
+                   burst:SIZE:EVERY | ramp:HI:LO.")
+  in
+  let mix =
+    Arg.(value & opt string "sync"
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:"Weighted protocol mix, e.g. 'sync:2,weak:1,htlc:1'. \
+                   Protocols: sync naive htlc weak committee atomic.")
+  in
+  let policy =
+    Arg.(value & opt string "reserve"
+         & info [ "policy" ]
+             ~doc:"Admission policy: reserve (scheduler holds each leg's \
+                   funds) or optimistic (deposits race; funding-checked \
+                   protocols only).")
+  in
+  let cap =
+    Arg.(value & opt int 0
+         & info [ "cap" ] ~doc:"Max payments in flight (0 = unlimited).")
+  in
+  let liquidity =
+    Arg.(value & opt int 0
+         & info [ "liquidity" ]
+             ~doc:"Payer funding in multiples of one payment's leg amount \
+                   (0 = ample: one unit per payment).")
+  in
+  let patience =
+    Arg.(value & opt int 2000
+         & info [ "patience" ] ~doc:"Admission-queue patience, ticks.")
+  in
+  let stuck =
+    Arg.(value & opt int 0
+         & info [ "stuck-after" ]
+             ~doc:"Stuck deadline after admission, ticks (0 = derived from \
+                   the mix's protocol horizons).")
+  in
+  let drift =
+    Arg.(value & opt int 10_000 & info [ "drift" ] ~doc:"Clock drift bound, ppm.")
+  in
+  let gst =
+    Arg.(value & opt (some int) None
+         & info [ "gst" ] ~doc:"Partial synchrony with this GST (default: synchronous).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed.") in
+  let plan =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:"Fault plan over host pids 0..block-1, applied to every \
+                   payment (see docs/fault_injection.md). Default: none.")
+  in
+  let plan_file =
+    Arg.(value & opt (some string) None
+         & info [ "plan-file" ] ~docv:"FILE"
+             ~doc:"Read the fault plan from $(docv) (overrides --plan).")
+  in
+  let trace_cap =
+    Arg.(value & opt int 4096
+         & info [ "trace-cap" ]
+             ~doc:"Engine trace ring-buffer capacity (0 = unbounded). \
+                   Accounting is hook-fed, so eviction never skews the report.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON report to $(docv) ('-' for stdout). \
+                   Bit-identical across runs with equal inputs.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Run thousands of concurrent payments in one engine over shared \
+             escrow liquidity, classify every outcome, check the safety \
+             subset, and report throughput and latency percentiles")
+    Term.(
+      const run $ spec $ payments $ hops $ value $ commission $ arrival $ mix
+      $ policy $ cap $ liquidity $ patience $ stuck $ drift $ gst $ seed $ plan
+      $ plan_file $ trace_cap $ out $ metrics_out_arg $ spans_out_arg)
+
 (* -------------------------------- dot ---------------------------------- *)
 
 let dot_cmd =
@@ -568,4 +724,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
-            chaos_cmd; metrics_cmd ]))
+            chaos_cmd; load_cmd; metrics_cmd ]))

@@ -807,6 +807,102 @@ let e12_exhaustive_corners scale =
       ]
     rows
 
+(* ------------------------------------------------------------------ E13 *)
+
+(* Partition tolerance of the committee TM (ROADMAP item): a 2|2 split of
+   the f=1 committee removes the 3-replica quorum, so the TM can decide
+   nothing — neither commit nor abort — until the partition heals. The
+   sweep charts Def. 2 against partition onset × heal time: safety must
+   hold in every cell; Bob's success degrades exactly where the outage
+   window swallows the patience budget. *)
+let e13_partition_sweep scale =
+  let n_runs = runs scale in
+  let hops = 2 in
+  (* pid layout for 2 hops: customers 0-2, escrows 3-4, committee 5-8 *)
+  let split ~at ~heal =
+    let spec =
+      match heal with
+      | None -> Printf.sprintf "part 5,6|7,8@%d" at
+      | Some d -> Printf.sprintf "part 5,6|7,8@%d+%d" at d
+    in
+    match Faults.Fault_plan.of_string spec with
+    | Ok p -> p
+    | Error e -> Fmt.invalid_arg "e13 plan %s: %s" spec e
+  in
+  let patience = 4_000 in
+  let rows =
+    List.concat_map
+      (fun at ->
+        List.map
+          (fun (heal_label, heal) ->
+            let paid = ref 0 and terminated = ref 0 and safe = ref 0 in
+            for seed = 1 to n_runs do
+              let gst_rng = Sim.Rng.create ~seed:(seed * 7919) in
+              let gst = Sim.Rng.int_in gst_rng ~lo:0 ~hi:1_000 in
+              let cfg =
+                {
+                  (Runner.default_config ~hops ~seed) with
+                  network = Runner.Psync { gst };
+                  fault_plan = Some (split ~at ~heal);
+                }
+              in
+              let tm = Weak_protocol.Committee { f = 1 } in
+              let o = Runner.run cfg (Runner.Weak (weak_cfg ~tm ~patience ())) in
+              let v = PP.view o in
+              if PP.bob_paid v then incr paid;
+              if
+                List.for_all
+                  (fun pid -> Option.is_some (v.PP.terminated pid))
+                  (Topology.customers o.Runner.env.Env.topo)
+              then incr terminated;
+              let report = PP.check_def2 ~patience_sufficient:false v in
+              (* an unhealed partition stops customers from terminating,
+                 which fails the liveness verdicts (T, Lw) by design; the
+                 safety column is everything else *)
+              let safety =
+                List.filter
+                  (fun (p : V.t) ->
+                    p.V.property <> "T" && p.V.property <> "Lw")
+                  report
+              in
+              if V.all_hold safety then incr safe
+            done;
+            [
+              Sim.Sim_time.to_string at;
+              heal_label;
+              Table.cell_i n_runs;
+              Table.cell_pct (pct !paid n_runs);
+              Table.cell_pct (pct !terminated n_runs);
+              Table.cell_pct (pct !safe n_runs);
+            ])
+          [
+            ("500", Some 500);
+            ("2000", Some 2_000);
+            ("8000", Some 8_000);
+            ("never", None);
+          ])
+      [ 250; 1_000; 4_000 ]
+  in
+  Table.make
+    ~title:
+      "E13: committee TM partitioned (2|2 split at t, healed after d) — \
+       Def. 2 under partition onset x heal time"
+    ~header:
+      [ "part@"; "heal after"; "runs"; "Bob paid"; "all terminated"; "safety" ]
+    ~notes:
+      [
+        "patience 4000, GST uniform in [0, 1000]: a 2|2 split leaves no \
+         3-replica quorum, so the TM decides nothing until the heal";
+        "safety = Def.2 minus the liveness verdicts (T, Lw), which an \
+         unhealed partition fails by design (customers wait on the TM \
+         forever); it must show 100% in every cell";
+        "success survives partitions that heal — even long after patience \
+         expires, the healed TM resolves the pending abort — and is lost \
+         only to an unhealed split; late partitions (t=4000) start after \
+         the decision and change nothing";
+      ]
+    rows
+
 let all scale =
   [
     e1_theorem1 scale;
@@ -821,10 +917,14 @@ let all scale =
     e10_embedding scale;
     e11_atomic_vs_weak scale;
     e12_exhaustive_corners scale;
+    e13_partition_sweep scale;
   ]
 
 let names =
-  [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12" ]
+  [
+    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12";
+    "e13";
+  ]
 
 let by_name = function
   | "e1" -> Some e1_theorem1
@@ -839,4 +939,5 @@ let by_name = function
   | "e10" -> Some e10_embedding
   | "e11" -> Some e11_atomic_vs_weak
   | "e12" -> Some e12_exhaustive_corners
+  | "e13" -> Some e13_partition_sweep
   | _ -> None

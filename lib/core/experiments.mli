@@ -69,10 +69,16 @@ val e12_exhaustive_corners : scale -> Table.t
     protocol must be clean on all corners; the drift-blind baseline fails
     on concrete witnessed corners. *)
 
+val e13_partition_sweep : scale -> Table.t
+(** Partition tolerance of the committee TM: a 2|2 split of the f=1
+    committee (no 3-replica quorum) swept over partition onset × heal
+    time. Def. 2 safety must hold in every cell; Bob's success degrades
+    exactly where the outage window swallows the patience budget. *)
+
 val all : scale -> Table.t list
 (** Every experiment, in order. *)
 
 val by_name : string -> (scale -> Table.t) option
-(** Lookup "e1" … "e12". *)
+(** Lookup "e1" … "e13". *)
 
 val names : string list

@@ -20,22 +20,43 @@ let signer_of t pid =
       s
 
 let make ~topo ~params ?(payment = 1) ?(value = 1000) ?(commission = 10)
-    ?(seed = 7) () =
+    ?(seed = 7) ?books () =
   let n = Topology.hops topo in
   if value < 1 then invalid_arg "Env.make: value must be positive";
   if commission < 0 then invalid_arg "Env.make: negative commission";
   let amounts = Array.init n (fun i -> value + (commission * (n - 1 - i))) in
   let books =
-    Array.init n (fun i ->
-        let book = Ledger.Book.create ~currency:(Printf.sprintf "cur%d" i) in
-        Ledger.Book.open_account book ~owner:(Topology.customer topo i)
-          ~balance:amounts.(i);
-        Ledger.Book.open_account book
-          ~owner:(Topology.customer topo (i + 1))
-          ~balance:0;
-        Ledger.Book.open_account book ~owner:(Topology.escrow topo i)
-          ~balance:0;
-        book)
+    match books with
+    | Some shared ->
+        (* shared books (load runs): the caller owns funding policy, so we
+           only ensure the accounts this payment touches exist — never
+           re-open a funded account with this payment's amounts *)
+        if Array.length shared <> n then
+          invalid_arg "Env.make: books array must have one book per hop";
+        Array.iteri
+          (fun i book ->
+            List.iter
+              (fun owner ->
+                if not (Ledger.Book.has_account book owner) then
+                  Ledger.Book.open_account book ~owner ~balance:0)
+              [
+                Topology.customer topo i;
+                Topology.customer topo (i + 1);
+                Topology.escrow topo i;
+              ])
+          shared;
+        shared
+    | None ->
+        Array.init n (fun i ->
+            let book = Ledger.Book.create ~currency:(Printf.sprintf "cur%d" i) in
+            Ledger.Book.open_account book ~owner:(Topology.customer topo i)
+              ~balance:amounts.(i);
+            Ledger.Book.open_account book
+              ~owner:(Topology.customer topo (i + 1))
+              ~balance:0;
+            Ledger.Book.open_account book ~owner:(Topology.escrow topo i)
+              ~balance:0;
+            book)
   in
   let registry = Auth.create ~seed in
   let t =

@@ -25,11 +25,17 @@ val make :
   ?value:int ->
   ?commission:int ->
   ?seed:int ->
+  ?books:Ledger.Book.t array ->
   unit ->
   t
 (** Books are opened with exactly the balances the protocol needs: c{_i}
     holds [amounts.(i)] at e{_i}, the downstream customer and the escrow
-    itself hold 0 there. Default [value] 1000, [commission] 10, [seed] 7. *)
+    itself hold 0 there. Default [value] 1000, [commission] 10, [seed] 7.
+
+    [books] (load runs) shares pre-existing books — one per hop — between
+    concurrent payments so they contend for the same liquidity. The caller
+    owns funding; [make] only opens any missing accounts with balance 0 and
+    never re-funds existing ones. *)
 
 val signer_of : t -> int -> Xcrypto.Auth.signer
 (** The signing capability of pid — handed by the runner to the process

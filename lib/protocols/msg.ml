@@ -26,6 +26,9 @@ type t =
   | Htlc_claim of { preimage : Xcrypto.Hashlock.preimage }
   | Htlc_key of { preimage : Xcrypto.Hashlock.preimage }
   | Start
+  | Traffic_done of { payment : int }
+      (* load-scheduler control plane: a multiplexer wrapper reports that
+         one participant of [payment] reached its terminal state *)
 
 let tag = function
   | Money _ -> "money"
@@ -46,6 +49,7 @@ let tag = function
   | Htlc_claim _ -> "htlc-claim"
   | Htlc_key _ -> "htlc-key"
   | Start -> "start"
+  | Traffic_done _ -> "traffic-done"
 
 let pp ppf m =
   match m with
@@ -74,6 +78,7 @@ let pp ppf m =
   | Htlc_claim _ -> Fmt.string ppf "htlc-claim"
   | Htlc_key _ -> Fmt.string ppf "htlc-key"
   | Start -> Fmt.string ppf "start"
+  | Traffic_done { payment } -> Fmt.pf ppf "traffic-done(pay=%d)" payment
 
 let ser_promise_g g =
   Printf.sprintf "G|%d|%d|%s" g.g_escrow g.g_customer (Sim.Sim_time.to_string g.d)

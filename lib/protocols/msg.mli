@@ -58,6 +58,10 @@ type t =
   | Htlc_key of { preimage : Xcrypto.Hashlock.preimage }
       (** escrow → upstream customer: the revealed key *)
   | Start  (** generic kick-off ping *)
+  | Traffic_done of { payment : int }
+      (** load-scheduler control plane: one participant of [payment]
+          reached its terminal state (sent by multiplexer wrappers, never
+          by protocol automata) *)
 
 val tag : t -> string
 (** Stable label used in traces and by adversaries to target message

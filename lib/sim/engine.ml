@@ -12,7 +12,12 @@ type ('msg, 'obs) handlers = {
 
 and ('msg, 'obs) proc = {
   handlers : ('msg, 'obs) handlers;
-  clock : Clock.t;
+  mutable clock : Clock.t;
+  base : int;
+      (* pid-translation offset: [send ~dst] resolves to [base + dst] and
+         delivered [~src] is rebased the same way, so handlers written
+         against a logical pid layout (e.g. one payment's Topology) can be
+         instantiated many times in one engine at different offsets *)
   proc_rng : Rng.t;
   timer_epochs : (string, int) Hashtbl.t;
       (* current epoch per label: stale Fire events are dropped *)
@@ -100,7 +105,7 @@ let telemetry_handles reg =
   }
 
 let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
-    ?(metrics = Obsv.Metrics.default) ~seed () =
+    ?(metrics = Obsv.Metrics.default) ?trace_capacity ~seed () =
   {
     tag_of;
     mangle;
@@ -110,18 +115,20 @@ let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
     queue = Event_queue.create ();
     procs = [||];
     nprocs = 0;
-    tr = Trace.create ();
+    tr = Trace.create ?capacity:trace_capacity ();
     clock_now = Sim_time.zero;
     started = false;
     tm = telemetry_handles metrics;
   }
 
-let add_process t ?(clock = Clock.perfect) handlers =
+let add_process t ?(clock = Clock.perfect) ?(base = 0) handlers =
   if t.started then invalid_arg "Engine.add_process: engine already running";
+  if base < 0 then invalid_arg "Engine.add_process: negative base";
   let proc =
     {
       handlers;
       clock;
+      base;
       proc_rng = Rng.split t.root_rng;
       timer_epochs = Hashtbl.create 8;
       halted = false;
@@ -148,6 +155,8 @@ let clock_of t pid = (proc t pid).clock
 let is_halted t pid = (proc t pid).halted
 let is_down t pid = (proc t pid).down
 
+let set_clock t ~pid clock = (proc t pid).clock <- clock
+
 let schedule_crash t ~pid ~at ?recover_at () =
   if t.started then
     invalid_arg "Engine.schedule_crash: engine already running";
@@ -165,13 +174,13 @@ let schedule_crash t ~pid ~at ?recover_at () =
 
 (* --- ctx operations --- *)
 
-let pid ctx = ctx.self
+let pid ctx = ctx.self - (proc ctx.engine ctx.self).base
 let rng ctx = (proc ctx.engine ctx.self).proc_rng
 
 let local_now ctx =
   Clock.local_of_global (proc ctx.engine ctx.self).clock ctx.engine.clock_now
 
-let send ctx ~dst msg =
+let send_resolved ctx ~dst msg =
   let t = ctx.engine in
   if dst < 0 || dst >= t.nprocs then invalid_arg "Engine.send: bad destination";
   let tag = t.tag_of msg in
@@ -211,6 +220,11 @@ let send ctx ~dst msg =
               Obsv.Metrics.inc t.tm.m_corrupt_drops))
     (Network.fate t.network ~send_time:depart ~src:ctx.self ~dst ~tag);
   Obsv.Metrics.set t.tm.m_queue_depth (Event_queue.length t.queue)
+
+let send ctx ~dst msg =
+  send_resolved ctx ~dst:((proc ctx.engine ctx.self).base + dst) msg
+
+let send_absolute ctx ~dst msg = send_resolved ctx ~dst msg
 
 let set_timer ctx ~deadline ~label =
   let t = ctx.engine in
@@ -280,7 +294,8 @@ let dispatch t ev =
              { t = t.clock_now; sent_at; src; dst; tag = t.tag_of msg; msg });
         Obsv.Metrics.inc t.tm.m_delivered;
         if not p.halted then
-          p.handlers.on_receive { engine = t; self = dst } ~src msg
+          p.handlers.on_receive { engine = t; self = dst } ~src:(src - p.base)
+            msg
       end
   | Fire { owner; label; epoch } ->
       let p = proc t owner in

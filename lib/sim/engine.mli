@@ -14,6 +14,9 @@ type ('msg, 'obs) ctx
 (** Capabilities handed to a process while it is handling an event. *)
 
 val pid : ('msg, 'obs) ctx -> int
+(** The process's {e logical} pid: its engine pid minus the [base] offset
+    it was registered with (so a multiplexed process sees the same pid
+    layout as a standalone one). *)
 
 val local_now : ('msg, 'obs) ctx -> Sim_time.t
 (** The process's own clock reading — the only notion of time a protocol may
@@ -21,7 +24,13 @@ val local_now : ('msg, 'obs) ctx -> Sim_time.t
 
 val send : ('msg, 'obs) ctx -> dst:int -> 'msg -> unit
 (** Queue a message. It incurs a computation delay in [\[0, sigma\]] plus a
-    network delay chosen by the network model / adversary. *)
+    network delay chosen by the network model / adversary. [dst] is a
+    logical pid: the sender's [base] offset is added before resolution. *)
+
+val send_absolute : ('msg, 'obs) ctx -> dst:int -> 'msg -> unit
+(** Like {!send} but [dst] is an engine pid, ignoring the sender's [base].
+    Control-plane escape hatch for multiplexer wrappers that must reach
+    processes outside their own block (e.g. a load scheduler at pid 0). *)
 
 val set_timer : ('msg, 'obs) ctx -> deadline:Sim_time.t -> label:string -> unit
 (** Arm (or re-arm) the timer [label] to fire when the process's local clock
@@ -61,6 +70,7 @@ val create :
   network:Network.t ->
   ?sigma:Sim_time.t ->
   ?metrics:Obsv.Metrics.t ->
+  ?trace_capacity:int ->
   seed:int ->
   unit ->
   ('msg, 'obs) t
@@ -74,6 +84,9 @@ val create :
     discarded (authenticated channels: garbage fails verification at the
     receiver), counted in [xchain_corrupt_copies_dropped_total].
 
+    [trace_capacity] bounds the engine trace as a ring buffer (see
+    {!Trace.create}); omitted, the trace is unbounded as before.
+
     [metrics] (default {!Obsv.Metrics.default}) receives the engine's
     telemetry: [xchain_events_total], [xchain_messages_sent_total],
     [xchain_messages_delivered_total], [xchain_timers_set_total],
@@ -85,9 +98,17 @@ val create :
     once; the per-event updates allocate nothing. *)
 
 val add_process :
-  ('msg, 'obs) t -> ?clock:Clock.t -> ('msg, 'obs) handlers -> int
+  ('msg, 'obs) t -> ?clock:Clock.t -> ?base:int -> ('msg, 'obs) handlers -> int
 (** Registers a process and returns its pid (consecutive from 0). All
-    processes must be added before {!run}. *)
+    processes must be added before {!run}.
+
+    [base] (default 0) rebases the process's view of the pid space:
+    {!send} adds [base] to its destination, {!pid} subtracts it, and a
+    delivery's [~src] is reported relative to the {e receiver}'s [base].
+    Registering one block of processes per payment at [base = k * stride]
+    lets handler code written for a single payment's logical pids 0..m-1
+    run unchanged many times within one engine; traces and crash
+    scheduling always use engine pids. *)
 
 val process_count : ('msg, 'obs) t -> int
 
@@ -106,6 +127,14 @@ val trace : ('msg, 'obs) t -> ('msg, 'obs) Trace.t
 val now : ('msg, 'obs) t -> Sim_time.t
 val clock_of : ('msg, 'obs) t -> int -> Clock.t
 val is_halted : ('msg, 'obs) t -> int -> bool
+
+val set_clock : ('msg, 'obs) t -> pid:int -> Clock.t -> unit
+(** Replace a process's clock. Meant for multiplexers that defer a
+    process's start and re-anchor its local time epoch at the actual start
+    instant (so absolute local deadlines like the paper's a{_i}/d{_i}
+    windows count from the payment's own beginning). Must be called before
+    the process arms any timer: already-armed timers keep the global fire
+    times computed under the old clock. *)
 
 (** {2 Crash–recovery fault injection}
 

@@ -23,6 +23,7 @@ type t = {
   adversary : adversary option;
   tamper : tamper option;
   fifo : bool;
+  link_stats : bool;
   rng : Rng.t;
   last_delivery : (int * int, Sim_time.t) Hashtbl.t;
   reg : Obsv.Metrics.t;
@@ -32,8 +33,8 @@ type t = {
   m_fifo_holds : Obsv.Metrics.counter;
 }
 
-let create ?adversary ?tamper ?(fifo = true) ?(metrics = Obsv.Metrics.default)
-    model rng =
+let create ?adversary ?tamper ?(fifo = true) ?(link_stats = true)
+    ?(metrics = Obsv.Metrics.default) model rng =
   (match model with
   | Synchronous { delta } ->
       if delta < 1 then invalid_arg "Network: delta must be >= 1"
@@ -46,6 +47,7 @@ let create ?adversary ?tamper ?(fifo = true) ?(metrics = Obsv.Metrics.default)
     adversary;
     tamper;
     fifo;
+    link_stats;
     rng;
     last_delivery = Hashtbl.create 64;
     reg = metrics;
@@ -141,7 +143,9 @@ let delivery_time t ~send_time ~src ~dst ~tag =
       at'
     end
   in
-  Obsv.Metrics.observe (link_histogram t ~src ~dst) (Sim_time.sub at send_time);
+  if t.link_stats then
+    Obsv.Metrics.observe (link_histogram t ~src ~dst)
+      (Sim_time.sub at send_time);
   at
 
 let pp_model ppf = function

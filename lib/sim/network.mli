@@ -57,13 +57,18 @@ type tamper =
 type t
 
 val create :
-  ?adversary:adversary -> ?tamper:tamper -> ?fifo:bool ->
+  ?adversary:adversary -> ?tamper:tamper -> ?fifo:bool -> ?link_stats:bool ->
   ?metrics:Obsv.Metrics.t -> model -> Rng.t -> t
 (** [fifo] (default [true]) enforces per-channel FIFO by never letting a
     later send on the same (src, dst) pair overtake an earlier one.
 
     [tamper] (default: none — reliable channels) decides drops, duplicates
     and corruption per send; see {!tamper}.
+
+    [link_stats] (default [true]) records the per-link delay histogram
+    below. Load runs multiplexing thousands of payments disable it: one
+    histogram child per (src, dst) pair is unbounded label cardinality
+    when every payment gets its own pid block.
 
     [metrics] (default {!Obsv.Metrics.default}) receives a per-link
     [xchain_network_delay] histogram (label [link="src->dst"]) plus the

@@ -22,18 +22,69 @@ type ('msg, 'obs) entry =
   | Recovered of { t : Sim_time.t; pid : int }
 
 type ('msg, 'obs) t = {
-  mutable rev_entries : ('msg, 'obs) entry list;
-  mutable count : int;
+  capacity : int option;
+  mutable rev_entries : ('msg, 'obs) entry list; (* unbounded mode *)
+  mutable ring : ('msg, 'obs) entry option array; (* bounded mode *)
+  mutable head : int; (* ring index of the oldest kept entry *)
+  mutable kept : int;
+  mutable count : int; (* total recorded, including dropped *)
+  mutable dropped : int;
+  mutable hooks : (('msg, 'obs) entry -> unit) list; (* reversed *)
 }
 
-let create () = { rev_entries = []; count = 0 }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
+  | _ -> ());
+  {
+    capacity;
+    rev_entries = [];
+    ring = (match capacity with None -> [||] | Some c -> Array.make c None);
+    head = 0;
+    kept = 0;
+    count = 0;
+    dropped = 0;
+    hooks = [];
+  }
+
+let on_record t f = t.hooks <- f :: t.hooks
 
 let record t e =
-  t.rev_entries <- e :: t.rev_entries;
+  (match t.hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun f -> f e) (List.rev hooks));
+  (match t.capacity with
+  | None -> t.rev_entries <- e :: t.rev_entries
+  | Some cap ->
+      if t.kept = cap then begin
+        (* overwrite the oldest: the window slides forward *)
+        t.ring.(t.head) <- Some e;
+        t.head <- (t.head + 1) mod cap;
+        t.dropped <- t.dropped + 1
+      end
+      else begin
+        t.ring.((t.head + t.kept) mod cap) <- Some e;
+        t.kept <- t.kept + 1
+      end);
   t.count <- t.count + 1
 
-let to_list t = List.rev t.rev_entries
+(* Newest-first fold covering both storage modes; chronological consumers
+   cons onto their accumulator. *)
+let fold_newest f acc t =
+  match t.capacity with
+  | None -> List.fold_left f acc t.rev_entries
+  | Some cap ->
+      let acc = ref acc in
+      for i = t.kept - 1 downto 0 do
+        match t.ring.((t.head + i) mod cap) with
+        | Some e -> acc := f !acc e
+        | None -> ()
+      done;
+      !acc
+
+let to_list t = fold_newest (fun acc e -> e :: acc) [] t
 let length t = t.count
+let dropped_count t = t.dropped
 
 let time_of = function
   | Sent { t; _ }
@@ -46,22 +97,22 @@ let time_of = function
   | Recovered { t; _ } ->
       t
 
-(* Folding over [rev_entries] directly (newest first, consing onto the
-   accumulator) yields chronological order without materialising the O(n)
-   intermediate list that [to_list] would. *)
+(* Folding newest-first (consing onto the accumulator) yields chronological
+   order without materialising the O(n) intermediate list that [to_list]
+   would. *)
 let observations t =
-  List.fold_left
+  fold_newest
     (fun acc e ->
       match e with Observed { t; pid; obs } -> (t, pid, obs) :: acc | _ -> acc)
-    [] t.rev_entries
+    [] t
 
 let message_count t =
-  List.fold_left
-    (fun acc e -> match e with Sent _ -> acc + 1 | _ -> acc)
-    0 t.rev_entries
+  fold_newest (fun acc e -> match e with Sent _ -> acc + 1 | _ -> acc) 0 t
 
 let last_time t =
-  match t.rev_entries with [] -> Sim_time.zero | e :: _ -> time_of e
+  fold_newest (fun acc e -> match acc with None -> Some (time_of e) | some -> some)
+    None t
+  |> Option.value ~default:Sim_time.zero
 
 let find_observation t ~f =
   let rec go = function

@@ -36,12 +36,33 @@ type ('msg, 'obs) entry =
 
 type ('msg, 'obs) t
 
-val create : unit -> ('msg, 'obs) t
+val create : ?capacity:int -> unit -> ('msg, 'obs) t
+(** Without [capacity] (the default) the trace keeps every entry, as it
+    always has. With [capacity] it becomes a ring buffer holding the most
+    recent [capacity] entries: recording past the cap silently evicts the
+    oldest entry and bumps {!dropped_count}. Bounded traces keep memory
+    flat on multi-thousand-payment load runs; combine with {!on_record}
+    when an analysis must see every entry as it happens. Raises
+    [Invalid_argument] if [capacity <= 0]. *)
+
 val record : ('msg, 'obs) t -> ('msg, 'obs) entry -> unit
+
+val on_record : ('msg, 'obs) t -> (('msg, 'obs) entry -> unit) -> unit
+(** Register a hook called synchronously on every {!record}, before the
+    entry is stored (and regardless of whether the ring later evicts it).
+    Hooks run in registration order; they must not record into the same
+    trace. This is how load accounting observes a run incrementally
+    without requiring an unbounded trace. *)
+
 val to_list : ('msg, 'obs) t -> ('msg, 'obs) entry list
-(** Entries in chronological order. *)
+(** Entries in chronological order. For a bounded trace, only the kept
+    window (the most recent [capacity] entries). *)
 
 val length : ('msg, 'obs) t -> int
+(** Total entries recorded, including any evicted from a bounded trace. *)
+
+val dropped_count : ('msg, 'obs) t -> int
+(** Entries evicted by a bounded trace; 0 for the default unbounded mode. *)
 
 val time_of : ('msg, 'obs) entry -> Sim_time.t
 

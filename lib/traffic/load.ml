@@ -1,0 +1,802 @@
+open Sim
+open Protocols
+
+type outcome = Committed | Aborted | Rejected | Stuck | Violated
+
+let outcome_name = function
+  | Committed -> "committed"
+  | Aborted -> "aborted"
+  | Rejected -> "rejected"
+  | Stuck -> "stuck"
+  | Violated -> "violated"
+
+type violation = { payment : int; property : string; detail : string }
+
+type report = {
+  workload : Workload.t;
+  seed : int;
+  plan : string;
+  status : string;
+  admitted : int;
+  committed : int;
+  aborted : int;
+  rejected : int;
+  stuck : int;
+  violated : int;
+  violations : violation list;
+  liquidity_rejections : int;
+  conservation_ok : bool;
+  latency_p50 : int;
+  latency_p95 : int;
+  latency_p99 : int;
+  latency_max : int;
+  makespan : int;
+  throughput_cpm : int;
+  messages : int;
+  max_in_flight : int;
+  trace_dropped : int;
+  by_protocol : (string * int * int) list;
+}
+
+(* Shared model parameters for every payment in a load run; per-protocol
+   windows are derived from these exactly as Runner does. *)
+let delta = 100
+let sigma = 10
+let margin = 5
+
+(* Auxiliary (TM/notary) processes per protocol. The committee runs with
+   f = 1, i.e. 3f+1 = 4 notaries — enough to exercise consensus without
+   quadrupling the pid space. *)
+let aux_count = function
+  | Workload.Sync | Workload.Naive | Workload.Htlc -> 0
+  | Workload.Weak_single | Workload.Atomic -> 1
+  | Workload.Committee -> 4
+
+let block_size ~hops proto = (2 * hops) + 1 + aux_count proto
+
+let weak_cfg = Weak_protocol.default_config
+
+let committee_cfg =
+  { Weak_protocol.default_config with tm = Weak_protocol.Committee { f = 1 } }
+
+let params_for (w : Workload.t) proto =
+  let drift = match proto with Workload.Naive -> 0 | _ -> w.drift_ppm in
+  Params.derive
+    { Params.hops = w.hops; delta; sigma; drift_ppm = drift; margin }
+
+(* ------------------------------------------------------------------ *)
+
+type pay = {
+  proto : Workload.proto;
+  mutable arrived_at : int;
+  mutable admitted_at : int;
+  mutable settled_at : int;  (** every customer has Terminated *)
+  mutable paid_at : int;  (** first Released to Bob *)
+  mutable closed : bool;  (** scheduler stopped tracking it *)
+  mutable marked : outcome option;  (** Rejected/Stuck, decided in-run *)
+  flows : int array;  (** net ledger flow per customer index *)
+  terms : bool array;
+  mutable term_count : int;
+  mutable alice_cert : bool;
+  mutable bob_cert_issued : bool;
+  mutable rejections : (int * string) list;
+  legs_reserved : bool array;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = ((q * n) + 99) / 100 in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let is_liquidity_rejection what =
+  (* Book.pp_error Insufficient_funds, wrapped by the escrows' "deposit: "
+     prefix; Unknown_account prints "deposit: unknown account …" and so
+     stays a real violation. *)
+  let prefix = "deposit: account" in
+  String.length what >= String.length prefix
+  && String.sub what 0 (String.length prefix) = prefix
+
+let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
+    ~(workload : Workload.t) ~seed () =
+  let w = workload in
+  (match Workload.validate w with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Load.run: " ^ e));
+  let hops = w.hops in
+  let protos = Workload.assign_mix w ~seed in
+  let arrivals = Workload.arrivals w ~seed in
+  let stride =
+    List.fold_left (fun acc (p, _) -> max acc (block_size ~hops p)) 0 w.mix
+  in
+  (* Fault plans address hosts: logical pids 0 .. stride-1, applied to
+     every payment block (one crashed escrow host is down for everyone). *)
+  (match Faults.Fault_plan.validate plan ~nprocs:stride with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Load.run: bad fault plan: " ^ e));
+  let topo = Topology.create ~hops in
+  (* Shared ledgers: books.(i) is escrow host e_i's book; customer c_i's
+     funding there is what all payments contend for. *)
+  let amounts =
+    Array.init hops (fun i -> w.value + (w.commission * (hops - 1 - i)))
+  in
+  let liquidity_units = if w.liquidity = 0 then w.payments else w.liquidity in
+  let books =
+    Array.init hops (fun i ->
+        let b = Ledger.Book.create ~currency:(Printf.sprintf "cur%d" i) in
+        Ledger.Book.open_account b ~owner:(Topology.customer topo i)
+          ~balance:(liquidity_units * amounts.(i));
+        Ledger.Book.open_account b
+          ~owner:(Topology.customer topo (i + 1))
+          ~balance:0;
+        Ledger.Book.open_account b ~owner:(Topology.escrow topo i) ~balance:0;
+        b)
+  in
+  let envs =
+    Array.init w.payments (fun k ->
+        Env.make ~topo ~params:(params_for w protos.(k)) ~payment:k
+          ~value:w.value ~commission:w.commission ~seed:(seed + 101 + k)
+          ~books ())
+  in
+  (* A protocol's settle horizon, for the derived stuck deadline. Scratch
+     envs (private books) only feed window derivation. *)
+  let proto_horizon proto =
+    match proto with
+    | Workload.Sync | Workload.Naive ->
+        (params_for w proto).Params.horizon
+    | Workload.Htlc ->
+        let env0 =
+          Env.make ~topo ~params:(params_for w proto) ~value:w.value
+            ~commission:w.commission ~seed:(seed + 9991) ()
+        in
+        Htlc_protocol.window_of env0 (Htlc_protocol.default_config env0) 0
+    | Workload.Weak_single | Workload.Committee -> weak_cfg.patience
+    | Workload.Atomic -> Atomic_protocol.default_config.deadline
+  in
+  let gst_slack = match w.gst with Some g -> 2 * g | None -> 0 in
+  let stuck_eff =
+    if w.stuck_after > 0 then w.stuck_after
+    else
+      let base =
+        List.fold_left (fun acc (p, _) -> max acc (proto_horizon p)) 0 w.mix
+      in
+      (* ×4 absorbs clock drift and queueing inside the protocol windows *)
+      (4 * base) + (20 * delta) + gst_slack
+  in
+  let horizon =
+    let last_arrival =
+      match arrivals with
+      | Some arr -> arr.(Array.length arr - 1)
+      | None -> (
+          match w.arrival with
+          | Workload.Closed { clients; think } ->
+              let rounds = (w.payments + clients - 1) / clients in
+              rounds * (w.patience + stuck_eff + think + 1)
+          | _ -> 0)
+    in
+    last_arrival + w.patience + (2 * stuck_eff) + (20 * delta) + gst_slack
+  in
+  let max_events = (1000 * w.payments) + 100_000 in
+  (* --- network: model + fault injection, control traffic exempt --- *)
+  let injector =
+    if Faults.Fault_plan.is_none plan then None
+    else Some (Faults.Injector.create ~plan ~seed:(seed + 47) ())
+  in
+  let model =
+    let base =
+      match w.gst with
+      | None -> Network.Synchronous { delta }
+      | Some gst -> Network.Partially_synchronous { gst; delta }
+    in
+    match injector with
+    | None -> base
+    | Some inj -> Faults.Injector.jittered_model inj base
+  in
+  let tamper =
+    Option.map
+      (fun inj ->
+        let tam = Faults.Injector.tamper inj in
+        fun ~send_time ~src ~dst ~tag ->
+          if src = 0 || dst = 0 then [ Network.Intact ]
+          else
+            tam ~send_time
+              ~src:((src - 1) mod stride)
+              ~dst:((dst - 1) mod stride)
+              ~tag)
+      injector
+  in
+  let adversary ~send_time:_ ~src:_ ~dst:_ ~tag ~bounds =
+    if tag = "start" || tag = "traffic-done" then Some bounds.Network.lo
+    else None
+  in
+  let network =
+    Network.create ~adversary ?tamper ~link_stats:false model
+      (Rng.create ~seed:(seed + 17))
+  in
+  let trace_cap = if trace_capacity = 0 then None else Some trace_capacity in
+  let engine =
+    Engine.create ~tag_of:Msg.tag ~network ~sigma ?trace_capacity:trace_cap
+      ~seed ()
+  in
+  (* --- per-payment accounting state, fed by a trace hook --- *)
+  let pays =
+    Array.init w.payments (fun k ->
+        {
+          proto = protos.(k);
+          arrived_at = -1;
+          admitted_at = -1;
+          settled_at = -1;
+          paid_at = -1;
+          closed = false;
+          marked = None;
+          flows = Array.make (hops + 1) 0;
+          terms = Array.make (hops + 1) false;
+          term_count = 0;
+          alice_cert = false;
+          bob_cert_issued = false;
+          rejections = [];
+          legs_reserved = Array.make hops false;
+        })
+  in
+  let reserved = Array.make hops 0 in
+  let messages = ref 0 in
+  let esc_idx lp =
+    if lp > hops && lp <= 2 * hops then Some (lp - hops - 1) else None
+  in
+  Trace.on_record (Engine.trace engine) (fun entry ->
+      match entry with
+      | Trace.Sent _ -> incr messages
+      | Trace.Observed { t; pid; obs } when pid >= 1 ->
+          let p = pays.((pid - 1) / stride) in
+          (match obs with
+          | Obs.Deposited { escrow; depositor; amount; _ } -> (
+              if depositor >= 0 && depositor <= hops then
+                p.flows.(depositor) <- p.flows.(depositor) - amount;
+              match esc_idx escrow with
+              | Some i when p.legs_reserved.(i) ->
+                  p.legs_reserved.(i) <- false;
+                  reserved.(i) <- reserved.(i) - amounts.(i)
+              | _ -> ())
+          | Obs.Released { to_; amount; _ } ->
+              if to_ >= 0 && to_ <= hops then begin
+                p.flows.(to_) <- p.flows.(to_) + amount;
+                if to_ = hops && p.paid_at < 0 then p.paid_at <- t
+              end
+          | Obs.Refunded { depositor; amount; _ } ->
+              if depositor >= 0 && depositor <= hops then
+                p.flows.(depositor) <- p.flows.(depositor) + amount
+          | Obs.Cert_received
+              { pid = who; kind = Obs.Chi | Obs.Chi_commit; valid = true }
+            when who = 0 ->
+              p.alice_cert <- true
+          | Obs.Cert_issued { by; _ } when by = hops ->
+              p.bob_cert_issued <- true
+          | Obs.Terminated { pid = who; _ }
+            when who >= 0 && who <= hops && not p.terms.(who) ->
+              p.terms.(who) <- true;
+              p.term_count <- p.term_count + 1;
+              if p.term_count = hops + 1 && p.settled_at < 0 then
+                p.settled_at <- t
+          | Obs.Rejected { pid = who; what } ->
+              p.rejections <- (who, what) :: p.rejections
+          | _ -> ())
+      | _ -> ());
+  (* --- controller (pid 0): arrivals, admission, deadlines --- *)
+  let queue = Queue.create () in
+  let in_flight = ref 0 in
+  let max_in_flight = ref 0 in
+  let admitted = ref 0 in
+  let arr_label k = "arr#" ^ string_of_int k in
+  let pat_label k = "pat#" ^ string_of_int k in
+  let stuck_label k = "stuck#" ^ string_of_int k in
+  let try_admit ctx k =
+    let p = pays.(k) in
+    let cap_ok = w.cap = 0 || !in_flight < w.cap in
+    let liq_ok =
+      match w.policy with
+      | Workload.Optimistic -> true
+      | Workload.Reserve ->
+          let ok = ref true in
+          for i = 0 to hops - 1 do
+            if
+              Ledger.Book.balance books.(i) (Topology.customer topo i)
+              - reserved.(i)
+              < amounts.(i)
+            then ok := false
+          done;
+          !ok
+    in
+    cap_ok && liq_ok
+    && begin
+         (match w.policy with
+         | Workload.Reserve ->
+             for i = 0 to hops - 1 do
+               p.legs_reserved.(i) <- true;
+               reserved.(i) <- reserved.(i) + amounts.(i)
+             done
+         | Workload.Optimistic -> ());
+         p.admitted_at <- Engine.now engine;
+         incr admitted;
+         incr in_flight;
+         if !in_flight > !max_in_flight then max_in_flight := !in_flight;
+         let base = 1 + (k * stride) in
+         for l = 0 to block_size ~hops p.proto - 1 do
+           Engine.send ctx ~dst:(base + l) Msg.Start
+         done;
+         Engine.set_timer_after ctx ~after:stuck_eff ~label:(stuck_label k);
+         Engine.cancel_timer ctx ~label:(pat_label k);
+         true
+       end
+  in
+  let drain ctx =
+    let blocked = ref false in
+    while (not !blocked) && not (Queue.is_empty queue) do
+      let k = Queue.peek queue in
+      let p = pays.(k) in
+      if p.closed || p.admitted_at >= 0 then ignore (Queue.pop queue)
+      else if try_admit ctx k then ignore (Queue.pop queue)
+      else blocked := true
+    done
+  in
+  let close ctx k ~release =
+    let p = pays.(k) in
+    if not p.closed then begin
+      p.closed <- true;
+      if p.admitted_at >= 0 then decr in_flight;
+      if release then
+        for i = 0 to hops - 1 do
+          if p.legs_reserved.(i) then begin
+            p.legs_reserved.(i) <- false;
+            reserved.(i) <- reserved.(i) - amounts.(i)
+          end
+        done;
+      Engine.cancel_timer ctx ~label:(stuck_label k);
+      (match w.arrival with
+      | Workload.Closed { clients; think } ->
+          let next = k + clients in
+          if next < w.payments then
+            Engine.set_timer_after ctx ~after:(max 1 think)
+              ~label:(arr_label next)
+      | _ -> ());
+      drain ctx
+    end
+  in
+  let arrive ctx k =
+    pays.(k).arrived_at <- Engine.now engine;
+    Queue.add k queue;
+    Engine.set_timer_after ctx ~after:w.patience ~label:(pat_label k);
+    drain ctx
+  in
+  let controller =
+    {
+      Engine.on_start =
+        (fun ctx ->
+          match arrivals with
+          | Some arr ->
+              Array.iteri
+                (fun k t ->
+                  Engine.set_timer ctx ~deadline:t ~label:(arr_label k))
+                arr
+          | None -> (
+              match w.arrival with
+              | Workload.Closed { clients; _ } ->
+                  for c = 0 to min clients w.payments - 1 do
+                    (* 1-tick stagger keeps first-round admission ordered *)
+                    Engine.set_timer ctx ~deadline:(1 + c)
+                      ~label:(arr_label c)
+                  done
+              | _ -> assert false));
+      on_receive =
+        (fun ctx ~src:_ msg ->
+          match msg with
+          | Msg.Traffic_done { payment = k } ->
+              let p = pays.(k) in
+              if (not p.closed) && p.settled_at >= 0 then
+                close ctx k ~release:true
+          | _ -> ());
+      on_timer =
+        (fun ctx ~label ->
+          match String.split_on_char '#' label with
+          | [ "arr"; k ] -> arrive ctx (int_of_string k)
+          | [ "pat"; k ] ->
+              let k = int_of_string k in
+              let p = pays.(k) in
+              if (not p.closed) && p.admitted_at < 0 then begin
+                p.marked <- Some Rejected;
+                close ctx k ~release:false
+              end
+          | [ "stuck"; k ] ->
+              let k = int_of_string k in
+              let p = pays.(k) in
+              if not p.closed then
+                if p.settled_at >= 0 then close ctx k ~release:true
+                else begin
+                  p.marked <- Some Stuck;
+                  (* a stuck payment's un-deposited reservations stay
+                     locked: it may still deposit later, and releasing
+                     them would double-spend the collateral *)
+                  close ctx k ~release:false
+                end
+          | _ -> ())
+    }
+  in
+  let cpid = Engine.add_process engine ~clock:Clock.perfect controller in
+  assert (cpid = 0);
+  (* --- payment blocks --- *)
+  let clock_rng = Rng.create ~seed:(seed + 31) in
+  let wrap ~payment ~abs ~is_customer ~skew inner =
+    let started = ref false in
+    let reported = ref false in
+    let buffered = ref [] in
+    let after_inner ctx =
+      if is_customer && (not !reported) && Engine.is_halted engine abs
+      then begin
+        reported := true;
+        Engine.send_absolute ctx ~dst:0 (Msg.Traffic_done { payment })
+      end
+    in
+    {
+      Engine.on_start = (fun _ -> ());
+      on_receive =
+        (fun ctx ~src msg ->
+          match msg with
+          | Msg.Start ->
+              if not !started then begin
+                started := true;
+                (* re-anchor the local epoch: the protocol's absolute
+                   local deadlines must count from this payment's own
+                   start, not from engine time 0 *)
+                let num, den = Clock.rate (Engine.clock_of engine abs) in
+                Engine.set_clock engine ~pid:abs
+                  (Clock.create ~l0:skew ~g0:(Engine.now engine) ~num ~den
+                     ());
+                inner.Engine.on_start ctx;
+                let pending = List.rev !buffered in
+                buffered := [];
+                List.iter
+                  (fun (src, m) ->
+                    if not (Engine.is_halted engine abs) then
+                      inner.Engine.on_receive ctx ~src m)
+                  pending;
+                after_inner ctx
+              end
+          | _ ->
+              if !started then begin
+                inner.Engine.on_receive ctx ~src msg;
+                after_inner ctx
+              end
+              else buffered := (src, msg) :: !buffered);
+      on_timer =
+        (fun ctx ~label ->
+          if !started then begin
+            inner.Engine.on_timer ctx ~label;
+            after_inner ctx
+          end);
+    }
+  in
+  for k = 0 to w.payments - 1 do
+    let env = envs.(k) in
+    let inner =
+      match protos.(k) with
+      | Workload.Sync | Workload.Naive ->
+          fun l -> fst (Anta.Executor.handlers (Sync_protocol.automaton_for env l) ())
+      | Workload.Htlc ->
+          let cfg = Htlc_protocol.default_config env in
+          let preimage = Htlc_protocol.fresh_preimage ~seed:(seed + 57 + k) in
+          fun l -> Htlc_protocol.handlers_for env cfg preimage l
+      | Workload.Weak_single -> Weak_protocol.handlers_for env weak_cfg
+      | Workload.Committee -> Weak_protocol.handlers_for env committee_cfg
+      | Workload.Atomic -> Atomic_protocol.handlers_for env Atomic_protocol.default_config
+    in
+    let bs = block_size ~hops protos.(k) in
+    let base = 1 + (k * stride) in
+    for l = 0 to stride - 1 do
+      let clock = Clock.random clock_rng ~drift_ppm:w.drift_ppm in
+      let skew = Rng.int clock_rng 1001 in
+      let handlers =
+        if l < bs then
+          wrap ~payment:k ~abs:(base + l) ~is_customer:(l <= hops) ~skew
+            (inner l)
+        else Engine.silent
+      in
+      ignore (Engine.add_process engine ~clock ~base handlers)
+    done
+  done;
+  (* host crashes expand to every payment block *)
+  List.iter
+    (fun (c : Faults.Fault_plan.crash_spec) ->
+      for k = 0 to w.payments - 1 do
+        Engine.schedule_crash engine
+          ~pid:(1 + (k * stride) + c.pid)
+          ~at:c.at ?recover_at:c.recover_at ()
+      done)
+    plan.Faults.Fault_plan.crashes;
+  let status = Engine.run ~horizon ~max_events engine in
+  let end_time = Engine.now engine in
+  (* --- classification --- *)
+  let violations = ref [] in
+  let liquidity_rejections = ref 0 in
+  let exposed p lp =
+    let hi = if p.settled_at >= 0 then p.settled_at else end_time in
+    let lo = if p.admitted_at >= 0 then p.admitted_at else 0 in
+    List.exists
+      (fun (c : Faults.Fault_plan.crash_spec) ->
+        c.pid = lp && c.at <= hi
+        && match c.recover_at with None -> true | Some r -> r >= lo)
+      plan.Faults.Fault_plan.crashes
+  in
+  (* a customer abides unless it, or an adjacent escrow host, was crashed
+     while the payment was live — mirrors chaos's non-abiding registration *)
+  let abides p ci =
+    (not (exposed p ci))
+    && (ci = 0 || not (exposed p (hops + ci)))
+    && (ci = hops || not (exposed p (hops + 1 + ci)))
+  in
+  let classify k =
+    let p = pays.(k) in
+    if p.marked = Some Rejected || p.admitted_at < 0 then Rejected
+    else begin
+      let viols = ref [] in
+      let add property detail =
+        viols := { payment = k; property; detail } :: !viols
+      in
+      List.iter
+        (fun (who, what) ->
+          let liq = is_liquidity_rejection what in
+          if liq then incr liquidity_rejections;
+          let excused =
+            (liq && w.policy = Workload.Optimistic)
+            || exposed p who
+            || (who >= 0 && who <= hops && not (abides p who))
+          in
+          if not excused then
+            add "C" (Printf.sprintf "pid %d rejected: %s" who what))
+        p.rejections;
+      if
+        p.proto <> Workload.Htlc && p.terms.(0) && abides p 0
+        && p.flows.(0) < 0
+        && not p.alice_cert
+      then
+        add "CS1"
+          (Printf.sprintf "alice paid %d without a certificate"
+             (-p.flows.(0)));
+      if p.terms.(hops) && abides p hops && p.bob_cert_issued && p.paid_at < 0
+      then add "CS2" "bob issued a certificate but was not paid";
+      for ci = 1 to hops - 1 do
+        if p.terms.(ci) && abides p ci && p.flows.(ci) < 0 then
+          add "CS3" (Printf.sprintf "connector %d lost %d" ci (-p.flows.(ci)))
+      done;
+      if !viols <> [] then begin
+        violations := !viols @ !violations;
+        Violated
+      end
+      else if p.paid_at >= 0 then Committed
+      else if
+        (* settled for abort purposes: every customer terminated or was
+           crash-covered *)
+        let ok = ref true in
+        for ci = 0 to hops do
+          if not (p.terms.(ci) || exposed p ci) then ok := false
+        done;
+        !ok
+      then Aborted
+      else Stuck
+    end
+  in
+  let outcomes = Array.init w.payments classify in
+  let conservation_ok =
+    Array.for_all
+      (fun b ->
+        (match Ledger.Book.audit b with Ok () -> true | Error _ -> false)
+        && List.for_all (fun (_, bal) -> bal >= 0) (Ledger.Book.accounts b))
+      books
+  in
+  if not conservation_ok then
+    violations :=
+      {
+        payment = -1;
+        property = "ES/M";
+        detail = "a shared escrow book failed its conservation audit";
+      }
+      :: !violations;
+  let count o = Array.fold_left (fun a x -> if x = o then a + 1 else a) 0 outcomes in
+  let latencies =
+    let l = ref [] in
+    Array.iteri
+      (fun k o ->
+        if o = Committed then
+          l := (pays.(k).paid_at - pays.(k).arrived_at) :: !l)
+      outcomes;
+    let a = Array.of_list !l in
+    Array.sort compare a;
+    a
+  in
+  let committed = count Committed in
+  let report =
+    {
+      workload = w;
+      seed;
+      plan = Faults.Fault_plan.to_string plan;
+      status =
+        (match status with
+        | Engine.Quiescent -> "quiescent"
+        | Engine.Horizon_reached -> "horizon"
+        | Engine.Event_limit -> "event-limit");
+      admitted = !admitted;
+      committed;
+      aborted = count Aborted;
+      rejected = count Rejected;
+      stuck = count Stuck;
+      violated = count Violated;
+      violations = List.rev !violations;
+      liquidity_rejections = !liquidity_rejections;
+      conservation_ok;
+      latency_p50 = percentile latencies 50;
+      latency_p95 = percentile latencies 95;
+      latency_p99 = percentile latencies 99;
+      latency_max =
+        (if Array.length latencies = 0 then 0
+         else latencies.(Array.length latencies - 1));
+      makespan = end_time;
+      throughput_cpm =
+        (if end_time = 0 then 0 else committed * 1_000_000 / end_time);
+      messages = !messages;
+      max_in_flight = !max_in_flight;
+      trace_dropped = Trace.dropped_count (Engine.trace engine);
+      by_protocol =
+        List.map
+          (fun (pr, _) ->
+            let assigned = ref 0 and comm = ref 0 in
+            Array.iteri
+              (fun k o ->
+                if protos.(k) = pr then begin
+                  incr assigned;
+                  if o = Committed then incr comm
+                end)
+              outcomes;
+            (Workload.proto_name pr, !assigned, !comm))
+          w.mix;
+    }
+  in
+  (* --- telemetry --- *)
+  let reg = Obsv.Metrics.default in
+  List.iter
+    (fun (pr, _) ->
+      List.iter
+        (fun o ->
+          let n =
+            Array.fold_left ( + ) 0
+              (Array.mapi
+                 (fun k x ->
+                   if protos.(k) = pr && x = o then 1 else 0)
+                 outcomes)
+          in
+          if n > 0 then
+            Obsv.Metrics.add
+              (Obsv.Metrics.counter reg ~help:"Load-run payment outcomes"
+                 ~labels:
+                   [
+                     ("protocol", Workload.proto_name pr);
+                     ("outcome", outcome_name o);
+                   ]
+                 "xchain_load_payments_total")
+              n)
+        [ Committed; Aborted; Rejected; Stuck; Violated ])
+    w.mix;
+  Array.iteri
+    (fun k o ->
+      if o = Committed then
+        Obsv.Metrics.observe
+          (Obsv.Metrics.histogram reg
+             ~help:"Commit latency (arrival to Bob's payout), ticks"
+             ~labels:[ ("protocol", Workload.proto_name protos.(k)) ]
+             "xchain_load_commit_latency")
+          (pays.(k).paid_at - pays.(k).arrived_at))
+    outcomes;
+  Obsv.Metrics.add
+    (Obsv.Metrics.counter reg
+       ~help:"In-protocol insufficient-funds deposit failures"
+       "xchain_load_liquidity_rejections_total")
+    !liquidity_rejections;
+  Obsv.Metrics.set
+    (Obsv.Metrics.gauge reg ~help:"Peak concurrently admitted payments"
+       "xchain_load_in_flight_max")
+    !max_in_flight;
+  let spans = Obsv.Span.default in
+  if Obsv.Span.capture spans then begin
+    let root =
+      Obsv.Span.start spans ~name:"load"
+        ~attrs:
+          [
+            ("payments", string_of_int w.payments);
+            ("seed", string_of_int seed);
+          ]
+        ~at:0 ()
+    in
+    Array.iteri
+      (fun k o ->
+        let p = pays.(k) in
+        let s =
+          Obsv.Span.start spans ~parent:root ~name:"payment"
+            ~attrs:
+              [
+                ("id", string_of_int k);
+                ("protocol", Workload.proto_name p.proto);
+              ]
+            ~at:(max 0 p.arrived_at) ()
+        in
+        Obsv.Span.finish ~status:(outcome_name o)
+          ~at:(if p.settled_at >= 0 then p.settled_at else end_time)
+          s)
+      outcomes;
+    Obsv.Span.finish ~status:report.status ~at:end_time root
+  end;
+  report
+
+(* ------------------------------- output ------------------------------- *)
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  let str s = Buffer.add_string b ("\"" ^ Obsv.Metrics.json_escape s ^ "\"") in
+  Buffer.add_string b "{\"workload\":";
+  str (Workload.to_string r.workload);
+  Printf.bprintf b ",\"seed\":%d,\"plan\":" r.seed;
+  str r.plan;
+  Buffer.add_string b ",\"status\":";
+  str r.status;
+  Printf.bprintf b
+    ",\"payments\":%d,\"admitted\":%d,\"committed\":%d,\"aborted\":%d,\"rejected\":%d,\"stuck\":%d,\"violated\":%d"
+    r.workload.Workload.payments r.admitted r.committed r.aborted r.rejected
+    r.stuck r.violated;
+  Printf.bprintf b ",\"liquidity_rejections\":%d,\"conservation_ok\":%b"
+    r.liquidity_rejections r.conservation_ok;
+  Printf.bprintf b
+    ",\"latency\":{\"p50\":%d,\"p95\":%d,\"p99\":%d,\"max\":%d}" r.latency_p50
+    r.latency_p95 r.latency_p99 r.latency_max;
+  Printf.bprintf b
+    ",\"makespan\":%d,\"throughput_cpm\":%d,\"messages\":%d,\"max_in_flight\":%d,\"trace_dropped\":%d"
+    r.makespan r.throughput_cpm r.messages r.max_in_flight r.trace_dropped;
+  Buffer.add_string b ",\"by_protocol\":[";
+  List.iteri
+    (fun i (name, assigned, committed) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"protocol\":\"%s\",\"assigned\":%d,\"committed\":%d}"
+        name assigned committed)
+    r.by_protocol;
+  Buffer.add_string b "],\"violations\":[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"payment\":%d,\"property\":" v.payment;
+      str v.property;
+      Buffer.add_string b ",\"detail\":";
+      str v.detail;
+      Buffer.add_char b '}')
+    r.violations;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_summary ppf r =
+  Fmt.pf ppf "@[<v>load: %a@," Workload.pp r.workload;
+  Fmt.pf ppf "seed %d, plan %s, engine %s@," r.seed r.plan r.status;
+  Fmt.pf ppf
+    "payments %d: committed %d, aborted %d, rejected %d, stuck %d, violated \
+     %d@,"
+    r.workload.Workload.payments r.committed r.aborted r.rejected r.stuck
+    r.violated;
+  Fmt.pf ppf "liquidity rejections %d, conservation %s@," r.liquidity_rejections
+    (if r.conservation_ok then "ok" else "BROKEN");
+  Fmt.pf ppf "latency ticks p50 %d, p95 %d, p99 %d, max %d@," r.latency_p50
+    r.latency_p95 r.latency_p99 r.latency_max;
+  Fmt.pf ppf "makespan %d ticks, throughput %d commits/Mtick, peak in-flight %d@,"
+    r.makespan r.throughput_cpm r.max_in_flight;
+  List.iter
+    (fun (name, assigned, committed) ->
+      Fmt.pf ppf "  %-10s %d assigned, %d committed@," name assigned committed)
+    r.by_protocol;
+  List.iter
+    (fun v ->
+      Fmt.pf ppf "  VIOLATION pay=%d %s: %s@," v.payment v.property v.detail)
+    r.violations;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,92 @@
+(** The load scheduler: thousands of concurrent payments in one engine run.
+
+    {!run} multiplexes [workload.payments] payment instances over a single
+    {!Sim.Engine} run. All instances share one topology's escrow hosts and
+    — crucially — one {!Ledger.Book} per escrow, so they contend for the
+    same liquidity. Each instance gets its own block of engine pids at
+    [base = 1 + k * stride]; protocol handlers written for a standalone
+    payment run unmodified inside a block thanks to the engine's pid
+    rebasing ({!Sim.Engine.add_process}).
+
+    Pid 0 is the load controller: it owns the arrival process, the
+    admission queue (per-escrow liquidity reservations and the in-flight
+    cap), the per-payment patience and stuck deadlines, and settlement
+    bookkeeping. Control traffic ([start] / [traffic-done]) is delivered
+    at the network model's lower bound and is exempt from fault tampering,
+    so a fault plan shakes the payments, never the harness.
+
+    Every payment is classified on exit and checked against the safety
+    subset that survives multiplexing: C (no honest rejection), CS1–CS3
+    (certified settlement for Alice / Bob / connectors, conditioned on
+    termination and crash exposure exactly like {!Props.Payment_props}),
+    plus global conservation over the shared books. HTLC instances skip
+    CS1 — the protocol violates it by design (experiment E10). *)
+
+type outcome = Committed | Aborted | Rejected | Stuck | Violated
+
+val outcome_name : outcome -> string
+
+type violation = {
+  payment : int;  (** -1 for global (cross-payment) violations *)
+  property : string;  (** "C", "CS1", "CS2", "CS3" or "ES/M" *)
+  detail : string;
+}
+
+type report = {
+  workload : Workload.t;
+  seed : int;
+  plan : string;  (** the fault plan's grammar line; ["none"] if empty *)
+  status : string;  (** engine exit: quiescent / horizon / event-limit *)
+  admitted : int;
+  committed : int;
+  aborted : int;
+  rejected : int;  (** never admitted: queue patience ran out *)
+  stuck : int;  (** admitted but unsettled at the stuck deadline *)
+  violated : int;
+  violations : violation list;
+  liquidity_rejections : int;
+      (** in-protocol [Insufficient_funds] deposit failures (optimistic
+          policy); these are contention, not safety violations *)
+  conservation_ok : bool;  (** every shared book audits clean *)
+  latency_p50 : int;
+  latency_p95 : int;
+  latency_p99 : int;
+  latency_max : int;
+      (** commit latency: arrival (incl. queueing) to Bob's payout; 0 when
+          nothing committed *)
+  makespan : int;  (** global time when the engine stopped *)
+  throughput_cpm : int;  (** committed payments per million ticks *)
+  messages : int;  (** total sends, counted before any trace eviction *)
+  max_in_flight : int;
+  trace_dropped : int;  (** entries evicted by the bounded trace *)
+  by_protocol : (string * int * int) list;
+      (** (protocol, assigned, committed) in mix order *)
+}
+
+val run :
+  ?plan:Faults.Fault_plan.t ->
+  ?trace_capacity:int ->
+  workload:Workload.t ->
+  seed:int ->
+  unit ->
+  report
+(** One deterministic load run: equal [(workload, seed, plan)] gives a
+    bit-identical {!report}. Raises [Invalid_argument] on an invalid
+    workload or a plan that does not validate against the block's logical
+    pid space (plans address {e hosts} — logical pids [0 .. stride-1] —
+    and apply to every payment block, because one crashed escrow host
+    takes that escrow down for every payment that routes through it).
+
+    [trace_capacity] bounds the engine trace (default 4096; 0 keeps it
+    unbounded). Accounting ingests trace records through a hook as they
+    happen, so eviction never affects the report.
+
+    Emits [xchain_load_*] metrics into {!Obsv.Metrics.default} and, when
+    span capture is on, one root span plus a span per payment. *)
+
+val to_json : report -> string
+(** Stable field order, integers and escaped strings only — byte-identical
+    across runs with equal inputs. *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** Human-readable multi-line summary for the CLI. *)

@@ -250,6 +250,163 @@ let book_tests =
            Book.total_supply b = 150 && Result.is_ok (Book.audit b)));
   ]
 
+(* ------------------- Book property suite (qcheck) --------------------- *)
+
+(* A symbolic op language over the three fixed accounts, driven by random
+   programs. [run_op] executes one op and returns its result; the suite
+   checks the invariants the traffic subsystem leans on: conservation
+   under any interleaving, at-most-once deposit resolution, and failures
+   that leave the book exactly as it was. *)
+type book_op =
+  | Transfer of int * int * int
+  | Deposit of int * int
+  | Release of int * int  (** nth live deposit, recipient *)
+  | Refund of int
+  | Resolve_again of int  (** re-resolve the nth {e resolved} deposit *)
+  | Ghost_account of int * int  (** op against an unopened account *)
+  | Ghost_deposit of int  (** refund of a never-issued deposit id *)
+
+let book_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map3 (fun s d a -> Transfer (s, d, a)) (int_bound 2) (int_bound 2) (int_bound 80));
+        (4, map2 (fun f a -> Deposit (f, a)) (int_bound 2) (int_bound 80));
+        (3, map2 (fun n to_ -> Release (n, to_)) (int_bound 4) (int_bound 2));
+        (3, map (fun n -> Refund n) (int_bound 4));
+        (2, map (fun n -> Resolve_again n) (int_bound 4));
+        (1, map2 (fun a amt -> Ghost_account (a, amt)) (int_range 7 9) (int_bound 80));
+        (1, map (fun d -> Ghost_deposit (d + 10_000)) (int_bound 5));
+      ])
+
+let book_op_print = function
+  | Transfer (s, d, a) -> Printf.sprintf "transfer %d->%d %d" s d a
+  | Deposit (f, a) -> Printf.sprintf "deposit %d %d" f a
+  | Release (n, t) -> Printf.sprintf "release #%d ->%d" n t
+  | Refund n -> Printf.sprintf "refund #%d" n
+  | Resolve_again n -> Printf.sprintf "re-resolve #%d" n
+  | Ghost_account (a, amt) -> Printf.sprintf "ghost-account %d %d" a amt
+  | Ghost_deposit d -> Printf.sprintf "ghost-deposit %d" d
+
+let book_ops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map book_op_print l))
+    QCheck.Gen.(list_size (int_bound 40) book_op_gen)
+
+let nth_opt l n = List.nth_opt l n
+
+let book_prop_tests =
+  let snapshot b =
+    (Book.accounts b, Book.pool_total b, Book.total_supply b)
+  in
+  (* Execute one op. Returns [`Failed_dirty] if the op errored yet the
+     book changed, [`Double_resolution] if a resolved deposit resolved
+     again, [`Ok] otherwise. [live]/[resolved] track deposit ids. *)
+  let step b live resolved op =
+    let pre = snapshot b in
+    let result =
+      match op with
+      | Transfer (s, d, a) -> Book.transfer b ~src:s ~dst:d ~amount:a
+      | Deposit (f, a) -> (
+          match Book.deposit b ~from_:f ~amount:a with
+          | Ok dep ->
+              live := dep :: !live;
+              Ok ()
+          | Error e -> Error e)
+      | Release (n, to_) -> (
+          match nth_opt !live n with
+          | None -> Ok ()
+          | Some dep -> (
+              match Book.release b dep ~to_ with
+              | Ok () ->
+                  live := List.filter (fun d -> d <> dep) !live;
+                  resolved := dep :: !resolved;
+                  Ok ()
+              | Error e -> Error e))
+      | Refund n -> (
+          match nth_opt !live n with
+          | None -> Ok ()
+          | Some dep -> (
+              match Book.refund b dep with
+              | Ok () ->
+                  live := List.filter (fun d -> d <> dep) !live;
+                  resolved := dep :: !resolved;
+                  Ok ()
+              | Error e -> Error e))
+      | Resolve_again n -> (
+          match nth_opt !resolved n with
+          | None -> Ok ()
+          | Some dep -> (
+              match Book.release b dep ~to_:0 with
+              | Ok () -> raise Exit (* double resolution *)
+              | Error e -> Error e))
+      | Ghost_account (a, amt) ->
+          Result.map (fun _ -> ()) (Book.deposit b ~from_:a ~amount:amt)
+      | Ghost_deposit d -> Book.refund b d
+    in
+    match result with
+    | Ok () -> `Ok
+    | Error _ -> if snapshot b = pre then `Ok else `Failed_dirty op
+  in
+  let run_program ops =
+    let b = book () in
+    let live = ref [] and resolved = ref [] in
+    let dirty =
+      List.filter_map
+        (fun op ->
+          match step b live resolved op with
+          | `Ok -> None
+          | `Failed_dirty op -> Some op)
+        ops
+    in
+    (b, dirty)
+  in
+  [
+    qcheck
+      (QCheck.Test.make ~name:"audit and total supply hold under any program"
+         ~count:300 book_ops_arb (fun ops ->
+           let b, _ = run_program ops in
+           Book.total_supply b = 150
+           && Result.is_ok (Book.audit b)
+           && List.for_all (fun (_, bal) -> bal >= 0) (Book.accounts b)));
+    qcheck
+      (QCheck.Test.make ~name:"failed operations leave the book untouched"
+         ~count:300 book_ops_arb (fun ops ->
+           let _, dirty = run_program ops in
+           match dirty with
+           | [] -> true
+           | op :: _ ->
+               QCheck.Test.fail_reportf "book changed on failed %s"
+                 (book_op_print op)));
+    qcheck
+      (QCheck.Test.make ~name:"a deposit resolves at most once" ~count:300
+         book_ops_arb (fun ops ->
+           (* [step] raises Exit if a second resolution of the same deposit
+              ever succeeds; finishing the program is the property *)
+           match run_program ops with _ -> true | exception Exit -> false));
+    Alcotest.test_case "every error constructor is reachable" `Quick (fun () ->
+        let b = book () in
+        (match Book.transfer b ~src:9 ~dst:0 ~amount:1 with
+        | Error (Book.Unknown_account 9) -> ()
+        | _ -> Alcotest.fail "expected Unknown_account");
+        (match Book.transfer b ~src:2 ~dst:0 ~amount:1 with
+        | Error (Book.Insufficient_funds { account = 2; has = 0; needs = 1 }) -> ()
+        | _ -> Alcotest.fail "expected Insufficient_funds");
+        (match Book.refund b 777 with
+        | Error (Book.Unknown_deposit 777) -> ()
+        | _ -> Alcotest.fail "expected Unknown_deposit");
+        let dep = ok (Book.deposit b ~from_:0 ~amount:5) in
+        ok (Book.release b dep ~to_:1);
+        (match Book.refund b dep with
+        | Error (Book.Already_resolved d) when d = dep -> ()
+        | _ -> Alcotest.fail "expected Already_resolved"));
+  ]
+
 let () =
   Alcotest.run "ledger"
-    [ ("asset", asset_tests); ("bag", bag_tests); ("book", book_tests) ]
+    [
+      ("asset", asset_tests);
+      ("bag", bag_tests);
+      ("book", book_tests);
+      ("book_props", book_prop_tests);
+    ]

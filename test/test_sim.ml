@@ -184,6 +184,39 @@ let queue_tests =
                     if t1 <> t2 then compare t1 t2 else compare i1 i2)
            in
            drained = expected));
+    Alcotest.test_case "double cancel returns false" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let tok = Event_queue.push q ~time:1 () in
+        check Alcotest.bool "first" true (Event_queue.cancel q tok);
+        check Alcotest.bool "second" false (Event_queue.cancel q tok));
+    Alcotest.test_case "cancel of a foreign token is a no-op" `Quick (fun () ->
+        let q = Event_queue.create () in
+        ignore (Event_queue.push q ~time:1 "keep");
+        check Alcotest.bool "unknown token" false (Event_queue.cancel q 4242);
+        check Alcotest.int "nothing lost" 1 (Event_queue.length q));
+    qcheck
+      (QCheck.Test.make ~name:"cancel agrees with liveness at any occupancy"
+         QCheck.(list (pair (int_bound 100) bool))
+         (fun plan ->
+           (* push everything, cancel the flagged ones, then verify pops
+              return exactly the survivors and late cancels return false *)
+           let q = Event_queue.create () in
+           let toks =
+             List.map (fun (t, c) -> (Event_queue.push q ~time:t (), c)) plan
+           in
+           let cancelled =
+             List.filter_map
+               (fun (tok, c) ->
+                 if c then begin
+                   ignore (Event_queue.cancel q tok);
+                   Some tok
+                 end
+                 else None)
+               toks
+           in
+           let live = List.length plan - List.length cancelled in
+           List.length (Event_queue.drain q) = live
+           && List.for_all (fun tok -> not (Event_queue.cancel q tok)) cancelled));
   ]
 
 (* -------------------------------- Clock ------------------------------- *)
@@ -614,6 +647,84 @@ let engine_tests =
         in
         check Alcotest.bool "within sigma+delta" true
           (match t with Some t -> t >= 1 && t <= 6 | None -> false));
+    Alcotest.test_case "base offsets rebase pid, send and delivery src" `Quick
+      (fun () ->
+        (* two blocks of two processes each; the same handler code runs in
+           both, always speaking logical pids 0/1 *)
+        let e = mk_engine () in
+        let log = ref [] in
+        let talker =
+          {
+            Engine.on_start =
+              (fun ctx ->
+                if Engine.pid ctx = 0 then Engine.send ctx ~dst:1 (Data 7));
+            on_receive =
+              (fun ctx ~src m ->
+                match m with
+                | Data v -> log := (Engine.pid ctx, src, v) :: !log
+                | _ -> ());
+            on_timer = (fun _ ~label:_ -> ());
+          }
+        in
+        for block = 0 to 1 do
+          for _l = 0 to 1 do
+            ignore (Engine.add_process e ~base:(block * 2) talker)
+          done
+        done;
+        check Alcotest.bool "quiescent" true (Engine.run e = Engine.Quiescent);
+        check
+          Alcotest.(list (triple int int int))
+          "each block's logical pid 1 heard logical pid 0"
+          [ (1, 0, 7); (1, 0, 7) ]
+          (List.sort compare !log));
+    Alcotest.test_case "send_absolute escapes the base" `Quick (fun () ->
+        let e = mk_engine () in
+        let got = ref None in
+        let collector =
+          {
+            Engine.silent with
+            Engine.on_receive =
+              (fun _ ~src m ->
+                match m with Data v -> got := Some (src, v) | _ -> ());
+          }
+        in
+        let escapee =
+          {
+            Engine.silent with
+            Engine.on_start = (fun ctx -> Engine.send_absolute ctx ~dst:0 (Data 9));
+          }
+        in
+        ignore (Engine.add_process e collector);
+        ignore (Engine.add_process e ~base:1 escapee);
+        ignore (Engine.run e);
+        (* collector has base 0, so the reported src is the engine pid *)
+        check Alcotest.(option (pair int int)) "escaped" (Some (1, 9)) !got);
+    Alcotest.test_case "set_clock re-anchors the local epoch" `Quick (fun () ->
+        let e = mk_engine ~delta:1 () in
+        let local = ref (-1) in
+        let observerd =
+          {
+            Engine.silent with
+            Engine.on_receive =
+              (fun ctx ~src:_ _ -> local := Engine.local_now ctx);
+          }
+        in
+        let pinger =
+          {
+            Engine.silent with
+            Engine.on_start =
+              (fun ctx ->
+                Engine.set_timer_after ctx ~after:50 ~label:"late");
+            on_timer = (fun ctx ~label:_ -> Engine.send ctx ~dst:1 Ping);
+          }
+        in
+        ignore (Engine.add_process e pinger);
+        ignore (Engine.add_process e observerd);
+        (* re-anchor pid 1's clock to read 1000 at global time 0 *)
+        Engine.set_clock e ~pid:1
+          (Clock.create ~l0:1000 ~g0:0 ~num:1 ~den:1 ());
+        ignore (Engine.run e);
+        check Alcotest.bool "re-anchored local time" true (!local >= 1050));
   ]
 
 let semantics_tests =
@@ -796,6 +907,50 @@ let trace_tests =
           go 0
         in
         check Alcotest.bool "inf" true (mem {|"inf"|}));
+    Alcotest.test_case "bounded trace keeps the newest window" `Quick (fun () ->
+        let tr : (string, string) Trace.t = Trace.create ~capacity:3 () in
+        for i = 1 to 5 do
+          Trace.record tr (Trace.Observed { t = i; pid = 0; obs = string_of_int i })
+        done;
+        check Alcotest.int "dropped" 2 (Trace.dropped_count tr);
+        check Alcotest.int "total length" 5 (Trace.length tr);
+        let kept =
+          List.filter_map
+            (function Trace.Observed { obs; _ } -> Some obs | _ -> None)
+            (Trace.to_list tr)
+        in
+        check Alcotest.(list string) "newest three" [ "3"; "4"; "5" ] kept);
+    Alcotest.test_case "bounded trace smaller than capacity drops nothing"
+      `Quick (fun () ->
+        let tr : (string, string) Trace.t = Trace.create ~capacity:10 () in
+        Trace.record tr (Trace.Observed { t = 1; pid = 0; obs = "a" });
+        check Alcotest.int "dropped" 0 (Trace.dropped_count tr);
+        check Alcotest.int "kept" 1 (List.length (Trace.to_list tr)));
+    Alcotest.test_case "create rejects non-positive capacity" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Trace.create: capacity must be positive")
+          (fun () -> ignore (Trace.create ~capacity:0 () : (unit, unit) Trace.t)));
+    Alcotest.test_case "on_record hooks see every entry despite eviction"
+      `Quick (fun () ->
+        let tr : (string, string) Trace.t = Trace.create ~capacity:2 () in
+        let seen = ref 0 in
+        let order = ref [] in
+        Trace.on_record tr (fun _ -> incr seen);
+        Trace.on_record tr (fun _ -> order := "second" :: !order);
+        for i = 1 to 7 do
+          Trace.record tr (Trace.Observed { t = i; pid = 0; obs = "x" })
+        done;
+        check Alcotest.int "hook saw all" 7 !seen;
+        check Alcotest.int "both hooks ran" 7 (List.length !order);
+        check Alcotest.int "storage bounded" 2 (List.length (Trace.to_list tr)));
+    Alcotest.test_case "message_count and last_time survive the ring" `Quick
+      (fun () ->
+        let tr : (string, string) Trace.t = Trace.create ~capacity:2 () in
+        for i = 1 to 4 do
+          Trace.record tr (Trace.Sent { t = i; src = 0; dst = 1; tag = "m"; msg = "" })
+        done;
+        check Alcotest.int "kept messages" 2 (Trace.message_count tr);
+        check Alcotest.int "last time" 4 (Trace.last_time tr));
   ]
 
 let () =

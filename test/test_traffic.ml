@@ -1,0 +1,315 @@
+(* Tests for the traffic subsystem: workload grammar, validation, and the
+   load scheduler's end-to-end guarantees (safety subset, contention
+   accounting, fault classification, determinism). *)
+
+open Traffic
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ----------------------------- workload ------------------------------- *)
+
+let wl_gen =
+  QCheck.Gen.(
+    let arrival =
+      oneof
+        [
+          map (fun g -> Workload.Poisson { gap = 1 + g }) (int_bound 200);
+          map2
+            (fun c t -> Workload.Closed { clients = 1 + c; think = t })
+            (int_bound 20) (int_bound 100);
+          map2
+            (fun s e -> Workload.Burst { size = 1 + s; every = 1 + e })
+            (int_bound 10) (int_bound 200);
+          map2
+            (fun hi lo ->
+              Workload.Ramp { gap_hi = 1 + lo + hi; gap_lo = 1 + lo })
+            (int_bound 100) (int_bound 100);
+        ]
+    in
+    let proto =
+      oneofl
+        Workload.[ Sync; Naive; Htlc; Weak_single; Committee; Atomic ]
+    in
+    let mix =
+      map
+        (fun l ->
+          (* dedup by protocol; grammar keys mixes by name *)
+          List.fold_left
+            (fun acc (p, w) ->
+              if List.mem_assoc p acc then acc else (p, w) :: acc)
+            [] l
+          |> List.rev)
+        (list_size (int_range 1 4) (pair proto (int_range 1 9)))
+    in
+    let policy = oneofl Workload.[ Reserve; Optimistic ] in
+    let* payments = int_bound 500 in
+    let* hops = int_bound 3 in
+    let* value = int_bound 1000 in
+    let* commission = int_bound 20 in
+    let* arrival = arrival in
+    let* mix = mix in
+    let* policy = policy in
+    (* of_string validates: optimistic is illegal with sync/naive in the mix *)
+    let policy =
+      if
+        List.mem_assoc Workload.Sync mix
+        || List.mem_assoc Workload.Naive mix
+      then Workload.Reserve
+      else policy
+    in
+    let* cap = int_bound 64 in
+    let* liq = int_bound 8 in
+    let+ pat = int_bound 5000 in
+    {
+      Workload.payments = 1 + payments;
+      hops = 1 + hops;
+      value = 100 + value;
+      commission = 1 + commission;
+      arrival;
+      mix;
+      policy;
+      cap;
+      liquidity = liq;
+      patience = 1 + pat;
+      stuck_after = 0;
+      drift_ppm = 0;
+      gst = None;
+    })
+
+let wl_arb =
+  QCheck.make ~print:(fun w -> Workload.to_string w) wl_gen
+
+let workload_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"grammar round-trips" ~count:500 wl_arb
+         (fun w ->
+           match Workload.of_string (Workload.to_string w) with
+           | Ok w' -> w' = w
+           | Error e -> QCheck.Test.fail_reportf "no parse: %s" e));
+    Alcotest.test_case "default spec round-trips" `Quick (fun () ->
+        let w = Workload.default ~payments:100 in
+        match Workload.of_string (Workload.to_string w) with
+        | Ok w' -> Alcotest.(check bool) "equal" true (w = w')
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "optimistic forbids sync and naive" `Quick (fun () ->
+        let w =
+          {
+            (Workload.default ~payments:10) with
+            policy = Workload.Optimistic;
+            mix = [ (Workload.Sync, 1) ];
+          }
+        in
+        (match Workload.validate w with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "optimistic+sync accepted");
+        let w = { w with mix = [ (Workload.Naive, 1) ] } in
+        match Workload.validate w with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "optimistic+naive accepted");
+    Alcotest.test_case "naive requires zero drift" `Quick (fun () ->
+        let w =
+          {
+            (Workload.default ~payments:10) with
+            mix = [ (Workload.Naive, 1) ];
+            drift_ppm = 500;
+          }
+        in
+        (match Workload.validate w with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "naive with drift accepted");
+        match Workload.validate { w with drift_ppm = 0 } with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "arrivals are monotone and deterministic" `Quick
+      (fun () ->
+        let w =
+          {
+            (Workload.default ~payments:200) with
+            arrival = Workload.Ramp { gap_hi = 80; gap_lo = 5 };
+          }
+        in
+        match (Workload.arrivals w ~seed:7, Workload.arrivals w ~seed:7) with
+        | Some a, Some b ->
+            Alcotest.(check bool) "same seed, same ticks" true (a = b);
+            Array.iteri
+              (fun i t ->
+                if i > 0 && t < a.(i - 1) then
+                  Alcotest.fail "arrival ticks not monotone")
+              a
+        | _ -> Alcotest.fail "open-loop arrivals expected");
+    Alcotest.test_case "closed loop has no precomputed arrivals" `Quick
+      (fun () ->
+        let w =
+          {
+            (Workload.default ~payments:50) with
+            arrival = Workload.Closed { clients = 4; think = 10 };
+          }
+        in
+        match Workload.arrivals w ~seed:1 with
+        | None -> ()
+        | Some _ -> Alcotest.fail "closed loop should settle-drive arrivals");
+    qcheck
+      (QCheck.Test.make ~name:"assign_mix draws only from the mix" ~count:100
+         wl_arb (fun w ->
+           let assigned = Workload.assign_mix w ~seed:13 in
+           Array.length assigned = w.Workload.payments
+           && Array.for_all
+                (fun p -> List.mem_assoc p w.Workload.mix)
+                assigned));
+  ]
+
+(* ------------------------------- load ---------------------------------- *)
+
+let spec s =
+  match Workload.of_string s with
+  | Ok w -> w
+  | Error e -> Alcotest.fail ("bad spec: " ^ e)
+
+let no_violations r =
+  Alcotest.(check int) "violated" 0 r.Load.violated;
+  Alcotest.(check (list string)) "violations" []
+    (List.map
+       (fun v -> Printf.sprintf "%d/%s: %s" v.Load.payment v.property v.detail)
+       r.Load.violations);
+  Alcotest.(check bool) "conservation" true r.Load.conservation_ok
+
+let load_tests =
+  [
+    Alcotest.test_case "mixed open-loop run commits everything" `Slow
+      (fun () ->
+        let w =
+          spec
+            "payments=40 hops=2 value=1000 commission=10 arrival=poisson:30 \
+             mix=sync:2,weak:2,htlc:1,atomic:1 policy=reserve cap=0 \
+             liquidity=0 patience=2000 stuck=0 drift=10000 gst=none"
+        in
+        let r = Load.run ~workload:w ~seed:3 () in
+        no_violations r;
+        Alcotest.(check int) "committed" 40 r.Load.committed;
+        Alcotest.(check int) "rejected" 0 r.Load.rejected;
+        Alcotest.(check bool) "latency measured" true (r.Load.latency_p50 > 0);
+        Alcotest.(check bool) "throughput measured" true
+          (r.Load.throughput_cpm > 0);
+        let assigned = List.fold_left (fun a (_, n, _) -> a + n) 0 r.Load.by_protocol in
+        Alcotest.(check int) "by_protocol covers all payments" 40 assigned);
+    Alcotest.test_case "committee payments multiplex too" `Slow (fun () ->
+        let w =
+          spec
+            "payments=12 hops=2 value=1000 commission=10 arrival=burst:4:200 \
+             mix=committee policy=reserve cap=0 liquidity=0 patience=3000 \
+             stuck=0 drift=10000 gst=none"
+        in
+        let r = Load.run ~workload:w ~seed:5 () in
+        no_violations r;
+        Alcotest.(check int) "committed" 12 r.Load.committed);
+    Alcotest.test_case "closed loop under scarce liquidity rejects, never \
+                        violates" `Slow (fun () ->
+        let w =
+          spec
+            "payments=60 hops=2 value=1000 commission=10 arrival=closed:6:5 \
+             mix=weak policy=reserve cap=0 liquidity=3 patience=400 stuck=0 \
+             drift=10000 gst=none"
+        in
+        let r = Load.run ~workload:w ~seed:11 () in
+        no_violations r;
+        Alcotest.(check bool) "liquidity bites: some payments rejected" true
+          (r.Load.rejected > 0);
+        Alcotest.(check bool) "the funded prefix still commits" true
+          (r.Load.committed >= 3);
+        Alcotest.(check int) "everything is accounted for"
+          w.Workload.payments
+          (r.Load.committed + r.Load.aborted + r.Load.rejected + r.Load.stuck
+         + r.Load.violated));
+    Alcotest.test_case "optimistic policy surfaces deposit races safely"
+      `Slow (fun () ->
+        let w =
+          spec
+            "payments=30 hops=2 value=1000 commission=10 arrival=burst:30:1 \
+             mix=weak policy=optimistic cap=0 liquidity=5 patience=200 \
+             stuck=0 drift=10000 gst=none"
+        in
+        let r = Load.run ~workload:w ~seed:2 () in
+        no_violations r;
+        Alcotest.(check bool) "losers hit Insufficient_funds in-protocol" true
+          (r.Load.liquidity_rejections > 0));
+    Alcotest.test_case "a crashed escrow leaves its payments stuck, never \
+                        unsafe" `Slow (fun () ->
+        (* host pid 4 is e1's contract process in a 2-hop block; crashing it
+           mid-run wedges unsettled payments without violating safety *)
+        let w =
+          spec
+            "payments=20 hops=2 value=1000 commission=10 arrival=poisson:50 \
+             mix=weak policy=reserve cap=0 liquidity=0 patience=2000 \
+             stuck=0 drift=10000 gst=none"
+        in
+        let plan =
+          match Faults.Fault_plan.of_string "crash 4@1500" with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let r = Load.run ~plan ~workload:w ~seed:9 () in
+        no_violations r;
+        Alcotest.(check bool) "some payments wedge" true (r.Load.stuck > 0);
+        Alcotest.(check bool) "pre-crash payments commit" true
+          (r.Load.committed > 0));
+    Alcotest.test_case "a healed crash only delays" `Slow (fun () ->
+        let w =
+          spec
+            "payments=15 hops=2 value=1000 commission=10 arrival=poisson:40 \
+             mix=weak policy=reserve cap=0 liquidity=0 patience=2000 \
+             stuck=0 drift=10000 gst=none"
+        in
+        let plan =
+          match Faults.Fault_plan.of_string "crash 3@1000+2000" with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let r = Load.run ~plan ~workload:w ~seed:9 () in
+        no_violations r;
+        Alcotest.(check int) "all commit after the heal" 15 r.Load.committed);
+    Alcotest.test_case "reports are bit-identical across reruns" `Slow
+      (fun () ->
+        let w =
+          spec
+            "payments=25 hops=3 value=900 commission=15 arrival=ramp:60:10 \
+             mix=sync:1,htlc:1,atomic:1 policy=reserve cap=8 liquidity=0 \
+             patience=2500 stuck=0 drift=10000 gst=none"
+        in
+        let a = Load.to_json (Load.run ~workload:w ~seed:21 ()) in
+        let b = Load.to_json (Load.run ~workload:w ~seed:21 ()) in
+        Alcotest.(check string) "same seed, same bytes" a b;
+        let c = Load.to_json (Load.run ~workload:w ~seed:22 ()) in
+        Alcotest.(check bool) "different seed, different run" true (a <> c));
+    Alcotest.test_case "bounded trace never skews accounting" `Slow (fun () ->
+        let w =
+          spec
+            "payments=30 hops=2 value=1000 commission=10 arrival=poisson:20 \
+             mix=sync,weak policy=reserve cap=0 liquidity=0 patience=2000 \
+             stuck=0 drift=10000 gst=none"
+        in
+        let tiny = Load.run ~trace_capacity:64 ~workload:w ~seed:4 () in
+        let full = Load.run ~trace_capacity:0 ~workload:w ~seed:4 () in
+        Alcotest.(check bool) "tiny ring evicted entries" true
+          (tiny.Load.trace_dropped > 0);
+        Alcotest.(check int) "unbounded run drops nothing" 0
+          full.Load.trace_dropped;
+        Alcotest.(check string) "identical reports modulo trace_dropped"
+          (Load.to_json { tiny with Load.trace_dropped = 0 })
+          (Load.to_json { full with Load.trace_dropped = 0 }));
+    Alcotest.test_case "run rejects an invalid workload" `Quick (fun () ->
+        let w =
+          {
+            (Workload.default ~payments:5) with
+            policy = Workload.Optimistic;
+            mix = [ (Workload.Sync, 1) ];
+          }
+        in
+        match Load.run ~workload:w ~seed:1 () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "invalid workload accepted");
+  ]
+
+let () =
+  Alcotest.run "traffic"
+    [ ("workload", workload_tests); ("load", load_tests) ]
