@@ -144,6 +144,78 @@ let write_load_json () =
   close_out oc;
   Fmt.pr "load reports written to %s@." load_json_file
 
+(* --------------------------- causal tracing ---------------------------- *)
+
+(* One canonically-traced load run: its aggregate blame table, plus the
+   tracing-off vs tracing-on wall-clock of the identical run, land in
+   BENCH_blame.json. Tracing off must be in the noise (the engine guards
+   every causal block behind one option match); tracing on reports its
+   actual overhead ratio honestly. *)
+let blame_json_file = "BENCH_blame.json"
+
+let blame_workload =
+  let n = match scale with Xchain.Experiments.Quick -> 200 | Full -> 2_000 in
+  match
+    Traffic.Workload.of_string
+      (Printf.sprintf
+         "payments=%d hops=2 value=1000 commission=10 arrival=poisson:10 \
+          mix=sync:1,weak:1 policy=reserve cap=0 liquidity=0 patience=2000 \
+          stuck=0 drift=10000 gst=none"
+         n)
+  with
+  | Ok w -> w
+  | Error e -> failwith e
+
+let write_blame_json () =
+  Fmt.pr "@.##### Causal tracing: blame + overhead (seed 1) #####@.@.";
+  let reps = match scale with Xchain.Experiments.Quick -> 3 | Full -> 10 in
+  let time_runs ~causal () =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      let c = if causal then Some (Obsv.Causal.create ()) else None in
+      ignore (Traffic.Load.run ?causal:c ~workload:blame_workload ~seed:1 ())
+    done;
+    Sys.time () -. t0
+  in
+  let off_s = time_runs ~causal:false () in
+  let on_s = time_runs ~causal:true () in
+  let ratio = if off_s > 0. then on_s /. off_s else 1. in
+  let c = Obsv.Causal.create () in
+  let r = Traffic.Load.run ~causal:c ~workload:blame_workload ~seed:1 () in
+  let agg =
+    match r.Traffic.Load.blame with
+    | Some a -> a
+    | None -> failwith "traced load run produced no blame aggregate"
+  in
+  (* the exact-sum invariant, re-checked on the bench workload *)
+  List.iter
+    (fun (_, b) ->
+      if not (Obsv.Blame.check b) then
+        failwith "blame gaps do not sum to the commit latency")
+    r.Traffic.Load.blame_reports;
+  Fmt.pr "%a@." Obsv.Blame.pp_agg agg;
+  Fmt.pr "overhead: off %.3fs, on %.3fs over %d runs — ratio %.2f@." off_s
+    on_s reps ratio;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"scale\":";
+  Buffer.add_string buf
+    (match scale with
+    | Xchain.Experiments.Quick -> "\"quick\""
+    | Full -> "\"full\"");
+  Buffer.add_string buf ",\"workload\":\"";
+  Buffer.add_string buf
+    (Obsv.Metrics.json_escape (Traffic.Workload.to_string blame_workload));
+  Buffer.add_string buf "\",\"blame\":";
+  Buffer.add_string buf (Obsv.Blame.agg_to_json agg);
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"overhead\":{\"runs\":%d,\"off_s\":%.6f,\"on_s\":%.6f,\"ratio\":%.4f}}\n"
+       reps off_s on_s ratio);
+  let oc = open_out blame_json_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "blame report written to %s@." blame_json_file
+
 (* -------------------------- micro-benchmarks -------------------------- *)
 
 let payment_run protocol ~hops ~seed =
@@ -244,6 +316,22 @@ let experiment_tests =
             | Error e -> failwith e
           in
           fun () -> ignore (Traffic.Load.run ~workload ~seed:1 ())));
+    Test.make ~name:"load_100_causal_on"
+      (Staged.stage
+         (let workload =
+            match
+              Traffic.Workload.of_string
+                "payments=100 hops=2 value=1000 commission=10 \
+                 arrival=poisson:10 mix=sync:1,weak:1 policy=reserve cap=0 \
+                 liquidity=0 patience=2000 stuck=0 drift=10000 gst=none"
+            with
+            | Ok w -> w
+            | Error e -> failwith e
+          in
+          fun () ->
+            ignore
+              (Traffic.Load.run ~causal:(Obsv.Causal.create ()) ~workload
+                 ~seed:1 ())));
   ]
 
 (* Occupancy churn for the event queue's cancel path: build a heap of n
@@ -363,5 +451,6 @@ let () =
   let per_experiment = print_tables () in
   write_metrics_json per_experiment;
   write_load_json ();
+  write_blame_json ();
   run_benchmarks ();
   Fmt.pr "@.done.@."

@@ -56,6 +56,62 @@ let dump_telemetry ~metrics_out ~spans_out =
   write_sink metrics_out (Obsv.Prometheus.render Obsv.Metrics.default);
   write_sink spans_out (Obsv.Span.to_jsonl Obsv.Span.default)
 
+(* --- causal tracing (trace / chaos / load) --- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's happens-before graph as Chrome trace-event JSON \
+           to $(docv) ('-' for stdout) — load it in chrome://tracing or \
+           Perfetto. One track per engine pid; message transits are flow \
+           arrows. Byte-identical across reruns with equal inputs.")
+
+let dag_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dag-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the happens-before DAG as JSON lines to $(docv) ('-' for \
+           stdout): one node per line with its incoming edges, joinable \
+           against --spans-out rows by trace/root_event id.")
+
+let blame_arg =
+  Arg.(
+    value & flag
+    & info [ "blame" ]
+        ~doc:
+          "Print the critical-path blame breakdown: end-to-end latency \
+           decomposed into queueing / transit / gst_wait / timeout / \
+           downtime / processing, summing exactly to the observed total.")
+
+(* any causal sink requested? then the engine records the graph *)
+let causal_wanted ~trace_out ~dag_out ~blame =
+  if trace_out <> None || dag_out <> None || blame then
+    Some (Obsv.Causal.create ())
+  else None
+
+let dump_causal causal ~trace_out ~dag_out ~payments =
+  Option.iter
+    (fun c ->
+      write_sink trace_out (Obsv.Causal.to_chrome ~payments c);
+      write_sink dag_out (Obsv.Causal.to_jsonl c))
+    causal
+
+(* a single payment's blame report: root is the run's first causal node
+   (the initial on_start send at t=0) *)
+let print_payment_blame c ~delta ~sink =
+  if Obsv.Causal.node_count c = 0 || sink < 0 then
+    Fmt.pr "blame: no settlement sink recorded (payment never paid out)@."
+  else begin
+    let r = Obsv.Blame.attribute ~delta c ~root:0 ~sink in
+    Fmt.pr "%a@." Obsv.Blame.pp_report r;
+    Fmt.pr "critical path:@.%a@." (Obsv.Blame.pp_path c) r
+  end
+
 (* ------------------------------- pay ---------------------------------- *)
 
 let protocol_conv =
@@ -433,7 +489,8 @@ let runner_protocol_of = function
           tm = Weak_protocol.Committee { f = 1 } }
 
 let chaos_cmd =
-  let run protocol hops seed plan plan_file soak runs repro_out metrics_out =
+  let run protocol hops seed plan plan_file soak runs repro_out metrics_out
+      trace_out dag_out blame =
     let protocol = runner_protocol_of protocol in
     let parse_plan ~what s =
       match Faults.Fault_plan.of_string s with
@@ -468,7 +525,8 @@ let chaos_cmd =
         if s.Xchain.Chaos.violations = [] then 0 else 1
       end
       else begin
-        let r = Xchain.Chaos.run_one ~hops ~protocol ~plan ~seed () in
+        let causal = causal_wanted ~trace_out ~dag_out ~blame in
+        let r = Xchain.Chaos.run_one ~hops ~protocol ?causal ~plan ~seed () in
         Fmt.pr "plan: %a@.classification: %s@." Faults.Fault_plan.pp
           r.Xchain.Chaos.plan
           (Xchain.Chaos.classification_name r.Xchain.Chaos.classification);
@@ -477,6 +535,27 @@ let chaos_cmd =
             Fmt.pr "violated %s: %s@." v.Props.Verdict.property
               v.Props.Verdict.detail)
           r.Xchain.Chaos.failures;
+        let cls = Xchain.Chaos.classification_name r.Xchain.Chaos.classification in
+        if blame then
+          Option.iter
+            (fun c ->
+              let cfg = Runner.default_config ~hops ~seed in
+              print_payment_blame c
+                ~delta:(cfg.Runner.delta + cfg.Runner.sigma)
+                ~sink:
+                  (if r.Xchain.Chaos.paid_node >= 0 then
+                     r.Xchain.Chaos.paid_node
+                   else r.Xchain.Chaos.settled_node))
+            causal;
+        dump_causal causal ~trace_out ~dag_out
+          ~payments:
+            [
+              ( Runner.protocol_name protocol,
+                0,
+                0,
+                r.Xchain.Chaos.end_time,
+                cls );
+            ];
         match r.Xchain.Chaos.classification with
         | Xchain.Chaos.Safety_violation ->
             Fmt.pr "repro: %s@." (Xchain.Chaos.repro_line r);
@@ -528,14 +607,98 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Run payments under a declarative fault plan (lossy links,               crashes, partitions), or soak hundreds of random plans and check              the safety properties")
     Term.(const run $ protocol $ hops $ seed $ plan $ plan_file $ soak $ runs
-          $ repro_out $ metrics_out_arg)
+          $ repro_out $ metrics_out_arg $ trace_out_arg $ dag_out_arg
+          $ blame_arg)
+
+(* ------------------------------- trace --------------------------------- *)
+
+let trace_cmd =
+  let run protocol hops gst seed plan trace_out dag_out =
+    let protocol = runner_protocol_of protocol in
+    let fault_plan =
+      match plan with
+      | None -> None
+      | Some s -> (
+          match Faults.Fault_plan.of_string s with
+          | Ok p -> Some p
+          | Error e ->
+              Fmt.epr "xchain trace: bad fault plan: %s@." e;
+              exit 2)
+    in
+    let causal = Obsv.Causal.create () in
+    let cfg =
+      {
+        (Runner.default_config ~hops ~seed) with
+        Runner.network =
+          (match gst with
+          | None -> Runner.Sync
+          | Some gst -> Runner.Psync { gst });
+        fault_plan;
+        causal = Some causal;
+      }
+    in
+    let o = Runner.run cfg protocol in
+    let committed = o.Runner.paid_node >= 0 in
+    Fmt.pr "protocol %s, %d hops, seed %d: %s, engine stopped at t=%d@."
+      (Runner.protocol_name protocol)
+      hops seed
+      (if committed then "commit" else "abort")
+      o.Runner.end_time;
+    Fmt.pr "causal graph: %d nodes, %d edges@."
+      (Obsv.Causal.node_count causal)
+      (Obsv.Causal.edge_count causal);
+    print_payment_blame causal
+      ~delta:(cfg.Runner.delta + cfg.Runner.sigma)
+      ~sink:(if committed then o.Runner.paid_node else o.Runner.settled_node);
+    let slice_end =
+      if o.Runner.settled_node >= 0 then
+        Obsv.Causal.time_of causal o.Runner.settled_node
+      else o.Runner.end_time
+    in
+    dump_causal (Some causal) ~trace_out ~dag_out
+      ~payments:
+        [
+          ( Runner.protocol_name protocol,
+            0,
+            0,
+            slice_end,
+            if committed then "commit" else "abort" );
+        ];
+    0
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv `Sync
+         & info [ "p"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Protocol: sync | naive | htlc | weak | committee.")
+  in
+  let hops = Arg.(value & opt int 2 & info [ "n"; "hops" ] ~doc:"Escrows.") in
+  let gst =
+    Arg.(value & opt (some int) None
+         & info [ "gst" ]
+             ~doc:"Partial synchrony with this GST (default: synchronous).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule seed.") in
+  let plan =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:"Fault plan to run the payment under (see \
+                   docs/fault_injection.md). Default: none.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one payment with causal tracing on: reconstruct its \
+             happens-before graph, print the critical path and the blame \
+             decomposition of its end-to-end latency, and export the graph \
+             as Chrome trace-event JSON or a DAG dump")
+    Term.(const run $ protocol $ hops $ gst $ seed $ plan $ trace_out_arg
+          $ dag_out_arg)
 
 (* -------------------------------- load --------------------------------- *)
 
 let load_cmd =
   let run spec payments hops value commission arrival mix policy cap liquidity
       patience stuck drift gst seed plan plan_file trace_cap out metrics_out
-      spans_out =
+      spans_out trace_out dag_out blame =
     arm_span_capture spans_out;
     let fail fmt = Fmt.kstr (fun s -> Fmt.epr "xchain load: %s@." s; exit 2) fmt in
     let workload =
@@ -581,11 +744,32 @@ let load_cmd =
       | None, Some s -> parse_plan ~what:"--plan" s
       | None, None -> Faults.Fault_plan.none
     in
+    let causal = causal_wanted ~trace_out ~dag_out ~blame in
     let report =
-      try Traffic.Load.run ~plan ~trace_capacity:trace_cap ~workload ~seed ()
+      try
+        Traffic.Load.run ?causal ~plan ~trace_capacity:trace_cap ~workload
+          ~seed ()
       with Invalid_argument e -> fail "%s" e
     in
     Fmt.pr "%a@." Traffic.Load.pp_summary report;
+    if blame then
+      Option.iter
+        (fun agg -> Fmt.pr "%a@." Obsv.Blame.pp_agg agg)
+        report.Traffic.Load.blame;
+    Option.iter
+      (fun c ->
+        let payments =
+          List.map
+            (fun (k, r) ->
+              ( "pay#" ^ string_of_int k,
+                k,
+                Obsv.Causal.time_of c r.Obsv.Blame.root,
+                Obsv.Causal.time_of c r.Obsv.Blame.sink,
+                "committed" ))
+            report.Traffic.Load.blame_reports
+        in
+        dump_causal (Some c) ~trace_out ~dag_out ~payments)
+      causal;
     write_sink out (Traffic.Load.to_json report ^ "\n");
     dump_telemetry ~metrics_out ~spans_out;
     if report.Traffic.Load.violations = [] && report.Traffic.Load.conservation_ok
@@ -684,7 +868,8 @@ let load_cmd =
     Term.(
       const run $ spec $ payments $ hops $ value $ commission $ arrival $ mix
       $ policy $ cap $ liquidity $ patience $ stuck $ drift $ gst $ seed $ plan
-      $ plan_file $ trace_cap $ out $ metrics_out_arg $ spans_out_arg)
+      $ plan_file $ trace_cap $ out $ metrics_out_arg $ spans_out_arg
+      $ trace_out_arg $ dag_out_arg $ blame_arg)
 
 (* -------------------------------- dot ---------------------------------- *)
 
@@ -724,4 +909,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
-            chaos_cmd; load_cmd; metrics_cmd ]))
+            chaos_cmd; trace_cmd; load_cmd; metrics_cmd ]))

@@ -21,6 +21,8 @@ type run_result = {
   failures : V.t list;
   status : Sim.Engine.status;
   end_time : Sim.Sim_time.t;
+  paid_node : int;
+  settled_node : int;
 }
 
 (* the CLI's -p spelling of a protocol, for repro lines *)
@@ -62,9 +64,10 @@ let classify view report =
     ((if settled then Safe_abort else Stuck), [])
   end
 
-let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ~plan ~seed () =
+let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ~plan
+    ~seed () =
   let cfg =
-    { (Runner.default_config ~hops ~seed) with fault_plan = Some plan }
+    { (Runner.default_config ~hops ~seed) with fault_plan = Some plan; causal }
   in
   let outcome = Runner.run cfg protocol in
   let view = P.view outcome in
@@ -79,6 +82,8 @@ let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ~plan ~seed () =
     failures;
     status = outcome.Runner.status;
     end_time = outcome.Runner.end_time;
+    paid_node = outcome.Runner.paid_node;
+    settled_node = outcome.Runner.settled_node;
   }
 
 let repro_line r =

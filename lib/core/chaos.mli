@@ -35,6 +35,9 @@ type run_result = {
       (** the failed verdicts; non-empty iff [Safety_violation] *)
   status : Sim.Engine.status;
   end_time : Sim.Sim_time.t;
+  paid_node : int;
+      (** causal blame sink (Bob's payout), [-1] when untraced/unpaid *)
+  settled_node : int;  (** causal node of Bob's termination, or [-1] *)
 }
 
 val safety_report : Props.Payment_props.run_view -> Props.Verdict.report
@@ -43,12 +46,15 @@ val safety_report : Props.Payment_props.run_view -> Props.Verdict.report
 val run_one :
   ?hops:int ->
   ?protocol:Protocols.Runner.protocol ->
+  ?causal:Obsv.Causal.t ->
   plan:Faults.Fault_plan.t ->
   seed:int ->
   unit ->
   run_result
 (** One payment (default: 2 hops, {!Protocols.Runner.Sync_timebound},
-    synchronous network) under [plan], classified. *)
+    synchronous network) under [plan], classified. [causal] records the
+    run's happens-before graph (see {!Protocols.Runner}) and fills
+    [paid_node] / [settled_node]. *)
 
 val repro_line : run_result -> string
 (** [xchain chaos -p PROTO --hops H --seed N --plan 'P'] — replays this

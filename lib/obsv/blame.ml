@@ -1,0 +1,274 @@
+type category =
+  | Queueing
+  | Transit
+  | Gst_wait
+  | Timeout
+  | Downtime
+  | Processing
+  | External
+
+let categories =
+  [ Queueing; Transit; Gst_wait; Timeout; Downtime; Processing; External ]
+
+let category_name = function
+  | Queueing -> "queueing"
+  | Transit -> "transit"
+  | Gst_wait -> "gst_wait"
+  | Timeout -> "timeout"
+  | Downtime -> "downtime"
+  | Processing -> "processing"
+  | External -> "external"
+
+type segment = {
+  seg_src : int;
+  seg_dst : int;
+  seg_category : category;
+  seg_gap : int;
+}
+
+type report = {
+  trace : int;
+  root : int;
+  sink : int;
+  total : int;
+  rooted : bool;
+  path : int list;
+  segments : segment list;
+  by_category : (category * int) list;
+}
+
+let category_of_edge = function
+  | Causal.Queue -> Queueing
+  | Causal.Message -> Transit
+  | Causal.Timer -> Timeout
+  | Causal.Outage -> Downtime
+  | Causal.Program -> Processing
+
+(* The binding predecessor: the dependency that structurally fixed the
+   event's time. In the engine every node kind has one such cause — a
+   deliver is scheduled by its message arrival (not by whatever its
+   receiver happened to do just before), a deferred firing by the reboot,
+   a firing by its arming, a note by its explicit queue wait — so kind
+   priority dominates, with source time then id as deterministic
+   tie-breaks. Predecessors from before the root (another payment's
+   history) are ineligible. *)
+let edge_priority = function
+  | Causal.Queue -> 5
+  | Causal.Outage -> 4
+  | Causal.Message -> 3
+  | Causal.Timer -> 2
+  | Causal.Program -> 1
+
+let pick_pred c ~root preds =
+  List.fold_left
+    (fun best (k, src) ->
+      if src < root then best
+      else
+        let key = (edge_priority k, Causal.time_of c src, src) in
+        match best with
+        | Some (_, _, bkey) when compare key bkey <= 0 -> best
+        | _ -> Some (k, src, key))
+    None preds
+  |> Option.map (fun (k, s, _) -> (k, s))
+
+let sum_by_category segments =
+  List.map
+    (fun cat ->
+      ( cat,
+        List.fold_left
+          (fun acc s -> if s.seg_category = cat then acc + s.seg_gap else acc)
+          0 segments ))
+    categories
+
+let attribute ?delta c ~root ~sink =
+  let n = Causal.node_count c in
+  if root < 0 || sink < root || sink >= n then
+    invalid_arg "Blame.attribute: bad root/sink";
+  let t_root = Causal.time_of c root in
+  let segment_of_edge kind ~src ~dst =
+    let gap = Causal.time_of c dst - Causal.time_of c src in
+    match (kind, delta) with
+    | Causal.Message, Some d when gap > d ->
+        [
+          { seg_src = src; seg_dst = dst; seg_category = Transit; seg_gap = d };
+          {
+            seg_src = src;
+            seg_dst = dst;
+            seg_category = Gst_wait;
+            seg_gap = gap - d;
+          };
+        ]
+    | _ ->
+        [
+          {
+            seg_src = src;
+            seg_dst = dst;
+            seg_category = category_of_edge kind;
+            seg_gap = gap;
+          };
+        ]
+  in
+  let rec walk cur path segments =
+    if cur = root then (true, path, segments)
+    else
+      match pick_pred c ~root (Causal.preds c cur) with
+      | Some (kind, src) ->
+          walk src (src :: path) (segment_of_edge kind ~src ~dst:cur @ segments)
+      | None ->
+          (* the walk left the payment's own history: charge the remainder
+             to the root as one external cut so the sum stays exact *)
+          let cut =
+            {
+              seg_src = -1;
+              seg_dst = cur;
+              seg_category = External;
+              seg_gap = Causal.time_of c cur - t_root;
+            }
+          in
+          (false, path, cut :: segments)
+  in
+  let rooted, path, segments = walk sink [ sink ] [] in
+  {
+    trace = Causal.trace_of c sink;
+    root;
+    sink;
+    total = Causal.time_of c sink - t_root;
+    rooted;
+    path;
+    segments;
+    by_category = sum_by_category segments;
+  }
+
+let check r =
+  List.for_all (fun s -> s.seg_gap >= 0) r.segments
+  && List.fold_left (fun acc (_, g) -> acc + g) 0 r.by_category = r.total
+
+(* ------------------------------ aggregate ------------------------------ *)
+
+type agg = {
+  payments : int;
+  agg_total : int;
+  agg_by_category : (category * int) list;
+  tail_count : int;
+  tail_total : int;
+  tail_by_category : (category * int) list;
+}
+
+let sum_reports reports =
+  ( List.fold_left (fun acc r -> acc + r.total) 0 reports,
+    List.map
+      (fun cat ->
+        ( cat,
+          List.fold_left
+            (fun acc r ->
+              acc + List.fold_left
+                      (fun a (c, g) -> if c = cat then a + g else a)
+                      0 r.by_category)
+            0 reports ))
+      categories )
+
+let aggregate ?(tail_pct = 1) reports =
+  let n = List.length reports in
+  let total, by_cat = sum_reports reports in
+  let tail_count =
+    if n = 0 then 0 else Stdlib.max 1 (((n * tail_pct) + 99) / 100)
+  in
+  let sorted =
+    List.stable_sort (fun a b -> compare b.total a.total) reports
+  in
+  let tail = List.filteri (fun i _ -> i < tail_count) sorted in
+  let tail_total, tail_by_cat = sum_reports tail in
+  {
+    payments = n;
+    agg_total = total;
+    agg_by_category = by_cat;
+    tail_count;
+    tail_total;
+    tail_by_category = tail_by_cat;
+  }
+
+(* ------------------------------- output -------------------------------- *)
+
+let categories_json by_cat buf =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (cat, gap) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf {|"%s":%d|} (category_name cat) gap)
+    by_cat;
+  Buffer.add_char buf '}'
+
+let report_to_json r =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf
+    {|{"trace":%d,"root":%d,"sink":%d,"total":%d,"rooted":%b,"path":[|}
+    r.trace r.root r.sink r.total r.rooted;
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int id))
+    r.path;
+  Buffer.add_string buf {|],"by_category":|};
+  categories_json r.by_category buf;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let agg_to_json a =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf {|{"payments":%d,"total":%d,"by_category":|} a.payments
+    a.agg_total;
+  categories_json a.agg_by_category buf;
+  Printf.bprintf buf {|,"tail":{"count":%d,"total":%d,"by_category":|}
+    a.tail_count a.tail_total;
+  categories_json a.tail_by_category buf;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let pp_categories ppf by_cat ~total =
+  List.iter
+    (fun (cat, gap) ->
+      if gap > 0 then
+        Format.fprintf ppf "  %-11s %8d ticks  %3d%%@," (category_name cat)
+          gap
+          (if total = 0 then 0 else 100 * gap / total))
+    by_cat
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>blame trace=%d total=%d ticks (%s path, %d hops)@,"
+    r.trace r.total
+    (if r.rooted then "rooted" else "cut")
+    (List.length r.path - 1);
+  pp_categories ppf r.by_category ~total:r.total;
+  Format.fprintf ppf "@]"
+
+let pp_agg ppf a =
+  Format.fprintf ppf "@[<v>blame: %d payments, %d ticks end-to-end@,"
+    a.payments a.agg_total;
+  pp_categories ppf a.agg_by_category ~total:a.agg_total;
+  Format.fprintf ppf "slowest %d (p99 tail): %d ticks@," a.tail_count
+    a.tail_total;
+  pp_categories ppf a.tail_by_category ~total:a.tail_total;
+  Format.fprintf ppf "@]"
+
+let pp_path c ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      let label =
+        if s.seg_src < 0 then "(external history)"
+        else
+          Printf.sprintf "%s:%s"
+            (Causal.kind_name (Causal.kind_of c s.seg_src))
+            (Causal.label_of c s.seg_src)
+      in
+      Format.fprintf ppf "t=%-8d pid %-4d %-28s +%-6d %s@,"
+        (if s.seg_src < 0 then Causal.time_of c r.root
+         else Causal.time_of c s.seg_src)
+        (if s.seg_src < 0 then -1 else Causal.pid_of c s.seg_src)
+        label s.seg_gap
+        (category_name s.seg_category))
+    r.segments;
+  Format.fprintf ppf "t=%-8d pid %-4d %s:%s (sink)@]" (Causal.time_of c r.sink)
+    (Causal.pid_of c r.sink)
+    (Causal.kind_name (Causal.kind_of c r.sink))
+    (Causal.label_of c r.sink)

@@ -7,6 +7,8 @@ type span = {
   mutable status : string;
   mutable attrs : (string * string) list;
   recorded : bool; (* false for the dummy returned when capture is off *)
+  trace_id : int; (* causal trace id, -1 when the span is not linked *)
+  root_event : int; (* causal node id of the span's root event, or -1 *)
 }
 
 type t = {
@@ -21,7 +23,8 @@ let default = create ()
 let set_capture t b = t.capturing <- b
 let capture t = t.capturing
 
-let start t ?parent ?(attrs = []) ~name ~at () =
+let start t ?parent ?(attrs = []) ?(trace_id = -1) ?(root_event = -1) ~name
+    ~at () =
   if at < 0 then invalid_arg "Span.start: negative time";
   let parent =
     match parent with
@@ -38,6 +41,8 @@ let start t ?parent ?(attrs = []) ~name ~at () =
       status = "running";
       attrs;
       recorded = false;
+      trace_id;
+      root_event;
     }
   else begin
     let s =
@@ -50,6 +55,8 @@ let start t ?parent ?(attrs = []) ~name ~at () =
         status = "running";
         attrs;
         recorded = true;
+        trace_id;
+        root_event;
       }
     in
     t.next_id <- t.next_id + 1;
@@ -64,6 +71,16 @@ let finish ?(status = "ok") ~at s =
   s.end_time <- at;
   s.status <- status
 
+let finish_running ?(status = "stuck") ~at t =
+  List.fold_left
+    (fun n s ->
+      if s.end_time < 0 then begin
+        finish ~status ~at:(Stdlib.max at s.start_time) s;
+        n + 1
+      end
+      else n)
+    0 t.rev_spans
+
 let set_attr s k v = s.attrs <- (k, v) :: List.remove_assoc k s.attrs
 
 let span_id s = s.id
@@ -73,6 +90,8 @@ let span_start s = s.start_time
 let span_end s = if s.end_time < 0 then None else Some s.end_time
 let span_status s = s.status
 let span_attrs s = List.rev s.attrs
+let span_trace_id s = if s.trace_id < 0 then None else Some s.trace_id
+let span_root_event s = if s.root_event < 0 then None else Some s.root_event
 
 let count t = t.n
 let spans t = List.rev t.rev_spans
@@ -97,8 +116,15 @@ let to_jsonl t =
       if s.end_time < 0 then Buffer.add_string buf "null"
       else Buffer.add_string buf (string_of_int s.end_time);
       Buffer.add_string buf
-        (Printf.sprintf ",\"status\":\"%s\",\"attrs\":{"
-           (Metrics.json_escape s.status));
+        (Printf.sprintf ",\"status\":\"%s\"" (Metrics.json_escape s.status));
+      (* causal-join fields appear only on linked spans, so span dumps from
+         untraced runs are byte-identical to what they always were *)
+      if s.trace_id >= 0 then
+        Buffer.add_string buf (Printf.sprintf ",\"trace\":%d" s.trace_id);
+      if s.root_event >= 0 then
+        Buffer.add_string buf
+          (Printf.sprintf ",\"root_event\":%d" s.root_event);
+      Buffer.add_string buf ",\"attrs\":{";
       List.iteri
         (fun i (k, v) ->
           if i > 0 then Buffer.add_char buf ',';

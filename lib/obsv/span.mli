@@ -32,18 +32,35 @@ val start :
   t ->
   ?parent:span ->
   ?attrs:(string * string) list ->
+  ?trace_id:int ->
+  ?root_event:int ->
   name:string ->
   at:int ->
   unit ->
   span
 (** Opens a span at sim-time [at]. The result is recorded in the collector
-    (unless capture is off) and stays [running] until {!finish}. *)
+    (unless capture is off) and stays [running] until {!finish}.
+
+    [trace_id] and [root_event] link the span to a {!Causal} graph: the
+    trace id groups it with the causal nodes of the same payment, and
+    [root_event] is the causal node id the span hangs off (its root
+    event), so {!to_jsonl} rows can be joined against the DAG export by
+    id. Unset (the default, or any negative value), the fields are
+    omitted from the export entirely. *)
 
 val finish : ?status:string -> at:int -> span -> unit
 (** Closes the span at sim-time [at] with a status (conventionally
     ["ok"], ["commit"], ["abort"], ["error"]; default ["ok"]). Finishing a
     finished span, or finishing before the start time, raises
     [Invalid_argument]. *)
+
+val finish_running : ?status:string -> at:int -> t -> int
+(** Force-finishes every span in the collector that is still running, at
+    sim-time [at] (clamped per span to its start time), with [status]
+    (default ["stuck"] — the {!Load} convention for payments that never
+    settled by the horizon). Returns how many spans were closed. Exports
+    must never show ["running"] intervals for work the scheduler has
+    already given up on; run this at the horizon before dumping. *)
 
 val set_attr : span -> string -> string -> unit
 (** Attach or replace a [key=value] attribute. *)
@@ -62,6 +79,12 @@ val span_status : span -> string
 (** ["running"] until finished. *)
 
 val span_attrs : span -> (string * string) list
+
+val span_trace_id : span -> int option
+(** The causal trace id the span was linked to, if any. *)
+
+val span_root_event : span -> int option
+(** The causal node id of the span's root event, if linked. *)
 
 val count : t -> int
 val roots : t -> span list

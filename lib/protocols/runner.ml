@@ -37,6 +37,7 @@ type config = {
   fault_plan : Faults.Fault_plan.t option;
   window_scale : (int * int) option;
   clock_override : (int -> Sim.Clock.t) option;
+  causal : Obsv.Causal.t option;
   seed : int;
   horizon : Sim_time.t option;
   max_events : int;
@@ -57,6 +58,7 @@ let default_config ~hops ~seed =
     fault_plan = None;
     window_scale = None;
     clock_override = None;
+    causal = None;
     seed;
     horizon = None;
     max_events = 200_000;
@@ -74,6 +76,8 @@ type outcome = {
   fault_names : (int * string) list;
   tm_pids : int array;
   clocks : Sim.Clock.t array;
+  paid_node : int;
+  settled_node : int;
 }
 
 let derive_params cfg protocol =
@@ -165,8 +169,24 @@ let run_engine cfg protocol =
       model net_rng
   in
   let engine =
-    Engine.create ~tag_of:Msg.tag ~network ~sigma:cfg.sigma ~seed:cfg.seed ()
+    Engine.create ~tag_of:Msg.tag ~network ~sigma:cfg.sigma
+      ?causal:cfg.causal ~seed:cfg.seed ()
   in
+  (* blame anchors: the dispatch context under which Bob's payout was
+     released (sink of the commit critical path) and Bob's termination *)
+  let paid_node = ref (-1) and settled_node = ref (-1) in
+  if Option.is_some cfg.causal then begin
+    let bob = Topology.bob topo in
+    Trace.on_record (Engine.trace engine) (fun entry ->
+        match entry with
+        | Trace.Observed { obs = Obs.Released { to_; _ }; _ }
+          when to_ = cfg.hops && !paid_node < 0 ->
+            paid_node := Engine.current_node engine
+        | Trace.Observed { obs = Obs.Terminated { pid; _ }; _ }
+          when pid = bob && !settled_node < 0 ->
+            settled_node := Engine.current_node engine
+        | _ -> ())
+  end;
   let clock_rng = Rng.create ~seed:(cfg.seed + 31) in
   let honest pid =
     match protocol with
@@ -241,6 +261,8 @@ let run_engine cfg protocol =
     fault_names;
     tm_pids;
     clocks = Array.init nprocs (Engine.clock_of engine);
+    paid_node = !paid_node;
+    settled_node = !settled_node;
   }
 
 (* ----------------------------- telemetry ------------------------------- *)

@@ -47,6 +47,11 @@ type config = {
       (** exact per-pid clocks instead of seed-randomized ones — used by
           the exhaustive corner explorer (E12) to pin every clock to an
           envelope extreme *)
+  causal : Obsv.Causal.t option;
+      (** arm happens-before recording in the engine (see
+          {!Sim.Engine.create}); [None] (the default): zero cost. The
+          outcome's [paid_node] / [settled_node] anchor {!Obsv.Blame}
+          walks into the recorded graph. *)
   seed : int;
   horizon : Sim.Sim_time.t option;  (** default: generous multiple of the
                                         derived parameter horizon *)
@@ -71,6 +76,12 @@ type outcome = {
   clocks : Sim.Clock.t array;
       (** each participant's (drifting) local clock, for monitors that
           check promises stated in local time *)
+  paid_node : int;
+      (** causal node under which Bob's payout was released — the blame
+          sink for a committed payment; [-1] when untraced or unpaid *)
+  settled_node : int;
+      (** causal node of Bob's termination; [-1] when untraced or Bob
+          never terminated *)
 }
 
 val run : config -> protocol -> outcome

@@ -1,6 +1,18 @@
 type 'msg event =
-  | Deliver of { src : int; dst : int; msg : 'msg; sent_at : Sim_time.t }
-  | Fire of { owner : int; label : string; epoch : int }
+  | Deliver of {
+      src : int;
+      dst : int;
+      msg : 'msg;
+      sent_at : Sim_time.t;
+      cause : int; (* causal node id of the send, -1 when tracing is off *)
+    }
+  | Fire of {
+      owner : int;
+      label : string;
+      epoch : int;
+      cause : int; (* causal node id of the arming timer_set *)
+      deferred : bool; (* re-pushed to the owner's recovery by an outage *)
+    }
   | Crash of { pid : int; recover_at : Sim_time.t option }
   | Recover of { pid : int }
 
@@ -24,6 +36,9 @@ and ('msg, 'obs) proc = {
   mutable halted : bool;
   mutable down : bool; (* crashed by fault injection, may recover *)
   mutable up_at : Sim_time.t option; (* scheduled reboot while down *)
+  mutable last_node : int; (* this pid's latest causal node (program order) *)
+  mutable crash_node : int;
+  mutable recover_node : int; (* outage edges: crash → recover → deferred *)
 }
 
 (* Handles resolved once at [create]: the per-event updates below are plain
@@ -57,6 +72,11 @@ and ('msg, 'obs) t = {
   mutable clock_now : Sim_time.t;
   mutable started : bool;
   tm : telemetry;
+  causal : Obsv.Causal.t option;
+  (* context of the event being dispatched; [Trace.on_record] hooks read
+     [cur_node] to learn which causal node an observation belongs to *)
+  mutable cur_node : int;
+  mutable cur_trace : int;
 }
 
 and ('msg, 'obs) ctx = { engine : ('msg, 'obs) t; self : int }
@@ -105,7 +125,7 @@ let telemetry_handles reg =
   }
 
 let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
-    ?(metrics = Obsv.Metrics.default) ?trace_capacity ~seed () =
+    ?(metrics = Obsv.Metrics.default) ?trace_capacity ?causal ~seed () =
   {
     tag_of;
     mangle;
@@ -119,6 +139,9 @@ let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
     clock_now = Sim_time.zero;
     started = false;
     tm = telemetry_handles metrics;
+    causal;
+    cur_node = -1;
+    cur_trace = -1;
   }
 
 let add_process t ?(clock = Clock.perfect) ?(base = 0) handlers =
@@ -134,6 +157,9 @@ let add_process t ?(clock = Clock.perfect) ?(base = 0) handlers =
       halted = false;
       down = false;
       up_at = None;
+      last_node = -1;
+      crash_node = -1;
+      recover_node = -1;
     }
   in
   let pid = t.nprocs in
@@ -156,6 +182,27 @@ let is_halted t pid = (proc t pid).halted
 let is_down t pid = (proc t pid).down
 
 let set_clock t ~pid clock = (proc t pid).clock <- clock
+
+(* --- causal recording (every call is a no-op when [causal] is absent) --- *)
+
+let causal t = t.causal
+let current_node t = t.cur_node
+
+(* Append a node for [pid] and chain it into the pid's program order. All
+   other edges are the caller's business. *)
+let causal_record t ~kind ~pid ~trace ~label =
+  match t.causal with
+  | None -> -1
+  | Some c ->
+      let p = proc t pid in
+      let node =
+        Obsv.Causal.record c ~kind ~pid ~at:t.clock_now ~trace ~label ()
+      in
+      if p.last_node >= 0 then
+        Obsv.Causal.add_edge c ~kind:Obsv.Causal.Program ~src:p.last_node
+          ~dst:node;
+      p.last_node <- node;
+      node
 
 let schedule_crash t ~pid ~at ?recover_at () =
   if t.started then
@@ -190,6 +237,11 @@ let send_resolved ctx ~dst msg =
     else Rng.int_in p.proc_rng ~lo:0 ~hi:t.sigma
   in
   let depart = Sim_time.add t.clock_now compute in
+  let cause =
+    causal_record t ~kind:Obsv.Causal.Send ~pid:ctx.self ~trace:t.cur_trace
+      ~label:tag
+  in
+  if cause >= 0 then t.cur_node <- cause;
   Trace.record t.tr (Sent { t = t.clock_now; src = ctx.self; dst; tag; msg });
   Obsv.Metrics.inc t.tm.m_sent;
   let deliver msg =
@@ -198,7 +250,7 @@ let send_resolved ctx ~dst msg =
     in
     ignore
       (Event_queue.push t.queue ~time:arrive
-         (Deliver { src = ctx.self; dst; msg; sent_at = t.clock_now }))
+         (Deliver { src = ctx.self; dst; msg; sent_at = t.clock_now; cause }))
   in
   (* the fault injector decides how many copies the channel carries (none =
      dropped); each surviving copy draws its own delay, so duplicates still
@@ -238,6 +290,11 @@ let set_timer ctx ~deadline ~label =
   let global_fire = Clock.global_of_local p.clock deadline in
   (* never fire in the past: a deadline already reached fires "now" *)
   let global_fire = Sim_time.max global_fire t.clock_now in
+  let cause =
+    causal_record t ~kind:Obsv.Causal.Timer_set ~pid:ctx.self
+      ~trace:t.cur_trace ~label
+  in
+  if cause >= 0 then t.cur_node <- cause;
   Trace.record t.tr
     (Timer_set
        {
@@ -251,7 +308,7 @@ let set_timer ctx ~deadline ~label =
   if not (Sim_time.is_infinite global_fire) then begin
     ignore
       (Event_queue.push t.queue ~time:global_fire
-         (Fire { owner = ctx.self; label; epoch }));
+         (Fire { owner = ctx.self; label; epoch; cause; deferred = false }));
     Obsv.Metrics.set t.tm.m_queue_depth (Event_queue.length t.queue)
   end
 
@@ -263,6 +320,21 @@ let cancel_timer ctx ~label =
   match Hashtbl.find_opt p.timer_epochs label with
   | None -> ()
   | Some e -> Hashtbl.replace p.timer_epochs label (e + 1)
+
+let causal_note ctx ?(after = -1) ?trace ~label () =
+  let t = ctx.engine in
+  match t.causal with
+  | None -> -1
+  | Some c ->
+      let tr = match trace with Some v -> v | None -> t.cur_trace in
+      let node =
+        causal_record t ~kind:Obsv.Causal.Note ~pid:ctx.self ~trace:tr ~label
+      in
+      if after >= 0 then
+        Obsv.Causal.add_edge c ~kind:Obsv.Causal.Queue ~src:after ~dst:node;
+      t.cur_node <- node;
+      t.cur_trace <- tr;
+      node
 
 let observe ctx obs =
   let t = ctx.engine in
@@ -282,22 +354,35 @@ type status = Quiescent | Horizon_reached | Event_limit
 
 let dispatch t ev =
   match ev with
-  | Deliver { src; dst; msg; sent_at } ->
+  | Deliver { src; dst; msg; sent_at; cause } ->
       let p = proc t dst in
       if p.down then
         (* a crashed host receives nothing: the message is gone, like a
-           network drop — recovery does not replay it *)
+           network drop — recovery does not replay it. No causal node: a
+           dropped copy is not an event anyone can depend on. *)
         Obsv.Metrics.inc t.tm.m_down_drops
       else begin
+        let tag = t.tag_of msg in
+        (match t.causal with
+        | Some c when cause >= 0 ->
+            let trace = Obsv.Causal.trace_of c cause in
+            t.cur_trace <- trace;
+            let node =
+              causal_record t ~kind:Obsv.Causal.Deliver ~pid:dst ~trace
+                ~label:tag
+            in
+            Obsv.Causal.add_edge c ~kind:Obsv.Causal.Message ~src:cause
+              ~dst:node;
+            t.cur_node <- node
+        | _ -> ());
         Trace.record t.tr
-          (Delivered
-             { t = t.clock_now; sent_at; src; dst; tag = t.tag_of msg; msg });
+          (Delivered { t = t.clock_now; sent_at; src; dst; tag; msg });
         Obsv.Metrics.inc t.tm.m_delivered;
         if not p.halted then
           p.handlers.on_receive { engine = t; self = dst } ~src:(src - p.base)
             msg
       end
-  | Fire { owner; label; epoch } ->
+  | Fire { owner; label; epoch; cause; deferred } ->
       let p = proc t owner in
       let live =
         match Hashtbl.find_opt p.timer_epochs label with
@@ -310,10 +395,29 @@ let dispatch t ev =
             (* deadlines persist across a reboot (they live in the automaton
                store): re-check them the moment the process comes back *)
             Obsv.Metrics.inc t.tm.m_timers_deferred;
-            ignore (Event_queue.push t.queue ~time:r (Fire { owner; label; epoch }))
+            ignore
+              (Event_queue.push t.queue ~time:r
+                 (Fire { owner; label; epoch; cause; deferred = true }))
         | _ -> Obsv.Metrics.inc t.tm.m_timers_stale
       end
       else if live && not p.halted then begin
+        (match t.causal with
+        | Some c when cause >= 0 ->
+            let trace = Obsv.Causal.trace_of c cause in
+            t.cur_trace <- trace;
+            let node =
+              causal_record t ~kind:Obsv.Causal.Timer_fire ~pid:owner ~trace
+                ~label
+            in
+            Obsv.Causal.add_edge c ~kind:Obsv.Causal.Timer ~src:cause
+              ~dst:node;
+            (* a firing pushed past an outage additionally happens-after the
+               reboot, which is what lets blame charge the dead time *)
+            if deferred && p.recover_node >= 0 then
+              Obsv.Causal.add_edge c ~kind:Obsv.Causal.Outage
+                ~src:p.recover_node ~dst:node;
+            t.cur_node <- node
+        | _ -> ());
         Trace.record t.tr (Timer_fired { t = t.clock_now; owner; label });
         Obsv.Metrics.inc t.tm.m_timers_fired;
         p.handlers.on_timer { engine = t; self = owner } ~label
@@ -324,6 +428,14 @@ let dispatch t ev =
       if not p.down then begin
         p.down <- true;
         p.up_at <- recover_at;
+        let node =
+          causal_record t ~kind:Obsv.Causal.Crash ~pid ~trace:(-1)
+            ~label:"crash"
+        in
+        if node >= 0 then begin
+          p.crash_node <- node;
+          t.cur_node <- node
+        end;
         Trace.record t.tr (Crashed { t = t.clock_now; pid; recover_at });
         Obsv.Metrics.inc t.tm.m_crashes;
         Obsv.Metrics.gauge_add t.tm.m_procs_down 1
@@ -333,6 +445,20 @@ let dispatch t ev =
       if p.down then begin
         p.down <- false;
         p.up_at <- None;
+        (match t.causal with
+        | Some c ->
+            (* program order already chains recover after crash; the Outage
+               edge re-labels that gap as downtime for blame *)
+            let node =
+              causal_record t ~kind:Obsv.Causal.Recover ~pid ~trace:(-1)
+                ~label:"recover"
+            in
+            if p.crash_node >= 0 then
+              Obsv.Causal.add_edge c ~kind:Obsv.Causal.Outage
+                ~src:p.crash_node ~dst:node;
+            p.recover_node <- node;
+            t.cur_node <- node
+        | None -> ());
         Trace.record t.tr (Recovered { t = t.clock_now; pid });
         Obsv.Metrics.inc t.tm.m_recoveries;
         Obsv.Metrics.gauge_add t.tm.m_procs_down (-1)

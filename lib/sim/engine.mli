@@ -71,6 +71,7 @@ val create :
   ?sigma:Sim_time.t ->
   ?metrics:Obsv.Metrics.t ->
   ?trace_capacity:int ->
+  ?causal:Obsv.Causal.t ->
   seed:int ->
   unit ->
   ('msg, 'obs) t
@@ -95,7 +96,16 @@ val create :
     [xchain_crashes_total], [xchain_recoveries_total], [xchain_procs_down],
     [xchain_deliveries_dropped_down_total], [xchain_timers_deferred_total]
     and [xchain_corrupt_copies_dropped_total]. Handles are resolved here,
-    once; the per-event updates allocate nothing. *)
+    once; the per-event updates allocate nothing.
+
+    [causal] (default: absent — zero cost) arms happens-before recording:
+    the engine appends one {!Obsv.Causal} node per send, deliver, timer
+    arm, live firing, crash and recovery, with program-order edges along
+    each pid, [Message] edges from every send to its deliveries, [Timer]
+    edges from each arming to its live firing, and [Outage] edges
+    crash → recover → any firing the outage deferred. Deliveries dropped
+    at a down process and stale firings record {e no} node, so every
+    deliver node has exactly one message predecessor. *)
 
 val add_process :
   ('msg, 'obs) t -> ?clock:Clock.t -> ?base:int -> ('msg, 'obs) handlers -> int
@@ -125,6 +135,30 @@ val run :
 
 val trace : ('msg, 'obs) t -> ('msg, 'obs) Trace.t
 val now : ('msg, 'obs) t -> Sim_time.t
+
+(** {2 Causal tracing} *)
+
+val causal : ('msg, 'obs) t -> Obsv.Causal.t option
+(** The recorder passed to {!create}, if any. *)
+
+val current_node : ('msg, 'obs) t -> int
+(** The causal node of the event currently being dispatched (the deliver,
+    firing or note that triggered the running handler; sends and timer
+    arms made by the handler advance it to themselves). [-1] before the
+    first event or when tracing is off. {!Trace.on_record} hooks call this
+    to learn which causal node a trace entry belongs to — e.g. the load
+    scheduler captures each payment's settlement sink this way. *)
+
+val causal_note :
+  ('msg, 'obs) ctx -> ?after:int -> ?trace:int -> label:string -> unit -> int
+(** Record an application-level [Note] node on the calling process, chained
+    into its program order. [after] (a node id) adds a [Queue]
+    happens-after edge — the caller's way of saying "this step waited on
+    that one", which {!Obsv.Blame} charges as queueing; [trace] stamps the
+    node (and the dispatch context) with a trace id that subsequent sends
+    and deliveries inherit. Returns the node id, or [-1] when tracing is
+    off. *)
+
 val clock_of : ('msg, 'obs) t -> int -> Clock.t
 val is_halted : ('msg, 'obs) t -> int -> bool
 

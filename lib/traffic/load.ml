@@ -36,6 +36,8 @@ type report = {
   max_in_flight : int;
   trace_dropped : int;
   by_protocol : (string * int * int) list;
+  blame : Obsv.Blame.agg option;
+  blame_reports : (int * Obsv.Blame.report) list;
 }
 
 (* Shared model parameters for every payment in a load run; per-protocol
@@ -98,7 +100,7 @@ let is_liquidity_rejection what =
   String.length what >= String.length prefix
   && String.sub what 0 (String.length prefix) = prefix
 
-let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
+let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal
     ~(workload : Workload.t) ~seed () =
   let w = workload in
   (match Workload.validate w with
@@ -217,7 +219,7 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
   let trace_cap = if trace_capacity = 0 then None else Some trace_capacity in
   let engine =
     Engine.create ~tag_of:Msg.tag ~network ~sigma ?trace_capacity:trace_cap
-      ~seed ()
+      ?causal ~seed ()
   in
   (* --- per-payment accounting state, fed by a trace hook --- *)
   let pays =
@@ -241,6 +243,10 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
   in
   let reserved = Array.make hops 0 in
   let messages = ref 0 in
+  (* causal anchors per payment: the arrival note (blame root) and the
+     deliver that paid Bob (blame sink), captured from the dispatch context *)
+  let roots = Array.make w.payments (-1) in
+  let paid_nodes = Array.make w.payments (-1) in
   let esc_idx lp =
     if lp > hops && lp <= 2 * hops then Some (lp - hops - 1) else None
   in
@@ -248,7 +254,8 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
       match entry with
       | Trace.Sent _ -> incr messages
       | Trace.Observed { t; pid; obs } when pid >= 1 ->
-          let p = pays.((pid - 1) / stride) in
+          let k = (pid - 1) / stride in
+          let p = pays.(k) in
           (match obs with
           | Obs.Deposited { escrow; depositor; amount; _ } -> (
               if depositor >= 0 && depositor <= hops then
@@ -261,7 +268,10 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
           | Obs.Released { to_; amount; _ } ->
               if to_ >= 0 && to_ <= hops then begin
                 p.flows.(to_) <- p.flows.(to_) + amount;
-                if to_ = hops && p.paid_at < 0 then p.paid_at <- t
+                if to_ = hops && p.paid_at < 0 then begin
+                  p.paid_at <- t;
+                  paid_nodes.(k) <- Engine.current_node engine
+                end
               end
           | Obs.Refunded { depositor; amount; _ } ->
               if depositor >= 0 && depositor <= hops then
@@ -317,6 +327,12 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
              done
          | Workload.Optimistic -> ());
          p.admitted_at <- Engine.now engine;
+         (* Queue edge from the arrival note: the gap the walk crosses here
+            is exactly this payment's wait behind admission *)
+         ignore
+           (Engine.causal_note ctx ~after:roots.(k) ~trace:k
+              ~label:("admit#" ^ string_of_int k)
+              ());
          incr admitted;
          incr in_flight;
          if !in_flight > !max_in_flight then max_in_flight := !in_flight;
@@ -364,6 +380,10 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
   in
   let arrive ctx k =
     pays.(k).arrived_at <- Engine.now engine;
+    roots.(k) <-
+      Engine.causal_note ctx ~trace:k
+        ~label:("arrive#" ^ string_of_int k)
+        ();
     Queue.add k queue;
     Engine.set_timer_after ctx ~after:w.patience ~label:(pat_label k);
     drain ctx
@@ -613,6 +633,32 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
     a
   in
   let committed = count Committed in
+  (* critical-path blame per committed payment: root = its arrival note,
+     sink = the deliver under which Bob's payout was released, so the
+     category gaps sum exactly to paid_at - arrived_at. A message departs
+     up to [sigma] after its send node (send-side compute), so the largest
+     honest synchronous gap is [delta + sigma] — beyond that is GST wait. *)
+  let blame_reports =
+    match causal with
+    | None -> []
+    | Some c ->
+        let acc = ref [] in
+        for k = w.payments - 1 downto 0 do
+          if outcomes.(k) = Committed && roots.(k) >= 0 && paid_nodes.(k) >= 0
+          then
+            acc :=
+              ( k,
+                Obsv.Blame.attribute ~delta:(delta + sigma) c ~root:roots.(k)
+                  ~sink:paid_nodes.(k) )
+              :: !acc
+        done;
+        !acc
+  in
+  let blame =
+    match causal with
+    | None -> None
+    | Some _ -> Some (Obsv.Blame.aggregate (List.map snd blame_reports))
+  in
   let report =
     {
       workload = w;
@@ -657,6 +703,8 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
               outcomes;
             (Workload.proto_name pr, !assigned, !comm))
           w.mix;
+      blame;
+      blame_reports;
     }
   in
   (* --- telemetry --- *)
@@ -724,10 +772,18 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
                 ("id", string_of_int k);
                 ("protocol", Workload.proto_name p.proto);
               ]
+            ~trace_id:(if Option.is_none causal then -1 else k)
+            ~root_event:roots.(k)
             ~at:(max 0 p.arrived_at) ()
         in
+        (* a stuck payment's span must never export as open-ended or as
+           settling when the engine merely stopped: it is force-closed at
+           the horizon the scheduler gave up at *)
         Obsv.Span.finish ~status:(outcome_name o)
-          ~at:(if p.settled_at >= 0 then p.settled_at else end_time)
+          ~at:
+            (if p.settled_at >= 0 then p.settled_at
+             else if o = Stuck then horizon
+             else end_time)
           s)
       outcomes;
     Obsv.Span.finish ~status:report.status ~at:end_time root
@@ -774,7 +830,15 @@ let to_json r =
       str v.detail;
       Buffer.add_char b '}')
     r.violations;
-  Buffer.add_string b "]}";
+  Buffer.add_char b ']';
+  (* only present on causally-traced runs, so untraced reports stay
+     byte-identical to earlier releases *)
+  Option.iter
+    (fun agg ->
+      Buffer.add_string b ",\"blame\":";
+      Buffer.add_string b (Obsv.Blame.agg_to_json agg))
+    r.blame;
+  Buffer.add_char b '}';
   Buffer.contents b
 
 let pp_summary ppf r =

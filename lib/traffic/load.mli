@@ -61,11 +61,20 @@ type report = {
   trace_dropped : int;  (** entries evicted by the bounded trace *)
   by_protocol : (string * int * int) list;
       (** (protocol, assigned, committed) in mix order *)
+  blame : Obsv.Blame.agg option;
+      (** latency decomposition summed over committed payments (and,
+          separately, the slowest 1%); [None] unless the run was causally
+          traced *)
+  blame_reports : (int * Obsv.Blame.report) list;
+      (** per-committed-payment critical paths, [(payment, report)] in
+          payment order; each report's [total] is exactly that payment's
+          commit latency ([paid_at - arrived_at]) *)
 }
 
 val run :
   ?plan:Faults.Fault_plan.t ->
   ?trace_capacity:int ->
+  ?causal:Obsv.Causal.t ->
   workload:Workload.t ->
   seed:int ->
   unit ->
@@ -82,7 +91,18 @@ val run :
     happen, so eviction never affects the report.
 
     Emits [xchain_load_*] metrics into {!Obsv.Metrics.default} and, when
-    span capture is on, one root span plus a span per payment. *)
+    span capture is on, one root span plus a span per payment. Stuck
+    payments' spans are force-closed with status ["stuck"] at the run's
+    stuck horizon, never exported open-ended.
+
+    [causal] arms happens-before recording in the engine (see
+    {!Sim.Engine.create}): the scheduler stamps each payment's nodes with
+    its index as the trace id, anchors a root note at every arrival and a
+    [Queue]-edged note at every admission, and fills [report.blame] /
+    [report.blame_reports] with the critical-path decomposition of every
+    committed payment. Payment spans are then linked to the DAG via their
+    [trace]/[root_event] fields. Tracing adds nodes, never events: the
+    schedule, and hence every other report field, is unchanged. *)
 
 val to_json : report -> string
 (** Stable field order, integers and escaped strings only — byte-identical

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Schema + invariant checks for xchain's causal-trace exports.
+
+Stdlib only. Validates, for one traced `xchain load` (or `xchain trace`)
+run:
+
+  1. the Chrome trace-event JSON shape (--chrome): loadable structure,
+     known phase kinds, one matched "f" per flow start "s", slices with
+     non-negative durations;
+  2. the happens-before DAG dump (--dag): one JSON object per line,
+     consecutive ids, edges strictly forward (acyclic by construction),
+     every deliver node descending from exactly one send via exactly one
+     message edge;
+  3. the blame decomposition embedded in a load report (--report): the
+     per-category gaps sum exactly to the end-to-end total, for both the
+     full population and the p99 tail.
+
+Exit 0 when everything holds; a diagnostic and exit 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = {"M", "i", "s", "f", "X"}
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def check_chrome(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("displayTimeUnit") != "ms":
+        err(f"{path}: displayTimeUnit missing or not 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        err(f"{path}: traceEvents missing or empty")
+        return
+    flows = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in PHASES:
+            err(f"{path}: event {i} has unknown phase {ph!r}")
+            continue
+        if ph != "M" and not isinstance(e.get("ts"), int):
+            err(f"{path}: event {i} ({ph}) lacks an integer ts")
+        if ph in ("i", "s", "f", "X") and "name" not in e:
+            err(f"{path}: event {i} ({ph}) lacks a name")
+        if ph in ("s", "f"):
+            flows.setdefault(e.get("id"), []).append(ph)
+        if ph == "X":
+            if not isinstance(e.get("dur"), int) or e["dur"] < 0:
+                err(f"{path}: slice {i} has bad duration {e.get('dur')!r}")
+    for fid, phs in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        if sorted(phs) != ["f", "s"]:
+            err(f"{path}: flow {fid!r} is unpaired: {phs}")
+    print(f"{path}: {len(events)} events, {len(flows)} flows: ok")
+
+
+def check_dag(path):
+    nodes = []
+    with open(path) as f:
+        for lineno, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            n = json.loads(line)
+            if n.get("id") != len(nodes):
+                err(f"{path}:{lineno + 1}: id {n.get('id')} out of order")
+            nodes.append(n)
+    for n in nodes:
+        nid = n["id"]
+        preds = n.get("preds", [])
+        for p in preds:
+            if not (0 <= p["src"] < nid):
+                err(f"{path}: node {nid} has non-forward pred {p['src']}")
+        if n.get("kind") == "deliver":
+            msgs = [p for p in preds if p["kind"] == "message"]
+            if len(msgs) != 1:
+                err(f"{path}: deliver {nid} has {len(msgs)} message preds")
+            elif nodes[msgs[0]["src"]].get("kind") != "send":
+                err(f"{path}: deliver {nid} descends from a non-send")
+    print(f"{path}: {len(nodes)} nodes: ok")
+
+
+def check_blame(path):
+    with open(path) as f:
+        doc = json.load(f)
+    blame = doc.get("blame")
+    if blame is None:
+        err(f"{path}: report has no blame section (was --blame passed?)")
+        return
+    for label, section in (("population", blame), ("tail", blame["tail"])):
+        total = section["total"]
+        sums = sum(section["by_category"].values())
+        if sums != total:
+            err(
+                f"{path}: {label} blame categories sum to {sums}, "
+                f"not the end-to-end total {total}"
+            )
+    print(
+        f"{path}: blame over {blame['payments']} payments "
+        f"({blame['total']} ticks) sums exactly: ok"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--chrome", help="Chrome trace-event JSON (--trace-out)")
+    ap.add_argument("--dag", help="DAG JSONL dump (--dag-out)")
+    ap.add_argument("--report", help="load report JSON with a blame section")
+    args = ap.parse_args()
+    if not (args.chrome or args.dag or args.report):
+        ap.error("nothing to check")
+    if args.chrome:
+        check_chrome(args.chrome)
+    if args.dag:
+        check_dag(args.dag)
+    if args.report:
+        check_blame(args.report)
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

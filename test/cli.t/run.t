@@ -212,3 +212,52 @@ Bad specs, incompatible policies and malformed plans are usage errors:
   $ xchain load --plan 'flood 1'
   xchain load: bad fault plan (--plan): unrecognised clause "flood 1"
   [2]
+
+Causal tracing reconstructs one payment's happens-before graph and
+decomposes its end-to-end latency along the critical path — under a late
+GST the protocol still commits (the paper's success guarantee) and the
+blame table shows the latency was the pre-GST network, not the timeouts:
+
+  $ xchain trace --seed 2 --gst 2000
+  protocol sync-timebound, 2 hops, seed 2: commit, engine stopped at t=2803
+  causal graph: 26 nodes, 33 edges
+  blame trace=-1 total=2225 ticks (rooted path, 12 hops)
+    transit          429 ticks   19%
+    gst_wait        1796 ticks   80%
+  
+  critical path:
+  t=0        pid 3    send:G                       +110    transit
+  t=0        pid 3    send:G                       +968    gst_wait
+  t=1078     pid 0    deliver:G                    +0      processing
+  t=1078     pid 0    send:money                   +110    transit
+  t=1078     pid 0    send:money                   +828    gst_wait
+  t=2016     pid 3    deliver:money                +0      processing
+  t=2016     pid 3    send:P                       +95     transit
+  t=2111     pid 1    deliver:P                    +0      processing
+  t=2111     pid 1    send:money                   +94     transit
+  t=2205     pid 4    deliver:money                +0      processing
+  t=2205     pid 4    send:P                       +7      transit
+  t=2212     pid 2    deliver:P                    +0      processing
+  t=2212     pid 2    send:chi                     +13     transit
+  t=2225     pid 4    deliver:chi                  +0      processing
+  t=2225     pid 4    send:chi (sink)
+
+On a load run the decomposition aggregates over every committed payment
+plus the slowest 1%, and an in-flight cap shows up as queueing blame:
+
+  $ xchain load --payments 30 --seed 2 --cap 2 --blame | tail -n 8
+  
+  blame: 11 payments, 14890 ticks end-to-end
+    queueing       11265 ticks   75%
+    transit         3625 ticks   24%
+  slowest 1 (p99 tail): 2378 ticks
+    queueing        1999 ticks   84%
+    transit          379 ticks   15%
+  
+
+The Chrome-trace and DAG exports are byte-identical for equal inputs:
+
+  $ xchain load --payments 10 --mix sync --seed 7 --trace-out ta.json --dag-out da.jsonl > /dev/null
+  $ xchain load --payments 10 --mix sync --seed 7 --trace-out tb.json --dag-out db.jsonl > /dev/null
+  $ cmp ta.json tb.json && cmp da.jsonl db.jsonl && echo deterministic
+  deterministic

@@ -414,6 +414,309 @@ let span_tests =
         | _ -> Alcotest.fail "unexpected to_json shape");
   ]
 
+(* --------------------------- causal recorder --------------------------- *)
+
+let node c ~kind ~pid ~at ?trace ~label () =
+  Causal.record c ~kind ~pid ~at ?trace ~label ()
+
+(* a little payment history exercising every edge kind:
+
+     n0 arrive --queue--> n1 admit --prog--> n2 send:G --msg--> n3 deliver:G
+     --prog--> n4 timer_set --prog--> n5 crash --outage--> n6 recover
+     n4 --timer--> n7 fire (also n6 --outage--> n7) --prog--> n8 send (sink)
+
+   with delta = 100 the message gap of 120 splits 100 transit + 20 gst. *)
+let build_history () =
+  let c = Causal.create () in
+  let n0 = node c ~kind:Causal.Note ~pid:0 ~at:0 ~trace:7 ~label:"arrive" () in
+  let n1 = node c ~kind:Causal.Note ~pid:0 ~at:40 ~trace:7 ~label:"admit" () in
+  Causal.add_edge c ~kind:Causal.Queue ~src:n0 ~dst:n1;
+  let n2 = node c ~kind:Causal.Send ~pid:1 ~at:40 ~trace:7 ~label:"G" () in
+  Causal.add_edge c ~kind:Causal.Program ~src:n1 ~dst:n2;
+  let n3 =
+    node c ~kind:Causal.Deliver ~pid:2 ~at:160 ~trace:7 ~label:"G" ()
+  in
+  Causal.add_edge c ~kind:Causal.Message ~src:n2 ~dst:n3;
+  let n4 =
+    node c ~kind:Causal.Timer_set ~pid:2 ~at:160 ~trace:7 ~label:"win" ()
+  in
+  Causal.add_edge c ~kind:Causal.Program ~src:n3 ~dst:n4;
+  let n5 = node c ~kind:Causal.Crash ~pid:2 ~at:200 ~label:"crash" () in
+  Causal.add_edge c ~kind:Causal.Program ~src:n4 ~dst:n5;
+  let n6 = node c ~kind:Causal.Recover ~pid:2 ~at:260 ~label:"recover" () in
+  Causal.add_edge c ~kind:Causal.Outage ~src:n5 ~dst:n6;
+  let n7 =
+    node c ~kind:Causal.Timer_fire ~pid:2 ~at:300 ~trace:7 ~label:"win" ()
+  in
+  Causal.add_edge c ~kind:Causal.Timer ~src:n4 ~dst:n7;
+  Causal.add_edge c ~kind:Causal.Outage ~src:n6 ~dst:n7;
+  let n8 = node c ~kind:Causal.Send ~pid:2 ~at:300 ~trace:7 ~label:"chi" () in
+  Causal.add_edge c ~kind:Causal.Program ~src:n7 ~dst:n8;
+  (c, n0, n8)
+
+let causal_tests =
+  [
+    Alcotest.test_case "ids are consecutive, edges forward-only" `Quick
+      (fun () ->
+        let c = Causal.create () in
+        let a = node c ~kind:Causal.Send ~pid:0 ~at:0 ~label:"a" () in
+        let b = node c ~kind:Causal.Deliver ~pid:1 ~at:5 ~label:"a" () in
+        check Alcotest.int "first id" 0 a;
+        check Alcotest.int "second id" 1 b;
+        Causal.add_edge c ~kind:Causal.Message ~src:a ~dst:b;
+        check Alcotest.int "edges" 1 (Causal.edge_count c);
+        let forbidden = [ (b, a); (a, a); (a, 5); (-1, b) ] in
+        List.iter
+          (fun (src, dst) ->
+            match Causal.add_edge c ~kind:Causal.Program ~src ~dst with
+            | () -> Alcotest.failf "edge %d->%d accepted" src dst
+            | exception Invalid_argument _ -> ())
+          forbidden);
+    Alcotest.test_case "negative time rejected" `Quick (fun () ->
+        let c = Causal.create () in
+        match node c ~kind:Causal.Note ~pid:0 ~at:(-1) ~label:"x" () with
+        | _ -> Alcotest.fail "negative at accepted"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "acyclic by construction: ids topo-sort the graph"
+      `Quick (fun () ->
+        let c, _, _ = build_history () in
+        (* every edge goes id-forward, so no cycle can exist *)
+        Causal.iter_edges c ~f:(fun ~kind:_ ~src ~dst ->
+            check Alcotest.bool "forward" true (src < dst));
+        (* and times are non-decreasing along every edge *)
+        Causal.iter_edges c ~f:(fun ~kind:_ ~src ~dst ->
+            check Alcotest.bool "time monotone" true
+              (Causal.time_of c src <= Causal.time_of c dst)));
+    Alcotest.test_case "path_valid accepts edges, rejects jumps" `Quick
+      (fun () ->
+        let c, _, _ = build_history () in
+        check Alcotest.bool "real path" true (Causal.path_valid c [ 0; 1; 2 ]);
+        check Alcotest.bool "no edge 0->2" false (Causal.path_valid c [ 0; 2 ]);
+        check Alcotest.bool "decreasing" false (Causal.path_valid c [ 2; 1 ]);
+        check Alcotest.bool "singleton" true (Causal.path_valid c [ 3 ]);
+        check Alcotest.bool "empty" true (Causal.path_valid c []));
+    Alcotest.test_case "set_trace retags a node" `Quick (fun () ->
+        let c = Causal.create () in
+        let a = node c ~kind:Causal.Note ~pid:0 ~at:0 ~label:"x" () in
+        check Alcotest.int "default" (-1) (Causal.trace_of c a);
+        Causal.set_trace c a ~trace:9;
+        check Alcotest.int "retagged" 9 (Causal.trace_of c a));
+    Alcotest.test_case "jsonl exporter round-trips" `Quick (fun () ->
+        let c, _, _ = build_history () in
+        let lines =
+          Causal.to_jsonl c |> String.split_on_char '\n'
+          |> List.filter (fun l -> l <> "")
+        in
+        check Alcotest.int "one line per node" (Causal.node_count c)
+          (List.length lines);
+        List.iteri
+          (fun i line ->
+            let j = parse_json line in
+            (match obj_field j "id" with
+            | J_int id -> check Alcotest.int "id in order" i id
+            | _ -> Alcotest.fail "id");
+            match obj_field j "preds" with
+            | J_list ps ->
+                check Alcotest.int "pred count" (List.length (Causal.preds c i))
+                  (List.length ps)
+            | _ -> Alcotest.fail "preds")
+          lines);
+    Alcotest.test_case "chrome exporter shape" `Quick (fun () ->
+        let c, n0, n8 = build_history () in
+        let start = Causal.time_of c n0 and stop = Causal.time_of c n8 in
+        let out =
+          Causal.to_chrome ~payments:[ ("pay#7", 7, start, stop, "committed") ]
+            c
+        in
+        let j = parse_json out in
+        (match obj_field j "displayTimeUnit" with
+        | J_string "ms" -> ()
+        | _ -> Alcotest.fail "displayTimeUnit");
+        let events =
+          match obj_field j "traceEvents" with
+          | J_list es -> es
+          | _ -> Alcotest.fail "traceEvents"
+        in
+        let ph e =
+          match obj_field e "ph" with
+          | J_string s -> s
+          | _ -> Alcotest.fail "ph"
+        in
+        let count p = List.length (List.filter (fun e -> ph e = p) events) in
+        check Alcotest.int "one instant per node" (Causal.node_count c)
+          (count "i");
+        (* one s/f pair per message edge *)
+        let messages = ref 0 in
+        Causal.iter_edges c ~f:(fun ~kind ~src:_ ~dst:_ ->
+            if kind = Causal.Message then incr messages);
+        check Alcotest.int "flow starts" !messages (count "s");
+        check Alcotest.int "flow ends" !messages (count "f");
+        check Alcotest.int "payment slice" 1 (count "X"));
+    Alcotest.test_case "chrome export is deterministic" `Quick (fun () ->
+        let c1, _, _ = build_history () and c2, _, _ = build_history () in
+        check Alcotest.string "byte-identical" (Causal.to_chrome c1)
+          (Causal.to_chrome c2));
+  ]
+
+(* ------------------------------- blame --------------------------------- *)
+
+let blame_tests =
+  [
+    Alcotest.test_case "categories sum exactly to end-to-end latency" `Quick
+      (fun () ->
+        let c, n0, n8 = build_history () in
+        let r = Obsv.Blame.attribute ~delta:100 c ~root:n0 ~sink:n8 in
+        check Alcotest.bool "rooted" true r.Blame.rooted;
+        check Alcotest.int "total" 300 r.Blame.total;
+        check Alcotest.bool "invariant" true (Blame.check r);
+        check Alcotest.bool "path is real" true (Causal.path_valid c r.Blame.path);
+        let cat name = List.assoc name r.Blame.by_category in
+        check Alcotest.int "queueing" 40 (cat Blame.Queueing);
+        check Alcotest.int "transit" 100 (cat Blame.Transit);
+        check Alcotest.int "gst" 20 (cat Blame.Gst_wait);
+        check Alcotest.int "timeout" 0 (cat Blame.Timeout);
+        check Alcotest.int "downtime" 100 (cat Blame.Downtime);
+        check Alcotest.int "processing" 40 (cat Blame.Processing);
+        check Alcotest.int "external" 0 (cat Blame.External);
+        check Alcotest.int "trace from sink" 7 r.Blame.trace);
+    Alcotest.test_case "no delta: whole message gap is transit" `Quick
+      (fun () ->
+        let c, n0, n8 = build_history () in
+        let r = Blame.attribute c ~root:n0 ~sink:n8 in
+        check Alcotest.int "transit"
+          120
+          (List.assoc Blame.Transit r.Blame.by_category);
+        check Alcotest.int "gst" 0 (List.assoc Blame.Gst_wait r.Blame.by_category);
+        check Alcotest.bool "still exact" true (Blame.check r));
+    Alcotest.test_case "queue edge outranks a later program edge" `Quick
+      (fun () ->
+        let c = Causal.create () in
+        let a = node c ~kind:Causal.Note ~pid:0 ~at:0 ~label:"root" () in
+        let b = node c ~kind:Causal.Note ~pid:1 ~at:50 ~label:"noise" () in
+        Causal.add_edge c ~kind:Causal.Program ~src:a ~dst:b;
+        let s = node c ~kind:Causal.Note ~pid:1 ~at:60 ~label:"sink" () in
+        Causal.add_edge c ~kind:Causal.Program ~src:b ~dst:s;
+        Causal.add_edge c ~kind:Causal.Queue ~src:a ~dst:s;
+        let r = Blame.attribute c ~root:a ~sink:s in
+        check Alcotest.(list int) "skips the noise" [ a; s ] r.Blame.path;
+        check Alcotest.int "queueing" 60
+          (List.assoc Blame.Queueing r.Blame.by_category));
+    Alcotest.test_case "walk that exits history is cut as external" `Quick
+      (fun () ->
+        let c = Causal.create () in
+        let before =
+          node c ~kind:Causal.Note ~pid:0 ~at:0 ~label:"pre-history" ()
+        in
+        let root = node c ~kind:Causal.Note ~pid:1 ~at:10 ~label:"root" () in
+        let sink = node c ~kind:Causal.Note ~pid:0 ~at:50 ~label:"sink" () in
+        Causal.add_edge c ~kind:Causal.Program ~src:before ~dst:sink;
+        let r = Blame.attribute c ~root ~sink in
+        check Alcotest.bool "not rooted" false r.Blame.rooted;
+        check Alcotest.int "external gap" 40
+          (List.assoc Blame.External r.Blame.by_category);
+        check Alcotest.int "total still exact" 40 r.Blame.total;
+        check Alcotest.bool "invariant" true (Blame.check r));
+    Alcotest.test_case "degenerate root = sink" `Quick (fun () ->
+        let c = Causal.create () in
+        let a = node c ~kind:Causal.Note ~pid:0 ~at:5 ~label:"x" () in
+        let r = Blame.attribute c ~root:a ~sink:a in
+        check Alcotest.int "zero total" 0 r.Blame.total;
+        check Alcotest.bool "rooted" true r.Blame.rooted;
+        check Alcotest.bool "invariant" true (Blame.check r));
+    Alcotest.test_case "sink before root rejected" `Quick (fun () ->
+        let c, n0, n8 = build_history () in
+        match Blame.attribute c ~root:n8 ~sink:n0 with
+        | _ -> Alcotest.fail "accepted"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "aggregate totals and p99 tail" `Quick (fun () ->
+        let c, n0, n8 = build_history () in
+        let slow = Blame.attribute ~delta:100 c ~root:n0 ~sink:n8 in
+        let fast = Blame.attribute c ~root:2 ~sink:3 in
+        let a = Blame.aggregate [ fast; slow ] in
+        check Alcotest.int "payments" 2 a.Blame.payments;
+        check Alcotest.int "grand total"
+          (fast.Blame.total + slow.Blame.total)
+          a.Blame.agg_total;
+        check Alcotest.int "tail of 2 is 1" 1 a.Blame.tail_count;
+        check Alcotest.int "tail is the slow one" slow.Blame.total
+          a.Blame.tail_total;
+        List.iter
+          (fun cat ->
+            check Alcotest.int
+              (Blame.category_name cat ^ " adds up")
+              (List.assoc cat fast.Blame.by_category
+              + List.assoc cat slow.Blame.by_category)
+              (List.assoc cat a.Blame.agg_by_category))
+          Blame.categories);
+    Alcotest.test_case "json exporters parse" `Quick (fun () ->
+        let c, n0, n8 = build_history () in
+        let r = Blame.attribute ~delta:100 c ~root:n0 ~sink:n8 in
+        (match parse_json (Blame.report_to_json r) with
+        | J_obj kvs ->
+            check Alcotest.bool "has path" true (List.mem_assoc "path" kvs);
+            check Alcotest.bool "has by_category" true
+              (List.mem_assoc "by_category" kvs)
+        | _ -> Alcotest.fail "report_to_json");
+        match parse_json (Blame.agg_to_json (Blame.aggregate [ r ])) with
+        | J_obj kvs ->
+            check Alcotest.bool "has tail" true (List.mem_assoc "tail" kvs)
+        | _ -> Alcotest.fail "agg_to_json");
+  ]
+
+(* ------------------------- span <-> causal links ------------------------ *)
+
+let span_link_tests =
+  [
+    Alcotest.test_case "trace/root_event exported only when linked" `Quick
+      (fun () ->
+        let t = Span.create () in
+        let linked =
+          Span.start t ~trace_id:7 ~root_event:42 ~name:"pay" ~at:0 ()
+        in
+        let plain = Span.start t ~name:"pay" ~at:0 () in
+        check Alcotest.(option int) "trace" (Some 7) (Span.span_trace_id linked);
+        check
+          Alcotest.(option int)
+          "root event" (Some 42)
+          (Span.span_root_event linked);
+        check Alcotest.(option int) "unlinked" None (Span.span_trace_id plain);
+        Span.finish ~status:"commit" ~at:5 linked;
+        Span.finish ~status:"commit" ~at:5 plain;
+        match
+          Span.to_jsonl t |> String.split_on_char '\n'
+          |> List.filter (fun l -> l <> "")
+          |> List.map parse_json
+        with
+        | [ l; p ] ->
+            (match (obj_field l "trace", obj_field l "root_event") with
+            | J_int 7, J_int 42 -> ()
+            | _ -> Alcotest.fail "linked fields");
+            check Alcotest.bool "plain row has no trace field" false
+              (match p with
+              | J_obj kvs -> List.mem_assoc "trace" kvs
+              | _ -> true)
+        | _ -> Alcotest.fail "expected two spans");
+    Alcotest.test_case "finish_running closes stuck spans at the horizon"
+      `Quick (fun () ->
+        let t = Span.create () in
+        let stuck = Span.start t ~name:"pay" ~at:100 () in
+        let done_ = Span.start t ~name:"pay" ~at:110 () in
+        Span.finish ~status:"commit" ~at:150 done_;
+        let late = Span.start t ~name:"pay" ~at:900 () in
+        check Alcotest.int "two forced" 2
+          (Span.finish_running ~status:"stuck" ~at:500 t);
+        check Alcotest.string "stuck status" "stuck" (Span.span_status stuck);
+        check Alcotest.(option int) "stuck at horizon" (Some 500)
+          (Span.span_end stuck);
+        check Alcotest.string "finished span untouched" "commit"
+          (Span.span_status done_);
+        (* a span that started after the horizon is clamped, never negative *)
+        check Alcotest.(option int) "clamped to start" (Some 900)
+          (Span.span_end late);
+        check Alcotest.int "nothing left running" 0
+          (Span.finish_running ~at:600 t));
+  ]
+
 (* ------------------------------ allocation ----------------------------- *)
 
 let allocation_tests =
@@ -452,5 +755,8 @@ let () =
       ("cardinality", cardinality_tests);
       ("prometheus", prometheus_tests);
       ("spans", span_tests);
+      ("causal", causal_tests);
+      ("blame", blame_tests);
+      ("span-links", span_link_tests);
       ("allocation", allocation_tests);
     ]

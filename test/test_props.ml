@@ -156,6 +156,8 @@ let synthetic_outcome ~entries =
     fault_names = [];
     tm_pids = [| Topology.aux_base topo |];
     clocks = Array.init (Topology.payment_count topo + 1) (fun _ -> Sim.Clock.perfect);
+    paid_node = -1;
+    settled_node = -1;
   }
 
 let obs t pid o = Sim.Trace.Observed { t; pid; obs = o }

@@ -310,6 +310,173 @@ let load_tests =
         | _ -> Alcotest.fail "invalid workload accepted");
   ]
 
+(* --------------------------- causal tracing ---------------------------- *)
+
+module Causal = Obsv.Causal
+module Blame = Obsv.Blame
+
+let causal_spec =
+  "payments=15 hops=2 value=1000 commission=10 arrival=poisson:40 mix=sync \
+   policy=reserve cap=0 liquidity=0 patience=2000 stuck=0 drift=10000 \
+   gst=none"
+
+(* structural well-formedness of a recorded load graph: what the engine
+   promises regardless of faults *)
+let check_graph c =
+  for id = 0 to Causal.node_count c - 1 do
+    let preds = Causal.preds c id in
+    List.iter
+      (fun (_, src) ->
+        if src < 0 || src >= id then
+          Alcotest.failf "node %d has dangling pred %d" id src;
+        if Causal.time_of c src > Causal.time_of c id then
+          Alcotest.failf "edge %d->%d goes back in time" src id)
+      preds;
+    (* every deliver descends from exactly one send: down-drops and stale
+       firings record no node, so no deliver can be orphaned or doubled *)
+    match Causal.kind_of c id with
+    | Causal.Deliver ->
+        let msgs =
+          List.filter (fun (k, _) -> k = Causal.Message) preds
+        in
+        (match msgs with
+        | [ (_, src) ] ->
+            if Causal.kind_of c src <> Causal.Send then
+              Alcotest.failf "deliver %d descends from a non-send" id
+        | _ ->
+            Alcotest.failf "deliver %d has %d message preds" id
+              (List.length msgs))
+    | Causal.Timer_fire ->
+        (match List.filter (fun (k, _) -> k = Causal.Timer) preds with
+        | [ (_, src) ] ->
+            if Causal.kind_of c src <> Causal.Timer_set then
+              Alcotest.failf "fire %d descends from a non-arm" id
+        | _ -> Alcotest.failf "fire %d lacks a timer pred" id)
+    | _ -> ()
+  done
+
+let causal_tests =
+  [
+    Alcotest.test_case "blame totals are the commit latencies" `Slow (fun () ->
+        let w = spec causal_spec in
+        let c = Causal.create () in
+        let r = Load.run ~causal:c ~workload:w ~seed:6 () in
+        no_violations r;
+        Alcotest.(check int) "every committed payment has a report"
+          r.Load.committed
+          (List.length r.Load.blame_reports);
+        List.iter
+          (fun (k, b) ->
+            Alcotest.(check int) "report tagged with its payment" k
+              b.Blame.trace;
+            Alcotest.(check bool) "gaps sum exactly to the latency" true
+              (Blame.check b);
+            Alcotest.(check bool) "critical path is a real DAG path" true
+              (Causal.path_valid c b.Blame.path);
+            Alcotest.(check bool) "rooted at the arrival" true b.Blame.rooted)
+          r.Load.blame_reports;
+        let slowest =
+          List.fold_left (fun m (_, b) -> max m b.Blame.total) 0
+            r.Load.blame_reports
+        in
+        Alcotest.(check int) "slowest critical path = latency_max"
+          r.Load.latency_max slowest;
+        match r.Load.blame with
+        | None -> Alcotest.fail "aggregate missing on a traced run"
+        | Some a ->
+            Alcotest.(check int) "aggregate covers every commit"
+              r.Load.committed a.Blame.payments);
+    Alcotest.test_case "tracing adds nodes, never events" `Slow (fun () ->
+        let w = spec causal_spec in
+        let plain = Load.run ~workload:w ~seed:6 () in
+        let traced =
+          Load.run ~causal:(Causal.create ()) ~workload:w ~seed:6 ()
+        in
+        Alcotest.(check string) "identical reports modulo blame"
+          (Load.to_json plain)
+          (Load.to_json { traced with Load.blame = None }));
+    Alcotest.test_case "chrome export is byte-identical across reruns" `Slow
+      (fun () ->
+        let w = spec causal_spec in
+        let once () =
+          let c = Causal.create () in
+          ignore (Load.run ~causal:c ~workload:w ~seed:13 ());
+          (Causal.to_chrome c, Causal.to_jsonl c)
+        in
+        let a_chrome, a_dag = once () and b_chrome, b_dag = once () in
+        Alcotest.(check string) "chrome bytes" a_chrome b_chrome;
+        Alcotest.(check string) "dag bytes" a_dag b_dag);
+    qcheck
+      (QCheck.Test.make ~name:"graphs stay well-formed under random faults"
+         ~count:12
+         QCheck.(int_bound 999)
+         (fun seed ->
+           let w = spec causal_spec in
+           (* same derivation as the chaos soak: plan from the seed alone,
+              addressed at the block's host pids (stride 5 at 2 hops) *)
+           let prng = Sim.Rng.create ~seed:(seed + 7919) in
+           let plan = Faults.Fault_plan.random prng ~nprocs:5 ~horizon:4000 in
+           let c = Causal.create () in
+           let r = Load.run ~causal:c ~plan ~workload:w ~seed () in
+           check_graph c;
+           List.iter
+             (fun (_, b) ->
+               if not (Blame.check b) then
+                 QCheck.Test.fail_reportf "inexact blame under %s"
+                   (Faults.Fault_plan.to_string plan);
+               if not (Causal.path_valid c b.Blame.path) then
+                 QCheck.Test.fail_reportf "broken path under %s"
+                   (Faults.Fault_plan.to_string plan))
+             r.Load.blame_reports;
+           true));
+    Alcotest.test_case "stuck payments export stuck spans, never running"
+      `Slow (fun () ->
+        let w =
+          spec
+            "payments=20 hops=2 value=1000 commission=10 arrival=poisson:50 \
+             mix=weak policy=reserve cap=0 liquidity=0 patience=2000 stuck=0 \
+             drift=10000 gst=none"
+        in
+        let plan =
+          match Faults.Fault_plan.of_string "crash 4@1500" with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let spans = Obsv.Span.default in
+        Obsv.Span.clear spans;
+        Obsv.Span.set_capture spans true;
+        let r = Load.run ~plan ~workload:w ~seed:9 () in
+        Obsv.Span.set_capture spans false;
+        Alcotest.(check bool) "scenario wedges payments" true (r.Load.stuck > 0);
+        let payment_spans =
+          List.filter
+            (fun s -> Obsv.Span.span_name s = "payment")
+            (Obsv.Span.spans spans)
+        in
+        Alcotest.(check int) "a span per payment" w.Workload.payments
+          (List.length payment_spans);
+        let stuck_spans =
+          List.filter
+            (fun s -> Obsv.Span.span_status s = "stuck")
+            payment_spans
+        in
+        Alcotest.(check int) "stuck spans match the count" r.Load.stuck
+          (List.length stuck_spans);
+        List.iter
+          (fun s ->
+            if Obsv.Span.span_status s = "running" then
+              Alcotest.failf "span %d exported running" (Obsv.Span.span_id s);
+            match Obsv.Span.span_end s with
+            | Some e when e >= Obsv.Span.span_start s -> ()
+            | _ -> Alcotest.failf "span %d open-ended" (Obsv.Span.span_id s))
+          payment_spans;
+        Obsv.Span.clear spans);
+  ]
+
 let () =
   Alcotest.run "traffic"
-    [ ("workload", workload_tests); ("load", load_tests) ]
+    [
+      ("workload", workload_tests);
+      ("load", load_tests);
+      ("causal", causal_tests);
+    ]
