@@ -216,6 +216,110 @@ let write_blame_json () =
   close_out oc;
   Fmt.pr "blame report written to %s@." blame_json_file
 
+(* ---------------------------- fleet scaling ---------------------------- *)
+
+(* Speedup-vs-domain-count curves for the two embarrassingly parallel
+   harnesses (chaos soak, corner sweep), with the determinism contract
+   enforced as a guardrail: the stripped report at every domain count
+   must equal the 1-domain bytes, or the bench aborts. The curve is only
+   meaningful on multi-core hosts, so host_domains is recorded and
+   scripts/check_fleet.py gates its speedup assertion on it. *)
+let fleet_json_file = "BENCH_fleet.json"
+
+(* Same normalization as scripts/strip_timing.py and the cram tests: the
+   "timing" object is flat, so scanning to its closing brace is exact. *)
+let strip_timing s =
+  let marker = {|,"timing":{|} in
+  let mlen = String.length marker in
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + mlen <= n && String.sub s !i mlen = marker then begin
+      let j = ref (!i + mlen) in
+      while !j < n && s.[!j] <> '}' do
+        incr j
+      done;
+      i := !j + 1
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let fleet_domain_counts = [ 1; 2; 4 ]
+
+let fleet_workloads =
+  let runs = match scale with Xchain.Experiments.Quick -> 120 | Full -> 600 in
+  [
+    ( "chaos_soak",
+      runs,
+      fun domains ->
+        let s = Xchain.Chaos.soak ~hops:2 ~runs ~domains ~seed:1 () in
+        ( strip_timing (Xchain.Chaos.summary_to_json ~seed:1 s),
+          s.Xchain.Chaos.wall_ns ) );
+    ( "corner_sweep",
+      512,
+      fun domains ->
+        let r =
+          Xchain.Explore.sweep ~hops:1 ~domains ~protocol:Runner.Sync_timebound
+            ()
+        in
+        ( strip_timing
+            (Xchain.Explore.result_to_json ~hops:1
+               ~protocol:Runner.Sync_timebound r),
+          r.Xchain.Explore.wall_ns ) );
+  ]
+
+let write_fleet_json () =
+  Fmt.pr "@.##### Fleet scaling (speedup vs 1 domain) #####@.@.";
+  let host = Fleet.recommended_domains () in
+  Fmt.pr "host reports %d recommended domain(s)@." host;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"scale\":";
+  Buffer.add_string buf
+    (match scale with
+    | Xchain.Experiments.Quick -> "\"quick\""
+    | Full -> "\"full\"");
+  Buffer.add_string buf (Printf.sprintf ",\"host_domains\":%d" host);
+  Buffer.add_string buf ",\"workloads\":{";
+  List.iteri
+    (fun i (name, jobs, run) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let curve = List.map (fun d -> (d, run d)) fleet_domain_counts in
+      let _, (baseline_bytes, baseline_wall) = List.hd curve in
+      List.iter
+        (fun (d, (bytes, _)) ->
+          if bytes <> baseline_bytes then
+            Fmt.failwith
+              "fleet workload %s: report at %d domains diverges from the \
+               1-domain bytes"
+              name d)
+        curve;
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"jobs\":%d,\"deterministic\":true,\"curve\":["
+           name jobs);
+      List.iteri
+        (fun k (d, (_, wall)) ->
+          if k > 0 then Buffer.add_char buf ',';
+          let speedup = float_of_int baseline_wall /. float_of_int wall in
+          Fmt.pr "%-16s -j %d: %8.3f ms  (speedup %.2fx)@." name d
+            (float_of_int wall /. 1e6)
+            speedup;
+          Buffer.add_string buf
+            (Printf.sprintf "{\"domains\":%d,\"wall_ns\":%d,\"speedup\":%.4f}" d
+               wall speedup))
+        curve;
+      Buffer.add_string buf "]}")
+    fleet_workloads;
+  Buffer.add_string buf "}}\n";
+  let oc = open_out fleet_json_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "fleet scaling written to %s@." fleet_json_file
+
 (* -------------------------- micro-benchmarks -------------------------- *)
 
 let payment_run protocol ~hops ~seed =
@@ -452,5 +556,6 @@ let () =
   write_metrics_json per_experiment;
   write_load_json ();
   write_blame_json ();
+  write_fleet_json ();
   run_benchmarks ();
   Fmt.pr "@.done.@."

@@ -1,9 +1,10 @@
 (* Command-line front end.
 
    xchain pay         — run one payment and report outcome + properties
-   xchain experiment  — regenerate the reproduction tables (e1..e12, all)
+   xchain experiment  — regenerate the reproduction tables (e1..e13, all)
    xchain params      — show the derived timeout windows (Thm 1 tuning)
    xchain metrics     — the telemetry catalogue / a probe-run exposition
+   xchain explore     — exhaustive corner sweep, sharded over -j domains
    xchain dot         — emit the Figure 2 automata as Graphviz *)
 
 open Cmdliner
@@ -55,6 +56,41 @@ let arm_span_capture spans_out =
 let dump_telemetry ~metrics_out ~spans_out =
   write_sink metrics_out (Obsv.Prometheus.render Obsv.Metrics.default);
   write_sink spans_out (Obsv.Span.to_jsonl Obsv.Span.default)
+
+(* ------------------------------- fleet --------------------------------- *)
+
+(* The soak/sweep/replication commands shard their independent runs over a
+   fleet of OCaml domains. Results are merged in job order, so every
+   deterministic output is byte-identical for any -j value. *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Shard the work over $(docv) OCaml domains (0 = auto: the \
+           XCHAIN_FLEET_JOBS environment variable if set, else the \
+           runtime's recommended domain count). Every deterministic output \
+           is byte-identical for any value; only wall-clock timing changes. \
+           See docs/parallelism.md.")
+
+let resolve_domains ~cmd j =
+  if j < 0 then begin
+    Fmt.epr "xchain %s: -j must be >= 0@." cmd;
+    exit 2
+  end
+  else if j = 0 then Fleet.default_domains ()
+  else j
+
+(* Live progress on stderr, only when someone is watching: piped runs
+   (cram, CI) see nothing, so transcripts stay deterministic. *)
+let tty_progress label =
+  if Unix.isatty Unix.stderr then
+    Some
+      (fun ~completed ~total ->
+        Printf.eprintf "\r%s: %d/%d%!" label completed total;
+        if completed >= total then prerr_newline ())
+  else None
 
 (* --- causal tracing (trace / chaos / load) --- *)
 
@@ -209,15 +245,22 @@ let pay_cmd =
 (* ---------------------------- experiment ------------------------------- *)
 
 let experiment_cmd =
-  let run name full metrics_out spans_out =
+  let run name full j metrics_out spans_out =
     arm_span_capture spans_out;
     let scale = if full then Xchain.Experiments.Full else Xchain.Experiments.Quick in
+    let domains = resolve_domains ~cmd:"experiment" j in
     let code =
       match name with
       | "all" ->
           List.iter
             (fun t -> Fmt.pr "%a@." Xchain.Table.render t)
-            (Xchain.Experiments.all scale);
+            (Xchain.Experiments.all ~domains scale);
+          0
+      | "e12" ->
+          (* the one experiment with a fleet-sharded inner loop, so the
+             named path must forward -j like the "all" path does *)
+          Fmt.pr "%a@." Xchain.Table.render
+            (Xchain.Experiments.e12_exhaustive_corners ~domains scale);
           0
       | name -> (
           match Xchain.Experiments.by_name name with
@@ -241,7 +284,8 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the reproduction tables (see EXPERIMENTS.md)")
-    Term.(const run $ name_arg $ full $ metrics_out_arg $ spans_out_arg)
+    Term.(const run $ name_arg $ full $ jobs_arg $ metrics_out_arg
+          $ spans_out_arg)
 
 (* ------------------------------ params --------------------------------- *)
 
@@ -489,9 +533,13 @@ let runner_protocol_of = function
           tm = Weak_protocol.Committee { f = 1 } }
 
 let chaos_cmd =
-  let run protocol hops seed plan plan_file soak runs repro_out metrics_out
-      trace_out dag_out blame =
+  let run protocol hops seed plan plan_file soak runs j out repro_out
+      metrics_out trace_out dag_out blame =
     let protocol = runner_protocol_of protocol in
+    if out <> None && not soak then begin
+      Fmt.epr "xchain chaos: --out requires --soak@.";
+      exit 2
+    end;
     let parse_plan ~what s =
       match Faults.Fault_plan.of_string s with
       | Ok p -> p
@@ -512,8 +560,13 @@ let chaos_cmd =
     in
     let code =
       if soak then begin
-        let s = Xchain.Chaos.soak ~hops ~protocol ~runs ~seed () in
+        let domains = resolve_domains ~cmd:"chaos" j in
+        let s =
+          Xchain.Chaos.soak ~hops ~protocol ~runs ~seed ~domains
+            ?on_progress:(tty_progress "chaos soak") ()
+        in
         Fmt.pr "%a@." Xchain.Chaos.pp_summary s;
+        write_sink out (Xchain.Chaos.summary_to_json ~hops ~protocol ~seed s);
         (match repro_out with
         | None -> ()
         | Some file ->
@@ -597,6 +650,14 @@ let chaos_cmd =
     Arg.(value & opt int 200
          & info [ "runs" ] ~doc:"Soak: number of random plans to run.")
   in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Soak: write the summary as JSON to $(docv) ('-' for \
+                   stdout). Deterministic except the trailing timing block \
+                   (strip it with scripts/strip_timing.py before comparing \
+                   across -j values).")
+  in
   let repro_out =
     Arg.(value & opt (some string) None
          & info [ "repro-out" ] ~docv:"FILE"
@@ -607,8 +668,63 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Run payments under a declarative fault plan (lossy links,               crashes, partitions), or soak hundreds of random plans and check              the safety properties")
     Term.(const run $ protocol $ hops $ seed $ plan $ plan_file $ soak $ runs
-          $ repro_out $ metrics_out_arg $ trace_out_arg $ dag_out_arg
-          $ blame_arg)
+          $ jobs_arg $ out $ repro_out $ metrics_out_arg $ trace_out_arg
+          $ dag_out_arg $ blame_arg)
+
+(* ------------------------------- explore ------------------------------- *)
+
+let explore_cmd =
+  let run protocol hops drift max_corners j out metrics_out =
+    let protocol = runner_protocol_of protocol in
+    let domains = resolve_domains ~cmd:"explore" j in
+    match
+      Xchain.Explore.sweep ~hops ~drift_ppm:drift ~max_corners ~domains
+        ?on_progress:(tty_progress "explore") ~protocol ()
+    with
+    | exception Invalid_argument e ->
+        Fmt.epr "xchain explore: %s@." e;
+        exit 2
+    | r ->
+        Fmt.pr "explore: %d hops, %d corners — %d violations@." hops
+          r.Xchain.Explore.corners r.Xchain.Explore.violations;
+        (match r.Xchain.Explore.first_witness with
+        | Some w -> Fmt.pr "first witness: %s@." w
+        | None -> ());
+        write_sink out
+          (Xchain.Explore.result_to_json ~hops ~drift_ppm:drift ~protocol r);
+        dump_telemetry ~metrics_out ~spans_out:None;
+        if r.Xchain.Explore.violations = 0 then 0 else 1
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv `Sync
+         & info [ "p"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Protocol to enumerate: sync | naive | htlc (TM protocols \
+                   are not corner-enumerable).")
+  in
+  let hops = Arg.(value & opt int 1 & info [ "n"; "hops" ] ~doc:"Escrows.") in
+  let drift =
+    Arg.(value & opt int 50_000
+         & info [ "drift-ppm" ] ~doc:"Clock drift bound for the corner clocks, ppm.")
+  in
+  let max_corners =
+    Arg.(value & opt int 600_000
+         & info [ "max-corners" ]
+             ~doc:"Refuse instances needing more corners than this.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the sweep result as JSON to $(docv) ('-' for \
+                   stdout). Deterministic except the trailing timing block.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively enumerate every extremal delay x clock corner of a \
+             small payment instance and check Definition 1 on each — \
+             exit 0 iff the sweep is clean. The corner space shards over \
+             -j domains with byte-identical results")
+    Term.(const run $ protocol $ hops $ drift $ max_corners $ jobs_arg $ out
+          $ metrics_out_arg)
 
 (* ------------------------------- trace --------------------------------- *)
 
@@ -697,8 +813,8 @@ let trace_cmd =
 
 let load_cmd =
   let run spec payments hops value commission arrival mix policy cap liquidity
-      patience stuck drift gst seed plan plan_file trace_cap out metrics_out
-      spans_out trace_out dag_out blame =
+      patience stuck drift gst seed plan plan_file trace_cap replications j out
+      metrics_out spans_out trace_out dag_out blame =
     arm_span_capture spans_out;
     let fail fmt = Fmt.kstr (fun s -> Fmt.epr "xchain load: %s@." s; exit 2) fmt in
     let workload =
@@ -744,6 +860,85 @@ let load_cmd =
       | None, Some s -> parse_plan ~what:"--plan" s
       | None, None -> Faults.Fault_plan.none
     in
+    if replications < 1 then fail "--replications must be >= 1";
+    if replications > 1 then begin
+      (* Per-run telemetry sinks interleave nondeterministically across
+         domains; the replication path only produces the deterministic
+         aggregate (plus the strippable timing block). *)
+      if
+        spans_out <> None || trace_out <> None || dag_out <> None || blame
+        || metrics_out <> None
+      then
+        fail
+          "--replications > 1 is incompatible with \
+           --spans-out/--metrics-out/--trace-out/--dag-out/--blame (run a \
+           single replication for per-run telemetry)";
+      let domains = resolve_domains ~cmd:"load" j in
+      Obsv.Span.set_capture Obsv.Span.default false;
+      let outcomes, stats =
+        Fleet.run ~domains
+          ?on_progress:(tty_progress "load replications")
+          ~jobs:replications
+          (fun i ->
+            Traffic.Load.run ~plan ~trace_capacity:trace_cap ~workload
+              ~seed:(seed + i) ())
+      in
+      let reports =
+        Array.map
+          (function
+            | Error (f : Fleet.failure) ->
+                fail "replication %d raised: %s" f.Fleet.job f.Fleet.message
+            | Ok r -> r)
+          outcomes
+      in
+      Fmt.pr "load: %a@." Traffic.Workload.pp workload;
+      Fmt.pr "replications %d: seeds %d..%d, plan %s@." replications seed
+        (seed + replications - 1)
+        (Faults.Fault_plan.to_string plan);
+      Array.iteri
+        (fun i (r : Traffic.Load.report) ->
+          Fmt.pr
+            "  seed %d: committed %d, aborted %d, rejected %d, stuck %d, \
+             violated %d@."
+            (seed + i) r.Traffic.Load.committed r.Traffic.Load.aborted
+            r.Traffic.Load.rejected r.Traffic.Load.stuck
+            r.Traffic.Load.violated)
+        reports;
+      let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reports in
+      let clean =
+        Array.for_all
+          (fun (r : Traffic.Load.report) ->
+            r.Traffic.Load.violations = [] && r.Traffic.Load.conservation_ok)
+          reports
+      in
+      Fmt.pr "total: committed %d, aborted %d, rejected %d, stuck %d, \
+              violated %d — %s@."
+        (sum (fun r -> r.Traffic.Load.committed))
+        (sum (fun r -> r.Traffic.Load.aborted))
+        (sum (fun r -> r.Traffic.Load.rejected))
+        (sum (fun r -> r.Traffic.Load.stuck))
+        (sum (fun r -> r.Traffic.Load.violated))
+        (if clean then "all clean" else "VIOLATIONS");
+      (match out with
+      | None -> ()
+      | Some _ ->
+          let buf = Buffer.create 4096 in
+          Buffer.add_string buf "{\"replications\":[";
+          Array.iteri
+            (fun i r ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf (Traffic.Load.to_json r))
+            reports;
+          let events = sum (fun r -> r.Traffic.Load.events) in
+          let wall_ns = stats.Fleet.wall_ns in
+          Printf.bprintf buf
+            "],\"timing\":{\"wall_ns\":%d,\"domains\":%d,\"events_per_sec\":%d}}\n"
+            wall_ns stats.Fleet.domains
+            (int_of_float
+               (float_of_int events /. (float_of_int wall_ns /. 1e9)));
+          write_sink out (Buffer.contents buf));
+      exit (if clean then 0 else 1)
+    end;
     let causal = causal_wanted ~trace_out ~dag_out ~blame in
     let report =
       try
@@ -854,11 +1049,20 @@ let load_cmd =
              ~doc:"Engine trace ring-buffer capacity (0 = unbounded). \
                    Accounting is hook-fed, so eviction never skews the report.")
   in
+  let replications =
+    Arg.(value & opt int 1
+         & info [ "replications" ] ~docv:"N"
+             ~doc:"Run the workload $(docv) times with seeds seed, seed+1, \
+                   …, sharded over -j fleet domains, and report every \
+                   replication plus the aggregate. Incompatible with the \
+                   per-run telemetry sinks.")
+  in
   let out =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE"
              ~doc:"Write the JSON report to $(docv) ('-' for stdout). \
-                   Bit-identical across runs with equal inputs.")
+                   Bit-identical across runs with equal inputs, except the \
+                   trailing timing block (host wall clock).")
   in
   Cmd.v
     (Cmd.info "load"
@@ -868,8 +1072,8 @@ let load_cmd =
     Term.(
       const run $ spec $ payments $ hops $ value $ commission $ arrival $ mix
       $ policy $ cap $ liquidity $ patience $ stuck $ drift $ gst $ seed $ plan
-      $ plan_file $ trace_cap $ out $ metrics_out_arg $ spans_out_arg
-      $ trace_out_arg $ dag_out_arg $ blame_arg)
+      $ plan_file $ trace_cap $ replications $ jobs_arg $ out $ metrics_out_arg
+      $ spans_out_arg $ trace_out_arg $ dag_out_arg $ blame_arg)
 
 (* -------------------------------- dot ---------------------------------- *)
 
@@ -909,4 +1113,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
-            chaos_cmd; trace_cmd; load_cmd; metrics_cmd ]))
+            chaos_cmd; explore_cmd; trace_cmd; load_cmd; metrics_cmd ]))

@@ -21,6 +21,7 @@ type run_result = {
   failures : V.t list;
   status : Sim.Engine.status;
   end_time : Sim.Sim_time.t;
+  events : int;
   paid_node : int;
   settled_node : int;
 }
@@ -82,6 +83,7 @@ let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ~plan
     failures;
     status = outcome.Runner.status;
     end_time = outcome.Runner.end_time;
+    events = outcome.Runner.events;
     paid_node = outcome.Runner.paid_node;
     settled_node = outcome.Runner.settled_node;
   }
@@ -97,39 +99,90 @@ type summary = {
   aborts : int;
   stuck : int;
   violations : run_result list;
+  events : int;
+  domains : int;
+  wall_ns : int;
 }
 
-let soak ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?(runs = 200) ~seed ()
-    =
+let soak ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?(runs = 200) ?domains
+    ?on_progress ~seed () =
   let nprocs = 2 * hops + 1 in
   let horizon =
     (Runner.derive_params (Runner.default_config ~hops ~seed) protocol)
       .Protocols.Params.horizon
   in
+  (* One chaos run per fleet job: everything derives from the run seed
+     alone (the plan included), so a single run replays from its printed
+     repro without re-running the sweep — and the job is pure, which is
+     what lets the fleet shard it across domains. *)
+  let job i =
+    let run_seed = seed + i in
+    let prng = Sim.Rng.create ~seed:(run_seed + 7919) in
+    let plan = Fault_plan.random prng ~nprocs ~horizon in
+    run_one ~hops ~protocol ~plan ~seed:run_seed ()
+  in
+  let outcomes, stats = Fleet.run ?domains ?on_progress ~jobs:runs job in
   let commits = ref 0
   and aborts = ref 0
   and stuck = ref 0
+  and events = ref 0
   and violations = ref [] in
-  for i = 0 to runs - 1 do
-    let run_seed = seed + i in
-    (* the plan is a function of the run seed alone, so a single run
-       replays from its printed repro without re-running the sweep *)
-    let prng = Sim.Rng.create ~seed:(run_seed + 7919) in
-    let plan = Fault_plan.random prng ~nprocs ~horizon in
-    let r = run_one ~hops ~protocol ~plan ~seed:run_seed () in
-    match r.classification with
-    | Safe_commit -> incr commits
-    | Safe_abort -> incr aborts
-    | Stuck -> incr stuck
-    | Safety_violation -> violations := r :: !violations
-  done;
+  Array.iter
+    (fun outcome ->
+      match outcome with
+      | Error (f : Fleet.failure) ->
+          (* a raising run is a harness bug, not a protocol outcome;
+             surface it exactly as the sequential loop would have *)
+          failwith
+            (Printf.sprintf "chaos soak: job %d raised: %s" f.Fleet.job
+               f.Fleet.message)
+      | Ok (r : run_result) -> (
+          events := !events + r.events;
+          match r.classification with
+          | Safe_commit -> incr commits
+          | Safe_abort -> incr aborts
+          | Stuck -> incr stuck
+          | Safety_violation -> violations := r :: !violations))
+    outcomes;
   {
     runs;
     commits = !commits;
     aborts = !aborts;
     stuck = !stuck;
     violations = List.rev !violations;
+    events = !events;
+    domains = stats.Fleet.domains;
+    wall_ns = stats.Fleet.wall_ns;
   }
+
+(* The leading object is a pure function of (hops, protocol, runs, seed);
+   everything timing-dependent lives in the trailing "timing" member so
+   byte-identity checks across domain counts can strip it (see
+   scripts/strip_timing.py). *)
+let summary_to_json ?(hops = 2) ?(protocol = Runner.Sync_timebound) ~seed s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"chaos\":{\"runs\":%d,\"hops\":%d,\"protocol\":\"%s\",\"seed\":%d,\
+        \"commits\":%d,\"aborts\":%d,\"stuck\":%d,\"events\":%d,\
+        \"violations\":["
+       s.runs hops (protocol_flag protocol) seed s.commits s.aborts s.stuck
+       s.events);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"seed\":%d,\"plan\":\"%s\",\"repro\":\"%s\"}" r.seed
+           (Obsv.Metrics.json_escape (Fault_plan.to_string r.plan))
+           (Obsv.Metrics.json_escape (repro_line r))))
+    s.violations;
+  let wall_s = float_of_int s.wall_ns /. 1e9 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "]},\"timing\":{\"wall_ns\":%d,\"domains\":%d,\"events_per_sec\":%d}}\n"
+       s.wall_ns s.domains
+       (int_of_float (float_of_int s.events /. wall_s)));
+  Buffer.contents buf
 
 let pp_summary ppf s =
   Fmt.pf ppf

@@ -35,6 +35,7 @@ type run_result = {
       (** the failed verdicts; non-empty iff [Safety_violation] *)
   status : Sim.Engine.status;
   end_time : Sim.Sim_time.t;
+  events : int;  (** engine events this run dequeued (deterministic) *)
   paid_node : int;
       (** causal blame sink (Bob's payout), [-1] when untraced/unpaid *)
   settled_node : int;  (** causal node of Bob's termination, or [-1] *)
@@ -66,18 +67,41 @@ type summary = {
   aborts : int;
   stuck : int;
   violations : run_result list;
+  events : int;  (** engine events across all runs (deterministic) *)
+  domains : int;  (** domains the fleet actually used *)
+  wall_ns : int;  (** batch wall time — nondeterministic, keep out of
+                      byte-compared output *)
 }
 
 val soak :
   ?hops:int ->
   ?protocol:Protocols.Runner.protocol ->
   ?runs:int ->
+  ?domains:int ->
+  ?on_progress:(completed:int -> total:int -> unit) ->
   seed:int ->
   unit ->
   summary
 (** [runs] (default 200) chaos runs: run [i] uses seed [seed + i] and a
     random plan derived from that seed alone, so any single run replays
-    from its repro line without re-running the sweep. *)
+    from its repro line without re-running the sweep.
+
+    Runs are sharded over [?domains] OCaml domains (default
+    {!Fleet.default_domains}); every field of the summary except
+    [domains] and [wall_ns] is byte-identical for any domain count.
+    [?on_progress] reports completed runs from the calling domain. *)
 
 val pp_summary : Format.formatter -> summary -> unit
-(** One line of counts, then a repro line per violation. *)
+(** One line of counts, then a repro line per violation. Never prints
+    timing, so transcripts stay deterministic. *)
+
+val summary_to_json :
+  ?hops:int ->
+  ?protocol:Protocols.Runner.protocol ->
+  seed:int ->
+  summary ->
+  string
+(** The soak as one JSON object. Every member except the trailing
+    ["timing"] block (wall_ns, domains, events_per_sec) is deterministic;
+    strip that block (scripts/strip_timing.py) before byte-comparing
+    reports across domain counts. *)

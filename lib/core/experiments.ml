@@ -775,7 +775,7 @@ let e11_atomic_vs_weak scale =
 
 (* ----------------------------------------------------------------- E12 *)
 
-let e12_exhaustive_corners scale =
+let e12_exhaustive_corners ?domains scale =
   let cases =
     [ (1, Runner.Sync_timebound, "tuned"); (1, Runner.Naive_universal, "naive") ]
     @ (match scale with
@@ -785,7 +785,7 @@ let e12_exhaustive_corners scale =
   let rows =
     List.map
       (fun (hops, protocol, label) ->
-        let r = Explore.sweep ~hops ~drift_ppm:50_000 ~protocol () in
+        let r = Explore.sweep ~hops ~drift_ppm:50_000 ?domains ~protocol () in
         [
           Table.cell_i hops;
           label;
@@ -903,7 +903,7 @@ let e13_partition_sweep scale =
       ]
     rows
 
-let all scale =
+let all ?domains scale =
   [
     e1_theorem1 scale;
     e2_impossibility scale;
@@ -916,7 +916,7 @@ let all scale =
     e9_drift scale;
     e10_embedding scale;
     e11_atomic_vs_weak scale;
-    e12_exhaustive_corners scale;
+    e12_exhaustive_corners ?domains scale;
     e13_partition_sweep scale;
   ]
 
@@ -938,6 +938,6 @@ let by_name = function
   | "e9" -> Some e9_drift
   | "e10" -> Some e10_embedding
   | "e11" -> Some e11_atomic_vs_weak
-  | "e12" -> Some e12_exhaustive_corners
+  | "e12" -> Some (fun scale -> e12_exhaustive_corners scale)
   | "e13" -> Some e13_partition_sweep
   | _ -> None

@@ -63,11 +63,13 @@ val e11_atomic_vs_weak : scale -> Table.t
     require this success". Both stay safe; only the weak protocol keeps
     succeeding. *)
 
-val e12_exhaustive_corners : scale -> Table.t
+val e12_exhaustive_corners : ?domains:int -> scale -> Table.t
 (** Small-scope exhaustive verification: every extremal delay × clock-rate
     corner of 1-hop (and, at full scale, 2-hop) payments. The drift-tuned
     protocol must be clean on all corners; the drift-blind baseline fails
-    on concrete witnessed corners. *)
+    on concrete witnessed corners. The corner sweep shards over [?domains]
+    fleet domains (default {!Fleet.default_domains}); the table is
+    byte-identical at any domain count. *)
 
 val e13_partition_sweep : scale -> Table.t
 (** Partition tolerance of the committee TM: a 2|2 split of the f=1
@@ -75,8 +77,9 @@ val e13_partition_sweep : scale -> Table.t
     time. Def. 2 safety must hold in every cell; Bob's success degrades
     exactly where the outage window swallows the patience budget. *)
 
-val all : scale -> Table.t list
-(** Every experiment, in order. *)
+val all : ?domains:int -> scale -> Table.t list
+(** Every experiment, in order. [?domains] is forwarded to the sweeps
+    that shard over the fleet (currently {!e12_exhaustive_corners}). *)
 
 val by_name : string -> (scale -> Table.t) option
 (** Lookup "e1" … "e13". *)

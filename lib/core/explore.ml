@@ -6,6 +6,9 @@ type result = {
   corners : int;
   violations : int;
   first_witness : string option;
+  events : int;
+  domains : int;
+  wall_ns : int;
 }
 
 (* The sync protocol sends exactly 6 messages per hop (G, $, P, χ,
@@ -38,8 +41,26 @@ let describe ~hops ~delay_bits ~clock_bits ~msgs ~procs report =
     Fmt.(list ~sep:(any "; ") V.pp)
     (V.failures report)
 
-let sweep ?(hops = 1) ?(drift_ppm = 50_000) ?(max_corners = 600_000) ~protocol
-    () =
+(* Everything except the trailing "timing" member is deterministic; see
+   Chaos.summary_to_json for the convention. *)
+let result_to_json ?(hops = 1) ?(drift_ppm = 50_000) ~protocol r =
+  let protocol_name = Runner.protocol_name protocol in
+  let witness =
+    match r.first_witness with
+    | None -> "null"
+    | Some w -> "\"" ^ Obsv.Metrics.json_escape w ^ "\""
+  in
+  let wall_s = float_of_int r.wall_ns /. 1e9 in
+  Printf.sprintf
+    "{\"explore\":{\"hops\":%d,\"protocol\":\"%s\",\"drift_ppm\":%d,\
+     \"corners\":%d,\"violations\":%d,\"first_witness\":%s,\"events\":%d},\
+     \"timing\":{\"wall_ns\":%d,\"domains\":%d,\"events_per_sec\":%d}}\n"
+    hops protocol_name drift_ppm r.corners r.violations witness r.events
+    r.wall_ns r.domains
+    (int_of_float (float_of_int r.events /. wall_s))
+
+let sweep ?(hops = 1) ?(drift_ppm = 50_000) ?(max_corners = 600_000) ?domains
+    ?on_progress ~protocol () =
   let msgs = message_budget ~hops ~protocol in
   let procs = (2 * hops) + 1 in
   if msgs + procs >= 40 then
@@ -49,27 +70,50 @@ let sweep ?(hops = 1) ?(drift_ppm = 50_000) ?(max_corners = 600_000) ~protocol
     invalid_arg
       (Printf.sprintf "Explore.sweep: %d corners exceed the budget %d" total
          max_corners);
-  let violations = ref 0 in
-  let first_witness = ref None in
-  for delay_bits = 0 to (1 lsl msgs) - 1 do
-    for clock_bits = 0 to (1 lsl procs) - 1 do
-      let cfg =
-        {
-          (Runner.default_config ~hops ~seed:1) with
-          drift_ppm;
-          adversary = Some (bitvector_adversary delay_bits);
-          clock_override =
-            Some (fun pid -> corner_clock ~drift_ppm ((clock_bits lsr pid) land 1 = 1));
-        }
-      in
-      let o = Runner.run cfg protocol in
-      let report = PP.check_def1 ~time_bounded:false (PP.view o) in
-      if not (V.all_hold report) then begin
-        incr violations;
-        if !first_witness = None then
-          first_witness :=
-            Some (describe ~hops ~delay_bits ~clock_bits ~msgs ~procs report)
-      end
-    done
-  done;
-  { corners = total; violations = !violations; first_witness = !first_witness }
+  (* Corner [i] flattens the original (delay outer, clock inner) loop
+     nest, so job ids preserve the historical enumeration order and
+     "first witness" means the same corner at any domain count. *)
+  let corner i =
+    let delay_bits = i lsr procs and clock_bits = i land ((1 lsl procs) - 1) in
+    let cfg =
+      {
+        (Runner.default_config ~hops ~seed:1) with
+        drift_ppm;
+        adversary = Some (bitvector_adversary delay_bits);
+        clock_override =
+          Some
+            (fun pid -> corner_clock ~drift_ppm ((clock_bits lsr pid) land 1 = 1));
+      }
+    in
+    let o = Runner.run cfg protocol in
+    let report = PP.check_def1 ~time_bounded:false (PP.view o) in
+    let witness =
+      if V.all_hold report then None
+      else Some (describe ~hops ~delay_bits ~clock_bits ~msgs ~procs report)
+    in
+    (o.Runner.events, witness)
+  in
+  let outcomes, stats = Fleet.run ?domains ?on_progress ~jobs:total corner in
+  let violations = ref 0 and events = ref 0 and first_witness = ref None in
+  Array.iter
+    (function
+      | Error (f : Fleet.failure) ->
+          failwith
+            (Printf.sprintf "Explore.sweep: corner %d raised: %s" f.Fleet.job
+               f.Fleet.message)
+      | Ok (ev, witness) -> (
+          events := !events + ev;
+          match witness with
+          | None -> ()
+          | Some w ->
+              incr violations;
+              if !first_witness = None then first_witness := Some w))
+    outcomes;
+  {
+    corners = total;
+    violations = !violations;
+    first_witness = !first_witness;
+    events = !events;
+    domains = stats.Fleet.domains;
+    wall_ns = stats.Fleet.wall_ns;
+  }

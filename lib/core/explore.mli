@@ -23,13 +23,20 @@ type result = {
   corners : int;  (** corners explored *)
   violations : int;  (** corners where some applicable property failed *)
   first_witness : string option;
-      (** description of the first violating corner, if any *)
+      (** description of the first violating corner — "first" in corner
+          enumeration order, identical at any domain count *)
+  events : int;  (** engine events across all corners (deterministic) *)
+  domains : int;  (** domains the fleet actually used *)
+  wall_ns : int;  (** sweep wall time — nondeterministic, keep out of
+                      byte-compared output *)
 }
 
 val sweep :
   ?hops:int ->
   ?drift_ppm:int ->
   ?max_corners:int ->
+  ?domains:int ->
+  ?on_progress:(completed:int -> total:int -> unit) ->
   protocol:Protocols.Runner.protocol ->
   unit ->
   result
@@ -37,7 +44,23 @@ val sweep :
     legs at [drift_ppm] (default 50 000 = 5%) drift and checks Def. 1
     (eventual-termination flavour) on every corner. [max_corners]
     (default 600_000) guards against accidental explosion; the sweep
-    raises [Invalid_argument] if the instance needs more. *)
+    raises [Invalid_argument] if the instance needs more.
+
+    The corner space is sharded over [?domains] OCaml domains (default
+    {!Fleet.default_domains}); every result field except [domains] and
+    [wall_ns] is byte-identical for any domain count. [?on_progress]
+    reports corners done / total from the calling domain — the hook
+    behind the live progress line in [xchain explore]. *)
+
+val result_to_json :
+  ?hops:int ->
+  ?drift_ppm:int ->
+  protocol:Protocols.Runner.protocol ->
+  result ->
+  string
+(** The sweep as one JSON object; every member except the trailing
+    ["timing"] block is deterministic (strip it before byte-comparing
+    across domain counts, as with {!Chaos.summary_to_json}). *)
 
 val message_budget : hops:int -> protocol:Protocols.Runner.protocol -> int
 (** How many sends the corner encoding covers for this instance (messages

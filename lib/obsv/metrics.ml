@@ -1,16 +1,25 @@
-(* Instrument handles are bare mutable records so the hot path compiles to
-   an in-place integer store: no closure, no option, no boxing. Families
-   own their children; the registry owns the families. Lookup cost is paid
-   at registration time only. *)
+(* Instrument handles are bare atomic cells so the hot path compiles to a
+   lock-free read-modify-write: no closure, no option, no boxing beyond
+   the one-time [Atomic.make] at registration. Families own their
+   children; the registry owns the families. Lookup cost is paid at
+   registration time only.
 
-type counter = { mutable c : int }
-type gauge = { mutable g : int }
+   Domain-safety: the registry is shared by every domain of a fleet run
+   (lib/fleet). The cold path — registration, snapshot, reset — takes one
+   global mutex; the hot path never does. Counter and histogram updates
+   are atomic fetch-and-add, so concurrent engine runs lose no counts and
+   sums stay exact regardless of interleaving. Gauge [set] is a plain
+   atomic store: concurrent setters race by design (last write wins), so
+   point-in-time gauges from parallel runs are best-effort. *)
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
 
 type histogram = {
   bounds : int array; (* strictly increasing upper bounds; +Inf implicit *)
-  counts : int array; (* length = Array.length bounds + 1 *)
-  mutable h_sum : int;
-  mutable h_count : int;
+  counts : int Atomic.t array; (* length = Array.length bounds + 1 *)
+  h_sum : int Atomic.t;
+  h_count : int Atomic.t;
 }
 
 type instrument = C of counter | G of gauge | H of histogram
@@ -29,6 +38,12 @@ type t = {
   by_name : (string, family) Hashtbl.t;
   mutable rev_families : family list;
 }
+
+(* One lock for every registry: registration is rare (per-run, not
+   per-event) and a shared lock keeps the cold path trivially correct. *)
+let registry_mutex = Mutex.create ()
+
+let locked f = Mutex.protect registry_mutex f
 
 let cardinality_cap = 64
 
@@ -130,15 +145,15 @@ let family t ~name ~help ~kind ~buckets =
 
 let fresh_instrument f =
   match f.f_kind with
-  | `Counter -> C { c = 0 }
-  | `Gauge -> G { g = 0 }
+  | `Counter -> C (Atomic.make 0)
+  | `Gauge -> G (Atomic.make 0)
   | `Histogram ->
       H
         {
           bounds = f.f_buckets;
-          counts = Array.make (Array.length f.f_buckets + 1) 0;
-          h_sum = 0;
-          h_count = 0;
+          counts = Array.init (Array.length f.f_buckets + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0;
+          h_count = Atomic.make 0;
         }
 
 let child f labels =
@@ -164,30 +179,35 @@ let child f labels =
       end
 
 let counter t ?(help = "") ?(labels = []) name =
-  match child (family t ~name ~help ~kind:`Counter ~buckets:[||]) labels with
-  | C c -> c
-  | _ -> assert false
+  locked (fun () ->
+      match
+        child (family t ~name ~help ~kind:`Counter ~buckets:[||]) labels
+      with
+      | C c -> c
+      | _ -> assert false)
 
 let gauge t ?(help = "") ?(labels = []) name =
-  match child (family t ~name ~help ~kind:`Gauge ~buckets:[||]) labels with
-  | G g -> g
-  | _ -> assert false
+  locked (fun () ->
+      match child (family t ~name ~help ~kind:`Gauge ~buckets:[||]) labels with
+      | G g -> g
+      | _ -> assert false)
 
 let histogram t ?(help = "") ?(buckets = log_buckets) ?(labels = []) name =
-  match child (family t ~name ~help ~kind:`Histogram ~buckets) labels with
-  | H h -> h
-  | _ -> assert false
+  locked (fun () ->
+      match child (family t ~name ~help ~kind:`Histogram ~buckets) labels with
+      | H h -> h
+      | _ -> assert false)
 
 (* ------------------------------ hot path ------------------------------ *)
 
-let inc c = c.c <- c.c + 1
+let inc c = Atomic.incr c
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: counters only go up";
-  c.c <- c.c + n
+  ignore (Atomic.fetch_and_add c n)
 
-let set g v = g.g <- v
-let gauge_add g d = g.g <- g.g + d
+let set g v = Atomic.set g v
+let gauge_add g d = ignore (Atomic.fetch_and_add g d)
 
 let observe h v =
   (* index of the first bound >= v, i.e. the bucket v falls in; the +Inf
@@ -205,16 +225,16 @@ let observe h v =
       !lo
     end
   in
-  Array.unsafe_set h.counts i (Array.unsafe_get h.counts i + 1);
-  h.h_sum <- h.h_sum + v;
-  h.h_count <- h.h_count + 1
+  Atomic.incr (Array.unsafe_get h.counts i);
+  ignore (Atomic.fetch_and_add h.h_sum v);
+  Atomic.incr h.h_count
 
 (* ------------------------------ reading ------------------------------- *)
 
-let counter_value c = c.c
-let gauge_value g = g.g
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let counter_value c = Atomic.get c
+let gauge_value g = Atomic.get g
+let histogram_count h = Atomic.get h.h_count
+let histogram_sum h = Atomic.get h.h_sum
 
 let histogram_buckets h =
   let acc = ref 0 in
@@ -222,7 +242,7 @@ let histogram_buckets h =
     Array.to_list
       (Array.mapi
          (fun i n ->
-           acc := !acc + n;
+           acc := !acc + Atomic.get n;
            let bound =
              if i < Array.length h.bounds then h.bounds.(i) else max_int
            in
@@ -245,56 +265,65 @@ type sample = {
 }
 
 let value_of = function
-  | C c -> Counter_v c.c
-  | G g -> Gauge_v g.g
+  | C c -> Counter_v (Atomic.get c)
+  | G g -> Gauge_v (Atomic.get g)
   | H h ->
       Histogram_v
-        { sum = h.h_sum; count = h.h_count; buckets = histogram_buckets h }
+        {
+          sum = Atomic.get h.h_sum;
+          count = Atomic.get h.h_count;
+          buckets = histogram_buckets h;
+        }
 
 let snapshot t =
-  List.concat_map
-    (fun f ->
-      let children =
-        List.rev_map
-          (fun (key, labels) -> (labels, Hashtbl.find f.children key))
-          f.rev_child_order
-      in
-      let children =
-        match f.overflow with
-        | Some (labels, i) -> children @ [ (labels, i) ]
-        | None -> children
-      in
-      List.map
-        (fun (labels, i) ->
-          {
-            s_name = f.f_name;
-            s_help = f.f_help;
-            s_kind = f.f_kind;
-            s_labels = labels;
-            s_value = value_of i;
-          })
-        children)
-    (List.rev t.rev_families)
+  locked (fun () ->
+      List.concat_map
+        (fun f ->
+          let children =
+            List.rev_map
+              (fun (key, labels) -> (labels, Hashtbl.find f.children key))
+              f.rev_child_order
+          in
+          let children =
+            match f.overflow with
+            | Some (labels, i) -> children @ [ (labels, i) ]
+            | None -> children
+          in
+          List.map
+            (fun (labels, i) ->
+              {
+                s_name = f.f_name;
+                s_help = f.f_help;
+                s_kind = f.f_kind;
+                s_labels = labels;
+                s_value = value_of i;
+              })
+            children)
+        (List.rev t.rev_families))
 
 let families t =
-  List.rev_map (fun f -> (f.f_name, kind_name f.f_kind, f.f_help)) t.rev_families
+  locked (fun () ->
+      List.rev_map
+        (fun f -> (f.f_name, kind_name f.f_kind, f.f_help))
+        t.rev_families)
 
 let reset_instrument = function
-  | C c -> c.c <- 0
-  | G g -> g.g <- 0
+  | C c -> Atomic.set c 0
+  | G g -> Atomic.set g 0
   | H h ->
-      Array.fill h.counts 0 (Array.length h.counts) 0;
-      h.h_sum <- 0;
-      h.h_count <- 0
+      Array.iter (fun c -> Atomic.set c 0) h.counts;
+      Atomic.set h.h_sum 0;
+      Atomic.set h.h_count 0
 
 let reset t =
-  List.iter
-    (fun f ->
-      Hashtbl.iter (fun _ i -> reset_instrument i) f.children;
-      match f.overflow with
-      | Some (_, i) -> reset_instrument i
-      | None -> ())
-    t.rev_families
+  locked (fun () ->
+      List.iter
+        (fun f ->
+          Hashtbl.iter (fun _ i -> reset_instrument i) f.children;
+          match f.overflow with
+          | Some (_, i) -> reset_instrument i
+          | None -> ())
+        t.rev_families)
 
 (* ------------------------------- JSON ---------------------------------- *)
 

@@ -4,9 +4,17 @@
     Prometheus data model. The design goal is a hot path that can stay
     enabled at production scale: resolving a (name, labels) pair to an
     instrument handle is done once, up front, and the per-event operations
-    on a handle ({!inc}, {!add}, {!set}, {!observe}) are plain mutations of
-    preallocated records — they allocate zero words and never take a lock
-    (the simulator is single-threaded by construction).
+    on a handle ({!inc}, {!add}, {!set}, {!observe}) are lock-free atomic
+    read-modify-writes on preallocated cells — they allocate zero words
+    and never block.
+
+    The registry is domain-safe: a fleet run ({!Fleet}) has every worker
+    domain recording into the same registry. Counter and histogram updates
+    are exact under any interleaving (atomic fetch-and-add); gauge {!set}
+    is last-write-wins by design. The cold path — registration,
+    {!snapshot}, {!reset} — serializes on one internal mutex, so
+    registering handles from inside parallel jobs is safe, just not free;
+    hoist handles out of loops as before.
 
     All values are integers: simulation time is integer ticks
     ({!Sim.Sim_time.t}), and counts are counts. Histograms use preallocated

@@ -20,6 +20,13 @@ type t = {
 
 let create () = { next_id = 0; rev_spans = []; n = 0; capturing = true }
 let default = create ()
+
+(* Collectors are shared across fleet domains (Runner records into
+   [default]); appending a span is a multi-field update, so it needs a
+   lock. Span recording is per-participant-per-phase — dozens of calls
+   per payment, not per event — so this is nowhere near a hot path. *)
+let collector_mutex = Mutex.create ()
+
 let set_capture t b = t.capturing <- b
 let capture t = t.capturing
 
@@ -44,26 +51,26 @@ let start t ?parent ?(attrs = []) ?(trace_id = -1) ?(root_event = -1) ~name
       trace_id;
       root_event;
     }
-  else begin
-    let s =
-      {
-        id = t.next_id;
-        parent;
-        name;
-        start_time = at;
-        end_time = -1;
-        status = "running";
-        attrs;
-        recorded = true;
-        trace_id;
-        root_event;
-      }
-    in
-    t.next_id <- t.next_id + 1;
-    t.rev_spans <- s :: t.rev_spans;
-    t.n <- t.n + 1;
-    s
-  end
+  else
+    Mutex.protect collector_mutex (fun () ->
+        let s =
+          {
+            id = t.next_id;
+            parent;
+            name;
+            start_time = at;
+            end_time = -1;
+            status = "running";
+            attrs;
+            recorded = true;
+            trace_id;
+            root_event;
+          }
+        in
+        t.next_id <- t.next_id + 1;
+        t.rev_spans <- s :: t.rev_spans;
+        t.n <- t.n + 1;
+        s)
 
 let finish ?(status = "ok") ~at s =
   if s.end_time >= 0 then invalid_arg "Span.finish: span already finished";

@@ -10,7 +10,16 @@
     Spans accumulate in a collector; {!to_jsonl} dumps them one JSON object
     per line for external tooling. Capture can be switched off (see
     {!set_capture}) to keep timing loops allocation-light: a disabled
-    collector records nothing and {!start} returns a dummy span. *)
+    collector records nothing and {!start} returns a dummy span.
+
+    Domain-safety: appending to a collector ({!start}) is serialized on an
+    internal lock, so parallel fleet jobs recording into {!default} cannot
+    corrupt it. Span {e ids} are allocation-ordered, hence nondeterministic
+    under parallelism — deterministic span dumps require a single-domain
+    run, which is why the CLI rejects [--spans-out] combined with [-j > 1].
+    {!finish} takes no lock: a span is finished only by the domain that
+    started it. Reading ({!spans}, {!to_jsonl}) is safe once the batch has
+    been joined. *)
 
 type t
 (** A span collector. *)

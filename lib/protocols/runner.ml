@@ -73,6 +73,7 @@ type outcome = {
   trace : (Msg.t, Obs.t) Trace.t;
   end_time : Sim_time.t;
   message_count : int;
+  events : int;
   fault_names : (int * string) list;
   tm_pids : int array;
   clocks : Sim.Clock.t array;
@@ -258,6 +259,7 @@ let run_engine cfg protocol =
     trace;
     end_time = Engine.now engine;
     message_count = Trace.message_count trace;
+    events = Engine.events_processed engine;
     fault_names;
     tm_pids;
     clocks = Array.init nprocs (Engine.clock_of engine);

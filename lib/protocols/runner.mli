@@ -71,6 +71,7 @@ type outcome = {
   trace : (Msg.t, Obs.t) Sim.Trace.t;
   end_time : Sim.Sim_time.t;
   message_count : int;
+  events : int;  (** engine events dequeued; deterministic per (seed, config) *)
   fault_names : (int * string) list;
   tm_pids : int array;  (** empty unless [Weak] *)
   clocks : Sim.Clock.t array;

@@ -77,6 +77,7 @@ and ('msg, 'obs) t = {
      [cur_node] to learn which causal node an observation belongs to *)
   mutable cur_node : int;
   mutable cur_trace : int;
+  mutable events : int; (* events dequeued over this engine's lifetime *)
 }
 
 and ('msg, 'obs) ctx = { engine : ('msg, 'obs) t; self : int }
@@ -142,6 +143,7 @@ let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
     causal;
     cur_node = -1;
     cur_trace = -1;
+    events = 0;
   }
 
 let add_process t ?(clock = Clock.perfect) ?(base = 0) handlers =
@@ -483,9 +485,12 @@ let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
           | None -> Quiescent
           | Some (time, ev) ->
               t.clock_now <- Sim_time.max t.clock_now time;
+              t.events <- t.events + 1;
               Obsv.Metrics.inc t.tm.m_events;
               Obsv.Metrics.set t.tm.m_queue_depth (Event_queue.length t.queue);
               dispatch t ev;
               loop (n + 1))
   in
   loop 0
+
+let events_processed t = t.events

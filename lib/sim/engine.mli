@@ -136,6 +136,11 @@ val run :
 val trace : ('msg, 'obs) t -> ('msg, 'obs) Trace.t
 val now : ('msg, 'obs) t -> Sim_time.t
 
+val events_processed : ('msg, 'obs) t -> int
+(** Events dequeued over this engine's lifetime (across {!run} calls).
+    Deterministic for a fixed (seed, configuration) — the per-run basis
+    of the engine-events/sec throughput in load and chaos reports. *)
+
 (** {2 Causal tracing} *)
 
 val causal : ('msg, 'obs) t -> Obsv.Causal.t option

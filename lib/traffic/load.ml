@@ -38,6 +38,8 @@ type report = {
   by_protocol : (string * int * int) list;
   blame : Obsv.Blame.agg option;
   blame_reports : (int * Obsv.Blame.report) list;
+  events : int;
+  wall_ns : int;
 }
 
 (* Shared model parameters for every payment in a load run; per-protocol
@@ -102,6 +104,7 @@ let is_liquidity_rejection what =
 
 let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal
     ~(workload : Workload.t) ~seed () =
+  let wall_t0 = Fleet.now_ns () in
   let w = workload in
   (match Workload.validate w with
   | Ok () -> ()
@@ -705,6 +708,8 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal
           w.mix;
       blame;
       blame_reports;
+      events = Engine.events_processed engine;
+      wall_ns = max 1 (Fleet.now_ns () - wall_t0);
     }
   in
   (* --- telemetry --- *)
@@ -811,8 +816,9 @@ let to_json r =
     ",\"latency\":{\"p50\":%d,\"p95\":%d,\"p99\":%d,\"max\":%d}" r.latency_p50
     r.latency_p95 r.latency_p99 r.latency_max;
   Printf.bprintf b
-    ",\"makespan\":%d,\"throughput_cpm\":%d,\"messages\":%d,\"max_in_flight\":%d,\"trace_dropped\":%d"
-    r.makespan r.throughput_cpm r.messages r.max_in_flight r.trace_dropped;
+    ",\"makespan\":%d,\"throughput_cpm\":%d,\"messages\":%d,\"events\":%d,\"max_in_flight\":%d,\"trace_dropped\":%d"
+    r.makespan r.throughput_cpm r.messages r.events r.max_in_flight
+    r.trace_dropped;
   Buffer.add_string b ",\"by_protocol\":[";
   List.iteri
     (fun i (name, assigned, committed) ->
@@ -838,6 +844,11 @@ let to_json r =
       Buffer.add_string b ",\"blame\":";
       Buffer.add_string b (Obsv.Blame.agg_to_json agg))
     r.blame;
+  (* wall-clock timing is the one nondeterministic member; it comes last
+     so byte-identity checks can strip it (scripts/strip_timing.py) *)
+  Printf.bprintf b ",\"timing\":{\"wall_ns\":%d,\"events_per_sec\":%d}"
+    r.wall_ns
+    (int_of_float (float_of_int r.events /. (float_of_int r.wall_ns /. 1e9)));
   Buffer.add_char b '}';
   Buffer.contents b
 

@@ -69,6 +69,13 @@ type report = {
       (** per-committed-payment critical paths, [(payment, report)] in
           payment order; each report's [total] is exactly that payment's
           commit latency ([paid_at - arrived_at]) *)
+  events : int;
+      (** engine events the run dequeued — deterministic, the numerator of
+          the events/sec throughput figure *)
+  wall_ns : int;
+      (** host wall-clock nanoseconds the run took — the one
+          {e nondeterministic} report member; it appears only in
+          [to_json]'s trailing ["timing"] block, never in {!pp_summary} *)
 }
 
 val run :
@@ -106,7 +113,10 @@ val run :
 
 val to_json : report -> string
 (** Stable field order, integers and escaped strings only — byte-identical
-    across runs with equal inputs. *)
+    across runs with equal inputs {e except} the trailing ["timing"]
+    member (wall_ns, events_per_sec), which reports host wall clock.
+    Byte-identity checks strip it first (scripts/strip_timing.py; the
+    cram suite does the same with [sed]). *)
 
 val pp_summary : Format.formatter -> report -> unit
 (** Human-readable multi-line summary for the CLI. *)

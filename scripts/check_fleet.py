@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Schema + invariant checks for BENCH_fleet.json (fleet scaling curves).
+
+Stdlib only. Validates the report `bench/main.exe` writes:
+
+  1. shape: scale, host_domains, and per-workload objects with a
+     ``curve`` of ``{domains, wall_ns, speedup}`` points at 1, 2 and 4
+     domains;
+  2. the determinism guardrail ran and passed (``deterministic: true``
+     — the bench aborts before writing the file if any domain count
+     produced different report bytes than -j 1);
+  3. arithmetic: the 1-domain point has speedup 1.0 and every point's
+     speedup equals wall_ns(1) / wall_ns(d) within rounding;
+  4. scaling: on hosts with >= 4 cores (host_domains >= 4), at least
+     one workload reaches >= 2x speedup at 4 domains. Single-core CI
+     runners (like this repo's default container) skip this assertion —
+     there is nothing to parallelize onto — but still enforce 1–3.
+
+Exit 0 when everything holds; a diagnostic and exit 1 otherwise.
+"""
+
+import json
+import sys
+
+EXPECTED_DOMAINS = [1, 2, 4]
+SPEEDUP_TARGET = 2.0
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def check_curve(name, wl):
+    if wl.get("deterministic") is not True:
+        err(f"{name}: determinism guardrail did not pass")
+    jobs = wl.get("jobs")
+    if not isinstance(jobs, int) or jobs < 1:
+        err(f"{name}: jobs must be a positive int, got {jobs!r}")
+    curve = wl.get("curve")
+    if not isinstance(curve, list):
+        err(f"{name}: curve missing")
+        return None
+    domains = [p.get("domains") for p in curve]
+    if domains != EXPECTED_DOMAINS:
+        err(f"{name}: curve domains {domains} != {EXPECTED_DOMAINS}")
+        return None
+    base = curve[0]
+    if abs(base.get("speedup", 0.0) - 1.0) > 1e-9:
+        err(f"{name}: 1-domain speedup is {base.get('speedup')}, want 1.0")
+    for p in curve:
+        wall = p.get("wall_ns")
+        if not isinstance(wall, int) or wall < 1:
+            err(f"{name}: wall_ns must be a positive int, got {wall!r}")
+            return None
+        expect = base["wall_ns"] / wall
+        if abs(p.get("speedup", 0.0) - expect) > max(1e-4, expect * 1e-3):
+            err(
+                f"{name}: speedup at {p['domains']} domains is "
+                f"{p.get('speedup')}, expected {expect:.4f}"
+            )
+    return curve[-1].get("speedup", 0.0)
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_fleet.json"
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if doc.get("scale") not in ("quick", "full"):
+        err(f"scale is {doc.get('scale')!r}, want 'quick' or 'full'")
+    host = doc.get("host_domains")
+    if not isinstance(host, int) or host < 1:
+        err(f"host_domains must be a positive int, got {host!r}")
+        host = 1
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        err("workloads missing or empty")
+        workloads = {}
+
+    best = 0.0
+    for name, wl in sorted(workloads.items()):
+        s = check_curve(name, wl)
+        if s is not None:
+            best = max(best, s)
+
+    if host >= 4 and workloads:
+        if best < SPEEDUP_TARGET:
+            err(
+                f"host has {host} domains but best 4-domain speedup is "
+                f"{best:.2f}x, want >= {SPEEDUP_TARGET}x"
+            )
+    elif workloads:
+        print(
+            f"{path}: host_domains={host} < 4 — speedup assertion skipped "
+            f"(best 4-domain speedup {best:.2f}x)"
+        )
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        return 1
+    print(f"{path}: fleet scaling report OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

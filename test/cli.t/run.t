@@ -136,6 +136,56 @@ one line (zero safety violations is the exit-0 criterion):
   $ xchain chaos --soak --runs 20 --seed 1
   chaos soak: 20 runs — 10 safe-commit, 0 safe-abort, 10 stuck, 0 safety-violation
 
+The soak shards runs over OCaml domains; every deterministic output is
+byte-identical at any -j, and --out captures the taxonomy as JSON whose
+only nondeterministic member is the trailing timing block:
+
+  $ xchain chaos --soak --runs 20 --seed 1 -j 4
+  chaos soak: 20 runs — 10 safe-commit, 0 safe-abort, 10 stuck, 0 safety-violation
+  $ xchain chaos --soak --runs 20 --seed 1 -j 1 --out c1.json > /dev/null
+  $ xchain chaos --soak --runs 20 --seed 1 -j 4 --out c4.json > /dev/null
+  $ sed 's/,"timing":{[^}]*}//g' c1.json > c1.stripped
+  $ sed 's/,"timing":{[^}]*}//g' c4.json > c4.stripped
+  $ cmp c1.stripped c4.stripped && echo deterministic
+  deterministic
+  $ sed 's/,"timing":{[^}]*}//g' c1.json
+  {"chaos":{"runs":20,"hops":2,"protocol":"sync","seed":1,"commits":10,"aborts":0,"stuck":10,"events":197,"violations":[]}}
+
+--out without --soak is a usage error, as is a negative -j:
+
+  $ xchain chaos --seed 3 --out c.json
+  xchain chaos: --out requires --soak
+  [2]
+  $ xchain chaos --soak --runs 4 --jobs=-2
+  xchain chaos: -j must be >= 0
+  [2]
+
+An exhaustive corner sweep proves the sync protocol clean on every
+extremal schedule of a one-hop instance, and convicts the drift-blind
+baseline with a concrete witness corner; the sweep is sharded over
+domains and byte-identical at any -j:
+
+  $ xchain explore --protocol sync --hops 1 -j 1 --out e1.json
+  explore: 1 hops, 512 corners — 0 violations
+  $ xchain explore --protocol sync --hops 1 -j 4 --out e4.json > /dev/null
+  $ sed 's/,"timing":{[^}]*}//g' e1.json > e1.stripped
+  $ sed 's/,"timing":{[^}]*}//g' e4.json > e4.stripped
+  $ cmp e1.stripped e4.stripped && echo deterministic
+  deterministic
+  $ sed 's/,"timing":{[^}]*}//g' e1.json
+  {"explore":{"hops":1,"protocol":"sync-timebound","drift_ppm":50000,"corners":512,"violations":0,"first_witness":null,"events":3584}}
+
+  $ xchain explore --protocol naive --hops 1
+  explore: 1 hops, 512 corners — 64 violations
+  first witness: hops=1 delays=0xc/6 clocks=0x4/3 -> T    VIOLATED c1 (pid 1) never terminated; L    VIOLATED all parties abided and Bob was not paid
+  [1]
+
+A corner budget too small for the instance is a usage error:
+
+  $ xchain explore --protocol sync --hops 1 --max-corners 100
+  xchain explore: Explore.sweep: 512 corners exceed the budget 100
+  [2]
+
 Malformed plans and unreadable plan files are usage errors:
 
   $ xchain chaos --plan 'flood *>* 1'
@@ -192,12 +242,46 @@ stuck without ever violating safety:
   $ xchain load --payments 20 --arrival poisson:50 --mix weak --plan 'crash 4@1500' --seed 9 | grep 'payments 20'
   payments 20: committed 19, aborted 0, rejected 0, stuck 1, violated 0
 
-The JSON report is bit-identical for equal (workload, seed, plan):
+The JSON report is bit-identical for equal (workload, seed, plan) once
+the trailing host wall-clock block is stripped (that block is the only
+nondeterministic member):
 
   $ xchain load --payments 10 --mix htlc,atomic --seed 7 --out a.json > /dev/null
   $ xchain load --payments 10 --mix htlc,atomic --seed 7 --out b.json > /dev/null
-  $ cmp a.json b.json && echo deterministic
+  $ sed 's/,"timing":{[^}]*}//g' a.json > a.stripped
+  $ sed 's/,"timing":{[^}]*}//g' b.json > b.stripped
+  $ cmp a.stripped b.stripped && echo deterministic
   deterministic
+
+The report counts engine events (the deterministic numerator of the
+events/sec throughput in the timing block):
+
+  $ grep -c '"events":' a.stripped
+  1
+
+A multi-replication load run shards seeds over fleet domains; every
+deterministic line is byte-identical for any -j, so -j 1 and -j 4
+transcripts and stripped reports must agree exactly:
+
+  $ xchain load --payments 8 --mix sync --seed 3 --replications 3 -j 1 --out r1.json
+  load: payments=8 hops=2 value=1000 commission=10 arrival=poisson:40 mix=sync:1 policy=reserve cap=0 liquidity=0 patience=2000 stuck=0 drift=10000 gst=none
+  replications 3: seeds 3..5, plan none
+    seed 3: committed 8, aborted 0, rejected 0, stuck 0, violated 0
+    seed 4: committed 8, aborted 0, rejected 0, stuck 0, violated 0
+    seed 5: committed 8, aborted 0, rejected 0, stuck 0, violated 0
+  total: committed 24, aborted 0, rejected 0, stuck 0, violated 0 — all clean
+  $ xchain load --payments 8 --mix sync --seed 3 --replications 3 -j 4 --out r4.json > /dev/null
+  $ sed 's/,"timing":{[^}]*}//g' r1.json > r1.stripped
+  $ sed 's/,"timing":{[^}]*}//g' r4.json > r4.stripped
+  $ cmp r1.stripped r4.stripped && echo deterministic
+  deterministic
+
+Per-run telemetry sinks are refused under replications (their ids would
+interleave nondeterministically across domains):
+
+  $ xchain load --payments 8 --replications 2 --blame
+  xchain load: --replications > 1 is incompatible with --spans-out/--metrics-out/--trace-out/--dag-out/--blame (run a single replication for per-run telemetry)
+  [2]
 
 Bad specs, incompatible policies and malformed plans are usage errors:
 

@@ -153,6 +153,7 @@ let synthetic_outcome ~entries =
     trace;
     end_time = 1_000;
     message_count = 0;
+    events = 0;
     fault_names = [];
     tm_pids = [| Topology.aux_base topo |];
     clocks = Array.init (Topology.payment_count topo + 1) (fun _ -> Sim.Clock.perfect);

@@ -276,10 +276,13 @@ let load_tests =
              mix=sync:1,htlc:1,atomic:1 policy=reserve cap=8 liquidity=0 \
              patience=2500 stuck=0 drift=10000 gst=none"
         in
-        let a = Load.to_json (Load.run ~workload:w ~seed:21 ()) in
-        let b = Load.to_json (Load.run ~workload:w ~seed:21 ()) in
+        (* Pin the one nondeterministic field (host wall time) so the
+           whole report, timing block included, must match byte-for-byte. *)
+        let norm r = Load.to_json { r with Load.wall_ns = 1_000_000_000 } in
+        let a = norm (Load.run ~workload:w ~seed:21 ()) in
+        let b = norm (Load.run ~workload:w ~seed:21 ()) in
         Alcotest.(check string) "same seed, same bytes" a b;
-        let c = Load.to_json (Load.run ~workload:w ~seed:22 ()) in
+        let c = norm (Load.run ~workload:w ~seed:22 ()) in
         Alcotest.(check bool) "different seed, different run" true (a <> c));
     Alcotest.test_case "bounded trace never skews accounting" `Slow (fun () ->
         let w =
@@ -295,8 +298,8 @@ let load_tests =
         Alcotest.(check int) "unbounded run drops nothing" 0
           full.Load.trace_dropped;
         Alcotest.(check string) "identical reports modulo trace_dropped"
-          (Load.to_json { tiny with Load.trace_dropped = 0 })
-          (Load.to_json { full with Load.trace_dropped = 0 }));
+          (Load.to_json { tiny with Load.trace_dropped = 0; Load.wall_ns = 1 })
+          (Load.to_json { full with Load.trace_dropped = 0; Load.wall_ns = 1 }));
     Alcotest.test_case "run rejects an invalid workload" `Quick (fun () ->
         let w =
           {
@@ -393,8 +396,8 @@ let causal_tests =
           Load.run ~causal:(Causal.create ()) ~workload:w ~seed:6 ()
         in
         Alcotest.(check string) "identical reports modulo blame"
-          (Load.to_json plain)
-          (Load.to_json { traced with Load.blame = None }));
+          (Load.to_json { plain with Load.wall_ns = 1 })
+          (Load.to_json { traced with Load.blame = None; Load.wall_ns = 1 }));
     Alcotest.test_case "chrome export is byte-identical across reruns" `Slow
       (fun () ->
         let w = spec causal_spec in
