@@ -122,27 +122,31 @@ let write_load_json () =
     | Xchain.Experiments.Quick -> "\"quick\""
     | Full -> "\"full\"");
   Buffer.add_string buf ",\"workloads\":{";
-  List.iteri
-    (fun i (name, workload) ->
-      if i > 0 then Buffer.add_char buf ',';
-      let r =
-        match load_plan_for name with
-        | Some plan -> Traffic.Load.run ~plan ~workload ~seed:1 ()
-        | None -> Traffic.Load.run ~workload ~seed:1 ()
-      in
-      Fmt.pr "%s:@.%a@.@." name Traffic.Load.pp_summary r;
-      if r.Traffic.Load.violated > 0 || not r.Traffic.Load.conservation_ok
-      then Fmt.failwith "load workload %s violated safety" name;
-      Buffer.add_char buf '"';
-      Buffer.add_string buf name;
-      Buffer.add_string buf "\":";
-      Buffer.add_string buf (Traffic.Load.to_json r))
-    load_workloads;
+  let reports =
+    List.mapi
+      (fun i (name, workload) ->
+        if i > 0 then Buffer.add_char buf ',';
+        let r =
+          match load_plan_for name with
+          | Some plan -> Traffic.Load.run ~plan ~workload ~seed:1 ()
+          | None -> Traffic.Load.run ~workload ~seed:1 ()
+        in
+        Fmt.pr "%s:@.%a@.@." name Traffic.Load.pp_summary r;
+        if r.Traffic.Load.violated > 0 || not r.Traffic.Load.conservation_ok
+        then Fmt.failwith "load workload %s violated safety" name;
+        Buffer.add_char buf '"';
+        Buffer.add_string buf name;
+        Buffer.add_string buf "\":";
+        Buffer.add_string buf (Traffic.Load.to_json r);
+        (name, r))
+      load_workloads
+  in
   Buffer.add_string buf "}}\n";
   let oc = open_out load_json_file in
   Buffer.output_buffer oc buf;
   close_out oc;
-  Fmt.pr "load reports written to %s@." load_json_file
+  Fmt.pr "load reports written to %s@." load_json_file;
+  reports
 
 (* --------------------------- causal tracing ---------------------------- *)
 
@@ -319,6 +323,75 @@ let write_fleet_json () =
   Buffer.output_buffer oc buf;
   close_out oc;
   Fmt.pr "fleet scaling written to %s@." fleet_json_file
+
+(* ------------------------ perf-trajectory ledger ----------------------- *)
+
+(* Every bench run appends one JSON line to bench/history/trajectory.jsonl:
+   events/sec per canonical load workload (nondeterministic, host wall
+   clock) and minor-heap words per dispatched event on a profiled
+   canonical run (deterministic), keyed by git sha, UTC date, host domain
+   count and scale. scripts/check_perf.py compares the newest entry
+   against the trailing window of same-scale entries and fails CI on a
+   >20% events/sec or >10% allocation-per-event regression. *)
+let history_file = "bench/history/trajectory.jsonl"
+
+let write_history load_reports =
+  let sha =
+    match Sys.getenv_opt "GITHUB_SHA" with
+    | Some s when s <> "" -> s
+    | _ -> (
+        try
+          let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+          let line = try input_line ic with End_of_file -> "" in
+          match Unix.close_process_in ic with
+          | Unix.WEXITED 0 when line <> "" -> line
+          | _ -> "unknown"
+        with _ -> "unknown")
+  in
+  let date =
+    let tm = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  (* allocation per dispatched event on the canonical traced workload,
+     via the dispatch profiler: deterministic, so the 10% gate is tight *)
+  let prof = Obsv.Prof.create () in
+  ignore (Traffic.Load.run ~prof ~workload:blame_workload ~seed:1 ());
+  let _, _, alloc = Obsv.Prof.site_totals prof in
+  let prof_events = max 1 (Obsv.Prof.events prof) in
+  let alloc_per_event = float_of_int alloc /. float_of_int prof_events in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"sha\":\"%s\",\"date\":\"%s\",\"scale\":%s,\"host_domains\":%d,\
+        \"events_per_sec\":{"
+       (Obsv.Metrics.json_escape sha)
+       date
+       (match scale with
+       | Xchain.Experiments.Quick -> "\"quick\""
+       | Full -> "\"full\"")
+       (Fleet.recommended_domains ()));
+  List.iteri
+    (fun i (name, (r : Traffic.Load.report)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%.1f" name
+           (float_of_int r.Traffic.Load.events
+           /. (float_of_int r.Traffic.Load.wall_ns /. 1e9))))
+    load_reports;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "},\"alloc_per_event\":{\"canonical_load\":%.2f},\"profiled_events\":%d}\n"
+       alloc_per_event prof_events);
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  (try Unix.mkdir "bench/history" 0o755 with Unix.Unix_error _ -> ());
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 history_file
+  in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "perf trajectory appended to %s@." history_file
 
 (* -------------------------- micro-benchmarks -------------------------- *)
 
@@ -554,8 +627,9 @@ let run_benchmarks () =
 let () =
   let per_experiment = print_tables () in
   write_metrics_json per_experiment;
-  write_load_json ();
+  let load_reports = write_load_json () in
   write_blame_json ();
   write_fleet_json ();
+  write_history load_reports;
   run_benchmarks ();
   Fmt.pr "@.done.@."

@@ -148,6 +148,51 @@ let print_payment_blame c ~delta ~sink =
     Fmt.pr "critical path:@.%a@." (Obsv.Blame.pp_path c) r
   end
 
+(* --- hot-path profiling (profile / load / chaos) --- *)
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Profile engine dispatch (wall time + minor-heap allocation per \
+           payment x process x event kind) and print the hot-site table \
+           after the run. See docs/observability.md, section Profiling.")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the JSON profile report to $(docv) ('-' for stdout). \
+           Deterministic except the flat \"prof_timing\" objects (host \
+           wall clock), which scripts/strip_timing.py removes.")
+
+let collapsed_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "collapsed-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the profile as collapsed stacks (payment;process;kind \
+           wall_ns) to $(docv) ('-' for stdout) — load it in speedscope \
+           or feed it to flamegraph.pl.")
+
+(* any profile sink requested? then the engine carries a profiler *)
+let prof_wanted ~profile ~profile_out ~collapsed_out =
+  if profile || profile_out <> None || collapsed_out <> None then
+    Some (Obsv.Prof.create ~now_ns:Fleet.now_ns ())
+  else None
+
+let dump_prof ?(top = 15) ~table prof ~profile_out ~collapsed_out =
+  Option.iter
+    (fun p ->
+      if table then Fmt.pr "%a" (Obsv.Prof.pp_top ~n:top) p;
+      write_sink profile_out (Obsv.Prof.to_json p);
+      write_sink collapsed_out (Obsv.Prof.to_collapsed p))
+    prof
+
 (* ------------------------------- pay ---------------------------------- *)
 
 let protocol_conv =
@@ -534,7 +579,7 @@ let runner_protocol_of = function
 
 let chaos_cmd =
   let run protocol hops seed plan plan_file soak runs j out repro_out
-      metrics_out trace_out dag_out blame =
+      metrics_out trace_out dag_out blame profile profile_out collapsed_out =
     let protocol = runner_protocol_of protocol in
     if out <> None && not soak then begin
       Fmt.epr "xchain chaos: --out requires --soak@.";
@@ -558,14 +603,16 @@ let chaos_cmd =
       | None, Some s -> parse_plan ~what:"--plan" s
       | None, None -> Faults.Fault_plan.none
     in
+    let prof = prof_wanted ~profile ~profile_out ~collapsed_out in
     let code =
       if soak then begin
         let domains = resolve_domains ~cmd:"chaos" j in
         let s =
-          Xchain.Chaos.soak ~hops ~protocol ~runs ~seed ~domains
+          Xchain.Chaos.soak ~hops ~protocol ~runs ~seed ~domains ?prof
             ?on_progress:(tty_progress "chaos soak") ()
         in
         Fmt.pr "%a@." Xchain.Chaos.pp_summary s;
+        dump_prof ~table:profile prof ~profile_out ~collapsed_out;
         write_sink out (Xchain.Chaos.summary_to_json ~hops ~protocol ~seed s);
         (match repro_out with
         | None -> ()
@@ -579,7 +626,9 @@ let chaos_cmd =
       end
       else begin
         let causal = causal_wanted ~trace_out ~dag_out ~blame in
-        let r = Xchain.Chaos.run_one ~hops ~protocol ?causal ~plan ~seed () in
+        let r =
+          Xchain.Chaos.run_one ~hops ~protocol ?causal ?prof ~plan ~seed ()
+        in
         Fmt.pr "plan: %a@.classification: %s@." Faults.Fault_plan.pp
           r.Xchain.Chaos.plan
           (Xchain.Chaos.classification_name r.Xchain.Chaos.classification);
@@ -609,6 +658,7 @@ let chaos_cmd =
                 r.Xchain.Chaos.end_time,
                 cls );
             ];
+        dump_prof ~table:profile prof ~profile_out ~collapsed_out;
         match r.Xchain.Chaos.classification with
         | Xchain.Chaos.Safety_violation ->
             Fmt.pr "repro: %s@." (Xchain.Chaos.repro_line r);
@@ -669,7 +719,8 @@ let chaos_cmd =
        ~doc:"Run payments under a declarative fault plan (lossy links,               crashes, partitions), or soak hundreds of random plans and check              the safety properties")
     Term.(const run $ protocol $ hops $ seed $ plan $ plan_file $ soak $ runs
           $ jobs_arg $ out $ repro_out $ metrics_out_arg $ trace_out_arg
-          $ dag_out_arg $ blame_arg)
+          $ dag_out_arg $ blame_arg $ profile_flag $ profile_out_arg
+          $ collapsed_out_arg)
 
 (* ------------------------------- explore ------------------------------- *)
 
@@ -729,7 +780,7 @@ let explore_cmd =
 (* ------------------------------- trace --------------------------------- *)
 
 let trace_cmd =
-  let run protocol hops gst seed plan trace_out dag_out =
+  let run protocol hops gst seed plan out trace_out dag_out =
     let protocol = runner_protocol_of protocol in
     let fault_plan =
       match plan with
@@ -753,7 +804,9 @@ let trace_cmd =
         causal = Some causal;
       }
     in
+    let wall_t0 = Fleet.now_ns () in
     let o = Runner.run cfg protocol in
+    let wall_ns = max 1 (Fleet.now_ns () - wall_t0) in
     let committed = o.Runner.paid_node >= 0 in
     Fmt.pr "protocol %s, %d hops, seed %d: %s, engine stopped at t=%d@."
       (Runner.protocol_name protocol)
@@ -780,6 +833,36 @@ let trace_cmd =
             slice_end,
             if committed then "commit" else "abort" );
         ];
+    (match out with
+    | None -> ()
+    | Some _ ->
+        (* same convention as chaos/explore/load reports: everything
+           deterministic except the trailing flat "timing" object *)
+        let sink =
+          if committed then o.Runner.paid_node else o.Runner.settled_node
+        in
+        let blame_json =
+          if sink >= 0 then
+            Obsv.Blame.report_to_json
+              (Obsv.Blame.attribute
+                 ~delta:(cfg.Runner.delta + cfg.Runner.sigma)
+                 causal ~root:0 ~sink)
+          else "null"
+        in
+        write_sink out
+          (Printf.sprintf
+             "{\"trace\":{\"protocol\":\"%s\",\"hops\":%d,\"seed\":%d,\
+              \"committed\":%b,\"end_time\":%d,\"nodes\":%d,\"edges\":%d},\
+              \"blame\":%s,\"timing\":{\"events_processed\":%d,\
+              \"wall_ns\":%d,\"events_per_sec\":%d}}\n"
+             (Runner.protocol_name protocol)
+             hops seed committed o.Runner.end_time
+             (Obsv.Causal.node_count causal)
+             (Obsv.Causal.edge_count causal)
+             blame_json o.Runner.events wall_ns
+             (int_of_float
+                (float_of_int o.Runner.events
+                /. (float_of_int wall_ns /. 1e9)))));
     0
   in
   let protocol =
@@ -800,13 +883,21 @@ let trace_cmd =
              ~doc:"Fault plan to run the payment under (see \
                    docs/fault_injection.md). Default: none.")
   in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the trace report (graph stats + blame \
+                   decomposition) as JSON to $(docv) ('-' for stdout). \
+                   Deterministic except the trailing timing block \
+                   (events_processed / wall_ns / events_per_sec).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run one payment with causal tracing on: reconstruct its \
              happens-before graph, print the critical path and the blame \
              decomposition of its end-to-end latency, and export the graph \
              as Chrome trace-event JSON or a DAG dump")
-    Term.(const run $ protocol $ hops $ gst $ seed $ plan $ trace_out_arg
+    Term.(const run $ protocol $ hops $ gst $ seed $ plan $ out $ trace_out_arg
           $ dag_out_arg)
 
 (* -------------------------------- load --------------------------------- *)
@@ -814,7 +905,8 @@ let trace_cmd =
 let load_cmd =
   let run spec payments hops value commission arrival mix policy cap liquidity
       patience stuck drift gst seed plan plan_file trace_cap replications j out
-      metrics_out spans_out trace_out dag_out blame =
+      metrics_out spans_out trace_out dag_out blame profile profile_out
+      collapsed_out =
     arm_span_capture spans_out;
     let fail fmt = Fmt.kstr (fun s -> Fmt.epr "xchain load: %s@." s; exit 2) fmt in
     let workload =
@@ -867,12 +959,13 @@ let load_cmd =
          aggregate (plus the strippable timing block). *)
       if
         spans_out <> None || trace_out <> None || dag_out <> None || blame
-        || metrics_out <> None
+        || metrics_out <> None || profile || profile_out <> None
+        || collapsed_out <> None
       then
         fail
           "--replications > 1 is incompatible with \
-           --spans-out/--metrics-out/--trace-out/--dag-out/--blame (run a \
-           single replication for per-run telemetry)";
+           --spans-out/--metrics-out/--trace-out/--dag-out/--blame/--profile \
+           (run a single replication for per-run telemetry)";
       let domains = resolve_domains ~cmd:"load" j in
       Obsv.Span.set_capture Obsv.Span.default false;
       let outcomes, stats =
@@ -940,10 +1033,11 @@ let load_cmd =
       exit (if clean then 0 else 1)
     end;
     let causal = causal_wanted ~trace_out ~dag_out ~blame in
+    let prof = prof_wanted ~profile ~profile_out ~collapsed_out in
     let report =
       try
-        Traffic.Load.run ?causal ~plan ~trace_capacity:trace_cap ~workload
-          ~seed ()
+        Traffic.Load.run ?causal ?prof ~plan ~trace_capacity:trace_cap
+          ~workload ~seed ()
       with Invalid_argument e -> fail "%s" e
     in
     Fmt.pr "%a@." Traffic.Load.pp_summary report;
@@ -965,6 +1059,7 @@ let load_cmd =
         in
         dump_causal (Some c) ~trace_out ~dag_out ~payments)
       causal;
+    dump_prof ~table:profile prof ~profile_out ~collapsed_out;
     write_sink out (Traffic.Load.to_json report ^ "\n");
     dump_telemetry ~metrics_out ~spans_out;
     if report.Traffic.Load.violations = [] && report.Traffic.Load.conservation_ok
@@ -1073,7 +1168,137 @@ let load_cmd =
       const run $ spec $ payments $ hops $ value $ commission $ arrival $ mix
       $ policy $ cap $ liquidity $ patience $ stuck $ drift $ gst $ seed $ plan
       $ plan_file $ trace_cap $ replications $ jobs_arg $ out $ metrics_out_arg
-      $ spans_out_arg $ trace_out_arg $ dag_out_arg $ blame_arg)
+      $ spans_out_arg $ trace_out_arg $ dag_out_arg $ blame_arg $ profile_flag
+      $ profile_out_arg $ collapsed_out_arg)
+
+(* ------------------------------- profile ------------------------------- *)
+
+let profile_cmd =
+  let run workload payments hops arrival mix protocol runs seed top out
+      profile_out collapsed_out =
+    let prof = Obsv.Prof.create ~now_ns:Fleet.now_ns () in
+    let code =
+      match workload with
+      | "load" ->
+          (* causal tracing on: dispatch sites then attribute to
+             individual payments (pay#K frames) instead of one "run"
+             bucket, cross-linking profiles with xchain trace ids *)
+          let causal = Obsv.Causal.create () in
+          let workload =
+            let w = Traffic.Workload.default ~payments in
+            let parse what f s =
+              match f s with
+              | Ok v -> v
+              | Error e ->
+                  Fmt.epr "xchain profile: bad %s: %s@." what e;
+                  exit 2
+            in
+            {
+              w with
+              Traffic.Workload.hops;
+              arrival =
+                parse "--arrival" Traffic.Workload.arrival_of_string arrival;
+              mix = parse "--mix" Traffic.Workload.mix_of_string mix;
+            }
+          in
+          let report =
+            try Traffic.Load.run ~causal ~prof ~workload ~seed ()
+            with Invalid_argument e ->
+              Fmt.epr "xchain profile: %s@." e;
+              exit 2
+          in
+          Fmt.pr "%a@." Traffic.Load.pp_summary report;
+          write_sink out (Traffic.Load.to_json report ^ "\n");
+          if
+            report.Traffic.Load.violations = []
+            && report.Traffic.Load.conservation_ok
+          then 0
+          else 1
+      | "chaos" ->
+          let protocol = runner_protocol_of protocol in
+          let s =
+            Xchain.Chaos.soak ~hops ~protocol ~runs ~seed ~prof
+              ?on_progress:(tty_progress "profile chaos") ()
+          in
+          Fmt.pr "%a@." Xchain.Chaos.pp_summary s;
+          write_sink out (Xchain.Chaos.summary_to_json ~hops ~protocol ~seed s);
+          if s.Xchain.Chaos.violations = [] then 0 else 1
+      | "explore" -> (
+          let protocol = runner_protocol_of protocol in
+          match
+            Xchain.Explore.sweep ~hops ~prof
+              ?on_progress:(tty_progress "profile explore") ~protocol ()
+          with
+          | exception Invalid_argument e ->
+              Fmt.epr "xchain profile: %s@." e;
+              exit 2
+          | r ->
+              Fmt.pr "explore: %d hops, %d corners — %d violations@." hops
+                r.Xchain.Explore.corners r.Xchain.Explore.violations;
+              write_sink out (Xchain.Explore.result_to_json ~hops ~protocol r);
+              if r.Xchain.Explore.violations = 0 then 0 else 1)
+      | other ->
+          Fmt.epr "xchain profile: unknown workload %S (load|chaos|explore)@."
+            other;
+          exit 2
+    in
+    dump_prof ~top ~table:true (Some prof) ~profile_out ~collapsed_out;
+    code
+  in
+  let workload =
+    Arg.(
+      value & pos 0 string "load"
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "What to profile: load (default — a multiplexed load run with \
+             per-payment attribution), chaos (a single-domain soak), or \
+             explore (a corner sweep).")
+  in
+  let payments =
+    Arg.(value & opt int 1000
+         & info [ "payments" ] ~doc:"Load: concurrent payment instances.")
+  in
+  let hops = Arg.(value & opt int 2 & info [ "n"; "hops" ] ~doc:"Escrows.") in
+  let arrival =
+    Arg.(value & opt string "poisson:40"
+         & info [ "arrival" ] ~docv:"PROC" ~doc:"Load: arrival process.")
+  in
+  let mix =
+    Arg.(value & opt string "sync"
+         & info [ "mix" ] ~docv:"MIX" ~doc:"Load: weighted protocol mix.")
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv `Sync
+         & info [ "p"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Chaos/explore: protocol under test.")
+  in
+  let runs =
+    Arg.(value & opt int 200
+         & info [ "runs" ] ~doc:"Chaos: number of random plans to run.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed.") in
+  let top =
+    Arg.(value & opt int 15
+         & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot-site table.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the wrapped workload's own JSON report to $(docv) \
+                   ('-' for stdout), exactly as the underlying command \
+                   would.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a load, chaos or explore workload with the dispatch profiler \
+          armed: wall time and allocation attributed per payment x process \
+          x event kind, a top-N hot-site table, and JSON / collapsed-stack \
+          (speedscope) exports. Deterministic modulo the strippable \
+          timing/prof_timing blocks")
+    Term.(
+      const run $ workload $ payments $ hops $ arrival $ mix $ protocol $ runs
+      $ seed $ top $ out $ profile_out_arg $ collapsed_out_arg)
 
 (* -------------------------------- dot ---------------------------------- *)
 
@@ -1113,4 +1338,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
-            chaos_cmd; explore_cmd; trace_cmd; load_cmd; metrics_cmd ]))
+            chaos_cmd; explore_cmd; trace_cmd; load_cmd; profile_cmd;
+            metrics_cmd ]))

@@ -65,10 +65,15 @@ let classify view report =
     ((if settled then Safe_abort else Stuck), [])
   end
 
-let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ~plan
+let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ?prof ~plan
     ~seed () =
   let cfg =
-    { (Runner.default_config ~hops ~seed) with fault_plan = Some plan; causal }
+    {
+      (Runner.default_config ~hops ~seed) with
+      fault_plan = Some plan;
+      causal;
+      prof;
+    }
   in
   let outcome = Runner.run cfg protocol in
   let view = P.view outcome in
@@ -105,7 +110,10 @@ type summary = {
 }
 
 let soak ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?(runs = 200) ?domains
-    ?on_progress ~seed () =
+    ?prof ?on_progress ~seed () =
+  (* a profiler is single-threaded mutable state: profiled soaks run on
+     one domain so every dispatch lands in the same accumulator set *)
+  let domains = match prof with Some _ -> Some 1 | None -> domains in
   let nprocs = 2 * hops + 1 in
   let horizon =
     (Runner.derive_params (Runner.default_config ~hops ~seed) protocol)
@@ -119,7 +127,7 @@ let soak ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?(runs = 200) ?domains
     let run_seed = seed + i in
     let prng = Sim.Rng.create ~seed:(run_seed + 7919) in
     let plan = Fault_plan.random prng ~nprocs ~horizon in
-    run_one ~hops ~protocol ~plan ~seed:run_seed ()
+    run_one ~hops ~protocol ?prof ~plan ~seed:run_seed ()
   in
   let outcomes, stats = Fleet.run ?domains ?on_progress ~jobs:runs job in
   let commits = ref 0

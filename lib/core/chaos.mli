@@ -48,6 +48,7 @@ val run_one :
   ?hops:int ->
   ?protocol:Protocols.Runner.protocol ->
   ?causal:Obsv.Causal.t ->
+  ?prof:Obsv.Prof.t ->
   plan:Faults.Fault_plan.t ->
   seed:int ->
   unit ->
@@ -55,7 +56,8 @@ val run_one :
 (** One payment (default: 2 hops, {!Protocols.Runner.Sync_timebound},
     synchronous network) under [plan], classified. [causal] records the
     run's happens-before graph (see {!Protocols.Runner}) and fills
-    [paid_node] / [settled_node]. *)
+    [paid_node] / [settled_node]; [prof] profiles the run's dispatches
+    ({!Obsv.Prof}). Neither changes the schedule. *)
 
 val repro_line : run_result -> string
 (** [xchain chaos -p PROTO --hops H --seed N --plan 'P'] — replays this
@@ -78,6 +80,7 @@ val soak :
   ?protocol:Protocols.Runner.protocol ->
   ?runs:int ->
   ?domains:int ->
+  ?prof:Obsv.Prof.t ->
   ?on_progress:(completed:int -> total:int -> unit) ->
   seed:int ->
   unit ->
@@ -89,7 +92,12 @@ val soak :
     Runs are sharded over [?domains] OCaml domains (default
     {!Fleet.default_domains}); every field of the summary except
     [domains] and [wall_ns] is byte-identical for any domain count.
-    [?on_progress] reports completed runs from the calling domain. *)
+    [?on_progress] reports completed runs from the calling domain.
+
+    [prof] profiles every run's dispatches into one accumulator set; a
+    profiled soak forces [domains = 1] (the profiler is single-threaded
+    mutable state), so profile a smaller [runs] count when wall time
+    matters. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** One line of counts, then a repro line per violation. Never prints

@@ -60,7 +60,9 @@ let result_to_json ?(hops = 1) ?(drift_ppm = 50_000) ~protocol r =
     (int_of_float (float_of_int r.events /. wall_s))
 
 let sweep ?(hops = 1) ?(drift_ppm = 50_000) ?(max_corners = 600_000) ?domains
-    ?on_progress ~protocol () =
+    ?prof ?on_progress ~protocol () =
+  (* profiled sweeps run on one domain: the profiler is single-threaded *)
+  let domains = match prof with Some _ -> Some 1 | None -> domains in
   let msgs = message_budget ~hops ~protocol in
   let procs = (2 * hops) + 1 in
   if msgs + procs >= 40 then
@@ -79,6 +81,7 @@ let sweep ?(hops = 1) ?(drift_ppm = 50_000) ?(max_corners = 600_000) ?domains
       {
         (Runner.default_config ~hops ~seed:1) with
         drift_ppm;
+        prof;
         adversary = Some (bitvector_adversary delay_bits);
         clock_override =
           Some

@@ -36,6 +36,7 @@ val sweep :
   ?drift_ppm:int ->
   ?max_corners:int ->
   ?domains:int ->
+  ?prof:Obsv.Prof.t ->
   ?on_progress:(completed:int -> total:int -> unit) ->
   protocol:Protocols.Runner.protocol ->
   unit ->
@@ -50,7 +51,11 @@ val sweep :
     {!Fleet.default_domains}); every result field except [domains] and
     [wall_ns] is byte-identical for any domain count. [?on_progress]
     reports corners done / total from the calling domain — the hook
-    behind the live progress line in [xchain explore]. *)
+    behind the live progress line in [xchain explore].
+
+    [prof] profiles every corner's dispatches into one accumulator set
+    ({!Obsv.Prof}) and forces [domains = 1] (the profiler is
+    single-threaded mutable state). *)
 
 val result_to_json :
   ?hops:int ->

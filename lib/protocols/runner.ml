@@ -38,6 +38,7 @@ type config = {
   window_scale : (int * int) option;
   clock_override : (int -> Sim.Clock.t) option;
   causal : Obsv.Causal.t option;
+  prof : Obsv.Prof.t option;
   seed : int;
   horizon : Sim_time.t option;
   max_events : int;
@@ -59,6 +60,7 @@ let default_config ~hops ~seed =
     window_scale = None;
     clock_override = None;
     causal = None;
+    prof = None;
     seed;
     horizon = None;
     max_events = 200_000;
@@ -171,7 +173,7 @@ let run_engine cfg protocol =
   in
   let engine =
     Engine.create ~tag_of:Msg.tag ~network ~sigma:cfg.sigma
-      ?causal:cfg.causal ~seed:cfg.seed ()
+      ?causal:cfg.causal ?prof:cfg.prof ~seed:cfg.seed ()
   in
   (* blame anchors: the dispatch context under which Bob's payout was
      released (sink of the commit critical path) and Bob's termination *)
@@ -237,7 +239,18 @@ let run_engine cfg protocol =
       | Some f -> f pid
       | None -> Clock.random clock_rng ~drift_ppm:cfg.drift_ppm
     in
-    let added = Engine.add_process engine ~clock handlers in
+    (* role class, not role_name: profiler labels stay low-cardinality
+       constants ("chloe", not "chloe3") *)
+    let label =
+      match Topology.role_of topo pid with
+      | Some Topology.Alice -> "alice"
+      | Some Topology.Bob -> "bob"
+      | Some (Topology.Connector _) -> "chloe"
+      | Some (Topology.Escrow _) -> "escrow"
+      | Some (Topology.Aux _) -> "tm"
+      | None -> "proc"
+    in
+    let added = Engine.add_process engine ~clock ~label handlers in
     assert (added = pid)
   done;
   Option.iter

@@ -52,6 +52,10 @@ type config = {
           {!Sim.Engine.create}); [None] (the default): zero cost. The
           outcome's [paid_node] / [settled_node] anchor {!Obsv.Blame}
           walks into the recorded graph. *)
+  prof : Obsv.Prof.t option;
+      (** arm the dispatch profiler (see {!Sim.Engine.create});
+          processes are labeled by role class (alice / chloe / bob /
+          escrow / tm). [None] (the default): zero cost. *)
   seed : int;
   horizon : Sim.Sim_time.t option;  (** default: generous multiple of the
                                         derived parameter horizon *)

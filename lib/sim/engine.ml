@@ -39,6 +39,7 @@ and ('msg, 'obs) proc = {
   mutable last_node : int; (* this pid's latest causal node (program order) *)
   mutable crash_node : int;
   mutable recover_node : int; (* outage edges: crash → recover → deferred *)
+  prof_label : int; (* interned Prof label id, -1 when profiling is off *)
 }
 
 (* Handles resolved once at [create]: the per-event updates below are plain
@@ -73,6 +74,7 @@ and ('msg, 'obs) t = {
   mutable started : bool;
   tm : telemetry;
   causal : Obsv.Causal.t option;
+  prof : Obsv.Prof.t option;
   (* context of the event being dispatched; [Trace.on_record] hooks read
      [cur_node] to learn which causal node an observation belongs to *)
   mutable cur_node : int;
@@ -126,7 +128,7 @@ let telemetry_handles reg =
   }
 
 let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
-    ?(metrics = Obsv.Metrics.default) ?trace_capacity ?causal ~seed () =
+    ?(metrics = Obsv.Metrics.default) ?trace_capacity ?causal ?prof ~seed () =
   {
     tag_of;
     mangle;
@@ -141,14 +143,21 @@ let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
     started = false;
     tm = telemetry_handles metrics;
     causal;
+    prof;
     cur_node = -1;
     cur_trace = -1;
     events = 0;
   }
 
-let add_process t ?(clock = Clock.perfect) ?(base = 0) handlers =
+let add_process t ?(clock = Clock.perfect) ?(base = 0) ?label handlers =
   if t.started then invalid_arg "Engine.add_process: engine already running";
   if base < 0 then invalid_arg "Engine.add_process: negative base";
+  let prof_label =
+    match t.prof with
+    | None -> -1
+    | Some p ->
+        Obsv.Prof.intern p (match label with Some l -> l | None -> "proc")
+  in
   let proc =
     {
       handlers;
@@ -162,6 +171,7 @@ let add_process t ?(clock = Clock.perfect) ?(base = 0) handlers =
       last_node = -1;
       crash_node = -1;
       recover_node = -1;
+      prof_label;
     }
   in
   let pid = t.nprocs in
@@ -188,6 +198,7 @@ let set_clock t ~pid clock = (proc t pid).clock <- clock
 (* --- causal recording (every call is a no-op when [causal] is absent) --- *)
 
 let causal t = t.causal
+let prof t = t.prof
 let current_node t = t.cur_node
 
 (* Append a node for [pid] and chain it into the pid's program order. All
@@ -466,6 +477,31 @@ let dispatch t ev =
         Obsv.Metrics.gauge_add t.tm.m_procs_down (-1)
       end
 
+(* The profiled dispatch path: stamp clock + allocation counters around
+   [dispatch], then charge the deltas to the (payment, process label,
+   event kind) site. [cur_trace] is reset first so attribution reads the
+   trace the dispatch itself established (deliver/fire under causal
+   tracing) and [-1] otherwise — semantically inert, because every
+   consumer of [cur_trace] runs inside a dispatch that first sets it. *)
+let dispatch_profiled t p ev =
+  Obsv.Prof.observe_queue_depth p (Event_queue.length t.queue);
+  t.cur_trace <- -1;
+  Obsv.Prof.enter p;
+  dispatch t ev;
+  match ev with
+  | Deliver { dst; _ } ->
+      Obsv.Prof.leave p ~label:(proc t dst).prof_label ~kind:Obsv.Prof.Deliver
+        ~trace:t.cur_trace
+  | Fire { owner; _ } ->
+      Obsv.Prof.leave p ~label:(proc t owner).prof_label ~kind:Obsv.Prof.Timer
+        ~trace:t.cur_trace
+  | Crash { pid; _ } ->
+      Obsv.Prof.leave p ~label:(proc t pid).prof_label ~kind:Obsv.Prof.Crash
+        ~trace:(-1)
+  | Recover { pid } ->
+      Obsv.Prof.leave p ~label:(proc t pid).prof_label ~kind:Obsv.Prof.Recover
+        ~trace:(-1)
+
 let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
   if not t.started then begin
     t.started <- true;
@@ -474,6 +510,7 @@ let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
       if not p.halted then p.handlers.on_start { engine = t; self = i }
     done
   end;
+  (match t.prof with None -> () | Some p -> Obsv.Prof.run_begin p);
   let rec loop n =
     if n >= max_events then Event_limit
     else
@@ -488,9 +525,14 @@ let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
               t.events <- t.events + 1;
               Obsv.Metrics.inc t.tm.m_events;
               Obsv.Metrics.set t.tm.m_queue_depth (Event_queue.length t.queue);
-              dispatch t ev;
+              (* one option match per event is the whole off-path cost *)
+              (match t.prof with
+              | None -> dispatch t ev
+              | Some p -> dispatch_profiled t p ev);
               loop (n + 1))
   in
-  loop 0
+  let status = loop 0 in
+  (match t.prof with None -> () | Some p -> Obsv.Prof.run_end p);
+  status
 
 let events_processed t = t.events

@@ -72,6 +72,7 @@ val create :
   ?metrics:Obsv.Metrics.t ->
   ?trace_capacity:int ->
   ?causal:Obsv.Causal.t ->
+  ?prof:Obsv.Prof.t ->
   seed:int ->
   unit ->
   ('msg, 'obs) t
@@ -105,12 +106,29 @@ val create :
     edges from each arming to its live firing, and [Outage] edges
     crash → recover → any firing the outage deferred. Deliveries dropped
     at a down process and stale firings record {e no} node, so every
-    deliver node has exactly one message predecessor. *)
+    deliver node has exactly one message predecessor.
+
+    [prof] (default: absent — the off-path cost is one [match] per
+    dispatched event, zero allocation) arms the {!Obsv.Prof} hot-path
+    profiler: every dequeued event is bracketed with host-clock and
+    [Gc.minor_words] reads, and the deltas are charged to the
+    (payment trace, process label, event kind) dispatch site; the queue
+    depth is sampled into [xchain_prof_queue_depth] at each dequeue. *)
 
 val add_process :
-  ('msg, 'obs) t -> ?clock:Clock.t -> ?base:int -> ('msg, 'obs) handlers -> int
+  ('msg, 'obs) t ->
+  ?clock:Clock.t ->
+  ?base:int ->
+  ?label:string ->
+  ('msg, 'obs) handlers ->
+  int
 (** Registers a process and returns its pid (consecutive from 0). All
     processes must be added before {!run}.
+
+    [label] (default ["proc"]) names the process's {e role} for the
+    profiler — a low-cardinality string like ["alice"] or ["escrow"],
+    interned once here ({!Obsv.Prof.intern}), never per event. Ignored
+    (and not computed into an id) when the engine has no [prof].
 
     [base] (default 0) rebases the process's view of the pid space:
     {!send} adds [base] to its destination, {!pid} subtracts it, and a
@@ -145,6 +163,9 @@ val events_processed : ('msg, 'obs) t -> int
 
 val causal : ('msg, 'obs) t -> Obsv.Causal.t option
 (** The recorder passed to {!create}, if any. *)
+
+val prof : ('msg, 'obs) t -> Obsv.Prof.t option
+(** The profiler passed to {!create}, if any. *)
 
 val current_node : ('msg, 'obs) t -> int
 (** The causal node of the event currently being dispatched (the deliver,

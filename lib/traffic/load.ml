@@ -102,7 +102,7 @@ let is_liquidity_rejection what =
   String.length what >= String.length prefix
   && String.sub what 0 (String.length prefix) = prefix
 
-let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal
+let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal ?prof
     ~(workload : Workload.t) ~seed () =
   let wall_t0 = Fleet.now_ns () in
   let w = workload in
@@ -222,7 +222,7 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal
   let trace_cap = if trace_capacity = 0 then None else Some trace_capacity in
   let engine =
     Engine.create ~tag_of:Msg.tag ~network ~sigma ?trace_capacity:trace_cap
-      ?causal ~seed ()
+      ?causal ?prof ~seed ()
   in
   (* --- per-payment accounting state, fed by a trace hook --- *)
   let pays =
@@ -444,7 +444,9 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal
           | _ -> ())
     }
   in
-  let cpid = Engine.add_process engine ~clock:Clock.perfect controller in
+  let cpid =
+    Engine.add_process engine ~clock:Clock.perfect ~label:"sched" controller
+  in
   assert (cpid = 0);
   (* --- payment blocks --- *)
   let clock_rng = Rng.create ~seed:(seed + 31) in
@@ -523,7 +525,17 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal
             (inner l)
         else Engine.silent
       in
-      ignore (Engine.add_process engine ~clock ~base handlers)
+      (* profiler role labels: constant strings, interned only when the
+         engine carries a profiler *)
+      let label =
+        if l = 0 then "alice"
+        else if l < hops then "chloe"
+        else if l = hops then "bob"
+        else if l <= 2 * hops then "escrow"
+        else if l < bs then "aux"
+        else "idle"
+      in
+      ignore (Engine.add_process engine ~clock ~base ~label handlers)
     done
   done;
   (* host crashes expand to every payment block *)

@@ -82,6 +82,7 @@ val run :
   ?plan:Faults.Fault_plan.t ->
   ?trace_capacity:int ->
   ?causal:Obsv.Causal.t ->
+  ?prof:Obsv.Prof.t ->
   workload:Workload.t ->
   seed:int ->
   unit ->
@@ -109,7 +110,14 @@ val run :
     [report.blame_reports] with the critical-path decomposition of every
     committed payment. Payment spans are then linked to the DAG via their
     [trace]/[root_event] fields. Tracing adds nodes, never events: the
-    schedule, and hence every other report field, is unchanged. *)
+    schedule, and hence every other report field, is unchanged.
+
+    [prof] arms the dispatch profiler (see {!Sim.Engine.create}).
+    Processes are labeled by role — ["sched"] (the controller),
+    ["alice"], ["chloe"], ["bob"], ["escrow"], ["aux"] (TMs/notaries),
+    ["idle"] (pid-space padding) — and, combined with [causal],
+    dispatches attribute to individual payments. Like tracing, profiling
+    never changes the schedule or the report. *)
 
 val to_json : report -> string
 (** Stable field order, integers and escaped strings only — byte-identical

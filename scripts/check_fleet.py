@@ -19,17 +19,12 @@ Stdlib only. Validates the report `bench/main.exe` writes:
 Exit 0 when everything holds; a diagnostic and exit 1 otherwise.
 """
 
-import json
 import sys
+
+from benchlib import err, finish, load_json
 
 EXPECTED_DOMAINS = [1, 2, 4]
 SPEEDUP_TARGET = 2.0
-
-errors = []
-
-
-def err(msg):
-    errors.append(msg)
 
 
 def check_curve(name, wl):
@@ -65,8 +60,7 @@ def check_curve(name, wl):
 
 def main(argv):
     path = argv[1] if len(argv) > 1 else "BENCH_fleet.json"
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+    doc = load_json(path)
 
     if doc.get("scale") not in ("quick", "full"):
         err(f"scale is {doc.get('scale')!r}, want 'quick' or 'full'")
@@ -97,12 +91,7 @@ def main(argv):
             f"(best 4-domain speedup {best:.2f}x)"
         )
 
-    if errors:
-        for e in errors:
-            print(f"FAIL {e}", file=sys.stderr)
-        return 1
-    print(f"{path}: fleet scaling report OK")
-    return 0
+    return finish(ok=f"{path}: fleet scaling report OK", prefix="FAIL")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate over bench/history/trajectory.jsonl.
+
+Every `bench/main.exe` run appends one JSON line: events/sec per
+canonical load workload (host wall clock) and minor-heap words per
+dispatched event on a profiled canonical run (deterministic), keyed by
+git sha, UTC date, host domain count and scale (quick / full).
+
+This gate compares the newest entry against the trailing window (up to
+5 preceding entries of the same scale) and fails on
+
+  * a  >20% drop in any workload's events/sec vs the window median
+    (generous, because CI hosts are noisy), or
+  * a  >10% rise in allocation-per-event vs the window median (tight,
+    because the figure is deterministic).
+
+With no prior comparable entries the newest run is recorded as the
+baseline and the gate passes. Exit 0 when within budget; a diagnostic
+and exit 1 otherwise. Stdlib only.
+"""
+
+import sys
+
+from benchlib import err, errors, finish, load_jsonl
+
+WINDOW = 5
+EPS_DROP = 0.20  # events/sec: >20% below the trailing median fails
+ALLOC_RISE = 0.10  # words/event: >10% above the trailing median fails
+
+
+def median(xs):
+    xs = sorted(xs)
+    n = len(xs)
+    mid = n // 2
+    return xs[mid] if n % 2 else (xs[mid - 1] + xs[mid]) / 2
+
+
+def gate(name, new_val, prior, *, floor=None, ceil=None):
+    if not prior:
+        return
+    base = median(prior)
+    if base <= 0:
+        err(f"{name}: nonsensical trailing median {base!r}")
+        return
+    ratio = new_val / base
+    if floor is not None and ratio < floor:
+        err(
+            f"{name}: {new_val:.1f} is a {(1 - ratio) * 100:.0f}% drop from "
+            f"the trailing median {base:.1f} (>{(1 - floor) * 100:.0f}% fails)"
+        )
+    if ceil is not None and ratio > ceil:
+        err(
+            f"{name}: {new_val:.2f} is a {(ratio - 1) * 100:.0f}% rise over "
+            f"the trailing median {base:.2f} (>{(ceil - 1) * 100:.0f}% fails)"
+        )
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "bench/history/trajectory.jsonl"
+    entries = load_jsonl(path)
+    if errors:
+        return finish()
+    if not entries:
+        err(f"{path}: no entries (bench never appended a run?)")
+        return finish()
+    new = entries[-1]
+    for key in ("sha", "date", "scale", "host_domains", "events_per_sec",
+                "alloc_per_event"):
+        if key not in new:
+            err(f"{path}: newest entry lacks {key!r}")
+    if not isinstance(new.get("events_per_sec"), dict) or not isinstance(
+        new.get("alloc_per_event"), dict
+    ):
+        err(f"{path}: events_per_sec / alloc_per_event must be objects")
+    if errors:
+        return finish()
+
+    window = [e for e in entries[:-1] if e.get("scale") == new["scale"]]
+    window = window[-WINDOW:]
+    if not window:
+        print(
+            f"{path}: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+            f"no prior scale={new['scale']!r} runs to compare — "
+            f"baseline recorded for {new['sha'][:12]}"
+        )
+        return 0
+
+    for name, val in sorted(new["events_per_sec"].items()):
+        prior = [
+            e["events_per_sec"][name]
+            for e in window
+            if name in e.get("events_per_sec", {})
+        ]
+        gate(f"events_per_sec.{name}", val, prior, floor=1 - EPS_DROP)
+    for name, val in sorted(new["alloc_per_event"].items()):
+        prior = [
+            e["alloc_per_event"][name]
+            for e in window
+            if name in e.get("alloc_per_event", {})
+        ]
+        gate(f"alloc_per_event.{name}", val, prior, ceil=1 + ALLOC_RISE)
+
+    return finish(
+        ok=f"{path}: run {new['sha'][:12]} within budget of the "
+        f"{len(window)}-entry trailing window"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,21 +19,15 @@ Exit 0 when everything holds; a diagnostic and exit 1 otherwise.
 """
 
 import argparse
-import json
 import sys
+
+from benchlib import err, finish, load_json, load_jsonl
 
 PHASES = {"M", "i", "s", "f", "X"}
 
-errors = []
-
-
-def err(msg):
-    errors.append(msg)
-
 
 def check_chrome(path):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
     if doc.get("displayTimeUnit") != "ms":
         err(f"{path}: displayTimeUnit missing or not 'ms'")
     events = doc.get("traceEvents")
@@ -63,15 +57,10 @@ def check_chrome(path):
 
 def check_dag(path):
     nodes = []
-    with open(path) as f:
-        for lineno, line in enumerate(f):
-            line = line.strip()
-            if not line:
-                continue
-            n = json.loads(line)
-            if n.get("id") != len(nodes):
-                err(f"{path}:{lineno + 1}: id {n.get('id')} out of order")
-            nodes.append(n)
+    for n in load_jsonl(path):
+        if n.get("id") != len(nodes):
+            err(f"{path}: id {n.get('id')} at position {len(nodes)}: out of order")
+        nodes.append(n)
     for n in nodes:
         nid = n["id"]
         preds = n.get("preds", [])
@@ -88,8 +77,7 @@ def check_dag(path):
 
 
 def check_blame(path):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path)
     blame = doc.get("blame")
     if blame is None:
         err(f"{path}: report has no blame section (was --blame passed?)")
@@ -122,10 +110,7 @@ def main():
         check_dag(args.dag)
     if args.report:
         check_blame(args.report)
-    if errors:
-        for e in errors:
-            print(f"error: {e}", file=sys.stderr)
-        sys.exit(1)
+    sys.exit(finish())
 
 
 if __name__ == "__main__":

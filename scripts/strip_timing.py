@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
-"""Strip the nondeterministic "timing" members from an xchain JSON report.
+"""Strip the nondeterministic timing members from an xchain JSON report.
 
 Every JSON report the CLI and bench write (`xchain chaos --out`,
-`xchain explore --out`, `xchain load --out`, BENCH_load.json) is
+`xchain explore --out`, `xchain load --out`, `xchain trace --out`,
+`xchain profile --out/--profile-out`, BENCH_load.json) is
 byte-identical for a fixed (workload, seed, plan) at any domain count —
-except the trailing ``"timing": {...}`` object(s), which carry host
-wall-clock measurements. This filter removes exactly those members so
-reports can be byte-compared across reruns, machines, and ``-j`` values:
+except the ``"timing": {...}`` and ``"prof_timing": {...}`` objects,
+which carry host wall-clock measurements. This filter removes exactly
+those members so reports can be byte-compared across reruns, machines,
+and ``-j`` values:
 
     xchain chaos --soak --runs 200 -j 1 --out a.json
     xchain chaos --soak --runs 200 -j 4 --out b.json
     cmp <(strip_timing.py a.json) <(strip_timing.py b.json)
 
-Equivalent to ``sed 's/,"timing":{[^}]*}//g'`` (the timing object is
-flat, so the non-greedy scan to the first closing brace is exact), but
+Equivalent to ``sed -E 's/,"(prof_)?timing":\\{[^}]*\\}//g'`` (both
+objects are flat, so the scan to the first closing brace is exact), but
 kept as a script so CI and docs have one named, testable normalizer.
 
 Reads the file arguments (or stdin) and writes the stripped bytes to
@@ -23,7 +25,7 @@ stdout. Stdlib only.
 import re
 import sys
 
-TIMING = re.compile(r',"timing":\{[^}]*\}')
+TIMING = re.compile(r',"(?:prof_)?timing":\{[^}]*\}')
 
 
 def strip(text: str) -> str:

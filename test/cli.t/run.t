@@ -280,7 +280,7 @@ Per-run telemetry sinks are refused under replications (their ids would
 interleave nondeterministically across domains):
 
   $ xchain load --payments 8 --replications 2 --blame
-  xchain load: --replications > 1 is incompatible with --spans-out/--metrics-out/--trace-out/--dag-out/--blame (run a single replication for per-run telemetry)
+  xchain load: --replications > 1 is incompatible with --spans-out/--metrics-out/--trace-out/--dag-out/--blame/--profile (run a single replication for per-run telemetry)
   [2]
 
 Bad specs, incompatible policies and malformed plans are usage errors:
@@ -345,3 +345,59 @@ The Chrome-trace and DAG exports are byte-identical for equal inputs:
   $ xchain load --payments 10 --mix sync --seed 7 --trace-out tb.json --dag-out db.jsonl > /dev/null
   $ cmp ta.json tb.json && cmp da.jsonl db.jsonl && echo deterministic
   deterministic
+
+xchain trace exports its run as JSON too; everything but the trailing
+timing block (events/sec over host wall time) is deterministic:
+
+  $ xchain trace --seed 2 --gst 2000 --out t1.json > /dev/null
+  $ xchain trace --seed 2 --gst 2000 --out t2.json > /dev/null
+  $ sed -E 's/,"(prof_)?timing":\{[^}]*\}//g' t1.json > t1.stripped
+  $ sed -E 's/,"(prof_)?timing":\{[^}]*\}//g' t2.json > t2.stripped
+  $ cmp t1.stripped t2.stripped && echo deterministic
+  deterministic
+  $ cat t1.stripped
+  {"trace":{"protocol":"sync-timebound","hops":2,"seed":2,"committed":true,"end_time":2803,"nodes":26,"edges":33},"blame":{"trace":-1,"root":0,"sink":16,"total":2225,"rooted":true,"path":[0,2,3,5,6,8,9,10,11,13,14,15,16],"by_category":{"queueing":0,"transit":429,"gst_wait":1796,"timeout":0,"downtime":0,"processing":0,"external":0}}}
+  $ grep -c '"events_processed":' t1.json
+  1
+
+The dispatch profiler attributes wall time and allocation to
+(payment, process role, event kind) sites. Its hot-site table orders by
+measured wall time, so it stays off this transcript; but site counts,
+allocation words and stack frames are deterministic — only the wall
+figures vary, and they live in strippable "prof_timing" members (JSON)
+or the trailing weight column (collapsed stacks):
+
+  $ xchain profile --payments 12 --seed 3 --out r.json --profile-out p1.json --collapsed-out s1.folded > /dev/null
+  $ xchain profile --payments 12 --seed 3 --profile-out p2.json --collapsed-out s2.folded > /dev/null
+  $ sed -E 's/,"(prof_)?timing":\{[^}]*\}//g' p1.json > p1.stripped
+  $ sed -E 's/,"(prof_)?timing":\{[^}]*\}//g' p2.json > p2.stripped
+  $ cmp p1.stripped p2.stripped && echo deterministic
+  deterministic
+  $ sed 's/ [0-9]*$//' s1.folded > s1.frames
+  $ sed 's/ [0-9]*$//' s2.folded > s2.frames
+  $ cmp s1.frames s2.frames && echo deterministic
+  deterministic
+  $ head -4 s1.frames
+  run;sched;timer
+  run;escrow;timer
+  pay#0;sched;deliver
+  pay#0;sched;timer
+
+Every dequeued engine event lands in exactly one profile site: the
+profile's totals count reconciles exactly with the engine events the
+load report itself counts:
+
+  $ grep -o '"events":[0-9]*' r.json
+  "events":300
+  $ grep -o '"totals":{"count":[0-9]*' p1.json
+  "totals":{"count":300
+
+--profile on load and chaos arms the same profiler (the table is
+wall-ordered, so only the exit codes and sinks are asserted here); a
+profiled soak is forced onto one domain and keeps its deterministic
+summary:
+
+  $ xchain load --payments 12 --arrival poisson:30 --mix sync:1,weak:1 --seed 3 --profile > /dev/null
+  $ xchain chaos --soak --runs 20 --seed 1 --profile --profile-out cp.json > /dev/null
+  $ grep -c '"profile"' cp.json
+  1

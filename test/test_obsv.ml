@@ -717,10 +717,200 @@ let span_link_tests =
           (Span.finish_running ~at:600 t));
   ]
 
+(* ------------------------------ profiler ------------------------------- *)
+
+(* A deterministic fake host clock: strictly monotonic, 3 "ns" per read,
+   so even wall-time attributions are exactly reproducible across runs. *)
+let fake_clock () =
+  let t = ref 0 in
+  fun () ->
+    t := !t + 3;
+    !t
+
+type ping = Ping of int
+
+(* A two-process ping-pong with one timer firing and (optionally) a
+   crash/recover pair: the smallest engine that exercises all four
+   dispatch kinds. Returned unrun so callers can bracket {!Sim.Engine.run}
+   with their own measurements. *)
+let mk_pingpong ?prof ?(rounds = 40) ?(crash = true) ~seed () =
+  let network =
+    Sim.Network.create
+      (Sim.Network.Synchronous { delta = 10 })
+      (Sim.Rng.create ~seed:(seed + 1))
+  in
+  let e =
+    Sim.Engine.create ~tag_of:(fun (Ping _) -> "ping") ~network ?prof ~seed ()
+  in
+  let handlers =
+    {
+      Sim.Engine.on_start =
+        (fun ctx ->
+          if Sim.Engine.pid ctx = 0 then begin
+            Sim.Engine.send ctx ~dst:1 (Ping rounds);
+            Sim.Engine.set_timer_after ctx ~after:5000 ~label:"stop"
+          end);
+      on_receive =
+        (fun ctx ~src (Ping n) ->
+          if n > 0 then Sim.Engine.send ctx ~dst:src (Ping (n - 1)));
+      on_timer = (fun _ ~label:_ -> ());
+    }
+  in
+  ignore (Sim.Engine.add_process e ~label:"left" handlers);
+  ignore (Sim.Engine.add_process e ~label:"right" handlers);
+  if crash then Sim.Engine.schedule_crash e ~pid:1 ~at:2000 ~recover_at:2500 ();
+  e
+
+let run_pingpong ?prof ?rounds ?crash ~seed () =
+  let e = mk_pingpong ?prof ?rounds ?crash ~seed () in
+  ignore (Sim.Engine.run e);
+  e
+
+let fresh_prof () =
+  Prof.create ~now_ns:(fake_clock ()) ~metrics:(Metrics.create ()) ()
+
+let site_fingerprint s =
+  Printf.sprintf "%d/%s/%s:%d:%dw:%dns" s.Prof.s_trace s.Prof.s_label
+    (Prof.kind_name s.Prof.s_kind)
+    s.Prof.s_count s.Prof.s_alloc_words s.Prof.s_wall_ns
+
+let prof_tests =
+  [
+    Alcotest.test_case "per-site sums reconcile with engine totals" `Quick
+      (fun () ->
+        let prof = fresh_prof () in
+        let e = run_pingpong ~prof ~seed:5 () in
+        let dequeued = Sim.Engine.events_processed e in
+        check Alcotest.int "every dequeued event profiled" dequeued
+          (Prof.events prof);
+        let count, wall, alloc = Prof.site_totals prof in
+        check Alcotest.int "site counts sum exactly" dequeued count;
+        let s = Prof.sites prof in
+        check Alcotest.int "sites list agrees with totals" count
+          (List.fold_left (fun a x -> a + x.Prof.s_count) 0 s);
+        (* wall/alloc epsilon: the run loop's own pop/peek/bookkeeping is
+           outside the enter/leave bracket, so site sums can only fall
+           short of the run totals, never exceed them. *)
+        let run_wall, run_alloc = Prof.run_totals prof in
+        check Alcotest.bool "site wall <= run wall" true (wall <= run_wall);
+        check Alcotest.bool "site alloc <= run alloc" true (alloc <= run_alloc);
+        let kinds =
+          List.sort_uniq compare (List.map (fun x -> x.Prof.s_kind) s)
+        in
+        check Alcotest.int "all four dispatch kinds attributed" 4
+          (List.length kinds);
+        let labels =
+          List.sort_uniq compare (List.map (fun x -> x.Prof.s_label) s)
+        in
+        check
+          Alcotest.(list string)
+          "role labels as interned" [ "left"; "right" ] labels);
+    Alcotest.test_case "metrics counters mirror the site counts" `Quick
+      (fun () ->
+        let m = Metrics.create () in
+        let prof = Prof.create ~now_ns:(fake_clock ()) ~metrics:m () in
+        let e = run_pingpong ~prof ~seed:5 () in
+        let by_kind k =
+          Metrics.counter_value
+            (Metrics.counter m
+               ~labels:[ ("kind", k) ]
+               "xchain_prof_dispatch_total")
+        in
+        check Alcotest.int "dispatch counters sum to events"
+          (Sim.Engine.events_processed e)
+          (by_kind "deliver" + by_kind "timer" + by_kind "crash"
+         + by_kind "recover");
+        check Alcotest.int "one crash" 1 (by_kind "crash");
+        check Alcotest.int "one recovery" 1 (by_kind "recover"));
+    Alcotest.test_case "identical runs profile identically" `Quick (fun () ->
+        let go () =
+          let prof = fresh_prof () in
+          ignore (run_pingpong ~prof ~seed:7 ());
+          List.map site_fingerprint (Prof.sites prof)
+        in
+        (* warm-up triggers any one-time lazy runtime initialisation so
+           the measured pair sees identical allocation behaviour *)
+        ignore (go ());
+        check Alcotest.(list string) "counts, words and fake-clock wall" (go ())
+          (go ()));
+    Alcotest.test_case "profiling does not change the schedule" `Quick
+      (fun () ->
+        let off = run_pingpong ~seed:3 () in
+        let on_ = run_pingpong ~prof:(fresh_prof ()) ~seed:3 () in
+        check Alcotest.int "same event count"
+          (Sim.Engine.events_processed off)
+          (Sim.Engine.events_processed on_));
+    Alcotest.test_case "label intern saturates into one overflow slot" `Quick
+      (fun () ->
+        let p = Prof.create ~metrics:(Metrics.create ()) () in
+        let ids =
+          List.init (Prof.label_cap + 10) (fun i ->
+              Prof.intern p (Printf.sprintf "l%d" i))
+        in
+        check Alcotest.bool "ids bounded" true
+          (List.for_all (fun id -> id >= 0 && id < Prof.label_cap) ids);
+        check Alcotest.int "distinct ids capped" Prof.label_cap
+          (List.length (List.sort_uniq compare ids));
+        let overflow = List.nth ids (Prof.label_cap - 1) in
+        check Alcotest.bool "tail shares the overflow id" true
+          (List.for_all
+             (fun i -> List.nth ids i = overflow)
+             (List.init 10 (fun k -> Prof.label_cap - 1 + k)));
+        check Alcotest.int "early names keep their ids" 0 (Prof.intern p "l0"));
+    Alcotest.test_case "json and collapsed exports are well-formed" `Quick
+      (fun () ->
+        let prof = fresh_prof () in
+        ignore (run_pingpong ~prof ~seed:9 ());
+        (match parse_json (String.trim (Prof.to_json prof)) with
+        | J_obj [ ("profile", profile) ] -> (
+            (match (obj_field profile "events", Prof.events prof) with
+            | J_int n, m -> check Alcotest.int "events field" m n
+            | _ -> Alcotest.fail "events field missing");
+            match obj_field profile "sites" with
+            | J_list sites ->
+                check Alcotest.int "one object per site"
+                  (List.length (Prof.sites prof))
+                  (List.length sites)
+            | _ -> Alcotest.fail "sites array missing")
+        | _ -> Alcotest.fail "profile envelope");
+        let lines =
+          String.split_on_char '\n' (Prof.to_collapsed prof)
+          |> List.filter (fun l -> l <> "")
+        in
+        check Alcotest.int "one stack per site"
+          (List.length (Prof.sites prof))
+          (List.length lines);
+        List.iter
+          (fun l ->
+            match String.split_on_char ' ' l with
+            | [ stack; weight ] ->
+                check Alcotest.int "payment;process;kind frames" 3
+                  (List.length (String.split_on_char ';' stack));
+                check Alcotest.bool "positive weight" true
+                  (int_of_string weight >= 1)
+            | _ -> Alcotest.failf "bad collapsed line %S" l)
+          lines);
+  ]
+
 (* ------------------------------ allocation ----------------------------- *)
 
 let allocation_tests =
   [
+    Alcotest.test_case "engine dispatch with profiling off stays in budget"
+      `Quick (fun () ->
+        (* warm up: first run pays one-time lazy initialisation *)
+        ignore (run_pingpong ~rounds:100 ~crash:false ~seed:11 ());
+        let e = mk_pingpong ~rounds:2000 ~crash:false ~seed:11 () in
+        let before = Gc.minor_words () in
+        ignore (Sim.Engine.run e);
+        let delta = int_of_float (Gc.minor_words () -. before) in
+        let per_event = delta / Sim.Engine.events_processed e in
+        (* send + trace records are handler-attributable work; the budget
+           bounds the whole loop so a profiling hook that started
+           allocating on the off path would blow straight through it. *)
+        if per_event > 128 then
+          Alcotest.failf "unprofiled dispatch allocates %d words/event"
+            per_event);
     Alcotest.test_case "hot path allocates zero words" `Quick (fun () ->
         let r = Metrics.create () in
         let c = Metrics.counter r "t_alloc_c" in
@@ -758,5 +948,6 @@ let () =
       ("causal", causal_tests);
       ("blame", blame_tests);
       ("span-links", span_link_tests);
+      ("profiler", prof_tests);
       ("allocation", allocation_tests);
     ]
