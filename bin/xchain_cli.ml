@@ -577,6 +577,25 @@ let runner_protocol_of = function
         { Weak_protocol.default_config with
           tm = Weak_protocol.Committee { f = 1 } }
 
+(* Runner validates fault plans against the protocol's real process
+   count (payment pids plus any TM pids) — the CLI cannot know that
+   count without re-deriving protocol internals, so an out-of-range pid
+   in a syntactically valid plan surfaces as Invalid_argument from the
+   run itself. Turn that into a clean diagnostic instead of a crash. *)
+let surface_bad_plan ~cmd f =
+  match f () with
+  | v -> v
+  | exception Invalid_argument e ->
+      let e =
+        let prefix = "Runner.run: " in
+        if String.starts_with ~prefix e then
+          String.sub e (String.length prefix)
+            (String.length e - String.length prefix)
+        else e
+      in
+      Fmt.epr "xchain %s: %s@." cmd e;
+      exit 2
+
 let chaos_cmd =
   let run protocol hops seed plan plan_file soak runs j out repro_out
       metrics_out trace_out dag_out blame profile profile_out collapsed_out =
@@ -627,7 +646,8 @@ let chaos_cmd =
       else begin
         let causal = causal_wanted ~trace_out ~dag_out ~blame in
         let r =
-          Xchain.Chaos.run_one ~hops ~protocol ?causal ?prof ~plan ~seed ()
+          surface_bad_plan ~cmd:"chaos" (fun () ->
+              Xchain.Chaos.run_one ~hops ~protocol ?causal ?prof ~plan ~seed ())
         in
         Fmt.pr "plan: %a@.classification: %s@." Faults.Fault_plan.pp
           r.Xchain.Chaos.plan
@@ -721,6 +741,107 @@ let chaos_cmd =
           $ jobs_arg $ out $ repro_out $ metrics_out_arg $ trace_out_arg
           $ dag_out_arg $ blame_arg $ profile_flag $ profile_out_arg
           $ collapsed_out_arg)
+
+(* -------------------------------- hunt --------------------------------- *)
+
+let hunt_cmd =
+  let run protocol hops seed budget gen_size j baseline no_shrink
+      max_shrink_trials out corpus_out repros_out metrics_out =
+    let protocol = runner_protocol_of protocol in
+    if budget <= 0 then begin
+      Fmt.epr "xchain hunt: --budget must be positive@.";
+      exit 2
+    end;
+    if gen_size <= 0 then begin
+      Fmt.epr "xchain hunt: --gen must be positive@.";
+      exit 2
+    end;
+    let domains = resolve_domains ~cmd:"hunt" j in
+    let r =
+      surface_bad_plan ~cmd:"hunt" (fun () ->
+          Hunt.Search.hunt ~hops ~protocol ~gen_size ~domains ~baseline
+            ~shrink:(not no_shrink) ?max_shrink_trials
+            ?on_progress:(tty_progress "hunt") ~budget ~seed ())
+    in
+    Fmt.pr "@[<v>%a@]@." Hunt.Search.pp_report r;
+    write_sink out (Hunt.Search.report_to_json r);
+    write_sink corpus_out (Hunt.Search.corpus_to_jsonl r);
+    (match repros_out with
+    | None -> ()
+    | Some file ->
+        let lines = Hunt.Search.repro_lines r in
+        write_sink (Some file)
+          (String.concat "" (List.map (fun l -> l ^ "\n") lines)));
+    dump_telemetry ~metrics_out ~spans_out:None;
+    if r.Hunt.Search.violations > 0 then 1 else 0
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv `Sync
+         & info [ "p"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Protocol under test: sync | naive | htlc | weak | committee.")
+  in
+  let hops = Arg.(value & opt int 2 & info [ "n"; "hops" ] ~doc:"Escrows.") in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:"Root seed; the whole hunt (corpus, repros) is a pure \
+                   function of it.")
+  in
+  let budget =
+    Arg.(value & opt int 200
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Total chaos runs to spend searching.")
+  in
+  let gen_size =
+    Arg.(value & opt int 50
+         & info [ "gen" ] ~docv:"N"
+             ~doc:"Runs per generation (generation 0 replays the uniform \
+                   soak stream; later generations mutate the corpus).")
+  in
+  let baseline =
+    Arg.(value & flag
+         & info [ "baseline" ]
+             ~doc:"Also run the uniform soak stream at the full budget and \
+                   report its distinct signature count for comparison.")
+  in
+  let no_shrink =
+    Arg.(value & flag
+         & info [ "no-shrink" ]
+             ~doc:"Skip minimizing stuck / violating witnesses.")
+  in
+  let max_shrink_trials =
+    Arg.(value & opt (some int) None
+         & info [ "max-shrink-trials" ] ~docv:"N"
+             ~doc:"Cap replays per shrunk witness (default 400).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the hunt report as JSON to $(docv) ('-' for \
+                   stdout). Deterministic except the trailing timing block \
+                   (strip it with scripts/strip_timing.py before comparing \
+                   across -j values).")
+  in
+  let corpus_out =
+    Arg.(value & opt (some string) None
+         & info [ "corpus-out" ] ~docv:"FILE"
+             ~doc:"Write the corpus (one JSON object per discovered \
+                   signature, discovery order) to $(docv) ('-' for stdout).")
+  in
+  let repros_out =
+    Arg.(value & opt (some string) None
+         & info [ "repros-out" ] ~docv:"FILE"
+             ~doc:"Write one shrunken repro line per stuck / violating \
+                   signature to $(docv) ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:"Coverage-guided adversarial fault-plan search: mutate plans \
+             toward unseen outcome signatures, then shrink every stuck or \
+             violating witness to a minimal one-line repro")
+    Term.(const run $ protocol $ hops $ seed $ budget $ gen_size $ jobs_arg
+          $ baseline $ no_shrink $ max_shrink_trials $ out $ corpus_out
+          $ repros_out $ metrics_out_arg)
 
 (* ------------------------------- explore ------------------------------- *)
 
@@ -1338,5 +1459,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
-            chaos_cmd; explore_cmd; trace_cmd; load_cmd; profile_cmd;
+            chaos_cmd; hunt_cmd; explore_cmd; trace_cmd; load_cmd; profile_cmd;
             metrics_cmd ]))

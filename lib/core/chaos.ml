@@ -24,6 +24,8 @@ type run_result = {
   events : int;
   paid_node : int;
   settled_node : int;
+  fired : int array;
+  injected : int array;
 }
 
 (* the CLI's -p spelling of a protocol, for repro lines *)
@@ -79,6 +81,13 @@ let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ?prof ~plan
   let view = P.view outcome in
   let report = safety_report view in
   let classification, failures = classify view report in
+  let fired, injected =
+    match outcome.Runner.injector with
+    | None -> ([||], Array.make 4 0)
+    | Some inj ->
+        ( Faults.Injector.clause_hits inj ~end_time:outcome.Runner.end_time,
+          Faults.Injector.kind_counts inj )
+  in
   {
     seed;
     hops;
@@ -91,6 +100,8 @@ let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ?prof ~plan
     events = outcome.Runner.events;
     paid_node = outcome.Runner.paid_node;
     settled_node = outcome.Runner.settled_node;
+    fired;
+    injected;
   }
 
 let repro_line r =

@@ -25,6 +25,10 @@ type classification =
 val classification_name : classification -> string
 (** ["safe-commit"], ["safe-abort"], ["stuck"], ["safety-violation"]. *)
 
+val protocol_flag : Protocols.Runner.protocol -> string
+(** The CLI's [-p] spelling of a protocol ("sync", "naive", "htlc",
+    "weak", "committee"), as repro lines print it. *)
+
 type run_result = {
   seed : int;
   hops : int;
@@ -39,6 +43,13 @@ type run_result = {
   paid_node : int;
       (** causal blame sink (Bob's payout), [-1] when untraced/unpaid *)
   settled_node : int;  (** causal node of Bob's termination, or [-1] *)
+  fired : int array;
+      (** per-clause activation counts in {!Faults.Fault_plan.clause_count}
+          order (see {!Faults.Injector.clause_hits}); [[||]] when the run
+          carried no plan *)
+  injected : int array;
+      (** injection totals [[| drops; dups; corruptions; partition
+          suppressions |]] ({!Faults.Injector.kind_counts}) *)
 }
 
 val safety_report : Props.Payment_props.run_view -> Props.Verdict.report

@@ -32,6 +32,38 @@ let none = { links = []; crashes = []; partitions = []; gst_jitter = 0 }
 let is_none p =
   p.links = [] && p.crashes = [] && p.partitions = [] && p.gst_jitter = 0
 
+let clause_count p =
+  List.length p.links + List.length p.crashes + List.length p.partitions
+  + if p.gst_jitter > 0 then 1 else 0
+
+(* The canonical form [of_string (to_string p)] lands on: every link rule
+   carries exactly one nonzero kind (a combined rule prints as several
+   clauses, which parse back as separate rules), no-op rules vanish, and
+   a non-positive jitter is the absent clause. *)
+let normalize p =
+  let links =
+    List.concat_map
+      (fun (r : link_rule) ->
+        let one ~drop ~dup ~corrupt pm =
+          if pm <= 0 then []
+          else
+            [
+              {
+                src = r.src;
+                dst = r.dst;
+                drop_pm = (if drop then pm else 0);
+                dup_pm = (if dup then pm else 0);
+                corrupt_pm = (if corrupt then pm else 0);
+              };
+            ]
+        in
+        one ~drop:true ~dup:false ~corrupt:false r.drop_pm
+        @ one ~drop:false ~dup:true ~corrupt:false r.dup_pm
+        @ one ~drop:false ~dup:false ~corrupt:true r.corrupt_pm)
+      p.links
+  in
+  { p with links; gst_jitter = Stdlib.max 0 p.gst_jitter }
+
 (* ------------------------------ validate ------------------------------ *)
 
 let validate p ~nprocs =
@@ -60,6 +92,13 @@ let validate p ~nprocs =
         let* () = pm "dup" r.dup_pm in
         let* () = pm "corrupt" r.corrupt_pm in
         let* () =
+          if r.drop_pm = 0 && r.dup_pm = 0 && r.corrupt_pm = 0 then
+            err
+              "link rule: all probabilities zero (degenerate clause with no \
+               effect)"
+          else Ok ()
+        in
+        let* () =
           match r.src with Some s -> check_pid "link rule src" s | None -> Ok ()
         in
         match r.dst with Some d -> check_pid "link rule dst" d | None -> Ok ())
@@ -69,10 +108,17 @@ let validate p ~nprocs =
     each
       (fun (c : crash_spec) ->
         let* () = check_pid "crash" c.pid in
+        let* () =
+          if Sim_time.(c.at < zero) then
+            err "crash %d: negative crash time %a" c.pid Sim_time.pp c.at
+          else Ok ()
+        in
         match c.recover_at with
         | Some r when Sim_time.(r <= c.at) ->
-            err "crash %d: recovery at %a not after crash at %a" c.pid
-              Sim_time.pp r Sim_time.pp c.at
+            err
+              "crash %d: recovery at %a not after crash at %a (zero-duration \
+               outage)"
+              c.pid Sim_time.pp r Sim_time.pp c.at
         | _ -> Ok ())
       p.crashes
   in
@@ -88,8 +134,9 @@ let validate p ~nprocs =
         end)
       p.crashes
   in
-  each
-    (fun (s : partition_spec) ->
+  let* () =
+    each
+      (fun (s : partition_spec) ->
       let* () =
         if List.length s.groups < 2 then
           err "partition: needs at least two groups"
@@ -114,12 +161,23 @@ let validate p ~nprocs =
             end)
           (List.concat s.groups)
       in
+      let* () =
+        if Sim_time.(s.from_ < zero) then
+          err "partition: negative start time %a" Sim_time.pp s.from_
+        else Ok ()
+      in
       match s.until_ with
       | Some u when Sim_time.(u <= s.from_) ->
-          err "partition: heal at %a not after start at %a" Sim_time.pp u
-            Sim_time.pp s.from_
+          err
+            "partition: heal at %a not after start at %a (zero-duration \
+             window)"
+            Sim_time.pp u Sim_time.pp s.from_
       | _ -> Ok ())
-    p.partitions
+      p.partitions
+  in
+  if Sim_time.(p.gst_jitter < zero) then
+    err "gst jitter: negative (%a)" Sim_time.pp p.gst_jitter
+  else Ok ()
 
 (* ----------------------------- to_string ------------------------------ *)
 

@@ -61,14 +61,30 @@ val none : t
 
 val is_none : t -> bool
 
+val clause_count : t -> int
+(** Number of clauses the plan would print: link rules + crashes +
+    partitions + one for a positive GST jitter. The per-clause activation
+    counters of {!Injector.clause_hits} are indexed in that order. *)
+
+val normalize : t -> t
+(** The canonical form the grammar round-trips through: every link rule
+    carries exactly one nonzero kind (a combined rule splits into one rule
+    per kind, in drop/dup/corrupt order), all-zero rules are dropped, and
+    a non-positive GST jitter becomes 0. For any plan that passes
+    {!validate}, [of_string (to_string p) = Ok (normalize p)];
+    [normalize] is idempotent and never changes injection semantics. *)
+
 val validate : t -> nprocs:int -> (unit, string) result
 (** Structural sanity against a concrete process count: pids in range, at
-    most one crash per pid, probabilities within [0..1000], recovery after
-    crash, partition groups disjoint and non-empty. *)
+    most one crash per pid, probabilities within [0..1000] and not all
+    zero within a rule, non-negative times and jitter, recovery strictly
+    after crash, partition heal strictly after start (no zero-duration
+    windows), partition groups disjoint and non-empty. *)
 
 val to_string : t -> string
 (** The one-line grammar above; [of_string (to_string p)] = [Ok p] up to
-    clause order. The empty plan prints as ["none"]. *)
+    clause order for {!normalize}d plans (and [Ok (normalize p)] in
+    general). The empty plan prints as ["none"]. *)
 
 val of_string : string -> (t, string) result
 

@@ -34,3 +34,26 @@ val schedule_crashes : t -> ('msg, 'obs) Sim.Engine.t -> unit
 val jittered_model : t -> Sim.Network.model -> Sim.Network.model
 (** Add the plan's GST jitter to a partially-synchronous model's GST;
     other models are returned unchanged. *)
+
+(** {1 Per-clause activation telemetry}
+
+    Beyond the per-kind metric counters, the injector tracks which plan
+    {e clauses} actually did anything during a run — the coverage signal
+    the adversarial hunt ({!Hunt.Signature}) fingerprints runs with, and
+    what lets the shrinker discard never-fired clauses first. *)
+
+val kind_counts : t -> int array
+(** Injection totals as [[| drops; duplicates; corruptions; partition
+    suppressions |]] (a fresh array; the injector keeps counting). *)
+
+val clause_hits : t -> end_time:Sim.Sim_time.t -> int array
+(** One slot per plan clause, in {!Fault_plan.clause_count} order (link
+    rules, then crashes, then partitions, then the GST clause if
+    present). Link and partition slots count injections attributed to the
+    clause — a fault of some kind is charged to the {e first} matching
+    rule with the maximal probability of that kind, and a partition
+    suppression to the first separating active spec. A crash slot is 1
+    once the crash time has been reached by [end_time], 2 once the
+    recovery has too; the GST slot is 1 iff the jitter was applied to a
+    partially-synchronous model. Deterministic for a given (plan, seed,
+    schedule). *)

@@ -1,0 +1,282 @@
+open Sim
+module FP = Faults.Fault_plan
+
+(* Size caps: mutation must not grow plans without bound — the searcher
+   wants *novel behaviour*, not ever-longer clause lists, and the
+   shrinker's job gets harder with every surplus clause. *)
+let max_links = 6
+let max_partitions = 2
+
+let clamp_pm pm = Stdlib.max 1 (Stdlib.min 1000 pm)
+
+let endpoint rng ~nprocs =
+  if Rng.bool rng then None else Some (Rng.int rng nprocs)
+
+let fresh_link rng ~nprocs =
+  let kind = Rng.int rng 3 in
+  let pm = 1 + Rng.int rng 500 in
+  {
+    FP.src = endpoint rng ~nprocs;
+    dst = endpoint rng ~nprocs;
+    drop_pm = (if kind = 0 then pm else 0);
+    dup_pm = (if kind = 1 then pm else 0);
+    corrupt_pm = (if kind = 2 then pm else 0);
+  }
+
+let fresh_window rng ~horizon =
+  let half = Stdlib.max 1 (horizon / 2) in
+  let at = Rng.int rng half in
+  let until_ =
+    if Rng.bool rng then Some (Sim_time.add at (1 + Rng.int rng half))
+    else None
+  in
+  (at, until_)
+
+let fresh_crash rng ~nprocs ~horizon ~(taken : int list) =
+  let free =
+    List.filter (fun p -> not (List.mem p taken)) (List.init nprocs Fun.id)
+  in
+  match free with
+  | [] -> None
+  | _ ->
+      let pid = List.nth free (Rng.int rng (List.length free)) in
+      let at, recover_at = fresh_window rng ~horizon in
+      Some { FP.pid; at; recover_at }
+
+let fresh_partition rng ~nprocs ~horizon =
+  if nprocs < 2 then None
+  else begin
+    let pids = Array.init nprocs Fun.id in
+    Rng.shuffle rng pids;
+    let cut = 1 + Rng.int rng (nprocs - 1) in
+    let left = Array.to_list (Array.sub pids 0 cut) in
+    let right = Array.to_list (Array.sub pids cut (nprocs - cut)) in
+    let from_, until_ = fresh_window rng ~horizon in
+    Some
+      {
+        FP.groups = [ List.sort compare left; List.sort compare right ];
+        from_;
+        until_;
+      }
+  end
+
+(* replace element [i] of [xs] with [f x]; [f x = []] deletes it *)
+let patch xs i f =
+  List.concat (List.mapi (fun j x -> if j = i then f x else [ x ]) xs)
+
+let pick_index rng xs =
+  match List.length xs with 0 -> None | n -> Some (Rng.int rng n)
+
+(* one mutation attempt; may return a plan that fails validation (the
+   caller retries) *)
+let step rng ~nprocs ~horizon ~(corpus : FP.t array) (p : FP.t) =
+  let half = Stdlib.max 1 (horizon / 2) in
+  match Rng.int rng 12 with
+  | 0 ->
+      (* add a link rule *)
+      if List.length p.FP.links >= max_links then p
+      else { p with FP.links = p.FP.links @ [ fresh_link rng ~nprocs ] }
+  | 1 -> (
+      (* delete one clause, uniformly over all clauses *)
+      let n = FP.clause_count p in
+      if n = 0 then p
+      else
+        let i = Rng.int rng n in
+        let nl = List.length p.FP.links in
+        let nc = List.length p.FP.crashes in
+        let np = List.length p.FP.partitions in
+        if i < nl then { p with FP.links = patch p.FP.links i (fun _ -> []) }
+        else if i < nl + nc then
+          { p with FP.crashes = patch p.FP.crashes (i - nl) (fun _ -> []) }
+        else if i < nl + nc + np then
+          {
+            p with
+            FP.partitions = patch p.FP.partitions (i - nl - nc) (fun _ -> []);
+          }
+        else { p with FP.gst_jitter = 0 })
+  | 2 -> (
+      (* widen or narrow a link probability *)
+      match pick_index rng p.FP.links with
+      | None -> p
+      | Some i ->
+          let scale pm =
+            if pm = 0 then 0
+            else
+              clamp_pm
+                (match Rng.int rng 3 with
+                | 0 -> pm * 2
+                | 1 -> Stdlib.max 1 (pm / 2)
+                | _ -> pm + Rng.int_in rng ~lo:(-100) ~hi:100)
+          in
+          {
+            p with
+            FP.links =
+              patch p.FP.links i (fun r ->
+                  [
+                    {
+                      r with
+                      FP.drop_pm = scale r.FP.drop_pm;
+                      dup_pm = scale r.FP.dup_pm;
+                      corrupt_pm = scale r.FP.corrupt_pm;
+                    };
+                  ]);
+          })
+  | 3 -> (
+      (* retarget a link rule *)
+      match pick_index rng p.FP.links with
+      | None -> p
+      | Some i ->
+          {
+            p with
+            FP.links =
+              patch p.FP.links i (fun r ->
+                  [
+                    {
+                      r with
+                      FP.src = endpoint rng ~nprocs;
+                      dst = endpoint rng ~nprocs;
+                    };
+                  ]);
+          })
+  | 4 -> (
+      (* add a crash schedule on a free pid *)
+      let taken = List.map (fun c -> c.FP.pid) p.FP.crashes in
+      match fresh_crash rng ~nprocs ~horizon ~taken with
+      | None -> p
+      | Some c -> { p with FP.crashes = p.FP.crashes @ [ c ] })
+  | 5 -> (
+      (* shift a crash window, keeping its duration *)
+      match pick_index rng p.FP.crashes with
+      | None -> p
+      | Some i ->
+          {
+            p with
+            FP.crashes =
+              patch p.FP.crashes i (fun c ->
+                  let at =
+                    Stdlib.max 0
+                      (c.FP.at + Rng.int_in rng ~lo:(-(half / 2)) ~hi:(half / 2))
+                  in
+                  let recover_at =
+                    Option.map
+                      (fun r -> Sim_time.add at (Sim_time.sub r c.FP.at))
+                      c.FP.recover_at
+                  in
+                  [ { c with FP.at; recover_at } ]);
+          })
+  | 6 -> (
+      (* toggle crash recovery: crash-stop <-> crash-recovery *)
+      match pick_index rng p.FP.crashes with
+      | None -> p
+      | Some i ->
+          {
+            p with
+            FP.crashes =
+              patch p.FP.crashes i (fun c ->
+                  let recover_at =
+                    match c.FP.recover_at with
+                    | Some _ -> None
+                    | None -> Some (Sim_time.add c.FP.at (1 + Rng.int rng half))
+                  in
+                  [ { c with FP.recover_at } ]);
+          })
+  | 7 -> (
+      (* add a partition *)
+      if List.length p.FP.partitions >= max_partitions then p
+      else
+        match fresh_partition rng ~nprocs ~horizon with
+        | None -> p
+        | Some s -> { p with FP.partitions = p.FP.partitions @ [ s ] })
+  | 8 -> (
+      (* shift / widen / narrow a partition window *)
+      match pick_index rng p.FP.partitions with
+      | None -> p
+      | Some i ->
+          {
+            p with
+            FP.partitions =
+              patch p.FP.partitions i (fun s ->
+                  match Rng.int rng 3 with
+                  | 0 ->
+                      let from_ =
+                        Stdlib.max 0
+                          (s.FP.from_
+                          + Rng.int_in rng ~lo:(-(half / 2)) ~hi:(half / 2))
+                      in
+                      let until_ =
+                        Option.map
+                          (fun u ->
+                            Sim_time.add from_ (Sim_time.sub u s.FP.from_))
+                          s.FP.until_
+                      in
+                      [ { s with FP.from_; until_ } ]
+                  | 1 ->
+                      (* widen: heal later (or never) *)
+                      [
+                        {
+                          s with
+                          FP.until_ =
+                            (if Rng.bool rng then None
+                             else
+                               Some
+                                 (Sim_time.add
+                                    (match s.FP.until_ with
+                                    | Some u -> u
+                                    | None -> s.FP.from_ + half)
+                                    (1 + Rng.int rng half)));
+                        };
+                      ]
+                  | _ ->
+                      (* narrow: bound an unbounded window, or halve it *)
+                      let until_ =
+                        match s.FP.until_ with
+                        | None -> Some (s.FP.from_ + 1 + Rng.int rng half)
+                        | Some u ->
+                            let dur = Sim_time.sub u s.FP.from_ in
+                            if dur >= 2 then Some (s.FP.from_ + (dur / 2))
+                            else Some u
+                      in
+                      [ { s with FP.until_ } ]);
+          })
+  | 9 ->
+      (* perturb the GST jitter *)
+      { p with FP.gst_jitter = Rng.int rng 500 }
+  | 10 when Array.length corpus > 0 ->
+      (* splice: graft another corpus plan's clauses onto this one *)
+      let other = Rng.choose rng corpus in
+      let take n xs = List.filteri (fun i _ -> i < n) xs in
+      let links = take max_links (p.FP.links @ other.FP.links) in
+      let crashes =
+        List.fold_left
+          (fun acc (c : FP.crash_spec) ->
+            if List.exists (fun (c' : FP.crash_spec) -> c'.FP.pid = c.FP.pid) acc
+            then acc
+            else acc @ [ c ])
+          p.FP.crashes other.FP.crashes
+      in
+      let partitions =
+        take max_partitions (p.FP.partitions @ other.FP.partitions)
+      in
+      {
+        FP.links;
+        crashes;
+        partitions;
+        gst_jitter = Stdlib.max p.FP.gst_jitter other.FP.gst_jitter;
+      }
+  | _ ->
+      (* crossover fallback / fresh restart *)
+      FP.random rng ~nprocs ~horizon
+
+let mutate rng ~nprocs ~horizon ~corpus p =
+  let rec try_ k =
+    if k = 0 then FP.normalize (FP.random rng ~nprocs ~horizon)
+    else begin
+      let candidate = FP.normalize (step rng ~nprocs ~horizon ~corpus p) in
+      if
+        (not (FP.is_none candidate))
+        && FP.validate candidate ~nprocs = Ok ()
+      then candidate
+      else try_ (k - 1)
+    end
+  in
+  try_ 8

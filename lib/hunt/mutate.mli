@@ -1,0 +1,30 @@
+(** Mutation operators over the fault-plan AST.
+
+    The hunt escapes uniform sampling by perturbing plans that already
+    produced novel signatures. One {!mutate} call applies a single
+    randomly chosen operator:
+
+    - add / delete / retarget a link rule, or rescale its probabilities;
+    - add a crash on a free pid, shift its window, or toggle
+      crash-stop {e vs} crash-recovery;
+    - add a partition, or shift / widen / narrow its window;
+    - perturb the GST jitter;
+    - splice the clauses of another corpus plan into this one.
+
+    Every result is {!Faults.Fault_plan.normalize}d and passes
+    {!Faults.Fault_plan.validate} for [nprocs]; operators whose result
+    would be invalid or empty are retried a bounded number of times,
+    after which a fresh {!Faults.Fault_plan.random} plan is returned.
+    All randomness comes from the supplied generator, so a mutation
+    chain is a pure function of its root seed. *)
+
+val mutate :
+  Sim.Rng.t ->
+  nprocs:int ->
+  horizon:int ->
+  corpus:Faults.Fault_plan.t array ->
+  Faults.Fault_plan.t ->
+  Faults.Fault_plan.t
+(** [mutate rng ~nprocs ~horizon ~corpus p] is a valid, normalized,
+    non-empty variant of [p]. [corpus] feeds the splice operator and may
+    be empty. *)

@@ -1,0 +1,181 @@
+module FP = Faults.Fault_plan
+
+(* Well-founded size measure: lexicographic (clause count, total window
+   span, total probability mass). Every candidate the shrinker proposes
+   strictly decreases it, so the greedy loop terminates at a fixpoint
+   even without the [max_trials] safety cap. Unbounded windows are
+   measured against the horizon so "tighten the start" still counts as
+   progress on them. *)
+let measure ~horizon (p : FP.t) =
+  let span_of at until_ =
+    match until_ with
+    | Some u -> Sim.Sim_time.sub u at
+    | None -> Stdlib.max 0 (horizon - at)
+  in
+  let span =
+    List.fold_left (fun a c -> a + span_of c.FP.at c.FP.recover_at) 0 p.FP.crashes
+    + List.fold_left
+        (fun a s -> a + span_of s.FP.from_ s.FP.until_)
+        0 p.FP.partitions
+  in
+  let pm =
+    List.fold_left
+      (fun a r -> a + r.FP.drop_pm + r.FP.dup_pm + r.FP.corrupt_pm)
+      0 p.FP.links
+    + p.FP.gst_jitter
+  in
+  (FP.clause_count p, span, pm)
+
+let smaller ~horizon a b = compare (measure ~horizon a) (measure ~horizon b) < 0
+
+let patch xs i f =
+  List.concat (List.mapi (fun j x -> if j = i then f x else [ x ]) xs)
+
+(* All single-step reductions of [p], most aggressive first. Each is
+   strictly smaller under [measure]. *)
+let candidates ~horizon (p : FP.t) =
+  let out = ref [] in
+  let add c = out := c :: !out in
+  (* gst halving / probability halving / window tightening, collected in
+     reverse so that clause deletions end up first after the final rev *)
+  if p.FP.gst_jitter >= 2 then
+    add { p with FP.gst_jitter = p.FP.gst_jitter / 2 };
+  List.iteri
+    (fun i s ->
+      let dur =
+        match s.FP.until_ with
+        | Some u -> Sim.Sim_time.sub u s.FP.from_
+        | None -> Stdlib.max 0 (horizon - s.FP.from_)
+      in
+      if dur >= 2 then begin
+        (* tighten the start: keep the healing edge, drop the first half *)
+        let from_ = s.FP.from_ + (dur / 2) in
+        add
+          {
+            p with
+            FP.partitions =
+              patch p.FP.partitions i (fun s -> [ { s with FP.from_ } ]);
+          };
+        (* halve a bounded outage from the right *)
+        match s.FP.until_ with
+        | Some _ ->
+            let until_ = Some (s.FP.from_ + (dur - (dur / 2))) in
+            add
+              {
+                p with
+                FP.partitions =
+                  patch p.FP.partitions i (fun s -> [ { s with FP.until_ } ]);
+              }
+        | None -> ()
+      end)
+    p.FP.partitions;
+  List.iteri
+    (fun i c ->
+      let dur =
+        match c.FP.recover_at with
+        | Some r -> Sim.Sim_time.sub r c.FP.at
+        | None -> Stdlib.max 0 (horizon - c.FP.at)
+      in
+      if dur >= 2 then begin
+        let at = c.FP.at + (dur / 2) in
+        add
+          {
+            p with
+            FP.crashes = patch p.FP.crashes i (fun c -> [ { c with FP.at } ]);
+          };
+        match c.FP.recover_at with
+        | Some _ ->
+            let recover_at = Some (c.FP.at + (dur - (dur / 2))) in
+            add
+              {
+                p with
+                FP.crashes =
+                  patch p.FP.crashes i (fun c -> [ { c with FP.recover_at } ]);
+              }
+        | None -> ()
+      end)
+    p.FP.crashes;
+  List.iteri
+    (fun i r ->
+      let halve pm = if pm >= 2 then pm / 2 else pm in
+      let r' =
+        {
+          r with
+          FP.drop_pm = halve r.FP.drop_pm;
+          dup_pm = halve r.FP.dup_pm;
+          corrupt_pm = halve r.FP.corrupt_pm;
+        }
+      in
+      if r' <> r then
+        add { p with FP.links = patch p.FP.links i (fun _ -> [ r' ]) })
+    p.FP.links;
+  (* clause deletions — tried first: they shrink the measure the most *)
+  if p.FP.gst_jitter > 0 then add { p with FP.gst_jitter = 0 };
+  List.iteri
+    (fun i _ -> add { p with FP.partitions = patch p.FP.partitions i (fun _ -> []) })
+    p.FP.partitions;
+  List.iteri
+    (fun i _ -> add { p with FP.crashes = patch p.FP.crashes i (fun _ -> []) })
+    p.FP.crashes;
+  List.iteri
+    (fun i _ -> add { p with FP.links = patch p.FP.links i (fun _ -> []) })
+    p.FP.links;
+  List.rev !out
+
+(* Drop every clause the original run never activated, in one shot.
+   [fired] is clause-aligned with [p] (links, crashes, partitions, then a
+   gst slot iff gst_jitter > 0) as produced by
+   {!Faults.Injector.clause_hits}. *)
+let drop_unfired (p : FP.t) ~(fired : int array) =
+  let nl = List.length p.FP.links in
+  let nc = List.length p.FP.crashes in
+  let np = List.length p.FP.partitions in
+  let expect = nl + nc + np + if p.FP.gst_jitter > 0 then 1 else 0 in
+  if Array.length fired <> expect then None
+  else begin
+    let keep off xs =
+      List.filteri (fun i _ -> fired.(off + i) > 0) xs
+    in
+    let q =
+      {
+        FP.links = keep 0 p.FP.links;
+        crashes = keep nl p.FP.crashes;
+        partitions = keep (nl + nc) p.FP.partitions;
+        gst_jitter =
+          (if p.FP.gst_jitter > 0 && fired.(nl + nc + np) > 0 then
+             p.FP.gst_jitter
+           else 0);
+      }
+    in
+    if q = p then None else Some q
+  end
+
+let shrink ~nprocs ~horizon ~signature ~replay ?fired ?(max_trials = 400) p0 =
+  let trials = ref 0 in
+  let ok q =
+    (not (FP.is_none q))
+    && FP.validate q ~nprocs = Ok ()
+    &&
+    (incr trials;
+     String.equal (replay q) signature)
+  in
+  let cur = ref p0 in
+  (match Option.bind fired (fun f -> drop_unfired p0 ~fired:f) with
+  | Some q when !trials < max_trials && ok q -> cur := q
+  | _ -> ());
+  let progress = ref true in
+  while !progress && !trials < max_trials do
+    progress := false;
+    let rec first = function
+      | [] -> ()
+      | q :: rest ->
+          if !trials >= max_trials then ()
+          else if smaller ~horizon q !cur && ok q then begin
+            cur := q;
+            progress := true
+          end
+          else first rest
+    in
+    first (candidates ~horizon !cur)
+  done;
+  (!cur, !trials)

@@ -1,0 +1,31 @@
+(** Greedy repro minimization, qcheck-style but signature-preserving.
+
+    Given an interesting plan, the shrinker repeatedly proposes strictly
+    smaller variants — delete a clause, halve a probability, halve or
+    left-tighten a crash / partition window, halve the GST jitter — and
+    keeps a variant iff replaying it reproduces the {e same signature}.
+    "Smaller" is the lexicographic measure (clause count, total window
+    span, total probability mass), which every accepted step strictly
+    decreases, so the loop terminates at a fixpoint; [max_trials] is
+    only a safety cap on replay count.
+
+    A pre-pass deletes all clauses the original run never activated
+    (using the per-clause counters from
+    {!Faults.Injector.clause_hits}) in a single replay. *)
+
+val shrink :
+  nprocs:int ->
+  horizon:int ->
+  signature:string ->
+  replay:(Faults.Fault_plan.t -> string) ->
+  ?fired:int array ->
+  ?max_trials:int ->
+  Faults.Fault_plan.t ->
+  Faults.Fault_plan.t * int
+(** [shrink ~nprocs ~horizon ~signature ~replay p] is [(q, trials)]:
+    the fixpoint plan [q] (valid, never larger than [p] in clause count
+    or window span, replaying to [signature]) and the number of replays
+    spent. [replay q] must run the candidate under the {e same} seed /
+    hops / protocol as the original and return its signature string.
+    [fired], when given, must be clause-aligned with [p]. [max_trials]
+    defaults to 400. *)

@@ -1,0 +1,54 @@
+(** Outcome fingerprints for coverage-guided adversarial search.
+
+    A signature compresses one chaos run into a small, stable key built
+    entirely from existing instrumentation:
+
+    - the {!Xchain.Chaos.classification} (safe-commit / safe-abort /
+      stuck / safety-violation);
+    - the {e set} of failed safety verdicts (sorted property names);
+    - a quantized blame histogram — each {!Obsv.Blame} category's share
+      of the end-to-end latency bucketed into five levels (absent when
+      the run has no blame path, e.g. stuck before any settlement);
+    - quantized injection totals per fault kind (drop / dup / corrupt /
+      partition, log-ish buckets);
+    - a clause-activation profile: how many link rules, crashes,
+      recoveries and partitions {e actually fired}
+      ({!Faults.Injector.clause_hits}), capped at "several" so the key
+      reflects behaviour rather than plan size.
+
+    Two runs with the same signature exercised the system the same way;
+    the hunt's corpus keeps one witness per signature, and the shrinker
+    minimizes a plan {e subject to the signature being preserved}. The
+    whole fingerprint is a pure function of a run's deterministic
+    outputs, so signatures are byte-stable across replays and domain
+    counts. *)
+
+type t = {
+  classification : Xchain.Chaos.classification;
+  failed : string list;  (** failed verdict property names, sorted *)
+  blame : int array;  (** 7 share buckets in {!Obsv.Blame.categories}
+                          order, or [[||]] when no blame path exists *)
+  injected : int array;  (** 4 count buckets: drop, dup, corrupt, partition *)
+  clauses : int array;  (** fired-clause profile: links, crashes,
+                            recoveries, partitions (each 0..2), gst (0/1) *)
+}
+
+val of_run :
+  ?causal:Obsv.Causal.t -> delta:int -> Xchain.Chaos.run_result -> t
+(** Fingerprint one run. [causal] must be the recorder the run was
+    executed with (its graph supplies the blame decomposition); [delta]
+    is the synchrony bound splitting transit from GST wait, as in
+    {!Obsv.Blame.attribute}. *)
+
+val to_string : t -> string
+(** Compact stable key, e.g. ["stuck||b-|i10010|c10110"]. Corpus files
+    and reports key on this string. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val count_bucket : int -> int
+val share_bucket : total:int -> int -> int

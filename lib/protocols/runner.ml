@@ -81,6 +81,7 @@ type outcome = {
   clocks : Sim.Clock.t array;
   paid_node : int;
   settled_node : int;
+  injector : Faults.Injector.t option;
 }
 
 let derive_params cfg protocol =
@@ -278,6 +279,7 @@ let run_engine cfg protocol =
     clocks = Array.init nprocs (Engine.clock_of engine);
     paid_node = !paid_node;
     settled_node = !settled_node;
+    injector;
   }
 
 (* ----------------------------- telemetry ------------------------------- *)

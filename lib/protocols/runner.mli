@@ -87,6 +87,10 @@ type outcome = {
   settled_node : int;
       (** causal node of Bob's termination; [-1] when untraced or Bob
           never terminated *)
+  injector : Faults.Injector.t option;
+      (** the fault-plan interpreter this run used, exposed for its
+          per-clause activation counters ({!Faults.Injector.clause_hits});
+          [None] when the config carried no (non-empty) plan *)
 }
 
 val run : config -> protocol -> outcome

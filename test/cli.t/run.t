@@ -160,6 +160,52 @@ only nondeterministic member is the trailing timing block:
   xchain chaos: -j must be >= 0
   [2]
 
+Coverage-guided hunting mutates fault plans toward unseen outcome
+signatures and shrinks every stuck or violating witness to a minimal
+one-line repro:
+
+  $ xchain hunt --budget 40 --gen 20 --seed 5
+  hunt: 40 runs over 2 generations, 19 signatures
+    commits=22 aborts=0 stuck=18 violations=0 events=443
+    corpus: 19 entries, 8 shrunk (238 shrink trials)
+    [stuck] xchain chaos -p sync --hops 2 --seed 5 --plan 'crash 1@1016+1; crash 3@1297+1; part 0,2|1,3,4@240+1'
+    [stuck] xchain chaos -p sync --hops 2 --seed 7 --plan 'corrupt *>* 0.148; crash 0@957+1; crash 3@1812'
+    [stuck] xchain chaos -p sync --hops 2 --seed 10 --plan 'corrupt *>* 0.088'
+    [stuck] xchain chaos -p sync --hops 2 --seed 14 --plan 'drop 3>* 0.057; crash 1@1812; crash 0@1812'
+    [stuck] xchain chaos -p sync --hops 2 --seed 16 --plan 'part 0,3,4|1,2@55'
+    [stuck] xchain chaos -p sync --hops 2 --seed 35 --plan 'corrupt 3>1 0.074; crash 1@1812; crash 4@859+1; part 0|1,2,3,4@216'
+    [stuck] xchain chaos -p sync --hops 2 --seed 37 --plan 'corrupt *>1 0.299; crash 1@1812; crash 0@1812'
+    [stuck] xchain chaos -p sync --hops 2 --seed 42 --plan 'crash 1@1016+1; crash 3@1297+1; part 0,2|1,3,4@315+1; part 0,1,2|3,4@447+1'
+
+A shrunken repro replays to the same outcome bit-for-bit:
+
+  $ xchain chaos -p sync --hops 2 --seed 16 --plan 'part 0,3,4|1,2@55'
+  plan: part 0,3,4|1,2@55
+  classification: stuck
+
+The hunt's report, corpus and repro files are byte-identical at any -j
+(only the report's trailing timing block differs):
+
+  $ xchain hunt --budget 40 --gen 20 --seed 5 -j 1 --out h1.json --corpus-out hc1.jsonl --repros-out hr1.txt > /dev/null
+  $ xchain hunt --budget 40 --gen 20 --seed 5 -j 4 --out h4.json --corpus-out hc4.jsonl --repros-out hr4.txt > /dev/null
+  $ sed 's/,"timing":{[^}]*}//g' h1.json > h1.stripped
+  $ sed 's/,"timing":{[^}]*}//g' h4.json > h4.stripped
+  $ cmp h1.stripped h4.stripped && cmp hc1.jsonl hc4.jsonl && cmp hr1.txt hr4.txt && echo deterministic
+  deterministic
+
+A plan that parses but fails structural validation is a clean usage
+error in chaos and hunt alike, not a crash:
+
+  $ xchain chaos --plan 'crash 9@100'
+  xchain chaos: bad fault plan: crash: pid 9 out of range (0..4)
+  [2]
+  $ xchain chaos --plan 'drop 1>2 0'
+  xchain chaos: bad fault plan: link rule: all probabilities zero (degenerate clause with no effect)
+  [2]
+  $ xchain hunt --budget 0
+  xchain hunt: --budget must be positive
+  [2]
+
 An exhaustive corner sweep proves the sync protocol clean on every
 extremal schedule of a one-hop instance, and convicts the drift-blind
 baseline with a concrete witness corner; the sweep is sharded over

@@ -11,6 +11,65 @@ let qcheck = QCheck_alcotest.to_alcotest
 let plan_of s =
   match FP.of_string s with Ok p -> p | Error e -> Alcotest.fail e
 
+(* Arbitrary plan records for 6 processes, unconstrained by the grammar:
+   link rules may combine several kinds in one record (which the grammar
+   prints as separate clauses), probabilities and windows may be
+   degenerate (which validate rejects). *)
+let arbitrary_plan =
+  let open QCheck.Gen in
+  let endpoint = oneof [ return None; map Option.some (int_range 0 5) ] in
+  let pm = int_range 0 1000 in
+  let link =
+    map
+      (fun ((src, dst), (drop_pm, dup_pm, corrupt_pm)) ->
+        { FP.src; dst; drop_pm; dup_pm; corrupt_pm })
+      (pair (pair endpoint endpoint) (triple pm pm pm))
+  in
+  let crash =
+    map
+      (fun (pid, at, dur) ->
+        { FP.pid; at; recover_at = Option.map (fun d -> at + d) dur })
+      (triple (int_range 0 5) (int_range 0 1_000) (option (int_range 0 500)))
+  in
+  let partition =
+    map
+      (fun ((cut, from_), dur) ->
+        let pids = [ 0; 1; 2; 3; 4; 5 ] in
+        {
+          FP.groups =
+            [
+              List.filteri (fun i _ -> i < cut) pids;
+              List.filteri (fun i _ -> i >= cut) pids;
+            ];
+          from_;
+          until_ = Option.map (fun d -> from_ + d) dur;
+        })
+      (pair (pair (int_range 1 5) (int_range 0 1_000)) (option (int_range 0 500)))
+  in
+  let plan =
+    map
+      (fun ((links, crashes), (partitions, gst_jitter)) ->
+        (* keep at most one crash per pid so only interesting validation
+           failures (degenerate windows, zero rules) remain reachable *)
+        let crashes =
+          List.rev
+            (List.fold_left
+               (fun acc (c : FP.crash_spec) ->
+                 if
+                   List.exists
+                     (fun (c' : FP.crash_spec) -> c'.FP.pid = c.FP.pid)
+                     acc
+                 then acc
+                 else c :: acc)
+               [] crashes)
+        in
+        { FP.links; crashes; partitions; gst_jitter })
+      (pair
+         (pair (list_size (int_range 0 4) link) (list_size (int_range 0 3) crash))
+         (pair (list_size (int_range 0 2) partition) (int_range 0 100)))
+  in
+  QCheck.make ~print:(fun p -> FP.to_string p) plan
+
 (* ------------------------------ fault plan ----------------------------- *)
 
 let plan_tests =
@@ -88,6 +147,74 @@ let plan_tests =
            let rng = Rng.create ~seed in
            let p = FP.random rng ~nprocs ~horizon:2_000 in
            FP.validate p ~nprocs = Ok ()));
+    Alcotest.test_case "normalize splits combined rules in kind order" `Quick
+      (fun () ->
+        let combined =
+          {
+            FP.links =
+              [
+                {
+                  FP.src = Some 0;
+                  dst = None;
+                  drop_pm = 100;
+                  dup_pm = 0;
+                  corrupt_pm = 50;
+                };
+              ];
+            crashes = [];
+            partitions = [];
+            gst_jitter = 0;
+          }
+        in
+        let n = FP.normalize combined in
+        check Alcotest.string "canonical print"
+          "drop 0>* 0.1; corrupt 0>* 0.05" (FP.to_string n);
+        (* printing a combined rule yields one clause per kind, so the
+           general round-trip law goes through normalize *)
+        check Alcotest.bool "roundtrip via normalize" true
+          (FP.of_string (FP.to_string combined) = Ok n);
+        check Alcotest.bool "idempotent" true (FP.normalize n = n));
+    Alcotest.test_case "validate rejects degenerate clauses" `Quick (fun () ->
+        let invalid p =
+          match FP.validate p ~nprocs:4 with
+          | Error _ -> ()
+          | Ok () -> Alcotest.failf "validated %s" (FP.to_string p)
+        in
+        let base = FP.none in
+        (* an all-zero link rule matches sends but never does anything *)
+        invalid
+          {
+            base with
+            FP.links =
+              [
+                { FP.src = None; dst = None; drop_pm = 0; dup_pm = 0;
+                  corrupt_pm = 0 };
+              ];
+          };
+        (* a crash that recovers the instant it happens is no outage *)
+        invalid
+          { base with FP.crashes = [ { FP.pid = 1; at = 10; recover_at = Some 10 } ] };
+        invalid
+          { base with FP.crashes = [ { FP.pid = 1; at = -5; recover_at = None } ] };
+        (* a partition that heals when it starts is no window *)
+        invalid
+          {
+            base with
+            FP.partitions =
+              [ { FP.groups = [ [ 0 ]; [ 1 ] ]; from_ = 7; until_ = Some 7 } ];
+          };
+        invalid { base with FP.gst_jitter = -1 });
+    (* arbitrary records — combined rules included — round-trip through
+       the grammar up to normalize, whenever they validate at all *)
+    qcheck
+      (QCheck.Test.make ~name:"valid plans roundtrip up to normalize"
+         ~count:1_000 arbitrary_plan (fun p ->
+           match FP.validate p ~nprocs:6 with
+           | Error _ -> QCheck.assume_fail ()
+           | Ok () ->
+               FP.of_string (FP.to_string p) = Ok (FP.normalize p)
+               && FP.normalize (FP.normalize p) = FP.normalize p
+               && FP.validate (FP.normalize p) ~nprocs:6 = Ok ()));
   ]
 
 (* ------------------------------- injector ------------------------------ *)

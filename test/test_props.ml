@@ -159,6 +159,7 @@ let synthetic_outcome ~entries =
     clocks = Array.init (Topology.payment_count topo + 1) (fun _ -> Sim.Clock.perfect);
     paid_node = -1;
     settled_node = -1;
+    injector = None;
   }
 
 let obs t pid o = Sim.Trace.Observed { t; pid; obs = o }
