@@ -148,6 +148,103 @@ let write_load_json () =
   Fmt.pr "load reports written to %s@." load_json_file;
   reports
 
+(* ---------------------------- routing graphs --------------------------- *)
+
+(* One run per topology family (throughput parity with the linear chain)
+   plus the constrained-liquidity diamond pair that motivates splitting: a
+   fat path that carries exactly two payments and three thin paths only a
+   splitting router can use. diamond_single strands >=30% of the offered
+   value; diamond_multi must commit strictly more (scripts/check_routing.py
+   gates both, and the harness refuses to write a JSON that fails). *)
+let routing_json_file = "BENCH_routing.json"
+
+let routing_workloads =
+  let n = match scale with Xchain.Experiments.Quick -> 200 | Full -> 2_000 in
+  let w s =
+    match Traffic.Workload.of_string s with
+    | Ok w -> w
+    | Error e -> failwith e
+  in
+  let family name topo splits =
+    ( name,
+      w
+        (Printf.sprintf
+           "payments=%d hops=2 value=1000 commission=10 arrival=poisson:4 \
+            mix=sync:1,weak:1 policy=reserve cap=0 liquidity=0 \
+            patience=2000 stuck=0 drift=10000 gst=none topology=%s \
+            route=shortest splits=%d"
+           n topo splits) )
+  in
+  let diamond =
+    "graph:6;0>1:2100:0,0>2:700:0,0>3:700:0,0>4:700:0,1>5:2100:0,2>5:700:0,3>5:700:0,4>5:700:0"
+  in
+  let constrained name splits =
+    ( name,
+      w
+        (Printf.sprintf
+           "payments=4 hops=2 value=1000 commission=10 arrival=burst:4:1 \
+            mix=sync:1 policy=reserve cap=0 liquidity=0 patience=9000 \
+            stuck=0 drift=10000 gst=none topology=%s route=shortest \
+            splits=%d"
+           diamond splits) )
+  in
+  [
+    family "linear_chain" "linear:3" 1;
+    family "hub_spoke" "hub:4" 2;
+    family "er_mesh" "er:6:4:9" 3;
+    family "scale_free" "sf:6:2:5" 3;
+    constrained "diamond_single" 1;
+    constrained "diamond_multi" 4;
+  ]
+
+let write_routing_json () =
+  Fmt.pr "@.##### Routing workloads (one run each, seed 1) #####@.@.";
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"scale\":";
+  Buffer.add_string buf
+    (match scale with
+    | Xchain.Experiments.Quick -> "\"quick\""
+    | Full -> "\"full\"");
+  Buffer.add_string buf ",\"workloads\":{";
+  let reports =
+    List.mapi
+      (fun i (name, workload) ->
+        if i > 0 then Buffer.add_char buf ',';
+        let r = Traffic.Load.run ~workload ~seed:1 () in
+        Fmt.pr "%s:@.%a@.@." name Traffic.Load.pp_summary r;
+        if r.Traffic.Load.violated > 0 || not r.Traffic.Load.conservation_ok
+        then Fmt.failwith "routing workload %s violated safety" name;
+        Buffer.add_char buf '"';
+        Buffer.add_string buf name;
+        Buffer.add_string buf "\":";
+        Buffer.add_string buf (Traffic.Load.to_json r);
+        (name, r))
+      routing_workloads
+  in
+  let committed_value name =
+    match (List.assoc name reports).Traffic.Load.routing with
+    | Some s -> s.Traffic.Load.committed_value
+    | None -> Fmt.failwith "routing workload %s produced no routing stats" name
+  in
+  let single = committed_value "diamond_single"
+  and multi = committed_value "diamond_multi" in
+  if 100 * (4000 - single) < 30 * 4000 then
+    Fmt.failwith
+      "diamond_single strands only %d of 4000 — the constrained pair no \
+       longer demonstrates stranded value"
+      (4000 - single);
+  if multi <= single then
+    Fmt.failwith
+      "multi-path routing (%d) must commit strictly more value than \
+       single-path (%d)"
+      multi single;
+  Buffer.add_string buf "}}\n";
+  let oc = open_out routing_json_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "routing reports written to %s@." routing_json_file;
+  reports
+
 (* --------------------------- causal tracing ---------------------------- *)
 
 (* One canonically-traced load run: its aggregate blame table, plus the
@@ -628,8 +725,19 @@ let () =
   let per_experiment = print_tables () in
   write_metrics_json per_experiment;
   let load_reports = write_load_json () in
+  let routing_reports = write_routing_json () in
   write_blame_json ();
   write_fleet_json ();
-  write_history load_reports;
+  (* the tiny diamond pair is a correctness artifact, not a throughput
+     figure — only the family-sized runs join the perf trajectory *)
+  let routing_history =
+    List.filter_map
+      (fun (name, (r : Traffic.Load.report)) ->
+        if r.Traffic.Load.workload.Traffic.Workload.payments >= 50 then
+          Some ("routing_" ^ name, r)
+        else None)
+      routing_reports
+  in
+  write_history (load_reports @ routing_history);
   run_benchmarks ();
   Fmt.pr "@.done.@."

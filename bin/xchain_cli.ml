@@ -565,6 +565,37 @@ let deal_cmd =
        ~doc:"Run a Herlihy-Liskov-Shrira cross-chain deal (§5) and check its              properties")
     Term.(const run $ which $ protocol $ gst $ seed $ lazy_party)
 
+(* --- graph topologies (chaos / hunt / load / route) --- *)
+
+let topology_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Routing.Topology.of_string s)
+  in
+  Arg.conv (parse, Routing.Topology.pp)
+
+let topology_arg ~extra =
+  Arg.(value & opt (some topology_conv) None
+       & info [ "topology" ] ~docv:"SPEC"
+           ~doc:
+             ("Payment graph to route over: linear:H | hub:K | er:N:E:SEED \
+               | sf:N:D:SEED | graph:N;U>V:LIQ:COMM,... (see \
+               docs/routing.md). " ^ extra))
+
+(* chaos and hunt study one payment at a time, so a graph reduces to the
+   single path the router would pick for it at full liquidity: the run's
+   hop count becomes that path's length. *)
+let hops_of_topology ~cmd ~value ~hops = function
+  | None -> hops
+  | Some topo ->
+      let router = Routing.Router.create topo in
+      let avail e = Routing.Topology.capacity topo.Routing.Topology.edges.(e) in
+      (match Routing.Router.route router ~avail ~value ~max_splits:1 with
+      | Ok (s :: _) -> List.length s.Routing.Router.path
+      | Ok [] -> assert false (* route never returns an empty split list *)
+      | Error e ->
+          Fmt.epr "xchain %s: --topology: %s@." cmd e;
+          exit 2)
+
 (* -------------------------------- chaos -------------------------------- *)
 
 let runner_protocol_of = function
@@ -597,9 +628,10 @@ let surface_bad_plan ~cmd f =
       exit 2
 
 let chaos_cmd =
-  let run protocol hops seed plan plan_file soak runs j out repro_out
+  let run protocol hops topology seed plan plan_file soak runs j out repro_out
       metrics_out trace_out dag_out blame profile profile_out collapsed_out =
     let protocol = runner_protocol_of protocol in
+    let hops = hops_of_topology ~cmd:"chaos" ~value:1000 ~hops topology in
     if out <> None && not soak then begin
       Fmt.epr "xchain chaos: --out requires --soak@.";
       exit 2
@@ -737,7 +769,12 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run payments under a declarative fault plan (lossy links,               crashes, partitions), or soak hundreds of random plans and check              the safety properties")
-    Term.(const run $ protocol $ hops $ seed $ plan $ plan_file $ soak $ runs
+    Term.(const run $ protocol $ hops
+          $ topology_arg
+              ~extra:
+                "The run's hop count becomes the cheapest source-to-sink \
+                 path's length (overrides --hops)."
+          $ seed $ plan $ plan_file $ soak $ runs
           $ jobs_arg $ out $ repro_out $ metrics_out_arg $ trace_out_arg
           $ dag_out_arg $ blame_arg $ profile_flag $ profile_out_arg
           $ collapsed_out_arg)
@@ -745,9 +782,10 @@ let chaos_cmd =
 (* -------------------------------- hunt --------------------------------- *)
 
 let hunt_cmd =
-  let run protocol hops seed budget gen_size j baseline no_shrink
+  let run protocol hops topology seed budget gen_size j baseline no_shrink
       max_shrink_trials out corpus_out repros_out metrics_out =
     let protocol = runner_protocol_of protocol in
+    let hops = hops_of_topology ~cmd:"hunt" ~value:1000 ~hops topology in
     if budget <= 0 then begin
       Fmt.epr "xchain hunt: --budget must be positive@.";
       exit 2
@@ -839,7 +877,13 @@ let hunt_cmd =
        ~doc:"Coverage-guided adversarial fault-plan search: mutate plans \
              toward unseen outcome signatures, then shrink every stuck or \
              violating witness to a minimal one-line repro")
-    Term.(const run $ protocol $ hops $ seed $ budget $ gen_size $ jobs_arg
+    Term.(const run $ protocol $ hops
+          $ topology_arg
+              ~extra:
+                "The hunt explores faults along the cheapest source-to-sink \
+                 path (its length overrides --hops); signatures carry a \
+                 path-shape bucket."
+          $ seed $ budget $ gen_size $ jobs_arg
           $ baseline $ no_shrink $ max_shrink_trials $ out $ corpus_out
           $ repros_out $ metrics_out_arg)
 
@@ -1025,9 +1069,9 @@ let trace_cmd =
 
 let load_cmd =
   let run spec payments hops value commission arrival mix policy cap liquidity
-      patience stuck drift gst seed plan plan_file trace_cap replications j out
-      metrics_out spans_out trace_out dag_out blame profile profile_out
-      collapsed_out =
+      topology route splits patience stuck drift gst seed plan plan_file
+      trace_cap replications j out metrics_out spans_out trace_out dag_out
+      blame profile profile_out collapsed_out =
     arm_span_capture spans_out;
     let fail fmt = Fmt.kstr (fun s -> Fmt.epr "xchain load: %s@." s; exit 2) fmt in
     let workload =
@@ -1049,6 +1093,9 @@ let load_cmd =
               policy = parse "--policy" Traffic.Workload.policy_of_string policy;
               cap;
               liquidity;
+              topology;
+              route = parse "--route" Routing.Router.strategy_of_string route;
+              splits;
               patience;
               stuck_after = stuck;
               drift_ppm = drift;
@@ -1230,6 +1277,19 @@ let load_cmd =
              ~doc:"Payer funding in multiples of one payment's leg amount \
                    (0 = ample: one unit per payment).")
   in
+  let route =
+    Arg.(value & opt string "shortest"
+         & info [ "route" ] ~docv:"STRATEGY"
+             ~doc:"Path-selection strategy over --topology: shortest \
+                   (cheapest-first greedy) or round-robin (rotating fair \
+                   shares).")
+  in
+  let splits =
+    Arg.(value & opt int 1
+         & info [ "splits" ] ~docv:"N"
+             ~doc:"Max edge-disjoint paths a payment may split across \
+                   (requires --topology).")
+  in
   let patience =
     Arg.(value & opt int 2000
          & info [ "patience" ] ~doc:"Admission-queue patience, ticks.")
@@ -1287,10 +1347,188 @@ let load_cmd =
              subset, and report throughput and latency percentiles")
     Term.(
       const run $ spec $ payments $ hops $ value $ commission $ arrival $ mix
-      $ policy $ cap $ liquidity $ patience $ stuck $ drift $ gst $ seed $ plan
+      $ policy $ cap $ liquidity
+      $ topology_arg
+          ~extra:
+            "Payments are routed source-to-sink over the graph's per-edge \
+             liquidity instead of the fixed --hops chain (requires \
+             --policy reserve)."
+      $ route $ splits $ patience $ stuck $ drift $ gst $ seed $ plan
       $ plan_file $ trace_cap $ replications $ jobs_arg $ out $ metrics_out_arg
       $ spans_out_arg $ trace_out_arg $ dag_out_arg $ blame_arg $ profile_flag
       $ profile_out_arg $ collapsed_out_arg)
+
+(* -------------------------------- route -------------------------------- *)
+
+let route_cmd =
+  let run spec value splits strategy rebalance json out metrics_out =
+    let module RT = Routing.Topology in
+    let module RR = Routing.Router in
+    let topo =
+      match RT.of_string spec with
+      | Ok t -> t
+      | Error e ->
+          Fmt.epr "xchain route: bad topology: %s@." e;
+          exit 2
+    in
+    let strat =
+      match RR.strategy_of_string strategy with
+      | Ok s -> s
+      | Error e ->
+          Fmt.epr "xchain route: bad --strategy: %s@." e;
+          exit 2
+    in
+    if value < 1 then begin
+      Fmt.epr "xchain route: --value must be positive@.";
+      exit 2
+    end;
+    if splits < 1 then begin
+      Fmt.epr "xchain route: --splits must be positive@.";
+      exit 2
+    end;
+    let avail e = RT.capacity topo.RT.edges.(e) in
+    let flow = RR.max_flow topo () in
+    let flow_str =
+      if flow >= RT.unbounded then "unbounded" else string_of_int flow
+    in
+    let candidates = RR.paths topo ~max:splits () in
+    let router = RR.create ~strategy:strat topo in
+    let routed = RR.route router ~avail ~value ~max_splits:splits in
+    let reb = Routing.Rebalance.plan topo in
+    if json then begin
+      let b = Buffer.create 1024 in
+      let str s =
+        Buffer.add_string b ("\"" ^ Obsv.Metrics.json_escape s ^ "\"")
+      in
+      Buffer.add_string b "{\"topology\":";
+      str (RT.to_string topo);
+      Printf.bprintf b ",\"nodes\":%d,\"edges\":%d,\"max_flow\":"
+        topo.RT.nodes
+        (Array.length topo.RT.edges);
+      if flow >= RT.unbounded then str "unbounded"
+      else Buffer.add_string b (string_of_int flow);
+      Buffer.add_string b ",\"liquidity_histogram\":{";
+      List.iteri
+        (fun i (bucket, n) ->
+          if i > 0 then Buffer.add_char b ',';
+          str bucket;
+          Printf.bprintf b ":%d" n)
+        (RT.liquidity_histogram topo);
+      Printf.bprintf b "},\"value\":%d,\"strategy\":" value;
+      str (RR.strategy_name strat);
+      Buffer.add_string b ",\"route\":";
+      (match routed with
+      | Ok ss ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i (s : RR.split) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b "{\"nodes\":[";
+              List.iteri
+                (fun j n ->
+                  if j > 0 then Buffer.add_char b ',';
+                  Buffer.add_string b (string_of_int n))
+                (RR.path_nodes topo s.RR.path);
+              Printf.bprintf b "],\"value\":%d}" s.RR.value)
+            ss;
+          Buffer.add_char b ']'
+      | Error e ->
+          Buffer.add_string b "{\"error\":";
+          str e;
+          Buffer.add_char b '}');
+      Printf.bprintf b ",\"rebalance\":{\"moves\":%d,\"volume\":%d}}"
+        (List.length reb.Routing.Rebalance.moves)
+        reb.Routing.Rebalance.volume;
+      Buffer.add_char b '\n';
+      write_sink (Some (Option.value out ~default:"-")) (Buffer.contents b)
+    end
+    else begin
+      Fmt.pr "topology: %s@." (RT.to_string topo);
+      Fmt.pr "nodes %d, edges %d, source %d, sink %d@." topo.RT.nodes
+        (Array.length topo.RT.edges) (RT.source topo) (RT.sink topo);
+      Fmt.pr "max-flow bound: %s@." flow_str;
+      Fmt.pr "liquidity histogram:@.";
+      List.iter
+        (fun (bucket, n) -> Fmt.pr "  %-10s %d edge(s)@." bucket n)
+        (RT.liquidity_histogram topo);
+      Fmt.pr "candidate paths (cost order, max %d):@." splits;
+      List.iter
+        (fun p ->
+          let cap = RR.path_capacity topo ~avail p in
+          Fmt.pr "  %s  capacity %s@."
+            (String.concat ">"
+               (List.map string_of_int (RR.path_nodes topo p)))
+            (if cap >= RT.unbounded then "unbounded" else string_of_int cap))
+        candidates;
+      (match routed with
+      | Ok ss ->
+          Fmt.pr "route %d via %s:@." value (RR.strategy_name strat);
+          List.iter
+            (fun (s : RR.split) ->
+              Fmt.pr "  %s  carries %d@."
+                (String.concat ">"
+                   (List.map string_of_int (RR.path_nodes topo s.RR.path)))
+                s.RR.value)
+            ss
+      | Error e -> Fmt.pr "route %d: %s@." value e);
+      if rebalance then Fmt.pr "%a@." Routing.Rebalance.pp reb;
+      match out with
+      | None -> ()
+      | Some _ -> write_sink out (RT.to_string topo ^ "\n")
+    end;
+    let reg = Obsv.Metrics.default in
+    Obsv.Metrics.set
+      (Obsv.Metrics.gauge reg
+         ~help:"Volume a rebalancing pass would move on this topology"
+         "xchain_route_rebalance_volume")
+      reb.Routing.Rebalance.volume;
+    dump_telemetry ~metrics_out ~spans_out:None;
+    match routed with Ok _ -> 0 | Error _ -> 1
+  in
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TOPOLOGY"
+             ~doc:"Topology spec: linear:H | hub:K | er:N:E:SEED | \
+                   sf:N:D:SEED | graph:N;U>V:LIQ:COMM,... (see \
+                   docs/routing.md).")
+  in
+  let value =
+    Arg.(value & opt int 1000
+         & info [ "value" ] ~doc:"Payment value to route.")
+  in
+  let splits =
+    Arg.(value & opt int 4
+         & info [ "splits" ] ~docv:"N"
+             ~doc:"Max edge-disjoint paths to split across.")
+  in
+  let strategy =
+    Arg.(value & opt string "shortest"
+         & info [ "strategy" ] ~docv:"STRATEGY"
+             ~doc:"shortest or round-robin.")
+  in
+  let rebalance =
+    Arg.(value & flag
+         & info [ "rebalance" ]
+             ~doc:"Print the liquidity-rebalancing plan (batched transfers \
+                   evening out each node's bounded out-edges).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the analysis as JSON instead of text.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON analysis (with --json) or the canonical \
+                   topology line to $(docv) ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Analyse a payment graph: candidate source-to-sink paths, \
+             max-flow bound, liquidity histogram, the split a router would \
+             choose for a value, and an optional rebalancing plan")
+    Term.(const run $ spec $ value $ splits $ strategy $ rebalance $ json
+          $ out $ metrics_out_arg)
 
 (* ------------------------------- profile ------------------------------- *)
 
@@ -1459,5 +1697,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
-            chaos_cmd; hunt_cmd; explore_cmd; trace_cmd; load_cmd; profile_cmd;
+            chaos_cmd; hunt_cmd; explore_cmd; trace_cmd; load_cmd; route_cmd;
+            profile_cmd;
             metrics_cmd ]))

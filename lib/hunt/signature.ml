@@ -8,6 +8,7 @@ type t = {
   blame : int array;
   injected : int array;
   clauses : int array;
+  path : int;
 }
 
 (* log-ish bucket: 0, 1, 2–3, 4–7, 8+ *)
@@ -80,17 +81,20 @@ let of_run ?causal ~delta (r : C.run_result) =
     blame = blame_levels ?causal ~delta r;
     injected = Array.map count_bucket r.C.injected;
     clauses = clause_profile r;
+    (* path-shape bucket: constant for a fixed-hops hunt, it starts
+       discriminating when topology-routed runs mix path lengths *)
+    path = count_bucket r.C.hops;
   }
 
 let digits a =
   String.init (Array.length a) (fun i -> Char.chr (Char.code '0' + a.(i)))
 
 let to_string s =
-  Printf.sprintf "%s|%s|b%s|i%s|c%s"
+  Printf.sprintf "%s|%s|b%s|i%s|c%s|p%d"
     (C.classification_name s.classification)
     (String.concat "," s.failed)
     (if Array.length s.blame = 0 then "-" else digits s.blame)
-    (digits s.injected) (digits s.clauses)
+    (digits s.injected) (digits s.clauses) s.path
 
 let equal a b = to_string a = to_string b
 let compare a b = String.compare (to_string a) (to_string b)

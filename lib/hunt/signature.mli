@@ -31,6 +31,10 @@ type t = {
   injected : int array;  (** 4 count buckets: drop, dup, corrupt, partition *)
   clauses : int array;  (** fired-clause profile: links, crashes,
                             recoveries, partitions (each 0..2), gst (0/1) *)
+  path : int;
+      (** path-shape bucket ({!count_bucket} of the run's hop count):
+          constant for a fixed-hops hunt, discriminating once topology
+          routing mixes path lengths in one corpus *)
 }
 
 val of_run :
@@ -41,8 +45,8 @@ val of_run :
     {!Obsv.Blame.attribute}. *)
 
 val to_string : t -> string
-(** Compact stable key, e.g. ["stuck||b-|i10010|c10110"]. Corpus files
-    and reports key on this string. *)
+(** Compact stable key, e.g. ["stuck||b-|i10010|c10110|p2"]. Corpus
+    files and reports key on this string. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

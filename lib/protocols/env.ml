@@ -20,11 +20,28 @@ let signer_of t pid =
       s
 
 let make ~topo ~params ?(payment = 1) ?(value = 1000) ?(commission = 10)
-    ?(seed = 7) ?books () =
+    ?amounts ?(seed = 7) ?books () =
   let n = Topology.hops topo in
   if value < 1 then invalid_arg "Env.make: value must be positive";
   if commission < 0 then invalid_arg "Env.make: negative commission";
-  let amounts = Array.init n (fun i -> value + (commission * (n - 1 - i))) in
+  let amounts =
+    match amounts with
+    | None -> Array.init n (fun i -> value + (commission * (n - 1 - i)))
+    | Some a ->
+        (* per-leg override (graph routing: each edge sets its own
+           commission); must still be a valid decreasing payment ladder
+           ending at the value Bob is owed *)
+        if Array.length a <> n then
+          invalid_arg "Env.make: amounts array must have one amount per hop";
+        if a.(n - 1) <> value then
+          invalid_arg "Env.make: last amount must equal the payment value";
+        Array.iteri
+          (fun i x ->
+            if x < value || (i < n - 1 && x < a.(i + 1)) then
+              invalid_arg "Env.make: amounts must be decreasing toward Bob")
+          a;
+        Array.copy a
+  in
   let books =
     match books with
     | Some shared ->

@@ -24,6 +24,7 @@ val make :
   ?payment:int ->
   ?value:int ->
   ?commission:int ->
+  ?amounts:int array ->
   ?seed:int ->
   ?books:Ledger.Book.t array ->
   unit ->
@@ -31,6 +32,11 @@ val make :
 (** Books are opened with exactly the balances the protocol needs: c{_i}
     holds [amounts.(i)] at e{_i}, the downstream customer and the escrow
     itself hold 0 there. Default [value] 1000, [commission] 10, [seed] 7.
+
+    [amounts] overrides the uniform-commission ladder with explicit
+    per-leg amounts (graph routing charges each edge its own commission).
+    It must have one entry per hop, decrease weakly toward Bob, and end
+    at exactly [value]; [commission] is then ignored.
 
     [books] (load runs) shares pre-existing books — one per hop — between
     concurrent payments so they contend for the same liquidity. The caller

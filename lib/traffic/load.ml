@@ -12,6 +12,21 @@ let outcome_name = function
 
 type violation = { payment : int; property : string; detail : string }
 
+type routing_stats = {
+  topology : string;
+  strategy : string;
+  max_splits : int;
+  offered_value : int;
+  committed_value : int;
+  paths_selected : int;
+  split_payments : int;
+  partial_payments : int;
+  no_route_rejections : int;
+  instances : int;
+  instances_committed : int;
+  instances_settled : int;
+}
+
 type report = {
   workload : Workload.t;
   seed : int;
@@ -38,6 +53,7 @@ type report = {
   by_protocol : (string * int * int) list;
   blame : Obsv.Blame.agg option;
   blame_reports : (int * Obsv.Blame.report) list;
+  routing : routing_stats option;
   events : int;
   wall_ns : int;
 }
@@ -102,13 +118,10 @@ let is_liquidity_rejection what =
   String.length what >= String.length prefix
   && String.sub what 0 (String.length prefix) = prefix
 
-let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal ?prof
-    ~(workload : Workload.t) ~seed () =
+let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
+    ?causal ?prof ~(workload : Workload.t) ~seed () =
   let wall_t0 = Fleet.now_ns () in
   let w = workload in
-  (match Workload.validate w with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Load.run: " ^ e));
   let hops = w.hops in
   let protos = Workload.assign_mix w ~seed in
   let arrivals = Workload.arrivals w ~seed in
@@ -720,6 +733,7 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal ?prof
           w.mix;
       blame;
       blame_reports;
+      routing = None;
       events = Engine.events_processed engine;
       wall_ns = max 1 (Fleet.now_ns () - wall_t0);
     }
@@ -807,6 +821,905 @@ let run ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096) ?causal ?prof
   end;
   report
 
+(* --------------------------- routed execution --------------------------- *)
+
+(* One protocol instance: a single split of a payment, running the plain
+   linear protocol over the books of its path's edges. Everything but the
+   accounting arrays is configured at admission time, when the router has
+   chosen the path. *)
+type inst = {
+  mutable i_active : bool;
+  mutable i_hops : int;
+  mutable i_value : int;
+  mutable i_path : int array;  (** edge indices along the path *)
+  mutable i_amounts : int array;  (** leg amounts, commissions included *)
+  mutable i_bs : int;  (** block size for this path length *)
+  mutable i_handlers : (int -> (Msg.t, Obs.t) Sim.Engine.handlers) option;
+  mutable i_settled_at : int;
+  mutable i_paid_at : int;
+  mutable i_done : bool;  (** settlement counted toward the payment *)
+  i_flows : int array;
+  i_terms : bool array;
+  mutable i_term_count : int;
+  mutable i_alice_cert : bool;
+  mutable i_bob_cert_issued : bool;
+  mutable i_rejections : (int * string) list;
+  i_deposited : int array;  (** per leg: deposits drawn from the payer *)
+  i_refunded : int array;  (** per leg: refunds returned to the payer *)
+}
+
+type rpay = {
+  rp_proto : Workload.proto;
+  mutable rp_arrived_at : int;
+  mutable rp_admitted_at : int;
+  mutable rp_closed : bool;
+  mutable rp_marked : outcome option;
+  mutable rp_splits : int list;  (** instance ids, ascending *)
+  mutable rp_no_route : bool;
+  mutable rp_settled : int;  (** instances settled so far *)
+}
+
+let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
+    ?causal ?prof ~(workload : Workload.t) ~seed
+    ~(rtopo : Routing.Topology.t) () =
+  let wall_t0 = Fleet.now_ns () in
+  let w = workload in
+  let module RT = Routing.Topology in
+  let module RR = Routing.Router in
+  let nodes = rtopo.RT.nodes in
+  let lmax = nodes - 1 in
+  let nedges = Array.length rtopo.RT.edges in
+  let protos = Workload.assign_mix w ~seed in
+  let arrivals = Workload.arrivals w ~seed in
+  let max_splits = w.splits in
+  let instances = w.payments * max_splits in
+  (* the pid stride must fit the longest simple path any route can take *)
+  let stride =
+    List.fold_left
+      (fun acc (p, _) -> max acc (block_size ~hops:lmax p))
+      0 w.mix
+  in
+  (match Faults.Fault_plan.validate plan ~nprocs:stride with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Load.run: bad fault plan: " ^ e));
+  (* One shared book per graph edge. A distinguished funder account holds
+     the edge's liquidity; admission moves each leg's amount from the
+     funder to the split's local payer account (the transfer IS the
+     reservation), and closing a settled split sweeps the unspent part
+     back. The funder's balance is therefore always the edge's spendable
+     liquidity, and per-book conservation holds by construction. *)
+  let funder = 1_000_000 in
+  let ample = w.payments * (w.value + RT.total_commission rtopo) in
+  let ebooks =
+    Array.init nedges (fun e ->
+        let b = Ledger.Book.create ~currency:(Printf.sprintf "edge%d" e) in
+        let liq = rtopo.RT.edges.(e).RT.liquidity in
+        Ledger.Book.open_account b ~owner:funder
+          ~balance:(if liq = 0 then ample else liq);
+        b)
+  in
+  let avail e = Ledger.Book.balance ebooks.(e) funder in
+  let router = RR.create ~strategy:w.route rtopo in
+  let params_for_hops proto hops =
+    let drift = match proto with Workload.Naive -> 0 | _ -> w.drift_ppm in
+    Params.derive { Params.hops; delta; sigma; drift_ppm = drift; margin }
+  in
+  let proto_horizon proto =
+    match proto with
+    | Workload.Sync | Workload.Naive ->
+        (params_for_hops proto lmax).Params.horizon
+    | Workload.Htlc ->
+        let topo0 = Topology.create ~hops:lmax in
+        let env0 =
+          Env.make ~topo:topo0 ~params:(params_for_hops proto lmax)
+            ~value:w.value ~commission:w.commission ~seed:(seed + 9991) ()
+        in
+        Htlc_protocol.window_of env0 (Htlc_protocol.default_config env0) 0
+    | Workload.Weak_single | Workload.Committee -> weak_cfg.patience
+    | Workload.Atomic -> Atomic_protocol.default_config.deadline
+  in
+  let gst_slack = match w.gst with Some g -> 2 * g | None -> 0 in
+  let stuck_eff =
+    if w.stuck_after > 0 then w.stuck_after
+    else
+      let base =
+        List.fold_left (fun acc (p, _) -> max acc (proto_horizon p)) 0 w.mix
+      in
+      (4 * base) + (20 * delta) + gst_slack
+  in
+  let horizon =
+    let last_arrival =
+      match arrivals with
+      | Some arr -> arr.(Array.length arr - 1)
+      | None -> (
+          match w.arrival with
+          | Workload.Closed { clients; think } ->
+              let rounds = (w.payments + clients - 1) / clients in
+              rounds * (w.patience + stuck_eff + think + 1)
+          | _ -> 0)
+    in
+    last_arrival + w.patience + (2 * stuck_eff) + (20 * delta) + gst_slack
+  in
+  let max_events = (1000 * instances) + 100_000 in
+  let injector =
+    if Faults.Fault_plan.is_none plan then None
+    else Some (Faults.Injector.create ~plan ~seed:(seed + 47) ())
+  in
+  let model =
+    let base =
+      match w.gst with
+      | None -> Network.Synchronous { delta }
+      | Some gst -> Network.Partially_synchronous { gst; delta }
+    in
+    match injector with
+    | None -> base
+    | Some inj -> Faults.Injector.jittered_model inj base
+  in
+  let tamper =
+    Option.map
+      (fun inj ->
+        let tam = Faults.Injector.tamper inj in
+        fun ~send_time ~src ~dst ~tag ->
+          if src = 0 || dst = 0 then [ Network.Intact ]
+          else
+            tam ~send_time
+              ~src:((src - 1) mod stride)
+              ~dst:((dst - 1) mod stride)
+              ~tag)
+      injector
+  in
+  let adversary ~send_time:_ ~src:_ ~dst:_ ~tag ~bounds =
+    if tag = "start" || tag = "traffic-done" then Some bounds.Network.lo
+    else None
+  in
+  let network =
+    Network.create ~adversary ?tamper ~link_stats:false model
+      (Rng.create ~seed:(seed + 17))
+  in
+  let trace_cap = if trace_capacity = 0 then None else Some trace_capacity in
+  let engine =
+    Engine.create ~tag_of:Msg.tag ~network ~sigma ?trace_capacity:trace_cap
+      ?causal ?prof ~seed ()
+  in
+  let insts =
+    Array.init instances (fun _ ->
+        {
+          i_active = false;
+          i_hops = 0;
+          i_value = 0;
+          i_path = [||];
+          i_amounts = [||];
+          i_bs = 0;
+          i_handlers = None;
+          i_settled_at = -1;
+          i_paid_at = -1;
+          i_done = false;
+          i_flows = Array.make (lmax + 1) 0;
+          i_terms = Array.make (lmax + 1) false;
+          i_term_count = 0;
+          i_alice_cert = false;
+          i_bob_cert_issued = false;
+          i_rejections = [];
+          i_deposited = Array.make (max lmax 1) 0;
+          i_refunded = Array.make (max lmax 1) 0;
+        })
+  in
+  let rpays =
+    Array.init w.payments (fun k ->
+        {
+          rp_proto = protos.(k);
+          rp_arrived_at = -1;
+          rp_admitted_at = -1;
+          rp_closed = false;
+          rp_marked = None;
+          rp_splits = [];
+          rp_no_route = false;
+          rp_settled = 0;
+        })
+  in
+  let messages = ref 0 in
+  let roots = Array.make w.payments (-1) in
+  let ipaid_nodes = Array.make instances (-1) in
+  Trace.on_record (Engine.trace engine) (fun entry ->
+      match entry with
+      | Trace.Sent _ -> incr messages
+      | Trace.Observed { t; pid; obs } when pid >= 1 ->
+          let id = (pid - 1) / stride in
+          let ins = insts.(id) in
+          let h = ins.i_hops in
+          if ins.i_active then (
+            match obs with
+            | Obs.Deposited { depositor; amount; _ } ->
+                (* depositor index IS the leg index: customer i deposits
+                   only at escrow i *)
+                if depositor >= 0 && depositor <= h then begin
+                  ins.i_flows.(depositor) <- ins.i_flows.(depositor) - amount;
+                  if depositor < h then
+                    ins.i_deposited.(depositor) <-
+                      ins.i_deposited.(depositor) + amount
+                end
+            | Obs.Released { to_; amount; _ } ->
+                if to_ >= 0 && to_ <= h then begin
+                  ins.i_flows.(to_) <- ins.i_flows.(to_) + amount;
+                  if to_ = h && ins.i_paid_at < 0 then begin
+                    ins.i_paid_at <- t;
+                    ipaid_nodes.(id) <- Engine.current_node engine
+                  end
+                end
+            | Obs.Refunded { depositor; amount; _ } ->
+                if depositor >= 0 && depositor <= h then begin
+                  ins.i_flows.(depositor) <- ins.i_flows.(depositor) + amount;
+                  if depositor < h then
+                    ins.i_refunded.(depositor) <-
+                      ins.i_refunded.(depositor) + amount
+                end
+            | Obs.Cert_received
+                { pid = who; kind = Obs.Chi | Obs.Chi_commit; valid = true }
+              when who = 0 ->
+                ins.i_alice_cert <- true
+            | Obs.Cert_issued { by; _ } when by = h ->
+                ins.i_bob_cert_issued <- true
+            | Obs.Terminated { pid = who; _ }
+              when who >= 0 && who <= h && not ins.i_terms.(who) ->
+                ins.i_terms.(who) <- true;
+                ins.i_term_count <- ins.i_term_count + 1;
+                if ins.i_term_count = h + 1 && ins.i_settled_at < 0 then
+                  ins.i_settled_at <- t
+            | Obs.Rejected { pid = who; what } ->
+                ins.i_rejections <- (who, what) :: ins.i_rejections
+            | _ -> ())
+      | _ -> ());
+  (* --- controller --- *)
+  let queue = Queue.create () in
+  let in_flight = ref 0 in
+  let max_in_flight = ref 0 in
+  let admitted = ref 0 in
+  let total_paths = ref 0 in
+  let split_payments = ref 0 in
+  let arr_label k = "arr#" ^ string_of_int k in
+  let pat_label k = "pat#" ^ string_of_int k in
+  let stuck_label k = "stuck#" ^ string_of_int k in
+  let handlers_for_env proto env id =
+    match proto with
+    | Workload.Sync | Workload.Naive ->
+        fun l ->
+          fst (Anta.Executor.handlers (Sync_protocol.automaton_for env l) ())
+    | Workload.Htlc ->
+        let cfg = Htlc_protocol.default_config env in
+        let preimage = Htlc_protocol.fresh_preimage ~seed:(seed + 57 + id) in
+        Htlc_protocol.handlers_for env cfg preimage
+    | Workload.Weak_single -> Weak_protocol.handlers_for env weak_cfg
+    | Workload.Committee -> Weak_protocol.handlers_for env committee_cfg
+    | Workload.Atomic ->
+        Atomic_protocol.handlers_for env Atomic_protocol.default_config
+  in
+  let try_admit ctx k =
+    let p = rpays.(k) in
+    let cap_ok = w.cap = 0 || !in_flight < w.cap in
+    cap_ok
+    &&
+    match RR.route router ~avail ~value:w.value ~max_splits with
+    | Error _ ->
+        p.rp_no_route <- true;
+        false
+    | Ok splits ->
+        p.rp_admitted_at <- Engine.now engine;
+        incr admitted;
+        incr in_flight;
+        if !in_flight > !max_in_flight then max_in_flight := !in_flight;
+        total_paths := !total_paths + List.length splits;
+        if List.length splits > 1 then incr split_payments;
+        List.iteri
+          (fun j (s : RR.split) ->
+            let id = (k * max_splits) + j in
+            let patharr = Array.of_list s.RR.path in
+            let h = Array.length patharr in
+            let amounts = RR.leg_amounts rtopo ~path:s.RR.path ~value:s.RR.value in
+            let ptopo = Topology.create ~hops:h in
+            let slice = Array.map (fun e -> ebooks.(e)) patharr in
+            let env =
+              Env.make ~topo:ptopo ~params:(params_for_hops p.rp_proto h)
+                ~payment:id ~value:s.RR.value ~amounts ~seed:(seed + 101 + id)
+                ~books:slice ()
+            in
+            (* the reservation: each leg's amount moves from the edge
+               funder into the local payer account the protocol draws on *)
+            Array.iteri
+              (fun i e ->
+                match
+                  Ledger.Book.transfer ebooks.(e) ~src:funder ~dst:i
+                    ~amount:amounts.(i)
+                with
+                | Ok () -> ()
+                | Error _ ->
+                    (* the router checked capacity against the funder
+                       balance in this same handler; leave any breakage
+                       to the conservation audit *)
+                    ())
+              patharr;
+            let ins = insts.(id) in
+            ins.i_active <- true;
+            ins.i_hops <- h;
+            ins.i_value <- s.RR.value;
+            ins.i_path <- patharr;
+            ins.i_amounts <- amounts;
+            ins.i_bs <- block_size ~hops:h p.rp_proto;
+            ins.i_handlers <- Some (handlers_for_env p.rp_proto env id);
+            p.rp_splits <- p.rp_splits @ [ id ];
+            ignore
+              (Engine.causal_note ctx ~after:roots.(k) ~trace:id
+                 ~label:("admit#" ^ string_of_int id)
+                 ());
+            let base = 1 + (id * stride) in
+            for l = 0 to ins.i_bs - 1 do
+              Engine.send ctx ~dst:(base + l) Msg.Start
+            done)
+          splits;
+        Engine.set_timer_after ctx ~after:stuck_eff ~label:(stuck_label k);
+        Engine.cancel_timer ctx ~label:(pat_label k);
+        true
+  in
+  let drain ctx =
+    let blocked = ref false in
+    while (not !blocked) && not (Queue.is_empty queue) do
+      let k = Queue.peek queue in
+      let p = rpays.(k) in
+      if p.rp_closed || p.rp_admitted_at >= 0 then ignore (Queue.pop queue)
+      else if try_admit ctx k then ignore (Queue.pop queue)
+      else blocked := true
+    done
+  in
+  (* sweep a settled split: return reserved-but-undeposited plus refunded
+     value from each leg's local payer account to the edge funder. The
+     payer account may pool several live splits' money (deposits draw
+     fungibly), but each split's term is non-negative and their sum is the
+     account balance, so sweeping one split's term is always covered. *)
+  let sweep_instance id =
+    let ins = insts.(id) in
+    if ins.i_active then
+      Array.iteri
+        (fun i e ->
+          let back =
+            ins.i_amounts.(i) - ins.i_deposited.(i) + ins.i_refunded.(i)
+          in
+          if back > 0 then
+            match
+              Ledger.Book.transfer ebooks.(e) ~src:i ~dst:funder ~amount:back
+            with
+            | Ok () -> ()
+            | Error _ -> ())
+        ins.i_path
+  in
+  let close ctx k ~release =
+    let p = rpays.(k) in
+    if not p.rp_closed then begin
+      p.rp_closed <- true;
+      if p.rp_admitted_at >= 0 then decr in_flight;
+      if release then List.iter sweep_instance p.rp_splits;
+      Engine.cancel_timer ctx ~label:(stuck_label k);
+      (match w.arrival with
+      | Workload.Closed { clients; think } ->
+          let next = k + clients in
+          if next < w.payments then
+            Engine.set_timer_after ctx ~after:(max 1 think)
+              ~label:(arr_label next)
+      | _ -> ());
+      drain ctx
+    end
+  in
+  let arrive ctx k =
+    rpays.(k).rp_arrived_at <- Engine.now engine;
+    roots.(k) <-
+      Engine.causal_note ctx ~trace:(k * max_splits)
+        ~label:("arrive#" ^ string_of_int k)
+        ();
+    Queue.add k queue;
+    Engine.set_timer_after ctx ~after:w.patience ~label:(pat_label k);
+    drain ctx
+  in
+  let controller =
+    {
+      Engine.on_start =
+        (fun ctx ->
+          match arrivals with
+          | Some arr ->
+              Array.iteri
+                (fun k t ->
+                  Engine.set_timer ctx ~deadline:t ~label:(arr_label k))
+                arr
+          | None -> (
+              match w.arrival with
+              | Workload.Closed { clients; _ } ->
+                  for c = 0 to min clients w.payments - 1 do
+                    Engine.set_timer ctx ~deadline:(1 + c)
+                      ~label:(arr_label c)
+                  done
+              | _ -> assert false));
+      on_receive =
+        (fun ctx ~src:_ msg ->
+          match msg with
+          | Msg.Traffic_done { payment = id } ->
+              let ins = insts.(id) in
+              let k = id / max_splits in
+              let p = rpays.(k) in
+              if ins.i_active && (not ins.i_done) && ins.i_settled_at >= 0
+              then begin
+                ins.i_done <- true;
+                p.rp_settled <- p.rp_settled + 1;
+                if
+                  (not p.rp_closed)
+                  && p.rp_settled = List.length p.rp_splits
+                then close ctx k ~release:true
+              end
+          | _ -> ());
+      on_timer =
+        (fun ctx ~label ->
+          match String.split_on_char '#' label with
+          | [ "arr"; k ] -> arrive ctx (int_of_string k)
+          | [ "pat"; k ] ->
+              let k = int_of_string k in
+              let p = rpays.(k) in
+              if (not p.rp_closed) && p.rp_admitted_at < 0 then begin
+                p.rp_marked <- Some Rejected;
+                close ctx k ~release:false
+              end
+          | [ "stuck"; k ] ->
+              let k = int_of_string k in
+              let p = rpays.(k) in
+              if not p.rp_closed then
+                if
+                  p.rp_splits <> []
+                  && p.rp_settled = List.length p.rp_splits
+                then close ctx k ~release:true
+                else begin
+                  p.rp_marked <- Some Stuck;
+                  (* settled splits give their unspent collateral back;
+                     unsettled ones may still deposit, so their reserves
+                     stay locked — mirroring the linear run *)
+                  List.iter
+                    (fun id ->
+                      if insts.(id).i_settled_at >= 0 then sweep_instance id)
+                    p.rp_splits;
+                  close ctx k ~release:false
+                end
+          | _ -> ())
+    }
+  in
+  let cpid =
+    Engine.add_process engine ~clock:Clock.perfect ~label:"sched" controller
+  in
+  assert (cpid = 0);
+  (* --- instance blocks: handlers are configured at admission, so every
+     process starts as a buffering shell that comes alive on Start --- *)
+  let clock_rng = Rng.create ~seed:(seed + 31) in
+  let wrap_routed ~id ~l ~abs ~skew =
+    let started = ref false in
+    let reported = ref false in
+    let buffered = ref [] in
+    let inner = ref Engine.silent in
+    let after_inner ctx =
+      if
+        !started
+        && l <= insts.(id).i_hops
+        && (not !reported)
+        && Engine.is_halted engine abs
+      then begin
+        reported := true;
+        Engine.send_absolute ctx ~dst:0 (Msg.Traffic_done { payment = id })
+      end
+    in
+    {
+      Engine.on_start = (fun _ -> ());
+      on_receive =
+        (fun ctx ~src msg ->
+          match msg with
+          | Msg.Start ->
+              if not !started then (
+                match insts.(id).i_handlers with
+                | Some mk when l < insts.(id).i_bs ->
+                    started := true;
+                    let num, den = Clock.rate (Engine.clock_of engine abs) in
+                    Engine.set_clock engine ~pid:abs
+                      (Clock.create ~l0:skew ~g0:(Engine.now engine) ~num
+                         ~den ());
+                    let h = mk l in
+                    inner := h;
+                    h.Engine.on_start ctx;
+                    let pending = List.rev !buffered in
+                    buffered := [];
+                    List.iter
+                      (fun (src, m) ->
+                        if not (Engine.is_halted engine abs) then
+                          h.Engine.on_receive ctx ~src m)
+                      pending;
+                    after_inner ctx
+                | _ -> ())
+          | _ ->
+              if !started then begin
+                !inner.Engine.on_receive ctx ~src msg;
+                after_inner ctx
+              end
+              else buffered := (src, msg) :: !buffered);
+      on_timer =
+        (fun ctx ~label ->
+          if !started then begin
+            !inner.Engine.on_timer ctx ~label;
+            after_inner ctx
+          end);
+    }
+  in
+  for id = 0 to instances - 1 do
+    let base = 1 + (id * stride) in
+    for l = 0 to stride - 1 do
+      let clock = Clock.random clock_rng ~drift_ppm:w.drift_ppm in
+      let skew = Rng.int clock_rng 1001 in
+      (* the path (hence the role layout) is unknown until admission *)
+      let label = if l = 0 then "alice" else "node" in
+      ignore
+        (Engine.add_process engine ~clock ~base ~label
+           (wrap_routed ~id ~l ~abs:(base + l) ~skew))
+    done
+  done;
+  List.iter
+    (fun (c : Faults.Fault_plan.crash_spec) ->
+      for id = 0 to instances - 1 do
+        Engine.schedule_crash engine
+          ~pid:(1 + (id * stride) + c.pid)
+          ~at:c.at ?recover_at:c.recover_at ()
+      done)
+    plan.Faults.Fault_plan.crashes;
+  let status = Engine.run ~horizon ~max_events engine in
+  let end_time = Engine.now engine in
+  (* --- classification: a payment commits iff every split paid Bob --- *)
+  let violations = ref [] in
+  let liquidity_rejections = ref 0 in
+  let partial_payments = ref 0 in
+  let no_route_rejections = ref 0 in
+  let exposed_at ~lo ~hi lp =
+    List.exists
+      (fun (c : Faults.Fault_plan.crash_spec) ->
+        c.pid = lp && c.at <= hi
+        && match c.recover_at with None -> true | Some r -> r >= lo)
+      plan.Faults.Fault_plan.crashes
+  in
+  let classify k =
+    let p = rpays.(k) in
+    if p.rp_marked = Some Rejected || p.rp_admitted_at < 0 then begin
+      if p.rp_no_route then incr no_route_rejections;
+      Rejected
+    end
+    else begin
+      let viols = ref [] in
+      let add property detail =
+        viols := { payment = k; property; detail } :: !viols
+      in
+      let all_paid = ref true in
+      let all_settled = ref true in
+      let any_paid = ref false in
+      List.iter
+        (fun id ->
+          let ins = insts.(id) in
+          let h = ins.i_hops in
+          let lo = if p.rp_admitted_at >= 0 then p.rp_admitted_at else 0 in
+          let hi = if ins.i_settled_at >= 0 then ins.i_settled_at else end_time in
+          let exposed lp = exposed_at ~lo ~hi lp in
+          let abides ci =
+            (not (exposed ci))
+            && (ci = 0 || not (exposed (h + ci)))
+            && (ci = h || not (exposed (h + 1 + ci)))
+          in
+          List.iter
+            (fun (who, what) ->
+              let liq = is_liquidity_rejection what in
+              if liq then incr liquidity_rejections;
+              let excused =
+                exposed who || (who >= 0 && who <= h && not (abides who))
+              in
+              if not excused then
+                add "C"
+                  (Printf.sprintf "split %d pid %d rejected: %s" id who what))
+            ins.i_rejections;
+          if
+            p.rp_proto <> Workload.Htlc && ins.i_terms.(0) && abides 0
+            && ins.i_flows.(0) < 0
+            && not ins.i_alice_cert
+          then
+            add "CS1"
+              (Printf.sprintf "split %d: alice paid %d without a certificate"
+                 id (-ins.i_flows.(0)));
+          if
+            ins.i_terms.(h) && abides h && ins.i_bob_cert_issued
+            && ins.i_paid_at < 0
+          then
+            add "CS2"
+              (Printf.sprintf
+                 "split %d: bob issued a certificate but was not paid" id);
+          for ci = 1 to h - 1 do
+            if ins.i_terms.(ci) && abides ci && ins.i_flows.(ci) < 0 then
+              add "CS3"
+                (Printf.sprintf "split %d: connector %d lost %d" id ci
+                   (-ins.i_flows.(ci)))
+          done;
+          if ins.i_paid_at < 0 then all_paid := false else any_paid := true;
+          let settled_for_abort = ref true in
+          for ci = 0 to h do
+            if not (ins.i_terms.(ci) || exposed ci) then
+              settled_for_abort := false
+          done;
+          if not !settled_for_abort then all_settled := false)
+        p.rp_splits;
+      if !viols <> [] then begin
+        violations := !viols @ !violations;
+        Violated
+      end
+      else if !all_paid && p.rp_splits <> [] then Committed
+      else if !all_settled then begin
+        if !any_paid then incr partial_payments;
+        Aborted
+      end
+      else Stuck
+    end
+  in
+  let outcomes = Array.init w.payments classify in
+  let conservation_ok =
+    Array.for_all
+      (fun b ->
+        (match Ledger.Book.audit b with Ok () -> true | Error _ -> false)
+        && List.for_all (fun (_, bal) -> bal >= 0) (Ledger.Book.accounts b))
+      ebooks
+  in
+  if not conservation_ok then
+    violations :=
+      {
+        payment = -1;
+        property = "ES/M";
+        detail = "a shared edge book failed its conservation audit";
+      }
+      :: !violations;
+  let count o =
+    Array.fold_left (fun a x -> if x = o then a + 1 else a) 0 outcomes
+  in
+  let pay_latency k =
+    List.fold_left
+      (fun acc id -> max acc insts.(id).i_paid_at)
+      0 rpays.(k).rp_splits
+    - rpays.(k).rp_arrived_at
+  in
+  let latencies =
+    let l = ref [] in
+    Array.iteri
+      (fun k o -> if o = Committed then l := pay_latency k :: !l)
+      outcomes;
+    let a = Array.of_list !l in
+    Array.sort compare a;
+    a
+  in
+  let committed = count Committed in
+  let committed_value = ref 0 in
+  let instances_committed = ref 0 in
+  let instances_settled = ref 0 in
+  Array.iter
+    (fun ins ->
+      if ins.i_active then begin
+        if ins.i_paid_at >= 0 then begin
+          incr instances_committed;
+          committed_value := !committed_value + ins.i_value
+        end;
+        if ins.i_settled_at >= 0 then incr instances_settled
+      end)
+    insts;
+  (* per-split blame: every paid split gets its own critical path from the
+     payment's arrival note to its own payout — partial outcomes stay
+     attributable per path *)
+  let blame_reports =
+    match causal with
+    | None -> []
+    | Some c ->
+        let acc = ref [] in
+        for id = instances - 1 downto 0 do
+          let k = id / max_splits in
+          if
+            insts.(id).i_active
+            && insts.(id).i_paid_at >= 0
+            && roots.(k) >= 0
+            && ipaid_nodes.(id) >= 0
+          then
+            acc :=
+              ( id,
+                Obsv.Blame.attribute ~delta:(delta + sigma) c ~root:roots.(k)
+                  ~sink:ipaid_nodes.(id) )
+              :: !acc
+        done;
+        !acc
+  in
+  let blame =
+    match causal with
+    | None -> None
+    | Some _ -> Some (Obsv.Blame.aggregate (List.map snd blame_reports))
+  in
+  let active_instances =
+    Array.fold_left (fun a ins -> if ins.i_active then a + 1 else a) 0 insts
+  in
+  let routing_stats =
+    {
+      topology = Routing.Topology.to_string rtopo;
+      strategy = RR.strategy_name w.route;
+      max_splits;
+      offered_value = w.payments * w.value;
+      committed_value = !committed_value;
+      paths_selected = !total_paths;
+      split_payments = !split_payments;
+      partial_payments = !partial_payments;
+      no_route_rejections = !no_route_rejections;
+      instances = active_instances;
+      instances_committed = !instances_committed;
+      instances_settled = !instances_settled;
+    }
+  in
+  let report =
+    {
+      workload = w;
+      seed;
+      plan = Faults.Fault_plan.to_string plan;
+      status =
+        (match status with
+        | Engine.Quiescent -> "quiescent"
+        | Engine.Horizon_reached -> "horizon"
+        | Engine.Event_limit -> "event-limit");
+      admitted = !admitted;
+      committed;
+      aborted = count Aborted;
+      rejected = count Rejected;
+      stuck = count Stuck;
+      violated = count Violated;
+      violations = List.rev !violations;
+      liquidity_rejections = !liquidity_rejections;
+      conservation_ok;
+      latency_p50 = percentile latencies 50;
+      latency_p95 = percentile latencies 95;
+      latency_p99 = percentile latencies 99;
+      latency_max =
+        (if Array.length latencies = 0 then 0
+         else latencies.(Array.length latencies - 1));
+      makespan = end_time;
+      throughput_cpm =
+        (if end_time = 0 then 0 else committed * 1_000_000 / end_time);
+      messages = !messages;
+      max_in_flight = !max_in_flight;
+      trace_dropped = Trace.dropped_count (Engine.trace engine);
+      by_protocol =
+        List.map
+          (fun (pr, _) ->
+            let assigned = ref 0 and comm = ref 0 in
+            Array.iteri
+              (fun k o ->
+                if protos.(k) = pr then begin
+                  incr assigned;
+                  if o = Committed then incr comm
+                end)
+              outcomes;
+            (Workload.proto_name pr, !assigned, !comm))
+          w.mix;
+      blame;
+      blame_reports;
+      routing = Some routing_stats;
+      events = Engine.events_processed engine;
+      wall_ns = max 1 (Fleet.now_ns () - wall_t0);
+    }
+  in
+  (* --- telemetry --- *)
+  let reg = Obsv.Metrics.default in
+  List.iter
+    (fun (pr, _) ->
+      List.iter
+        (fun o ->
+          let n =
+            Array.fold_left ( + ) 0
+              (Array.mapi
+                 (fun k x -> if protos.(k) = pr && x = o then 1 else 0)
+                 outcomes)
+          in
+          if n > 0 then
+            Obsv.Metrics.add
+              (Obsv.Metrics.counter reg ~help:"Load-run payment outcomes"
+                 ~labels:
+                   [
+                     ("protocol", Workload.proto_name pr);
+                     ("outcome", outcome_name o);
+                   ]
+                 "xchain_load_payments_total")
+              n)
+        [ Committed; Aborted; Rejected; Stuck; Violated ])
+    w.mix;
+  Array.iteri
+    (fun k o ->
+      if o = Committed then
+        Obsv.Metrics.observe
+          (Obsv.Metrics.histogram reg
+             ~help:"Commit latency (arrival to Bob's payout), ticks"
+             ~labels:[ ("protocol", Workload.proto_name protos.(k)) ]
+             "xchain_load_commit_latency")
+          (pay_latency k))
+    outcomes;
+  Obsv.Metrics.set
+    (Obsv.Metrics.gauge reg ~help:"Peak concurrently admitted payments"
+       "xchain_load_in_flight_max")
+    !max_in_flight;
+  if !total_paths > 0 then
+    Obsv.Metrics.add
+      (Obsv.Metrics.counter reg ~help:"Paths selected by the payment router"
+         ~labels:[ ("strategy", RR.strategy_name w.route) ]
+         "xchain_route_paths_total")
+      !total_paths;
+  if !split_payments > 0 then
+    Obsv.Metrics.add
+      (Obsv.Metrics.counter reg
+         ~help:"Payments split across multiple disjoint paths"
+         "xchain_route_split_payments_total")
+      !split_payments;
+  if !no_route_rejections > 0 then
+    Obsv.Metrics.add
+      (Obsv.Metrics.counter reg
+         ~help:"Payments rejected because no route could carry them"
+         "xchain_route_no_route_total")
+      !no_route_rejections;
+  if !committed_value > 0 then
+    Obsv.Metrics.add
+      (Obsv.Metrics.counter reg
+         ~help:"Value committed end-to-end across all splits"
+         "xchain_route_committed_value_total")
+      !committed_value;
+  let spans = Obsv.Span.default in
+  if Obsv.Span.capture spans then begin
+    let root =
+      Obsv.Span.start spans ~name:"load"
+        ~attrs:
+          [
+            ("payments", string_of_int w.payments);
+            ("seed", string_of_int seed);
+          ]
+        ~at:0 ()
+    in
+    Array.iteri
+      (fun k o ->
+        let p = rpays.(k) in
+        let s =
+          Obsv.Span.start spans ~parent:root ~name:"payment"
+            ~attrs:
+              [
+                ("id", string_of_int k);
+                ("protocol", Workload.proto_name p.rp_proto);
+              ]
+            ~trace_id:(if Option.is_none causal then -1 else k * max_splits)
+            ~root_event:roots.(k)
+            ~at:(max 0 p.rp_arrived_at) ()
+        in
+        let settled_at =
+          List.fold_left
+            (fun acc id -> max acc insts.(id).i_settled_at)
+            (-1) p.rp_splits
+        in
+        Obsv.Span.finish ~status:(outcome_name o)
+          ~at:
+            (if settled_at >= 0 && o <> Stuck then settled_at
+             else if o = Stuck then horizon
+             else end_time)
+          s)
+      outcomes;
+    Obsv.Span.finish ~status:report.status ~at:end_time root
+  end;
+  report
+
+let run ?plan ?trace_capacity ?causal ?prof ~(workload : Workload.t) ~seed ()
+    =
+  (match Workload.validate workload with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Load.run: " ^ e));
+  match workload.Workload.topology with
+  | None -> run_linear ?plan ?trace_capacity ?causal ?prof ~workload ~seed ()
+  | Some rtopo ->
+      run_routed ?plan ?trace_capacity ?causal ?prof ~workload ~seed ~rtopo ()
+
 (* ------------------------------- output ------------------------------- *)
 
 let to_json r =
@@ -856,6 +1769,20 @@ let to_json r =
       Buffer.add_string b ",\"blame\":";
       Buffer.add_string b (Obsv.Blame.agg_to_json agg))
     r.blame;
+  (* only present on graph workloads, so linear reports stay byte-identical
+     to earlier releases *)
+  Option.iter
+    (fun (s : routing_stats) ->
+      Buffer.add_string b ",\"routing\":{\"topology\":";
+      str s.topology;
+      Buffer.add_string b ",\"strategy\":";
+      str s.strategy;
+      Printf.bprintf b
+        ",\"max_splits\":%d,\"offered_value\":%d,\"committed_value\":%d,\"paths_selected\":%d,\"split_payments\":%d,\"partial_payments\":%d,\"no_route_rejections\":%d,\"instances\":%d,\"instances_committed\":%d,\"instances_settled\":%d}"
+        s.max_splits s.offered_value s.committed_value s.paths_selected
+        s.split_payments s.partial_payments s.no_route_rejections s.instances
+        s.instances_committed s.instances_settled)
+    r.routing;
   (* wall-clock timing is the one nondeterministic member; it comes last
      so byte-identity checks can strip it (scripts/strip_timing.py) *)
   Printf.bprintf b ",\"timing\":{\"wall_ns\":%d,\"events_per_sec\":%d}"
@@ -878,6 +1805,16 @@ let pp_summary ppf r =
     r.latency_p95 r.latency_p99 r.latency_max;
   Fmt.pf ppf "makespan %d ticks, throughput %d commits/Mtick, peak in-flight %d@,"
     r.makespan r.throughput_cpm r.max_in_flight;
+  Option.iter
+    (fun (s : routing_stats) ->
+      Fmt.pf ppf "routing %s over %s: %d paths, %d split, %d partial@,"
+        s.strategy s.topology s.paths_selected s.split_payments
+        s.partial_payments;
+      Fmt.pf ppf
+        "  value %d/%d committed, %d/%d instances paid, %d no-route@,"
+        s.committed_value s.offered_value s.instances_committed s.instances
+        s.no_route_rejections)
+    r.routing;
   List.iter
     (fun (name, assigned, committed) ->
       Fmt.pf ppf "  %-10s %d assigned, %d committed@," name assigned committed)

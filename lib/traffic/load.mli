@@ -32,6 +32,27 @@ type violation = {
   detail : string;
 }
 
+type routing_stats = {
+  topology : string;  (** canonical {!Routing.Topology.to_string} form *)
+  strategy : string;  (** ["shortest"] or ["round-robin"] *)
+  max_splits : int;
+  offered_value : int;  (** payments × value *)
+  committed_value : int;
+      (** value that reached a sink across all paid splits — partially
+          committed payments count their paid splits here even though the
+          payment itself is not [Committed] *)
+  paths_selected : int;  (** path choices summed over admissions *)
+  split_payments : int;  (** payments admitted over more than one path *)
+  partial_payments : int;
+      (** aborted payments where at least one split still paid Bob *)
+  no_route_rejections : int;
+      (** rejected because no disjoint path set could carry the value *)
+  instances : int;  (** protocol instances actually started *)
+  instances_committed : int;
+  instances_settled : int;
+}
+(** Router-level accounting for graph workloads; see {!report.routing}. *)
+
 type report = {
   workload : Workload.t;
   seed : int;
@@ -69,6 +90,11 @@ type report = {
       (** per-committed-payment critical paths, [(payment, report)] in
           payment order; each report's [total] is exactly that payment's
           commit latency ([paid_at - arrived_at]) *)
+  routing : routing_stats option;
+      (** [Some] iff the workload set [topology=]; linear workloads leave
+          this [None] and their reports byte-identical to pre-routing
+          output. For routed runs, [blame_reports] keys are {e instance}
+          ids (payment × max_splits + split index), one per paid split *)
   events : int;
       (** engine events the run dequeued — deterministic, the numerator of
           the events/sec throughput figure *)
@@ -93,6 +119,18 @@ val run :
     pid space (plans address {e hosts} — logical pids [0 .. stride-1] —
     and apply to every payment block, because one crashed escrow host
     takes that escrow down for every payment that routes through it).
+
+    Workloads with [topology = Some g] take the routed path instead: each
+    payment is split by a {!Routing.Router} into up to [splits]
+    edge-disjoint paths, every split runs the unmodified linear protocol
+    over that path's per-edge books, admission reserves each leg's amount
+    by transferring it from the edge's funder account (whose balance {e
+    is} the edge's available liquidity), and closing a settled split
+    sweeps the unspent reservation back. A payment commits iff {e every}
+    split pays its sink; [report.routing] carries the router-level
+    accounting, including partially-paid aborts. Linear workloads
+    ([topology = None]) are dispatched to the original scheduler
+    untouched.
 
     [trace_capacity] bounds the engine trace (default 4096; 0 keeps it
     unbounded). Accounting ingests trace records through a hook as they

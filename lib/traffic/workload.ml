@@ -22,6 +22,9 @@ type t = {
   stuck_after : int;
   drift_ppm : int;
   gst : int option;
+  topology : Routing.Topology.t option;
+  route : Routing.Router.strategy;
+  splits : int;
 }
 
 let default ~payments =
@@ -39,6 +42,9 @@ let default ~payments =
     stuck_after = 0;
     drift_ppm = 10_000;
     gst = None;
+    topology = None;
+    route = Routing.Router.Shortest;
+    splits = 1;
   }
 
 let proto_name = function
@@ -142,20 +148,42 @@ let validate w =
        proceed past a failed deposit (use policy=reserve)"
   else if w.drift_ppm > 0 && List.mem_assoc Naive w.mix then
     err "naive in the mix requires drift=0 (it is only correct without drift)"
+  else if w.splits < 1 then err "splits must be >= 1"
+  else if w.splits > 1 && w.topology = None then
+    err "splits > 1 requires a topology= graph to split across"
+  else if w.topology <> None && w.policy = Optimistic then
+    err
+      "graph routing requires policy=reserve: admission reserves each \
+       split's legs against per-edge liquidity"
+  else if w.topology <> None && w.liquidity <> 0 then
+    err
+      "liquidity is per-edge under topology= (set it in the topology spec, \
+       0 = unbounded)"
   else
     match w.gst with
     | Some g when g < 0 -> err "gst must be >= 0"
     | _ -> Ok ()
 
 let to_string w =
-  Printf.sprintf
-    "payments=%d hops=%d value=%d commission=%d arrival=%s mix=%s policy=%s \
-     cap=%d liquidity=%d patience=%d stuck=%d drift=%d gst=%s"
-    w.payments w.hops w.value w.commission
-    (arrival_to_string w.arrival)
-    (mix_to_string w.mix) (policy_name w.policy) w.cap w.liquidity w.patience
-    w.stuck_after w.drift_ppm
-    (match w.gst with None -> "none" | Some g -> string_of_int g)
+  let base =
+    Printf.sprintf
+      "payments=%d hops=%d value=%d commission=%d arrival=%s mix=%s policy=%s \
+       cap=%d liquidity=%d patience=%d stuck=%d drift=%d gst=%s"
+      w.payments w.hops w.value w.commission
+      (arrival_to_string w.arrival)
+      (mix_to_string w.mix) (policy_name w.policy) w.cap w.liquidity w.patience
+      w.stuck_after w.drift_ppm
+      (match w.gst with None -> "none" | Some g -> string_of_int g)
+  in
+  (* graph keys only when a topology is set, so linear workloads keep their
+     pre-routing spec lines byte-for-byte *)
+  match w.topology with
+  | None -> base
+  | Some t ->
+      Printf.sprintf "%s topology=%s route=%s splits=%d" base
+        (Routing.Topology.to_string t)
+        (Routing.Router.strategy_name w.route)
+        w.splits
 
 let of_string s =
   let ( let* ) = Result.bind in
@@ -175,6 +203,11 @@ let of_string s =
           | Some n -> Ok (set n)
           | None -> Error (Printf.sprintf "%s wants an integer, got %S" key v)
         in
+        (* name the offending key in sub-parser errors, so a bad value in a
+           13-key spec line points at itself *)
+        let keyed r =
+          Result.map_error (fun e -> Printf.sprintf "%s: %s" key e) r
+        in
         match key with
         | "payments" -> int_field (fun n -> { w with payments = n })
         | "hops" -> int_field (fun n -> { w with hops = n })
@@ -186,17 +219,24 @@ let of_string s =
         | "stuck" -> int_field (fun n -> { w with stuck_after = n })
         | "drift" -> int_field (fun n -> { w with drift_ppm = n })
         | "arrival" ->
-            let* a = arrival_of_string v in
+            let* a = keyed (arrival_of_string v) in
             Ok { w with arrival = a }
         | "mix" ->
-            let* mix = mix_of_string v in
+            let* mix = keyed (mix_of_string v) in
             Ok { w with mix }
         | "policy" ->
-            let* p = policy_of_string v in
+            let* p = keyed (policy_of_string v) in
             Ok { w with policy = p }
         | "gst" ->
             if v = "none" then Ok { w with gst = None }
             else int_field (fun n -> { w with gst = Some n })
+        | "topology" ->
+            let* t = keyed (Routing.Topology.of_string v) in
+            Ok { w with topology = Some t }
+        | "route" ->
+            let* r = keyed (Routing.Router.strategy_of_string v) in
+            Ok { w with route = r }
+        | "splits" -> int_field (fun n -> { w with splits = n })
         | _ -> Error (Printf.sprintf "unknown workload key %S" key))
   in
   let* w = List.fold_left parse (Ok (default ~payments:1)) fields in

@@ -59,12 +59,23 @@ type t = {
           stuck; 0 = derived from the mix's protocol horizons *)
   drift_ppm : int;
   gst : int option;  (** [Some g]: partially-synchronous network with GST g *)
+  topology : Routing.Topology.t option;
+      (** [Some t]: payments route source→sink over the escrow graph [t]
+          instead of the linear [hops] chain (which [t] then supersedes);
+          liquidity and commissions come from the graph's edges. [None]
+          preserves the linear behavior bit-for-bit. *)
+  route : Routing.Router.strategy;
+      (** path-selection strategy under a graph topology *)
+  splits : int;
+      (** max edge-disjoint paths one payment may split across; 1 =
+          single-path routing *)
 }
 
 val default : payments:int -> t
 (** 2 hops, value 1000, commission 10, poisson gap 40, mix [sync:1],
     reserve policy, unlimited cap, ample liquidity, patience 2000,
-    derived stuck deadline, drift 10000 ppm, synchronous network. *)
+    derived stuck deadline, drift 10000 ppm, synchronous network, no
+    topology (linear), shortest-cost routing, 1 split. *)
 
 val proto_name : proto -> string
 val proto_of_string : string -> (proto, string) result
@@ -82,11 +93,17 @@ val policy_of_string : string -> (policy, string) result
 val validate : t -> (unit, string) result
 (** Structural sanity plus the policy/protocol compatibility rules:
     [Optimistic] forbids [Sync]/[Naive] in the mix (their escrows barrel
-    ahead on a failed deposit), and [Naive] requires [drift_ppm = 0]
-    (the naive protocol is only correct without drift — E3's point). *)
+    ahead on a failed deposit), [Naive] requires [drift_ppm = 0] (the
+    naive protocol is only correct without drift — E3's point), and a
+    graph [topology] requires [Reserve] (routed admission reserves each
+    split's legs against per-edge liquidity) with the [liquidity] knob
+    left at 0 (edge liquidity lives in the topology spec). *)
 
 val to_string : t -> string
-(** The one-line grammar above; [of_string (to_string w)] = [Ok w]. *)
+(** The one-line grammar above; [of_string (to_string w)] = [Ok w] up to
+    topology normalization. The [topology=]/[route=]/[splits=] keys are
+    printed only when a topology is set, so linear workloads keep their
+    historical spec lines byte-for-byte. *)
 
 val of_string : string -> (t, string) result
 

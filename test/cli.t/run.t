@@ -343,6 +343,88 @@ Bad specs, incompatible policies and malformed plans are usage errors:
   xchain load: bad fault plan (--plan): unrecognised clause "flood 1"
   [2]
 
+A malformed value inside the multi-key spec line names its own key:
+
+  $ xchain load --spec 'payments=5 arrival=fibonacci:3'
+  xchain load: bad --spec: arrival: unrecognised arrival "fibonacci:3"
+  [2]
+  $ xchain load --spec 'payments=5 topology=ring:4'
+  xchain load: bad --spec: topology: unknown topology family "ring"
+  [2]
+
+Payment-graph routing (docs/routing.md): `xchain route` analyses a
+topology — candidate disjoint paths, the max-flow ceiling, and the split
+a router would pick for a value:
+
+  $ xchain route 'graph:4;0>1:600:0,0>2:600:0,1>3:600:0,2>3:600:0' --value 1000 --splits 2
+  topology: graph:4;0>1:600:0,0>2:600:0,1>3:600:0,2>3:600:0
+  nodes 4, edges 4, source 0, sink 3
+  max-flow bound: 1200
+  liquidity histogram:
+    100-999    4 edge(s)
+  candidate paths (cost order, max 2):
+    0>1>3  capacity 600
+    0>2>3  capacity 600
+  route 1000 via shortest:
+    0>1>3  carries 600
+    0>2>3  carries 400
+
+Rebalancing proposes batched moves that even out a node's outgoing
+liquidity:
+
+  $ xchain route 'graph:3;0>1:900:0,0>2:100:0,1>2:500:0' --value 100 --rebalance
+  topology: graph:3;0>1:900:0,0>2:100:0,1>2:500:0
+  nodes 3, edges 3, source 0, sink 2
+  max-flow bound: 600
+  liquidity histogram:
+    100-999    3 edge(s)
+  candidate paths (cost order, max 4):
+    0>2  capacity 100
+    0>1>2  capacity 500
+  route 100 via shortest:
+    0>2  carries 100
+  rebalance: 1 move(s), volume 400, 1 batch(es)
+  batch 0:
+    node 0: 0 -> 1 amount 400
+  
+
+A graph workload routes every payment over shared per-edge liquidity;
+each split runs the unmodified linear protocol over its path:
+
+  $ xchain load --payments 6 --topology 'graph:4;0>1:3000:5,0>2:3000:5,1>3:3000:5,2>3:3000:5' --splits 2 --seed 3
+  load: payments=6 hops=2 value=1000 commission=10 arrival=poisson:40 mix=sync:1 policy=reserve cap=0 liquidity=0 patience=2000 stuck=0 drift=10000 gst=none topology=graph:4;0>1:3000:5,0>2:3000:5,1>3:3000:5,2>3:3000:5 route=shortest splits=2
+  seed 3, plan none, engine quiescent
+  payments 6: committed 5, aborted 0, rejected 1, stuck 0, violated 0
+  liquidity rejections 0, conservation ok
+  latency ticks p50 389, p95 444, p99 444, max 444
+  makespan 12673 ticks, throughput 394 commits/Mtick, peak in-flight 5
+  routing shortest over graph:4;0>1:3000:5,0>2:3000:5,1>3:3000:5,2>3:3000:5: 6 paths, 1 split, 0 partial
+    value 5000/6000 committed, 6/6 instances paid, 1 no-route
+    sync       6 assigned, 5 committed
+  
+
+Graph runs shard over fleet domains like linear ones — stripped reports
+are byte-identical for any -j:
+
+  $ xchain load --payments 6 --topology 'hub:3:3000:5' --splits 2 --seed 3 --replications 2 -j 1 --out g1.json > /dev/null
+  $ xchain load --payments 6 --topology 'hub:3:3000:5' --splits 2 --seed 3 --replications 2 -j 4 --out g4.json > /dev/null
+  $ sed 's/,"timing":{[^}]*}//g' g1.json > g1.stripped
+  $ sed 's/,"timing":{[^}]*}//g' g4.json > g4.stripped
+  $ cmp g1.stripped g4.stripped && echo deterministic
+  deterministic
+
+chaos and hunt study one payment, so --topology reduces to the path the
+router would pick — or a clean refusal when the graph cannot carry the
+payment:
+
+  $ xchain chaos --topology 'hub:3' --seed 3 --plan 'crash 1@100'
+  plan: crash 1@100
+  classification: stuck
+
+  $ xchain chaos --topology 'graph:3;0>1:500:600,1>2:500:10' --seed 3
+  xchain chaos: --topology: no route: 1 disjoint path(s) carry at most 490 of 1000
+  [2]
+
 Causal tracing reconstructs one payment's happens-before graph and
 decomposes its end-to-end latency along the critical path — under a late
 GST the protocol still commits (the paper's success guarantee) and the

@@ -74,6 +74,9 @@ let wl_gen =
       stuck_after = 0;
       drift_ppm = 0;
       gst = None;
+      topology = None;
+      route = Routing.Router.Shortest;
+      splits = 1;
     })
 
 let wl_arb =
@@ -92,6 +95,42 @@ let workload_tests =
         match Workload.of_string (Workload.to_string w) with
         | Ok w' -> Alcotest.(check bool) "equal" true (w = w')
         | Error e -> Alcotest.fail e);
+    Alcotest.test_case "parse errors name the offending key" `Quick
+      (fun () ->
+        let base = Workload.to_string (Workload.default ~payments:10) in
+        let broken key bad =
+          (* swap one key's value for garbage inside an otherwise-valid
+             spec; the error must say which key refused it *)
+          String.split_on_char ' ' base
+          |> List.map (fun kv ->
+                 match String.index_opt kv '=' with
+                 | Some i when String.sub kv 0 i = key -> key ^ "=" ^ bad
+                 | _ -> kv)
+          |> String.concat " "
+        in
+        List.iter
+          (fun (key, bad) ->
+            match Workload.of_string (broken key bad) with
+            | Ok _ -> Alcotest.failf "%s=%s should not parse" key bad
+            | Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%S names %s" e key)
+                  true
+                  (String.length e >= String.length key
+                  && String.sub e 0 (String.length key) = key))
+          [
+            ("arrival", "fibonacci:3");
+            ("mix", "sync:0");
+            ("policy", "yolo");
+            ("payments", "many");
+          ];
+        match
+          Workload.of_string (base ^ " topology=graph:9;nonsense route=warp")
+        with
+        | Ok _ -> Alcotest.fail "bad topology accepted"
+        | Error e ->
+            Alcotest.(check bool) "topology error is keyed" true
+              (String.length e >= 8 && String.sub e 0 8 = "topology"));
     Alcotest.test_case "optimistic forbids sync and naive" `Quick (fun () ->
         let w =
           {
