@@ -193,6 +193,74 @@ let dump_prof ?(top = 15) ~table prof ~profile_out ~collapsed_out =
       write_sink collapsed_out (Obsv.Prof.to_collapsed p))
     prof
 
+(* --- online runtime verification (chaos / load / hunt) --- *)
+
+let monitor_flag =
+  Arg.(
+    value & flag
+    & info [ "monitor" ]
+        ~doc:
+          "Arm the online runtime monitor: the safety subset is re-checked \
+           after every engine dispatch, so the run reports the exact \
+           sim-time of first breach. The final verdict always agrees with \
+           the post-hoc report. See docs/observability.md, section Runtime \
+           verification.")
+
+let stop_on_violation_flag =
+  Arg.(
+    value & flag
+    & info [ "stop-on-violation" ]
+        ~doc:
+          "End the run at the first safety breach (implies --monitor): the \
+           engine exits with status violation-stop at the exact sim-time \
+           the monitor tripped.")
+
+let series_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "series-out" ] ~docv:"FILE"
+        ~doc:
+          "Sample sim-time telemetry (queue depth, in-flight work, \
+           per-escrow liquidity) on a fixed interval and write the series \
+           as JSON lines to $(docv) ('-' for stdout). Deterministic.")
+
+let bundle_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bundle-out" ] ~docv:"FILE"
+        ~doc:
+          "On a safety violation or a stuck run, write the forensic \
+           flight-recorder bundle — first breach, the last events before \
+           it, a causal-DAG slice, a metrics snapshot and the one-line \
+           repro — as JSON to $(docv) ('-' for stdout). Deterministic: \
+           replaying the repro reproduces the bundle byte for byte.")
+
+(* --monitor/--stop-on-violation/--bundle-out arm the monitor; --series-out
+   arms the sampler; --bundle-out arms the flight-recorder ring *)
+let watch_wanted ~monitor ~stop_on_violation ~series_out ~bundle_out =
+  let monitor =
+    if monitor || stop_on_violation || bundle_out <> None then
+      Some (Obsv.Monitor.create ~stop_on_violation ())
+    else None
+  in
+  let sampler = Option.map (fun _ -> Obsv.Sampler.create ()) series_out in
+  let recorder = Option.map (fun _ -> Obsv.Recorder.create ()) bundle_out in
+  (monitor, sampler, recorder)
+
+let print_monitor_verdict monitor =
+  Option.iter
+    (fun m ->
+      match Obsv.Monitor.first_trip m with
+      | Some tr ->
+          Fmt.pr "monitor: first breach %s at t=%d: %s@."
+            tr.Obsv.Monitor.property tr.Obsv.Monitor.at
+            tr.Obsv.Monitor.detail
+      | None ->
+          Fmt.pr "monitor: clean after %d steps@." (Obsv.Monitor.steps m))
+    monitor
+
 (* ------------------------------- pay ---------------------------------- *)
 
 let protocol_conv =
@@ -476,6 +544,21 @@ let metrics_cmd =
           (Deals.Deal_runner.default_config
              (Deals.Deal.two_party_swap ())
              Deals.Deal_runner.Timelock));
+    silently (fun () ->
+        (* a routed load registers the xchain_load_* / xchain_route_*
+           families the linear probes never touch *)
+        let topology =
+          match Routing.Topology.of_string "hub:3:3000:5" with
+          | Ok t -> Some t
+          | Error _ -> assert false
+        in
+        Traffic.Load.run
+          ~workload:
+            { (Traffic.Workload.default ~payments:4) with
+              Traffic.Workload.topology;
+              splits = 2;
+            }
+          ~seed:1 ());
     if full then print_string (Obsv.Prometheus.render Obsv.Metrics.default)
     else begin
       Fmt.pr "# metric families registered after probe workloads@.";
@@ -629,13 +712,29 @@ let surface_bad_plan ~cmd f =
 
 let chaos_cmd =
   let run protocol hops topology seed plan plan_file soak runs j out repro_out
-      metrics_out trace_out dag_out blame profile profile_out collapsed_out =
+      metrics_out trace_out dag_out blame profile profile_out collapsed_out
+      fault_specs monitor stop_on_violation series_out bundle_out =
     let protocol = runner_protocol_of protocol in
     let hops = hops_of_topology ~cmd:"chaos" ~value:1000 ~hops topology in
     if out <> None && not soak then begin
       Fmt.epr "xchain chaos: --out requires --soak@.";
       exit 2
     end;
+    if soak && (stop_on_violation || series_out <> None || fault_specs <> [])
+    then begin
+      Fmt.epr
+        "xchain chaos: --soak is incompatible with \
+         --stop-on-violation/--series-out/--fault (replay a single run \
+         from its repro line for per-run telemetry)@.";
+      exit 2
+    end;
+    let faults =
+      let topo = Topology.create ~hops in
+      try List.map (parse_fault topo) fault_specs
+      with Failure m ->
+        Fmt.epr "xchain chaos: %s@." m;
+        exit 2
+    in
     let parse_plan ~what s =
       match Faults.Fault_plan.of_string s with
       | Ok p -> p
@@ -658,9 +757,28 @@ let chaos_cmd =
     let code =
       if soak then begin
         let domains = resolve_domains ~cmd:"chaos" j in
+        (* live tty health line: outcome taxonomy instead of a bare
+           completion count, only when the monitor is armed *)
+        let on_health =
+          if monitor && Unix.isatty Unix.stderr then
+            Some
+              (fun (h : Xchain.Chaos.health) ->
+                Printf.eprintf
+                  "\rchaos soak: %d/%d commit:%d abort:%d stuck:%d \
+                   violation:%d%!"
+                  h.Xchain.Chaos.h_done h.Xchain.Chaos.h_total
+                  h.Xchain.Chaos.h_commits h.Xchain.Chaos.h_aborts
+                  h.Xchain.Chaos.h_stuck h.Xchain.Chaos.h_violations;
+                if h.Xchain.Chaos.h_done >= h.Xchain.Chaos.h_total then
+                  prerr_newline ())
+          else None
+        in
+        let on_progress =
+          if on_health <> None then None else tty_progress "chaos soak"
+        in
         let s =
           Xchain.Chaos.soak ~hops ~protocol ~runs ~seed ~domains ?prof
-            ?on_progress:(tty_progress "chaos soak") ()
+            ~monitor ?on_progress ?on_health ()
         in
         Fmt.pr "%a@." Xchain.Chaos.pp_summary s;
         dump_prof ~table:profile prof ~profile_out ~collapsed_out;
@@ -673,13 +791,40 @@ let chaos_cmd =
             in
             write_sink (Some file)
               (String.concat "" (List.map (fun l -> l ^ "\n") lines)));
+        (* forensic bundle for the soak's first violation: replay it with
+           the full watch armed — same (seed, plan), so the replay is the
+           violating run, bit for bit *)
+        (match (bundle_out, s.Xchain.Chaos.violations) with
+        | Some _, v :: _ ->
+            let m = Obsv.Monitor.create () in
+            let rc = Obsv.Recorder.create () in
+            let c = Obsv.Causal.create () in
+            let r =
+              Xchain.Chaos.run_one ~hops ~protocol ~causal:c ~monitor:m
+                ~recorder:rc ~plan:v.Xchain.Chaos.plan
+                ~seed:v.Xchain.Chaos.seed ()
+            in
+            write_sink bundle_out
+              (Xchain.Chaos.bundle ~causal:c ~monitor:m ~recorder:rc r)
+        | _ -> ());
         if s.Xchain.Chaos.violations = [] then 0 else 1
       end
       else begin
-        let causal = causal_wanted ~trace_out ~dag_out ~blame in
+        let mon, sampler, recorder =
+          watch_wanted ~monitor ~stop_on_violation ~series_out ~bundle_out
+        in
+        let causal =
+          match
+            (causal_wanted ~trace_out ~dag_out ~blame, bundle_out)
+          with
+          | Some c, _ -> Some c
+          | None, Some _ -> Some (Obsv.Causal.create ())
+          | None, None -> None
+        in
         let r =
           surface_bad_plan ~cmd:"chaos" (fun () ->
-              Xchain.Chaos.run_one ~hops ~protocol ?causal ?prof ~plan ~seed ())
+              Xchain.Chaos.run_one ~hops ~protocol ?causal ?prof ?monitor:mon
+                ?sampler ?recorder ~faults ~plan ~seed ())
         in
         Fmt.pr "plan: %a@.classification: %s@." Faults.Fault_plan.pp
           r.Xchain.Chaos.plan
@@ -689,6 +834,17 @@ let chaos_cmd =
             Fmt.pr "violated %s: %s@." v.Props.Verdict.property
               v.Props.Verdict.detail)
           r.Xchain.Chaos.failures;
+        print_monitor_verdict mon;
+        (match sampler with
+        | None -> ()
+        | Some s -> write_sink series_out (Obsv.Sampler.to_jsonl s));
+        (match (recorder, mon, r.Xchain.Chaos.classification) with
+        | ( Some rc,
+            Some m,
+            (Xchain.Chaos.Safety_violation | Xchain.Chaos.Stuck) ) ->
+            write_sink bundle_out
+              (Xchain.Chaos.bundle ?causal ~monitor:m ~recorder:rc r)
+        | _ -> ());
         let cls = Xchain.Chaos.classification_name r.Xchain.Chaos.classification in
         if blame then
           Option.iter
@@ -766,6 +922,13 @@ let chaos_cmd =
              ~doc:"Soak: write one repro line per safety violation to $(docv) \
                    ('-' for stdout).")
   in
+  let faults =
+    Arg.(value & opt_all string []
+         & info [ "fault" ] ~docv:"STRATEGY@ROLE"
+             ~doc:"Byzantine substitution on top of the fault plan, e.g. \
+                   thief-escrow AT e0 (strategy@role), exactly as xchain \
+                   audit --fault; repeatable. Repro lines round-trip it.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run payments under a declarative fault plan (lossy links,               crashes, partitions), or soak hundreds of random plans and check              the safety properties")
@@ -777,13 +940,14 @@ let chaos_cmd =
           $ seed $ plan $ plan_file $ soak $ runs
           $ jobs_arg $ out $ repro_out $ metrics_out_arg $ trace_out_arg
           $ dag_out_arg $ blame_arg $ profile_flag $ profile_out_arg
-          $ collapsed_out_arg)
+          $ collapsed_out_arg $ faults $ monitor_flag
+          $ stop_on_violation_flag $ series_out_arg $ bundle_out_arg)
 
 (* -------------------------------- hunt --------------------------------- *)
 
 let hunt_cmd =
   let run protocol hops topology seed budget gen_size j baseline no_shrink
-      max_shrink_trials out corpus_out repros_out metrics_out =
+      max_shrink_trials out corpus_out repros_out metrics_out bundle_out =
     let protocol = runner_protocol_of protocol in
     let hops = hops_of_topology ~cmd:"hunt" ~value:1000 ~hops topology in
     if budget <= 0 then begin
@@ -810,6 +974,26 @@ let hunt_cmd =
         let lines = Hunt.Search.repro_lines r in
         write_sink (Some file)
           (String.concat "" (List.map (fun l -> l ^ "\n") lines)));
+    (* forensic bundle for the hunt's first violating witness: replay its
+       (seed, plan) with the full watch armed *)
+    (match
+       ( bundle_out,
+         List.find_opt
+           (fun (e : Hunt.Search.entry) ->
+             e.Hunt.Search.classification = Xchain.Chaos.Safety_violation)
+           r.Hunt.Search.corpus )
+     with
+    | Some _, Some e ->
+        let m = Obsv.Monitor.create () in
+        let rc = Obsv.Recorder.create () in
+        let c = Obsv.Causal.create () in
+        let rr =
+          Xchain.Chaos.run_one ~hops ~protocol ~causal:c ~monitor:m
+            ~recorder:rc ~plan:e.Hunt.Search.plan ~seed:e.Hunt.Search.seed ()
+        in
+        write_sink bundle_out
+          (Xchain.Chaos.bundle ~causal:c ~monitor:m ~recorder:rc rr)
+    | _ -> ());
     dump_telemetry ~metrics_out ~spans_out:None;
     if r.Hunt.Search.violations > 0 then 1 else 0
   in
@@ -885,7 +1069,7 @@ let hunt_cmd =
                  path-shape bucket."
           $ seed $ budget $ gen_size $ jobs_arg
           $ baseline $ no_shrink $ max_shrink_trials $ out $ corpus_out
-          $ repros_out $ metrics_out_arg)
+          $ repros_out $ metrics_out_arg $ bundle_out_arg)
 
 (* ------------------------------- explore ------------------------------- *)
 
@@ -1071,7 +1255,8 @@ let load_cmd =
   let run spec payments hops value commission arrival mix policy cap liquidity
       topology route splits patience stuck drift gst seed plan plan_file
       trace_cap replications j out metrics_out spans_out trace_out dag_out
-      blame profile profile_out collapsed_out =
+      blame profile profile_out collapsed_out monitor stop_on_violation
+      series_out bundle_out =
     arm_span_capture spans_out;
     let fail fmt = Fmt.kstr (fun s -> Fmt.epr "xchain load: %s@." s; exit 2) fmt in
     let workload =
@@ -1128,11 +1313,12 @@ let load_cmd =
       if
         spans_out <> None || trace_out <> None || dag_out <> None || blame
         || metrics_out <> None || profile || profile_out <> None
-        || collapsed_out <> None
+        || collapsed_out <> None || monitor || stop_on_violation
+        || series_out <> None || bundle_out <> None
       then
         fail
           "--replications > 1 is incompatible with \
-           --spans-out/--metrics-out/--trace-out/--dag-out/--blame/--profile \
+           --spans-out/--metrics-out/--trace-out/--dag-out/--blame/--profile/--monitor/--series-out/--bundle-out \
            (run a single replication for per-run telemetry)";
       let domains = resolve_domains ~cmd:"load" j in
       Obsv.Span.set_capture Obsv.Span.default false;
@@ -1200,15 +1386,65 @@ let load_cmd =
           write_sink out (Buffer.contents buf));
       exit (if clean then 0 else 1)
     end;
-    let causal = causal_wanted ~trace_out ~dag_out ~blame in
+    let mon, sampler, recorder =
+      watch_wanted ~monitor ~stop_on_violation ~series_out ~bundle_out
+    in
+    let causal =
+      match (causal_wanted ~trace_out ~dag_out ~blame, bundle_out) with
+      | Some c, _ -> Some c
+      | None, Some _ -> Some (Obsv.Causal.create ())
+      | None, None -> None
+    in
     let prof = prof_wanted ~profile ~profile_out ~collapsed_out in
     let report =
       try
-        Traffic.Load.run ?causal ?prof ~plan ~trace_capacity:trace_cap
-          ~workload ~seed ()
+        Traffic.Load.run ?causal ?prof ?monitor:mon ?sampler ?recorder ~plan
+          ~trace_capacity:trace_cap ~workload ~seed ()
       with Invalid_argument e -> fail "%s" e
     in
     Fmt.pr "%a@." Traffic.Load.pp_summary report;
+    print_monitor_verdict mon;
+    (match sampler with
+    | None -> ()
+    | Some s -> write_sink series_out (Obsv.Sampler.to_jsonl s));
+    (match (recorder, mon) with
+    | Some rc, Some m ->
+        let failed =
+          report.Traffic.Load.violations <> []
+          || (not report.Traffic.Load.conservation_ok)
+          || report.Traffic.Load.stuck > 0
+        in
+        if failed then begin
+          let reason, property, detail, at =
+            match Obsv.Monitor.first_trip m with
+            | Some tr ->
+                ( "violation",
+                  tr.Obsv.Monitor.property,
+                  tr.Obsv.Monitor.detail,
+                  tr.Obsv.Monitor.at )
+            | None ->
+                ( "stuck",
+                  "-",
+                  "unsettled payments when the run stopped",
+                  report.Traffic.Load.makespan )
+          in
+          let repro =
+            Printf.sprintf "xchain load --spec '%s' --seed %d%s"
+              (Traffic.Workload.to_string workload)
+              seed
+              (if Faults.Fault_plan.is_none plan then ""
+               else
+                 Printf.sprintf " --plan '%s'"
+                   (Faults.Fault_plan.to_string plan))
+          in
+          let dag = Option.map Xchain.Chaos.dag_slice_json causal in
+          write_sink bundle_out
+            (Obsv.Recorder.bundle_json ~reason ~property ~detail ~at ~repro
+               ?dag
+               ~metrics:(Obsv.Metrics.to_json Obsv.Metrics.default)
+               rc)
+        end
+    | _ -> ());
     if blame then
       Option.iter
         (fun agg -> Fmt.pr "%a@." Obsv.Blame.pp_agg agg)
@@ -1356,7 +1592,8 @@ let load_cmd =
       $ route $ splits $ patience $ stuck $ drift $ gst $ seed $ plan
       $ plan_file $ trace_cap $ replications $ jobs_arg $ out $ metrics_out_arg
       $ spans_out_arg $ trace_out_arg $ dag_out_arg $ blame_arg $ profile_flag
-      $ profile_out_arg $ collapsed_out_arg)
+      $ profile_out_arg $ collapsed_out_arg $ monitor_flag
+      $ stop_on_violation_flag $ series_out_arg $ bundle_out_arg)
 
 (* -------------------------------- route -------------------------------- *)
 
@@ -1534,7 +1771,7 @@ let route_cmd =
 
 let profile_cmd =
   let run workload payments hops arrival mix protocol runs seed top out
-      profile_out collapsed_out =
+      profile_out collapsed_out topology splits =
     let prof = Obsv.Prof.create ~now_ns:Fleet.now_ns () in
     let code =
       match workload with
@@ -1558,6 +1795,8 @@ let profile_cmd =
               arrival =
                 parse "--arrival" Traffic.Workload.arrival_of_string arrival;
               mix = parse "--mix" Traffic.Workload.mix_of_string mix;
+              topology;
+              splits;
             }
           in
           let report =
@@ -1575,6 +1814,9 @@ let profile_cmd =
           else 1
       | "chaos" ->
           let protocol = runner_protocol_of protocol in
+          let hops =
+            hops_of_topology ~cmd:"profile" ~value:1000 ~hops topology
+          in
           let s =
             Xchain.Chaos.soak ~hops ~protocol ~runs ~seed ~prof
               ?on_progress:(tty_progress "profile chaos") ()
@@ -1584,6 +1826,9 @@ let profile_cmd =
           if s.Xchain.Chaos.violations = [] then 0 else 1
       | "explore" -> (
           let protocol = runner_protocol_of protocol in
+          let hops =
+            hops_of_topology ~cmd:"profile" ~value:1000 ~hops topology
+          in
           match
             Xchain.Explore.sweep ~hops ~prof
               ?on_progress:(tty_progress "profile explore") ~protocol ()
@@ -1647,6 +1892,12 @@ let profile_cmd =
                    ('-' for stdout), exactly as the underlying command \
                    would.")
   in
+  let splits =
+    Arg.(value & opt int 1
+         & info [ "splits" ] ~docv:"N"
+             ~doc:"Load: max edge-disjoint paths a payment may split across \
+                   (requires --topology).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -1657,7 +1908,13 @@ let profile_cmd =
           timing/prof_timing blocks")
     Term.(
       const run $ workload $ payments $ hops $ arrival $ mix $ protocol $ runs
-      $ seed $ top $ out $ profile_out_arg $ collapsed_out_arg)
+      $ seed $ top $ out $ profile_out_arg $ collapsed_out_arg
+      $ topology_arg
+          ~extra:
+            "Load: payments route over the graph's per-edge liquidity; \
+             chaos/explore: the hop count becomes the cheapest \
+             source-to-sink path's length (overrides --hops)."
+      $ splits)
 
 (* -------------------------------- dot ---------------------------------- *)
 

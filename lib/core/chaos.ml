@@ -17,6 +17,7 @@ type run_result = {
   hops : int;
   protocol : Runner.protocol;
   plan : Fault_plan.t;
+  faults : (int * Protocols.Byzantine.t) list;
   classification : classification;
   failures : V.t list;
   status : Sim.Engine.status;
@@ -26,6 +27,9 @@ type run_result = {
   settled_node : int;
   fired : int array;
   injected : int array;
+  breach_at : int;
+      (* sim-time the online monitor first tripped; -1 when unmonitored
+         or nothing ever tripped *)
 }
 
 (* the CLI's -p spelling of a protocol, for repro lines *)
@@ -67,14 +71,61 @@ let classify view report =
     ((if settled then Safe_abort else Stuck), [])
   end
 
-let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ?prof ~plan
-    ~seed () =
+(* Register the safety subset as online monitor checks over the live run.
+   Each closure re-derives the post-hoc view from the provisional outcome
+   — the books and the trace it reads are the run's own mutable state —
+   so the monitor's final verdict set IS the post-hoc [safety_report]
+   evaluated at the final state, by construction. *)
+let register_safety_checks m (o : Runner.outcome) =
+  let reg name check =
+    Obsv.Monitor.register m ~name (fun () ->
+        let v = check (P.view o) in
+        if v.V.applicable && not v.V.holds then Some v.V.detail else None)
+  in
+  reg "C" P.check_c;
+  reg "ES" P.check_es;
+  reg "CS1" P.check_cs1;
+  reg "CS2" P.check_cs2;
+  reg "CS3" P.check_cs3;
+  Obsv.Monitor.register m ~name:"M" (fun () ->
+      if P.money_conserved (P.view o) then None
+      else Some "money not conserved across books")
+
+(* Probe columns for a single-payment chaos run: engine queue depth plus
+   each escrow book's pooled (escrowed) funds. *)
+let install_probe s (o : Runner.outcome) =
+  let books = o.Runner.env.Protocols.Env.books in
+  let n = Array.length books in
+  let columns =
+    "queue_depth" :: List.init n (fun i -> Printf.sprintf "escrow%d_pool" i)
+  in
+  Obsv.Sampler.set_probe s ~columns (fun () ->
+      Array.init (n + 1) (fun i ->
+          if i = 0 then Sim.Engine.queue_depth o.Runner.engine
+          else Ledger.Book.pool_total books.(i - 1)))
+
+let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ?prof
+    ?monitor ?sampler ?recorder ?(faults = []) ~plan ~seed () =
+  let on_ready =
+    match (monitor, sampler) with
+    | None, None -> None
+    | _ ->
+        Some
+          (fun o ->
+            Option.iter (fun m -> register_safety_checks m o) monitor;
+            Option.iter (fun s -> install_probe s o) sampler)
+  in
   let cfg =
     {
       (Runner.default_config ~hops ~seed) with
       fault_plan = Some plan;
       causal;
       prof;
+      monitor;
+      sampler;
+      recorder;
+      on_ready;
+      faults;
     }
   in
   let outcome = Runner.run cfg protocol in
@@ -93,6 +144,7 @@ let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ?prof ~plan
     hops;
     protocol;
     plan;
+    faults;
     classification;
     failures;
     status = outcome.Runner.status;
@@ -102,12 +154,83 @@ let run_one ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?causal ?prof ~plan
     settled_node = outcome.Runner.settled_node;
     fired;
     injected;
+    breach_at =
+      (match monitor with None -> -1 | Some m -> Obsv.Monitor.breach_at m);
   }
 
+(* The --fault spelling of a Byzantine substitution, inverse of the CLI's
+   strategy@role grammar. *)
+let fault_flag ~hops (pid, strategy) =
+  let topo = Topology.create ~hops in
+  let role =
+    match Topology.role_of topo pid with
+    | Some Topology.Alice -> "alice"
+    | Some Topology.Bob -> "bob"
+    | Some (Topology.Connector i) -> Printf.sprintf "chloe%d" i
+    | Some (Topology.Escrow i) -> Printf.sprintf "e%d" i
+    | _ -> Printf.sprintf "pid%d" pid
+  in
+  let strat =
+    match Protocols.Byzantine.name strategy with
+    | "crash-at-start" -> "crash"
+    | s -> s
+  in
+  Printf.sprintf "%s@%s" strat role
+
 let repro_line r =
-  Printf.sprintf "xchain chaos -p %s --hops %d --seed %d --plan '%s'"
+  Printf.sprintf "xchain chaos -p %s --hops %d --seed %d --plan '%s'%s"
     (protocol_flag r.protocol) r.hops r.seed
     (Fault_plan.to_string r.plan)
+    (String.concat ""
+       (List.map
+          (fun f -> " --fault " ^ fault_flag ~hops:r.hops f)
+          r.faults))
+
+(* --------------------------- forensic bundle --------------------------- *)
+
+(* The tail of the causal DAG around the breach: node metadata for the
+   last 64 recorded nodes, plus totals, as an embeddable JSON object. *)
+let dag_slice_json c =
+  let n = Obsv.Causal.node_count c in
+  let first = max 0 (n - 64) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '[';
+  for i = first to n - 1 do
+    if i > first then Buffer.add_char buf ',';
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"id\":%d,\"kind\":\"%s\",\"pid\":%d,\"t\":%d,\"label\":\"%s\"}" i
+         (Obsv.Causal.kind_name (Obsv.Causal.kind_of c i))
+         (Obsv.Causal.pid_of c i) (Obsv.Causal.time_of c i)
+         (Obsv.Metrics.json_escape (Obsv.Causal.label_of c i)))
+  done;
+  Buffer.add_char buf ']';
+  Printf.sprintf "{\"nodes\":%d,\"edges\":%d,\"slice_from\":%d,\"slice\":%s}" n
+    (Obsv.Causal.edge_count c) first (Buffer.contents buf)
+
+let bundle ?causal ~monitor ~recorder r =
+  let reason, property, detail, at =
+    match Obsv.Monitor.first_trip monitor with
+    | Some tr ->
+        ( "violation",
+          tr.Obsv.Monitor.property,
+          tr.Obsv.Monitor.detail,
+          tr.Obsv.Monitor.at )
+    | None -> ("stuck", "-", "unsettled when the run stopped", r.end_time)
+  in
+  let dag = Option.map dag_slice_json causal in
+  (* per-run figures, not the process-global registry: a bundle must be
+     byte-identical whenever its (seed, plan) replays, even from a
+     process that has already run other payments *)
+  let metrics =
+    let inj i = if Array.length r.injected > i then r.injected.(i) else 0 in
+    Printf.sprintf
+      "{\"classification\":\"%s\",\"end_time\":%d,\"events\":%d,\"injected\":{\"drops\":%d,\"dups\":%d,\"corruptions\":%d,\"partition_suppressions\":%d}}"
+      (classification_name r.classification)
+      r.end_time r.events (inj 0) (inj 1) (inj 2) (inj 3)
+  in
+  Obsv.Recorder.bundle_json ~reason ~property ~detail ~at
+    ~repro:(repro_line r) ?dag ~metrics recorder
 
 type summary = {
   runs : int;
@@ -120,8 +243,17 @@ type summary = {
   wall_ns : int;
 }
 
+type health = {
+  h_done : int;
+  h_total : int;
+  h_commits : int;
+  h_aborts : int;
+  h_stuck : int;
+  h_violations : int;
+}
+
 let soak ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?(runs = 200) ?domains
-    ?prof ?on_progress ~seed () =
+    ?prof ?(monitor = false) ?on_progress ?on_health ~seed () =
   (* a profiler is single-threaded mutable state: profiled soaks run on
      one domain so every dispatch lands in the same accumulator set *)
   let domains = match prof with Some _ -> Some 1 | None -> domains in
@@ -134,11 +266,43 @@ let soak ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?(runs = 200) ?domains
      alone (the plan included), so a single run replays from its printed
      repro without re-running the sweep — and the job is pure, which is
      what lets the fleet shard it across domains. *)
+  (* live health counters: jobs bump them from their own domains, the
+     calling domain renders them inside Fleet's progress callback *)
+  let a_commits = Atomic.make 0
+  and a_aborts = Atomic.make 0
+  and a_stuck = Atomic.make 0
+  and a_violations = Atomic.make 0 in
   let job i =
     let run_seed = seed + i in
     let prng = Sim.Rng.create ~seed:(run_seed + 7919) in
     let plan = Fault_plan.random prng ~nprocs ~horizon in
-    run_one ~hops ~protocol ?prof ~plan ~seed:run_seed ()
+    let mon = if monitor then Some (Obsv.Monitor.create ()) else None in
+    let r = run_one ~hops ~protocol ?prof ?monitor:mon ~plan ~seed:run_seed () in
+    (match r.classification with
+    | Safe_commit -> Atomic.incr a_commits
+    | Safe_abort -> Atomic.incr a_aborts
+    | Stuck -> Atomic.incr a_stuck
+    | Safety_violation -> Atomic.incr a_violations);
+    r
+  in
+  let on_progress =
+    match on_health with
+    | None -> on_progress
+    | Some health ->
+        Some
+          (fun ~completed ~total ->
+            (match on_progress with
+            | Some f -> f ~completed ~total
+            | None -> ());
+            health
+              {
+                h_done = completed;
+                h_total = total;
+                h_commits = Atomic.get a_commits;
+                h_aborts = Atomic.get a_aborts;
+                h_stuck = Atomic.get a_stuck;
+                h_violations = Atomic.get a_violations;
+              })
   in
   let outcomes, stats = Fleet.run ?domains ?on_progress ~jobs:runs job in
   let commits = ref 0

@@ -34,6 +34,9 @@ type run_result = {
   hops : int;
   protocol : Protocols.Runner.protocol;
   plan : Faults.Fault_plan.t;
+  faults : (int * Protocols.Byzantine.t) list;
+      (** Byzantine strategy substitutions the run carried ([[]] for a
+          plain environment-fault run) *)
   classification : classification;
   failures : Props.Verdict.t list;
       (** the failed verdicts; non-empty iff [Safety_violation] *)
@@ -50,16 +53,33 @@ type run_result = {
   injected : int array;
       (** injection totals [[| drops; dups; corruptions; partition
           suppressions |]] ({!Faults.Injector.kind_counts}) *)
+  breach_at : int;
+      (** sim-time the online monitor first tripped, [-1] when the run
+          was unmonitored or nothing tripped. With [--stop-on-violation]
+          the run's [end_time] equals this breach time. *)
 }
 
 val safety_report : Props.Payment_props.run_view -> Props.Verdict.report
 (** C, ES, CS1, CS2, CS3 plus an [M] (money conservation) verdict. *)
+
+val register_safety_checks : Obsv.Monitor.t -> Protocols.Runner.outcome -> unit
+(** Register the safety subset as online monitor checks over a (live,
+    provisional) outcome — the closures evaluate the {e same} post-hoc
+    predicates as {!safety_report} against the run's own mutable books
+    and trace, which is what makes the monitor's final verdict agree with
+    the post-hoc report by construction. Called by {!run_one}'s
+    [on_ready] hook; exposed for harnesses that assemble their own
+    runner configs. *)
 
 val run_one :
   ?hops:int ->
   ?protocol:Protocols.Runner.protocol ->
   ?causal:Obsv.Causal.t ->
   ?prof:Obsv.Prof.t ->
+  ?monitor:Obsv.Monitor.t ->
+  ?sampler:Obsv.Sampler.t ->
+  ?recorder:Obsv.Recorder.t ->
+  ?faults:(int * Protocols.Byzantine.t) list ->
   plan:Faults.Fault_plan.t ->
   seed:int ->
   unit ->
@@ -68,11 +88,36 @@ val run_one :
     synchronous network) under [plan], classified. [causal] records the
     run's happens-before graph (see {!Protocols.Runner}) and fills
     [paid_node] / [settled_node]; [prof] profiles the run's dispatches
-    ({!Obsv.Prof}). Neither changes the schedule. *)
+    ({!Obsv.Prof}). Neither changes the schedule.
+
+    [monitor] arms online verification of the safety subset on every
+    dispatch (filling [breach_at]); a stop-on-violation monitor ends the
+    run at the first breach with status [Violation_stop]. [sampler]
+    records a sim-time series (queue depth plus per-escrow pooled
+    funds); [recorder] keeps the flight-recorder ring for {!bundle}.
+    [faults] substitutes Byzantine strategies, exactly like
+    [xchain audit --fault]; repro lines include them. *)
 
 val repro_line : run_result -> string
-(** [xchain chaos -p PROTO --hops H --seed N --plan 'P'] — replays this
-    run exactly. *)
+(** [xchain chaos -p PROTO --hops H --seed N --plan 'P' [--fault S@R]…] —
+    replays this run exactly. *)
+
+val dag_slice_json : Obsv.Causal.t -> string
+(** The causal DAG's last (up to) 64 nodes as a JSON object — the slice a
+    forensic bundle embeds. Deterministic. *)
+
+val bundle :
+  ?causal:Obsv.Causal.t ->
+  monitor:Obsv.Monitor.t ->
+  recorder:Obsv.Recorder.t ->
+  run_result ->
+  string
+(** The forensic bundle for a failed run (JSON, one line): first-breach
+    property/detail/sim-time from the monitor (reason ["violation"]), or
+    reason ["stuck"] at [end_time] when nothing tripped; the flight-ring
+    window; the causal-DAG slice when [causal] was armed; a metrics
+    snapshot; and the one-line repro. Deterministic — replaying the
+    repro with the same sinks reproduces the bundle byte for byte. *)
 
 type summary = {
   runs : int;
@@ -86,13 +131,27 @@ type summary = {
                       byte-compared output *)
 }
 
+type health = {
+  h_done : int;
+  h_total : int;
+  h_commits : int;
+  h_aborts : int;
+  h_stuck : int;
+  h_violations : int;
+}
+(** A live mid-soak snapshot of the outcome taxonomy, for tty health
+    lines. Counts are read from cross-domain atomics, so [h_done] may
+    trail the sum of the four outcome counters by in-flight jobs. *)
+
 val soak :
   ?hops:int ->
   ?protocol:Protocols.Runner.protocol ->
   ?runs:int ->
   ?domains:int ->
   ?prof:Obsv.Prof.t ->
+  ?monitor:bool ->
   ?on_progress:(completed:int -> total:int -> unit) ->
+  ?on_health:(health -> unit) ->
   seed:int ->
   unit ->
   summary
@@ -108,7 +167,13 @@ val soak :
     [prof] profiles every run's dispatches into one accumulator set; a
     profiled soak forces [domains = 1] (the profiler is single-threaded
     mutable state), so profile a smaller [runs] count when wall time
-    matters. *)
+    matters.
+
+    [monitor] (default false) arms a fresh online monitor inside every
+    job, so each violating run's [breach_at] carries the exact sim-time
+    of first breach; the monitors never stop runs, so the summary stays
+    byte-identical to an unmonitored soak. [on_health] receives a live
+    taxonomy snapshot at every progress callback. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** One line of counts, then a repro line per violation. Never prints

@@ -74,7 +74,8 @@ let build (outcome : Runner.outcome) =
         (match outcome.Runner.status with
         | Sim.Engine.Quiescent -> "quiescent"
         | Sim.Engine.Horizon_reached -> "horizon reached"
-        | Sim.Engine.Event_limit -> "event limit")
+        | Sim.Engine.Event_limit -> "event limit"
+        | Sim.Engine.Violation_stop -> "violation stop")
   in
   {
     outcome;

@@ -72,7 +72,13 @@ let hunt ?(hops = 2) ?(protocol = Runner.Sync_timebound) ?(gen_size = 50)
   let delta = cfg.Runner.delta + cfg.Runner.sigma in
   let run_plan ~plan ~run_seed =
     let causal = Obsv.Causal.create () in
-    let r = C.run_one ~hops ~protocol ~causal ~plan ~seed:run_seed () in
+    (* the online monitor stamps violating runs with their first-breach
+       sim-time, which the signature buckets: two plans that break the
+       same property at different phases of the run are distinct finds *)
+    let monitor = Obsv.Monitor.create () in
+    let r =
+      C.run_one ~hops ~protocol ~causal ~monitor ~plan ~seed:run_seed ()
+    in
     (r, Signature.to_string (Signature.of_run ~causal ~delta r))
   in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in

@@ -9,6 +9,7 @@ type t = {
   injected : int array;
   clauses : int array;
   path : int;
+  breach : int;
 }
 
 (* log-ish bucket: 0, 1, 2–3, 4–7, 8+ *)
@@ -26,6 +27,13 @@ let share_bucket ~total gap =
     else 4
 
 let cap2 n = Stdlib.min 2 n
+
+(* first-breach sim-time, log-decade buckets: 0 = never tripped (or the
+   run was unmonitored), then early / mid / late / very late *)
+let time_bucket t =
+  if t < 0 then 0 else if t <= 100 then 1 else if t <= 1_000 then 2
+  else if t <= 10_000 then 3
+  else 4
 
 let blame_levels ?causal ~delta (r : C.run_result) =
   match causal with
@@ -84,17 +92,18 @@ let of_run ?causal ~delta (r : C.run_result) =
     (* path-shape bucket: constant for a fixed-hops hunt, it starts
        discriminating when topology-routed runs mix path lengths *)
     path = count_bucket r.C.hops;
+    breach = time_bucket r.C.breach_at;
   }
 
 let digits a =
   String.init (Array.length a) (fun i -> Char.chr (Char.code '0' + a.(i)))
 
 let to_string s =
-  Printf.sprintf "%s|%s|b%s|i%s|c%s|p%d"
+  Printf.sprintf "%s|%s|b%s|i%s|c%s|p%d|t%d"
     (C.classification_name s.classification)
     (String.concat "," s.failed)
     (if Array.length s.blame = 0 then "-" else digits s.blame)
-    (digits s.injected) (digits s.clauses) s.path
+    (digits s.injected) (digits s.clauses) s.path s.breach
 
 let equal a b = to_string a = to_string b
 let compare a b = String.compare (to_string a) (to_string b)

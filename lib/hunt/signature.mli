@@ -35,6 +35,11 @@ type t = {
       (** path-shape bucket ({!count_bucket} of the run's hop count):
           constant for a fixed-hops hunt, discriminating once topology
           routing mixes path lengths in one corpus *)
+  breach : int;
+      (** first-breach sim-time bucket from the online monitor
+          ([run_result.breach_at]): 0 = never tripped, then log-decade
+          buckets (≤100, ≤1k, ≤10k, beyond). Two plans breaking the same
+          property at different phases of the run are distinct finds. *)
 }
 
 val of_run :
@@ -45,7 +50,7 @@ val of_run :
     {!Obsv.Blame.attribute}. *)
 
 val to_string : t -> string
-(** Compact stable key, e.g. ["stuck||b-|i10010|c10110|p2"]. Corpus
+(** Compact stable key, e.g. ["stuck||b-|i10010|c10110|p2|t0"]. Corpus
     files and reports key on this string. *)
 
 val equal : t -> t -> bool

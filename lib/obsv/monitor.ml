@@ -1,0 +1,54 @@
+(* Online runtime verification: named safety checks evaluated against live
+   run state on every engine dispatch. The monitor itself is generic — a
+   check is a closure returning [Some detail] while its property is
+   violated and [None] while it holds — so the harnesses (chaos, load)
+   register closures that read the very same mutable state (ledger books,
+   the trace) their post-hoc verdicts are computed from. Evaluating the
+   same predicates on the same state at the end of the run is what makes
+   the online verdict agree with the post-hoc report by construction. *)
+
+type trip = { property : string; detail : string; at : int }
+
+type check = { name : string; run : unit -> string option }
+
+type t = {
+  mutable checks : check list; (* registration order, reversed *)
+  mutable live : (string * trip) list; (* currently-violated properties *)
+  mutable first_trip : trip option; (* never reset once set *)
+  mutable steps : int;
+  mutable stop_on_violation : bool;
+}
+
+let create ?(stop_on_violation = false) () =
+  { checks = []; live = []; first_trip = None; steps = 0; stop_on_violation }
+
+let register t ~name run = t.checks <- { name; run } :: t.checks
+
+let step t ~at =
+  t.steps <- t.steps + 1;
+  List.iter
+    (fun c ->
+      match c.run () with
+      | None -> if List.mem_assoc c.name t.live then
+            t.live <- List.remove_assoc c.name t.live
+      | Some detail ->
+          if not (List.mem_assoc c.name t.live) then begin
+            let trip = { property = c.name; detail; at } in
+            t.live <- (c.name, trip) :: t.live;
+            if t.first_trip = None then t.first_trip <- Some trip
+          end)
+    t.checks
+
+let finalize t ~at = step t ~at
+
+let violations t =
+  (* registration order, like a post-hoc report *)
+  List.rev (List.map snd t.live)
+
+let first_trip t = t.first_trip
+let steps t = t.steps
+
+let breach_at t =
+  match t.first_trip with None -> -1 | Some trip -> trip.at
+
+let should_stop t = t.stop_on_violation && t.first_trip <> None

@@ -39,9 +39,32 @@ type config = {
   clock_override : (int -> Sim.Clock.t) option;
   causal : Obsv.Causal.t option;
   prof : Obsv.Prof.t option;
+  monitor : Obsv.Monitor.t option;
+  sampler : Obsv.Sampler.t option;
+  recorder : Obsv.Recorder.t option;
+  on_ready : (outcome -> unit) option;
   seed : int;
   horizon : Sim_time.t option;
   max_events : int;
+}
+
+and outcome = {
+  config : config;
+  protocol : protocol;
+  env : Env.t;
+  params : Params.t;
+  engine : (Msg.t, Obs.t) Sim.Engine.t;
+  status : Engine.status;
+  trace : (Msg.t, Obs.t) Trace.t;
+  end_time : Sim_time.t;
+  message_count : int;
+  events : int;
+  fault_names : (int * string) list;
+  tm_pids : int array;
+  clocks : Sim.Clock.t array;
+  paid_node : int;
+  settled_node : int;
+  injector : Faults.Injector.t option;
 }
 
 let default_config ~hops ~seed =
@@ -61,28 +84,14 @@ let default_config ~hops ~seed =
     clock_override = None;
     causal = None;
     prof = None;
+    monitor = None;
+    sampler = None;
+    recorder = None;
+    on_ready = None;
     seed;
     horizon = None;
     max_events = 200_000;
   }
-
-type outcome = {
-  config : config;
-  protocol : protocol;
-  env : Env.t;
-  params : Params.t;
-  status : Engine.status;
-  trace : (Msg.t, Obs.t) Trace.t;
-  end_time : Sim_time.t;
-  message_count : int;
-  events : int;
-  fault_names : (int * string) list;
-  tm_pids : int array;
-  clocks : Sim.Clock.t array;
-  paid_node : int;
-  settled_node : int;
-  injector : Faults.Injector.t option;
-}
 
 let derive_params cfg protocol =
   let drift =
@@ -174,7 +183,8 @@ let run_engine cfg protocol =
   in
   let engine =
     Engine.create ~tag_of:Msg.tag ~network ~sigma:cfg.sigma
-      ?causal:cfg.causal ?prof:cfg.prof ~seed:cfg.seed ()
+      ?causal:cfg.causal ?prof:cfg.prof ?monitor:cfg.monitor
+      ?sampler:cfg.sampler ?recorder:cfg.recorder ~seed:cfg.seed ()
   in
   (* blame anchors: the dispatch context under which Bob's payout was
      released (sink of the commit critical path) and Bob's termination *)
@@ -262,24 +272,46 @@ let run_engine cfg protocol =
     | Some h -> h
     | None -> default_horizon cfg params
   in
+  (* Everything the safety checks read — the env's books, the growing
+     trace, the static fault names — exists before the run starts, so an
+     [on_ready] hook can snapshot a provisional outcome and register
+     online monitor checks / sampler probes over the {e live} state. The
+     placeholder fields (status, end_time, counters) are exactly the ones
+     no safety predicate consults. *)
+  let provisional status =
+    {
+      config = cfg;
+      protocol;
+      env;
+      params;
+      engine;
+      status;
+      trace = Engine.trace engine;
+      end_time = Engine.now engine;
+      message_count = 0;
+      events = Engine.events_processed engine;
+      fault_names;
+      tm_pids;
+      clocks = [||];
+      paid_node = !paid_node;
+      settled_node = !settled_node;
+      injector;
+    }
+  in
+  (match cfg.on_ready with
+  | None -> ()
+  | Some f -> f (provisional Engine.Quiescent));
   let status = Engine.run ~horizon ~max_events:cfg.max_events engine in
   let trace = Engine.trace engine in
   {
-    config = cfg;
-    protocol;
-    env;
-    params;
-    status;
+    (provisional status) with
     trace;
     end_time = Engine.now engine;
     message_count = Trace.message_count trace;
     events = Engine.events_processed engine;
-    fault_names;
-    tm_pids;
     clocks = Array.init nprocs (Engine.clock_of engine);
     paid_node = !paid_node;
     settled_node = !settled_node;
-    injector;
   }
 
 (* ----------------------------- telemetry ------------------------------- *)

@@ -56,21 +56,36 @@ type config = {
       (** arm the dispatch profiler (see {!Sim.Engine.create});
           processes are labeled by role class (alice / chloe / bob /
           escrow / tm). [None] (the default): zero cost. *)
+  monitor : Obsv.Monitor.t option;
+      (** arm online runtime verification (see {!Sim.Engine.create});
+          checks are registered by the [on_ready] hook. [None] (the
+          default): zero cost. *)
+  sampler : Obsv.Sampler.t option;
+      (** arm the sim-time telemetry sampler; the probe is installed by
+          the [on_ready] hook. *)
+  recorder : Obsv.Recorder.t option;
+      (** arm the flight-recorder ring of recent engine events. *)
+  on_ready : (outcome -> unit) option;
+      (** called once, after the scenario is fully assembled and
+          immediately before the engine runs, with a {e provisional}
+          outcome: [env], [engine], [trace], [fault_names], [params],
+          [injector] are live and final, while [status], [end_time] and
+          the counters are placeholders. This is where harnesses register
+          monitor checks and sampler probes over the live run state. *)
   seed : int;
   horizon : Sim.Sim_time.t option;  (** default: generous multiple of the
                                         derived parameter horizon *)
   max_events : int;
 }
 
-val default_config : hops:int -> seed:int -> config
-(** value 1000, commission 10, δ 100, σ 10, drift 1%, margin 5, synchronous
-    network, no adversary, no faults, 200_000 max events. *)
-
-type outcome = {
+and outcome = {
   config : config;
   protocol : protocol;
   env : Env.t;
   params : Params.t;  (** the windows the run actually used *)
+  engine : (Msg.t, Obs.t) Sim.Engine.t;
+      (** the engine itself — live during [on_ready] (sampler probes read
+          {!Sim.Engine.queue_depth} through it), stopped afterwards *)
   status : Sim.Engine.status;
   trace : (Msg.t, Obs.t) Sim.Trace.t;
   end_time : Sim.Sim_time.t;
@@ -92,6 +107,10 @@ type outcome = {
           per-clause activation counters ({!Faults.Injector.clause_hits});
           [None] when the config carried no (non-empty) plan *)
 }
+
+val default_config : hops:int -> seed:int -> config
+(** value 1000, commission 10, δ 100, σ 10, drift 1%, margin 5, synchronous
+    network, no adversary, no faults, 200_000 max events. *)
 
 val run : config -> protocol -> outcome
 (** Validates the config first — hops >= 1, value > 0, commission >= 0,

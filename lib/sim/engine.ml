@@ -60,6 +60,14 @@ and telemetry = {
   m_corrupt_drops : Obsv.Metrics.counter;
 }
 
+(* Runtime-verification hooks, bundled so the dispatch loop pays exactly
+   one [option] match per event when none of the three is armed. *)
+and watch = {
+  mon : Obsv.Monitor.t option;
+  samp : Obsv.Sampler.t option;
+  recd : Obsv.Recorder.t option;
+}
+
 and ('msg, 'obs) t = {
   tag_of : 'msg -> string;
   mangle : ('msg -> Rng.t -> 'msg option) option;
@@ -75,6 +83,7 @@ and ('msg, 'obs) t = {
   tm : telemetry;
   causal : Obsv.Causal.t option;
   prof : Obsv.Prof.t option;
+  watch : watch option;
   (* context of the event being dispatched; [Trace.on_record] hooks read
      [cur_node] to learn which causal node an observation belongs to *)
   mutable cur_node : int;
@@ -128,7 +137,13 @@ let telemetry_handles reg =
   }
 
 let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
-    ?(metrics = Obsv.Metrics.default) ?trace_capacity ?causal ?prof ~seed () =
+    ?(metrics = Obsv.Metrics.default) ?trace_capacity ?causal ?prof ?monitor
+    ?sampler ?recorder ~seed () =
+  let watch =
+    match (monitor, sampler, recorder) with
+    | None, None, None -> None
+    | mon, samp, recd -> Some { mon; samp; recd }
+  in
   {
     tag_of;
     mangle;
@@ -144,6 +159,7 @@ let create ~tag_of ?mangle ~network ?(sigma = Sim_time.zero)
     tm = telemetry_handles metrics;
     causal;
     prof;
+    watch;
     cur_node = -1;
     cur_trace = -1;
     events = 0;
@@ -363,7 +379,7 @@ let halt ctx =
 
 (* --- main loop --- *)
 
-type status = Quiescent | Horizon_reached | Event_limit
+type status = Quiescent | Horizon_reached | Event_limit | Violation_stop
 
 let dispatch t ev =
   match ev with
@@ -502,6 +518,35 @@ let dispatch_profiled t p ev =
       Obsv.Prof.leave p ~label:(proc t pid).prof_label ~kind:Obsv.Prof.Recover
         ~trace:(-1)
 
+(* The armed runtime-verification step: record the event into the flight
+   recorder, advance the sampler, then evaluate the monitor at the current
+   sim-time. Returns [true] when a stop-on-violation monitor tripped. *)
+let watch_step t w ev =
+  (match w.recd with
+  | None -> ()
+  | Some r ->
+      let at = t.clock_now in
+      (match ev with
+      | Deliver { src; dst; msg; _ } ->
+          Obsv.Recorder.record r ~at ~kind:"deliver" ~src ~dst
+            ~label:(t.tag_of msg)
+      | Fire { owner; label; _ } ->
+          Obsv.Recorder.record r ~at ~kind:"fire" ~src:owner ~dst:(-1) ~label
+      | Crash { pid; _ } ->
+          Obsv.Recorder.record r ~at ~kind:"crash" ~src:pid ~dst:(-1)
+            ~label:"crash"
+      | Recover { pid } ->
+          Obsv.Recorder.record r ~at ~kind:"recover" ~src:pid ~dst:(-1)
+            ~label:"recover"));
+  (match w.samp with
+  | None -> ()
+  | Some s -> Obsv.Sampler.tick s ~now:t.clock_now);
+  match w.mon with
+  | None -> false
+  | Some m ->
+      Obsv.Monitor.step m ~at:t.clock_now;
+      Obsv.Monitor.should_stop m
+
 let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
   if not t.started then begin
     t.started <- true;
@@ -529,10 +574,19 @@ let run ?(horizon = Sim_time.infinity) ?(max_events = 1_000_000) t =
               (match t.prof with
               | None -> dispatch t ev
               | Some p -> dispatch_profiled t p ev);
-              loop (n + 1))
+              (* same contract for runtime verification: unarmed engines
+                 pay exactly this one match *)
+              match t.watch with
+              | None -> loop (n + 1)
+              | Some w ->
+                  if watch_step t w ev then Violation_stop else loop (n + 1))
   in
   let status = loop 0 in
   (match t.prof with None -> () | Some p -> Obsv.Prof.run_end p);
+  (match t.watch with
+  | Some { mon = Some m; _ } -> Obsv.Monitor.finalize m ~at:t.clock_now
+  | _ -> ());
   status
 
 let events_processed t = t.events
+let queue_depth t = Event_queue.length t.queue

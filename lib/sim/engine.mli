@@ -73,6 +73,9 @@ val create :
   ?trace_capacity:int ->
   ?causal:Obsv.Causal.t ->
   ?prof:Obsv.Prof.t ->
+  ?monitor:Obsv.Monitor.t ->
+  ?sampler:Obsv.Sampler.t ->
+  ?recorder:Obsv.Recorder.t ->
   seed:int ->
   unit ->
   ('msg, 'obs) t
@@ -113,7 +116,17 @@ val create :
     profiler: every dequeued event is bracketed with host-clock and
     [Gc.minor_words] reads, and the deltas are charged to the
     (payment trace, process label, event kind) dispatch site; the queue
-    depth is sampled into [xchain_prof_queue_depth] at each dequeue. *)
+    depth is sampled into [xchain_prof_queue_depth] at each dequeue.
+
+    [monitor] / [sampler] / [recorder] (default: absent — together one
+    [option] match per dispatched event, zero allocation) arm runtime
+    verification: after every dispatch the engine appends the event to
+    the {!Obsv.Recorder} ring, advances the {!Obsv.Sampler} at the
+    current sim-time, and evaluates the {!Obsv.Monitor}'s checks. A
+    stop-on-violation monitor that trips ends the run with
+    {!Violation_stop} at the exact sim-time of first breach; otherwise
+    the monitor is finalized at the run's end time so its verdict set
+    reflects the final state. *)
 
 val add_process :
   ('msg, 'obs) t ->
@@ -144,6 +157,9 @@ type status =
   | Quiescent  (** no events left — the system reached a fixpoint *)
   | Horizon_reached  (** stopped at the time horizon with events pending *)
   | Event_limit  (** stopped by the event-count safety valve *)
+  | Violation_stop
+      (** a stop-on-violation monitor tripped: the run ended at the
+          sim-time of first safety breach ({!Obsv.Monitor.breach_at}) *)
 
 val run :
   ?horizon:Sim_time.t -> ?max_events:int -> ('msg, 'obs) t -> status
@@ -153,6 +169,10 @@ val run :
 
 val trace : ('msg, 'obs) t -> ('msg, 'obs) Trace.t
 val now : ('msg, 'obs) t -> Sim_time.t
+
+val queue_depth : ('msg, 'obs) t -> int
+(** Events currently pending in the queue — the natural first column of a
+    {!Obsv.Sampler} probe. *)
 
 val events_processed : ('msg, 'obs) t -> int
 (** Events dequeued over this engine's lifetime (across {!run} calls).

@@ -119,7 +119,8 @@ let is_liquidity_rejection what =
   && String.sub what 0 (String.length prefix) = prefix
 
 let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
-    ?causal ?prof ~(workload : Workload.t) ~seed () =
+    ?causal ?prof ?monitor ?sampler ?recorder ~(workload : Workload.t) ~seed
+    () =
   let wall_t0 = Fleet.now_ns () in
   let w = workload in
   let hops = w.hops in
@@ -235,7 +236,7 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
   let trace_cap = if trace_capacity = 0 then None else Some trace_capacity in
   let engine =
     Engine.create ~tag_of:Msg.tag ~network ~sigma ?trace_capacity:trace_cap
-      ?causal ?prof ~seed ()
+      ?causal ?prof ?monitor ?sampler ?recorder ~seed ()
   in
   (* --- per-payment accounting state, fed by a trace hook --- *)
   let pays =
@@ -560,6 +561,47 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
           ~at:c.at ?recover_at:c.recover_at ()
       done)
     plan.Faults.Fault_plan.crashes;
+  (* Online money-conservation check: exactly the run's post-hoc audit
+     (per-book conservation plus non-negative balances) re-evaluated on
+     every dispatch, so the monitor's final verdict agrees with the
+     report's [conservation_ok] by construction. *)
+  (match monitor with
+  | None -> ()
+  | Some m ->
+      Obsv.Monitor.register m ~name:"M" (fun () ->
+          let bad = ref None in
+          Array.iteri
+            (fun i b ->
+              if
+                !bad = None
+                && not
+                     ((match Ledger.Book.audit b with
+                      | Ok () -> true
+                      | Error _ -> false)
+                     && List.for_all
+                          (fun (_, bal) -> bal >= 0)
+                          (Ledger.Book.accounts b))
+              then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "shared escrow book %d failed its conservation audit" i))
+            books;
+          !bad));
+  (match sampler with
+  | None -> ()
+  | Some s ->
+      let columns =
+        "queue_depth" :: "in_flight" :: "admitted"
+        :: List.init hops (Printf.sprintf "escrow%d_pool")
+      in
+      Obsv.Sampler.set_probe s ~columns (fun () ->
+          Array.init (3 + hops) (fun i ->
+              match i with
+              | 0 -> Engine.queue_depth engine
+              | 1 -> !in_flight
+              | 2 -> !admitted
+              | i -> Ledger.Book.pool_total books.(i - 3))));
   let status = Engine.run ~horizon ~max_events engine in
   let end_time = Engine.now engine in
   (* --- classification --- *)
@@ -696,7 +738,8 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
         (match status with
         | Engine.Quiescent -> "quiescent"
         | Engine.Horizon_reached -> "horizon"
-        | Engine.Event_limit -> "event-limit");
+        | Engine.Event_limit -> "event-limit"
+        | Engine.Violation_stop -> "violation-stop");
       admitted = !admitted;
       committed;
       aborted = count Aborted;
@@ -860,7 +903,7 @@ type rpay = {
 }
 
 let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
-    ?causal ?prof ~(workload : Workload.t) ~seed
+    ?causal ?prof ?monitor ?sampler ?recorder ~(workload : Workload.t) ~seed
     ~(rtopo : Routing.Topology.t) () =
   let wall_t0 = Fleet.now_ns () in
   let w = workload in
@@ -979,7 +1022,7 @@ let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
   let trace_cap = if trace_capacity = 0 then None else Some trace_capacity in
   let engine =
     Engine.create ~tag_of:Msg.tag ~network ~sigma ?trace_capacity:trace_cap
-      ?causal ?prof ~seed ()
+      ?causal ?prof ?monitor ?sampler ?recorder ~seed ()
   in
   let insts =
     Array.init instances (fun _ ->
@@ -1368,6 +1411,57 @@ let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
           ~at:c.at ?recover_at:c.recover_at ()
       done)
     plan.Faults.Fault_plan.crashes;
+  (* Online checks: per-edge-book conservation (the post-hoc audit,
+     re-evaluated per dispatch) and liquidity-never-exceeded — the
+     funder account is each edge's spendable liquidity, so a negative
+     funder balance means reservations overdrew the edge. *)
+  (match monitor with
+  | None -> ()
+  | Some m ->
+      Obsv.Monitor.register m ~name:"M" (fun () ->
+          let bad = ref None in
+          Array.iteri
+            (fun e b ->
+              if
+                !bad = None
+                && not
+                     ((match Ledger.Book.audit b with
+                      | Ok () -> true
+                      | Error _ -> false)
+                     && List.for_all
+                          (fun (_, bal) -> bal >= 0)
+                          (Ledger.Book.accounts b))
+              then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "shared edge book %d failed its conservation audit" e))
+            ebooks;
+          !bad);
+      Obsv.Monitor.register m ~name:"LIQ" (fun () ->
+          let bad = ref None in
+          for e = 0 to nedges - 1 do
+            if !bad = None && avail e < 0 then
+              bad :=
+                Some
+                  (Printf.sprintf "edge %d overdrew its liquidity by %d" e
+                     (-avail e))
+          done;
+          !bad));
+  (match sampler with
+  | None -> ()
+  | Some s ->
+      let columns =
+        "queue_depth" :: "in_flight" :: "admitted"
+        :: List.init nedges (Printf.sprintf "edge%d_liquidity")
+      in
+      Obsv.Sampler.set_probe s ~columns (fun () ->
+          Array.init (3 + nedges) (fun i ->
+              match i with
+              | 0 -> Engine.queue_depth engine
+              | 1 -> !in_flight
+              | 2 -> !admitted
+              | i -> avail (i - 3))));
   let status = Engine.run ~horizon ~max_events engine in
   let end_time = Engine.now engine in
   (* --- classification: a payment commits iff every split paid Bob --- *)
@@ -1565,7 +1659,8 @@ let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
         (match status with
         | Engine.Quiescent -> "quiescent"
         | Engine.Horizon_reached -> "horizon"
-        | Engine.Event_limit -> "event-limit");
+        | Engine.Event_limit -> "event-limit"
+        | Engine.Violation_stop -> "violation-stop");
       admitted = !admitted;
       committed;
       aborted = count Aborted;
@@ -1710,15 +1805,18 @@ let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
   end;
   report
 
-let run ?plan ?trace_capacity ?causal ?prof ~(workload : Workload.t) ~seed ()
-    =
+let run ?plan ?trace_capacity ?causal ?prof ?monitor ?sampler ?recorder
+    ~(workload : Workload.t) ~seed () =
   (match Workload.validate workload with
   | Ok () -> ()
   | Error e -> invalid_arg ("Load.run: " ^ e));
   match workload.Workload.topology with
-  | None -> run_linear ?plan ?trace_capacity ?causal ?prof ~workload ~seed ()
+  | None ->
+      run_linear ?plan ?trace_capacity ?causal ?prof ?monitor ?sampler
+        ?recorder ~workload ~seed ()
   | Some rtopo ->
-      run_routed ?plan ?trace_capacity ?causal ?prof ~workload ~seed ~rtopo ()
+      run_routed ?plan ?trace_capacity ?causal ?prof ?monitor ?sampler
+        ?recorder ~workload ~seed ~rtopo ()
 
 (* ------------------------------- output ------------------------------- *)
 

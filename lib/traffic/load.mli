@@ -109,6 +109,9 @@ val run :
   ?trace_capacity:int ->
   ?causal:Obsv.Causal.t ->
   ?prof:Obsv.Prof.t ->
+  ?monitor:Obsv.Monitor.t ->
+  ?sampler:Obsv.Sampler.t ->
+  ?recorder:Obsv.Recorder.t ->
   workload:Workload.t ->
   seed:int ->
   unit ->
@@ -149,6 +152,19 @@ val run :
     committed payment. Payment spans are then linked to the DAG via their
     [trace]/[root_event] fields. Tracing adds nodes, never events: the
     schedule, and hence every other report field, is unchanged.
+
+    [monitor] arms online runtime verification (see {!Obsv.Monitor}):
+    the scheduler registers the {e same} conservation audit the report's
+    [conservation_ok] runs post-hoc — per shared book, plus (routed) a
+    liquidity-never-exceeded check on every edge's funder account — as
+    per-dispatch checks, so the monitor's final verdict agrees with the
+    report by construction. A stop-on-violation monitor ends the run at
+    the first breach with status ["violation-stop"]. [sampler] records a
+    sim-time series per {!Obsv.Sampler} interval: queue depth, in-flight
+    and admitted payments, and per-escrow pooled funds (per-edge
+    liquidity for routed workloads). [recorder] keeps the flight-recorder
+    event ring for forensic bundles. None of the three changes the
+    schedule.
 
     [prof] arms the dispatch profiler (see {!Sim.Engine.create}).
     Processes are labeled by role — ["sched"] (the controller),

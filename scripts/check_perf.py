@@ -15,10 +15,14 @@ This gate compares the newest entry against the trailing window (up to
     because the figure is deterministic).
 
 With no prior comparable entries the newest run is recorded as the
-baseline and the gate passes. Exit 0 when within budget; a diagnostic
-and exit 1 otherwise. Stdlib only.
+baseline and the gate passes. A missing or empty trajectory file is not
+an error either — there is nothing to gate yet, so the script says so
+and exits 0 (first CI run on a fresh branch, or a wiped history).
+Exit 0 when within budget; a diagnostic and exit 1 otherwise. Stdlib
+only.
 """
 
+import os
 import sys
 
 from benchlib import err, errors, finish, load_jsonl
@@ -57,12 +61,17 @@ def gate(name, new_val, prior, *, floor=None, ceil=None):
 
 def main(argv):
     path = argv[1] if len(argv) > 1 else "bench/history/trajectory.jsonl"
+    if not os.path.exists(path):
+        print(f"{path}: no trajectory yet — run bench/main.exe to record "
+              f"a baseline; nothing to gate")
+        return 0
     entries = load_jsonl(path)
     if errors:
         return finish()
     if not entries:
-        err(f"{path}: no entries (bench never appended a run?)")
-        return finish()
+        print(f"{path}: empty trajectory — run bench/main.exe to record "
+              f"a baseline; nothing to gate")
+        return 0
     new = entries[-1]
     for key in ("sha", "date", "scale", "host_domains", "events_per_sec",
                 "alloc_per_event"):

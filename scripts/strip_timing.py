@@ -14,9 +14,17 @@ and ``-j`` values:
     xchain chaos --soak --runs 200 -j 4 --out b.json
     cmp <(strip_timing.py a.json) <(strip_timing.py b.json)
 
-Equivalent to ``sed -E 's/,"(prof_)?timing":\\{[^}]*\\}//g'`` (both
-objects are flat, so the scan to the first closing brace is exact), but
-kept as a script so CI and docs have one named, testable normalizer.
+The runtime-verification sinks (``--series-out`` telemetry series,
+``--bundle-out`` forensic bundles, the ``monitor:`` verdict line) are
+deterministic by design and carry no wall-clock members; the pattern
+nevertheless also covers a ``"mon_timing": {...}`` block so a future
+monitor that grows one keeps byte-compares working without touching
+every caller of this script.
+
+Equivalent to ``sed -E 's/,"(prof_|mon_)?timing":\\{[^}]*\\}//g'``
+(all of these objects are flat, so the scan to the first closing brace
+is exact), but kept as a script so CI and docs have one named, testable
+normalizer.
 
 Reads the file arguments (or stdin) and writes the stripped bytes to
 stdout. Stdlib only.
@@ -25,7 +33,7 @@ stdout. Stdlib only.
 import re
 import sys
 
-TIMING = re.compile(r',"(?:prof_)?timing":\{[^}]*\}')
+TIMING = re.compile(r',"(?:prof_|mon_)?timing":\{[^}]*\}')
 
 
 def strip(text: str) -> str:

@@ -326,7 +326,7 @@ Per-run telemetry sinks are refused under replications (their ids would
 interleave nondeterministically across domains):
 
   $ xchain load --payments 8 --replications 2 --blame
-  xchain load: --replications > 1 is incompatible with --spans-out/--metrics-out/--trace-out/--dag-out/--blame/--profile (run a single replication for per-run telemetry)
+  xchain load: --replications > 1 is incompatible with --spans-out/--metrics-out/--trace-out/--dag-out/--blame/--profile/--monitor/--series-out/--bundle-out (run a single replication for per-run telemetry)
   [2]
 
 Bad specs, incompatible policies and malformed plans are usage errors:
@@ -529,3 +529,104 @@ summary:
   $ xchain chaos --soak --runs 20 --seed 1 --profile --profile-out cp.json > /dev/null
   $ grep -c '"profile"' cp.json
   1
+
+The metrics catalogue's probe workloads include a routed hub graph, so
+the load and routing families are part of the stable catalogue:
+
+  $ xchain metrics | grep -E '^xchain_(load|route)_'
+  xchain_load_payments_total                 counter   Load-run payment outcomes
+  xchain_load_commit_latency                 histogram Commit latency (arrival to Bob's payout), ticks
+  xchain_load_in_flight_max                  gauge     Peak concurrently admitted payments
+  xchain_route_paths_total                   counter   Paths selected by the payment router
+  xchain_route_no_route_total                counter   Payments rejected because no route could carry them
+  xchain_route_committed_value_total         counter   Value committed end-to-end across all splits
+
+The profiler handles a graph workload like a linear one: per-payment
+attribution, deterministic frames, and totals that reconcile with the
+routed run's own event count:
+
+  $ xchain profile --payments 12 --topology hub:3:3000:5 --splits 2 --seed 3 --out gr.json --profile-out gp1.json --collapsed-out gs1.folded > /dev/null
+  $ xchain profile --payments 12 --topology hub:3:3000:5 --splits 2 --seed 3 --profile-out gp2.json --collapsed-out gs2.folded > /dev/null
+  $ sed -E 's/,"(prof_|mon_)?timing":\{[^}]*\}//g' gp1.json > gp1.stripped
+  $ sed -E 's/,"(prof_|mon_)?timing":\{[^}]*\}//g' gp2.json > gp2.stripped
+  $ cmp gp1.stripped gp2.stripped && echo deterministic
+  deterministic
+  $ sed 's/ [0-9]*$//' gs1.folded > gs1.frames
+  $ sed 's/ [0-9]*$//' gs2.folded > gs2.frames
+  $ cmp gs1.frames gs2.frames && echo deterministic
+  deterministic
+  $ grep -o '"events":[0-9]*' gr.json
+  "events":70
+  $ grep -o '"totals":{"count":[0-9]*' gp1.json
+  "totals":{"count":70
+
+Runtime verification (docs/observability.md): --monitor re-checks the
+safety properties online and pins the exact sim-time of the first
+breach, where the post-hoc report only sees the final state:
+
+  $ xchain chaos -p htlc --hops 2 --seed 9 --plan 'dup *>* 0.289' --monitor
+  plan: dup *>* 0.289
+  classification: safety-violation
+  violated CS1: Alice terminated with net -1010 and no χ
+  monitor: first breach CS1 at t=513: Alice terminated with net -1010 and no χ
+  repro: xchain chaos -p htlc --hops 2 --seed 9 --plan 'dup *>* 0.289'
+  [1]
+
+--stop-on-violation halts the engine at that instant (the bundle's
+end_time equals the breach time, not the full horizon), and the
+forensic bundle plus telemetry series replay byte-for-byte:
+
+  $ xchain chaos -p htlc --hops 2 --seed 9 --plan 'dup *>* 0.289' --monitor --stop-on-violation --bundle-out vb1.json --series-out vs1.jsonl > /dev/null
+  [1]
+  $ grep -o '"reason":"[a-z]*"' vb1.json && grep -o '"end_time":[0-9]*' vb1.json
+  "reason":"violation"
+  "end_time":513
+  $ xchain chaos -p htlc --hops 2 --seed 9 --plan 'dup *>* 0.289' --monitor --stop-on-violation --bundle-out vb2.json --series-out vs2.jsonl > /dev/null
+  [1]
+  $ cmp vb1.json vb2.json && cmp vs1.jsonl vs2.jsonl && echo deterministic
+  deterministic
+
+The series samples on the deterministic sim-clock — queue depth and
+per-escrow pools every 100 ticks, with a trailing meta line:
+
+  $ cat vs1.jsonl
+  {"t":70,"queue_depth":1,"escrow0_pool":0,"escrow1_pool":0}
+  {"t":170,"queue_depth":3,"escrow0_pool":1010,"escrow1_pool":0}
+  {"t":302,"queue_depth":3,"escrow0_pool":1010,"escrow1_pool":1000}
+  {"t":421,"queue_depth":3,"escrow0_pool":1010,"escrow1_pool":0}
+  {"series":{"rows":4,"interval":100}}
+
+A stuck run is a liveness loss, not a safety breach: the monitor stays
+clean but the flight recorder still dumps a bundle showing what the
+system was (not) doing when progress died:
+
+  $ xchain chaos --seed 3 --plan 'crash 1@100' --monitor --bundle-out sb.json
+  plan: crash 1@100
+  classification: stuck
+  monitor: clean after 8 steps
+  $ grep -o '"reason":"[a-z]*"' sb.json && grep -o '"property":"[^"]*"' sb.json
+  "reason":"stuck"
+  "property":"-"
+
+Per-run telemetry is single-run only; the soak refuses it and points at
+replaying a repro line:
+
+  $ xchain chaos --soak --runs 5 --stop-on-violation
+  xchain chaos: --soak is incompatible with --stop-on-violation/--series-out/--fault (replay a single run from its repro line for per-run telemetry)
+  [2]
+
+chaos single runs take the Byzantine --fault strategies audit uses, so
+repro lines for strategy-induced outcomes replay directly:
+
+  $ xchain chaos --seed 3 --fault mute@bob
+  plan: none
+  classification: safe-abort
+  $ xchain chaos --seed 3 --fault bogus@nobody
+  xchain chaos: unknown role "nobody"
+  [2]
+
+A monitored load run prints the same verdict line — clean here, with
+the online checks re-evaluating the exact audits the report performs:
+
+  $ xchain load --payments 8 --mix sync --seed 3 --monitor | tail -1
+  monitor: clean after 201 steps

@@ -1,0 +1,251 @@
+(* Tests for the online runtime monitor, the sim-time sampler and the
+   violation flight recorder: the agreement contract between online and
+   post-hoc verdicts, stop-on-violation semantics, and byte-for-byte
+   bundle determinism. *)
+
+module C = Xchain.Chaos
+module Runner = Protocols.Runner
+module FP = Faults.Fault_plan
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* the pinned violating witness: htlc breaks CS1 under duplicated
+   deliveries (docs/observability.md walks through this exact run) *)
+let viol_protocol = Runner.Htlc
+let viol_seed = 9
+let viol_plan () =
+  match FP.of_string "dup *>* 0.289" with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+(* the soak's plan derivation, so random cases mirror real chaos runs *)
+let random_case case =
+  let hops = 1 + (case mod 3) in
+  let protocol =
+    match case mod 5 with
+    | 0 | 1 -> Runner.Sync_timebound
+    | 2 | 3 -> Runner.Htlc
+    | _ -> Runner.Naive_universal
+  in
+  let seed = 1 + (case / 2) in
+  let nprocs = (2 * hops) + 1 in
+  let horizon =
+    (Runner.derive_params (Runner.default_config ~hops ~seed) protocol)
+      .Protocols.Params.horizon
+  in
+  let prng = Sim.Rng.create ~seed:(seed + 7919) in
+  (hops, protocol, seed, FP.random prng ~nprocs ~horizon)
+
+let sorted_failures (r : C.run_result) =
+  List.sort String.compare
+    (List.map (fun v -> v.Props.Verdict.property) r.C.failures)
+
+let sorted_violations m =
+  List.sort String.compare
+    (List.map
+       (fun (t : Obsv.Monitor.trip) -> t.Obsv.Monitor.property)
+       (Obsv.Monitor.violations m))
+
+(* --------------------------- agreement gate --------------------------- *)
+
+let agreement_tests =
+  [
+    qcheck
+      (QCheck.Test.make
+         ~name:"online verdict agrees with the post-hoc safety report"
+         ~count:60
+         QCheck.(int_bound 500)
+         (fun case ->
+           let hops, protocol, seed, plan = random_case case in
+           let m = Obsv.Monitor.create () in
+           let monitored =
+             C.run_one ~hops ~protocol ~monitor:m ~plan ~seed ()
+           in
+           let plain = C.run_one ~hops ~protocol ~plan ~seed () in
+           (* arming the monitor never perturbs the run *)
+           if monitored.C.classification <> plain.C.classification then
+             QCheck.Test.fail_reportf "monitor changed classification: %s/%s"
+               (C.classification_name monitored.C.classification)
+               (C.classification_name plain.C.classification);
+           if monitored.C.end_time <> plain.C.end_time then
+             QCheck.Test.fail_reportf "monitor changed end time: %d/%d"
+               monitored.C.end_time plain.C.end_time;
+           (* the monitor's final violated set IS the post-hoc failure
+              set — agreement by construction *)
+           let post = sorted_failures monitored in
+           let live = sorted_violations m in
+           if post <> live then
+             QCheck.Test.fail_reportf "online {%s} <> post-hoc {%s}"
+               (String.concat "," live) (String.concat "," post);
+           (* a breach stamp exists iff something ever tripped, and it
+              never postdates the run *)
+           (match Obsv.Monitor.first_trip m with
+           | Some t ->
+               if t.Obsv.Monitor.at < 0 || t.Obsv.Monitor.at > monitored.C.end_time
+               then
+                 QCheck.Test.fail_reportf "breach at %d outside run (end %d)"
+                   t.Obsv.Monitor.at monitored.C.end_time
+           | None ->
+               if monitored.C.classification = C.Safety_violation then
+                 QCheck.Test.fail_report
+                   "safety violation but the monitor never tripped");
+           if monitored.C.breach_at <> Obsv.Monitor.breach_at m then
+             QCheck.Test.fail_report "run_result.breach_at out of sync";
+           true));
+    Alcotest.test_case "pinned violation: breach matches post-hoc verdict"
+      `Quick (fun () ->
+        let m = Obsv.Monitor.create () in
+        let r =
+          C.run_one ~hops:2 ~protocol:viol_protocol ~monitor:m
+            ~plan:(viol_plan ()) ~seed:viol_seed ()
+        in
+        check Alcotest.string "classification" "safety-violation"
+          (C.classification_name r.C.classification);
+        check (Alcotest.list Alcotest.string) "CS1 online = CS1 post-hoc"
+          (sorted_failures r) (sorted_violations m);
+        check Alcotest.bool "breach stamped" true (r.C.breach_at >= 0);
+        check Alcotest.bool "breach within run" true
+          (r.C.breach_at <= r.C.end_time));
+  ]
+
+(* -------------------------- stop-on-violation -------------------------- *)
+
+let stop_tests =
+  [
+    Alcotest.test_case "stop-on-violation ends the run at the breach time"
+      `Quick (fun () ->
+        (* reference run: where does the breach happen? *)
+        let m0 = Obsv.Monitor.create () in
+        let r0 =
+          C.run_one ~hops:2 ~protocol:viol_protocol ~monitor:m0
+            ~plan:(viol_plan ()) ~seed:viol_seed ()
+        in
+        let breach = r0.C.breach_at in
+        check Alcotest.bool "reference run breaches" true (breach >= 0);
+        (* stopping run: must end exactly there, with the stop status *)
+        let m = Obsv.Monitor.create ~stop_on_violation:true () in
+        let r =
+          C.run_one ~hops:2 ~protocol:viol_protocol ~monitor:m
+            ~plan:(viol_plan ()) ~seed:viol_seed ()
+        in
+        (match r.C.status with
+        | Sim.Engine.Violation_stop -> ()
+        | _ -> Alcotest.fail "expected Violation_stop status");
+        check Alcotest.int "ends at first breach" breach r.C.end_time;
+        check Alcotest.int "same breach stamp" breach r.C.breach_at);
+    Alcotest.test_case "clean runs never stop early" `Quick (fun () ->
+        let m = Obsv.Monitor.create ~stop_on_violation:true () in
+        let plain = C.run_one ~plan:FP.none ~seed:1 () in
+        let r = C.run_one ~monitor:m ~plan:FP.none ~seed:1 () in
+        (match r.C.status with
+        | Sim.Engine.Violation_stop -> Alcotest.fail "clean run stopped"
+        | _ -> ());
+        check Alcotest.int "same end time" plain.C.end_time r.C.end_time;
+        check Alcotest.int "no breach" (-1) r.C.breach_at);
+  ]
+
+(* ------------------------- bundle determinism -------------------------- *)
+
+let run_bundled () =
+  let m = Obsv.Monitor.create () in
+  let rc = Obsv.Recorder.create () in
+  let c = Obsv.Causal.create () in
+  let s = Obsv.Sampler.create () in
+  let r =
+    C.run_one ~hops:2 ~protocol:viol_protocol ~causal:c ~monitor:m
+      ~sampler:s ~recorder:rc ~plan:(viol_plan ()) ~seed:viol_seed ()
+  in
+  (C.bundle ~causal:c ~monitor:m ~recorder:rc r, Obsv.Sampler.to_jsonl s, r)
+
+let bundle_tests =
+  [
+    Alcotest.test_case "replaying the repro reproduces the bundle byte for \
+                        byte" `Quick (fun () ->
+        let b1, s1, r1 = run_bundled () in
+        let b2, s2, _ = run_bundled () in
+        check Alcotest.string "bundle bit-identical" b1 b2;
+        check Alcotest.string "series bit-identical" s1 s2;
+        (* the bundle names the breach the monitor stamped *)
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "reason violation" true
+          (contains b1 "\"reason\":\"violation\"");
+        check Alcotest.bool "breach time embedded" true
+          (contains b1 (Printf.sprintf "\"at\":%d" r1.C.breach_at));
+        check Alcotest.bool "repro embedded" true
+          (contains b1 (C.repro_line r1)));
+    Alcotest.test_case "stuck runs bundle with reason stuck" `Quick (fun () ->
+        (* a crashed escrow with no recovery wedges the sync payment *)
+        let plan =
+          match FP.of_string "crash 3@50" with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let m = Obsv.Monitor.create () in
+        let rc = Obsv.Recorder.create () in
+        let r = C.run_one ~monitor:m ~recorder:rc ~plan ~seed:1 () in
+        check Alcotest.string "stuck" "stuck"
+          (C.classification_name r.C.classification);
+        let b = C.bundle ~monitor:m ~recorder:rc r in
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "reason stuck" true
+          (contains b "\"reason\":\"stuck\"");
+        check Alcotest.bool "no breach property" true
+          (contains b "\"property\":\"-\""));
+  ]
+
+(* ------------------------------ sampler -------------------------------- *)
+
+let sampler_tests =
+  [
+    Alcotest.test_case "series rows are nondecreasing in sim-time" `Quick
+      (fun () ->
+        let s = Obsv.Sampler.create ~interval:50 () in
+        let r = C.run_one ~sampler:s ~plan:FP.none ~seed:1 () in
+        let rows = Obsv.Sampler.rows s in
+        check Alcotest.bool "sampled" true (List.length rows > 0);
+        let rec mono = function
+          | (a, _) :: ((b, _) :: _ as tl) ->
+              if a > b then Alcotest.failf "rows go back in time: %d > %d" a b;
+              mono tl
+          | _ -> ()
+        in
+        mono rows;
+        List.iter
+          (fun (t, _) ->
+            if t < 0 || t > r.C.end_time then
+              Alcotest.failf "row at %d outside run" t)
+          rows);
+    Alcotest.test_case "soak with monitor matches soak without" `Quick
+      (fun () ->
+        let a = C.soak ~protocol:viol_protocol ~runs:20 ~seed:1 () in
+        let b = C.soak ~protocol:viol_protocol ~runs:20 ~monitor:true ~seed:1 () in
+        check Alcotest.int "commits" a.C.commits b.C.commits;
+        check Alcotest.int "aborts" a.C.aborts b.C.aborts;
+        check Alcotest.int "stuck" a.C.stuck b.C.stuck;
+        check Alcotest.int "violations"
+          (List.length a.C.violations)
+          (List.length b.C.violations);
+        (* monitored soaks stamp every violation with its breach time *)
+        List.iter
+          (fun (r : C.run_result) ->
+            check Alcotest.bool "breach stamped" true (r.C.breach_at >= 0))
+          b.C.violations);
+  ]
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ("agreement", agreement_tests);
+      ("stop-on-violation", stop_tests);
+      ("bundles", bundle_tests);
+      ("sampler", sampler_tests);
+    ]

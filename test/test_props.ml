@@ -144,11 +144,19 @@ let synthetic_outcome ~entries =
   let env = Env.make ~topo ~params () in
   let trace = Sim.Trace.create () in
   List.iter (Sim.Trace.record trace) entries;
+  let engine =
+    Sim.Engine.create ~tag_of:Protocols.Msg.tag
+      ~network:
+        (Sim.Network.create (Sim.Network.Synchronous { delta = 100 })
+           (Sim.Rng.create ~seed:1))
+      ~seed:1 ()
+  in
   {
     Runner.config = cfg;
     protocol = Runner.Weak Weak_protocol.default_config;
     env;
     params;
+    engine;
     status = Sim.Engine.Quiescent;
     trace;
     end_time = 1_000;
