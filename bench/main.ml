@@ -421,6 +421,141 @@ let write_fleet_json () =
   close_out oc;
   Fmt.pr "fleet scaling written to %s@." fleet_json_file
 
+(* --------------------------- shared committees ------------------------- *)
+
+(* Committee-size x batch-cap sweep over the shared notary committee:
+   every payment in a cell arrives in one burst and is decided by one
+   external batching committee, so certificate batching and consensus
+   rounds are the whole story. The harness refuses to write a JSON where
+   batching does not strictly beat the unbatched baseline at equal
+   committee size, or where the largest committee fails to fill a >= 32
+   verdict certificate (scripts/check_committee.py re-gates both in CI).
+   Cells shard over the fleet; reports merge in cell order, so the JSON
+   is byte-identical for any domain count (modulo the timing block). *)
+let committee_json_file = "BENCH_committee.json"
+
+let committee_sizes =
+  match scale with
+  | Xchain.Experiments.Quick -> [ 4; 16; 64 ]
+  | Full -> [ 4; 16; 64; 100 ]
+
+let committee_batches = [ 1; 32 ]
+
+let committee_payments =
+  match scale with Xchain.Experiments.Quick -> 64 | Full -> 256
+
+let write_committee_json () =
+  Fmt.pr "@.##### Shared committee sweep (size x batch, seed 1) #####@.@.";
+  let cells =
+    List.concat_map
+      (fun n -> List.map (fun b -> (n, b)) committee_batches)
+      committee_sizes
+  in
+  let workload_of (n, batch) =
+    let spec =
+      Printf.sprintf
+        "payments=%d hops=2 value=1000 commission=10 arrival=burst:%d:1 \
+         mix=shared policy=reserve cap=0 liquidity=0 patience=100000 \
+         stuck=0 drift=0 gst=none committee=majority:%d:%d:%d:4"
+        committee_payments committee_payments n ((n - 1) / 3) batch
+    in
+    match Traffic.Workload.of_string spec with
+    | Ok w -> w
+    | Error e -> failwith e
+  in
+  let cells_a = Array.of_list cells in
+  let outcomes, _ =
+    Fleet.run
+      ~domains:(min (Fleet.recommended_domains ()) (Array.length cells_a))
+      ~jobs:(Array.length cells_a)
+      (fun i -> Traffic.Load.run ~workload:(workload_of cells_a.(i)) ~seed:1 ())
+  in
+  let reports =
+    Array.mapi
+      (fun i -> function
+        | Error (f : Fleet.failure) ->
+            let n, b = cells_a.(i) in
+            Fmt.failwith "committee cell %dx%d raised: %s" n b f.Fleet.message
+        | Ok r -> r)
+      outcomes
+  in
+  (* one burst, so the decide span is the slowest payment's latency *)
+  let decided_cpm (r : Traffic.Load.report) =
+    if r.Traffic.Load.latency_max = 0 then 0
+    else r.Traffic.Load.committed * 1_000_000 / r.Traffic.Load.latency_max
+  in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"scale\":";
+  Buffer.add_string buf
+    (match scale with
+    | Xchain.Experiments.Quick -> "\"quick\""
+    | Full -> "\"full\"");
+  Printf.bprintf buf ",\"payments\":%d,\"hops\":2,\"pipeline\":4,\"sweep\":["
+    committee_payments;
+  Array.iteri
+    (fun i (r : Traffic.Load.report) ->
+      let n, batch = cells_a.(i) in
+      if
+        r.Traffic.Load.violated > 0
+        || (not r.Traffic.Load.conservation_ok)
+        || r.Traffic.Load.committed <> committee_payments
+      then
+        Fmt.failwith "committee cell %dx%d: %d/%d committed, %d violations" n
+          batch r.Traffic.Load.committed committee_payments
+          r.Traffic.Load.violated;
+      let cs =
+        match r.Traffic.Load.committee_stats with
+        | Some s -> s
+        | None -> Fmt.failwith "committee cell %dx%d: no committee stats" n batch
+      in
+      Fmt.pr
+        "majority %3d  batch %2d: %3d certs, max batch %2d, %3d rounds, \
+         %6d decided/Mtick@."
+        n batch cs.Traffic.Load.certs cs.Traffic.Load.max_batch
+        cs.Traffic.Load.rounds (decided_cpm r);
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"family\":\"majority\",\"size\":%d,\"f\":%d,\"batch\":%d,\"committed\":%d,\"decided_cpm\":%d,\"messages\":%d,\"latency\":{\"p50\":%d,\"p95\":%d,\"max\":%d},\"certs\":%d,\"verdicts\":%d,\"max_batch\":%d,\"rounds\":%d,\"cert_lat_sum\":%d,\"cert_lat_max\":%d}"
+        n ((n - 1) / 3) batch r.Traffic.Load.committed (decided_cpm r)
+        r.Traffic.Load.messages r.Traffic.Load.latency_p50
+        r.Traffic.Load.latency_p95 r.Traffic.Load.latency_max
+        cs.Traffic.Load.certs cs.Traffic.Load.verdicts
+        cs.Traffic.Load.max_batch cs.Traffic.Load.rounds
+        cs.Traffic.Load.cert_lat_sum cs.Traffic.Load.cert_lat_max)
+    reports;
+  Buffer.add_string buf "]}\n";
+  (* in-harness gates, mirrored by scripts/check_committee.py *)
+  List.iter
+    (fun n ->
+      let cell b =
+        let i = ref (-1) in
+        Array.iteri (fun k (m, bb) -> if m = n && bb = b then i := k) cells_a;
+        reports.(!i)
+      in
+      let unbatched = decided_cpm (cell 1)
+      and batched = decided_cpm (cell 32) in
+      if batched <= unbatched then
+        Fmt.failwith
+          "committee size %d: batched throughput %d must strictly beat \
+           unbatched %d"
+          n batched unbatched)
+    committee_sizes;
+  (let largest = List.fold_left max 0 committee_sizes in
+   let i = ref (-1) in
+   Array.iteri (fun k (m, b) -> if m = largest && b = 32 then i := k) cells_a;
+   match reports.(!i).Traffic.Load.committee_stats with
+   | Some cs when cs.Traffic.Load.max_batch >= 32 -> ()
+   | Some cs ->
+       Fmt.failwith
+         "largest committee (%d) filled only %d-verdict certificates (want \
+          >= 32)"
+         largest cs.Traffic.Load.max_batch
+   | None -> assert false);
+  let oc = open_out committee_json_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "committee sweep written to %s@." committee_json_file
+
 (* ------------------------ perf-trajectory ledger ----------------------- *)
 
 (* Every bench run appends one JSON line to bench/history/trajectory.jsonl:
@@ -728,6 +863,7 @@ let () =
   let routing_reports = write_routing_json () in
   write_blame_json ();
   write_fleet_json ();
+  write_committee_json ();
   (* the tiny diamond pair is a correctness artifact, not a throughput
      figure — only the family-sized runs join the perf trajectory *)
   let routing_history =

@@ -1595,6 +1595,242 @@ let load_cmd =
       $ profile_out_arg $ collapsed_out_arg $ monitor_flag
       $ stop_on_violation_flag $ series_out_arg $ bundle_out_arg)
 
+(* ------------------------------ committee ------------------------------ *)
+
+let committee_cmd =
+  let run committees batches pipeline payments hops patience gst seed j out
+      metrics_out =
+    let fail fmt =
+      Fmt.kstr
+        (fun s ->
+          Fmt.epr "xchain committee: %s@." s;
+          exit 2)
+        fmt
+    in
+    let parse_committee s =
+      (* family:size:f[:faulty] — batch and pipeline come from the sweep *)
+      match String.split_on_char ':' s with
+      | ([ fam; size; f ] | [ fam; size; f; _ ]) as fields -> (
+          let faulty = match fields with [ _; _; _; x ] -> x | _ -> "0" in
+          match
+            ( int_of_string_opt size,
+              int_of_string_opt f,
+              int_of_string_opt faulty )
+          with
+          | Some size, Some f, Some faulty ->
+              (fam, size, f, faulty)
+          | _ -> fail "bad committee %S (want family:size:f[:faulty])" s)
+      | _ -> fail "bad committee %S (want family:size:f[:faulty])" s
+    in
+    let committees =
+      List.map parse_committee (String.split_on_char ',' committees)
+    in
+    let batches =
+      List.map
+        (fun s ->
+          match int_of_string_opt (String.trim s) with
+          | Some b when b >= 1 -> b
+          | _ -> fail "bad --batches entry %S" s)
+        (String.split_on_char ',' batches)
+    in
+    if committees = [] || batches = [] then
+      fail "--committees and --batches must be non-empty";
+    (* cells in (committee, batch) order: batch is the inner axis so the
+       unbatched baseline sits next to its batched counterpart *)
+    let cells =
+      List.concat_map
+        (fun c -> List.map (fun b -> (c, b)) batches)
+        committees
+    in
+    let workload_of ((fam, size, f, faulty), batch) =
+      let w =
+        {
+          (Traffic.Workload.default ~payments) with
+          Traffic.Workload.hops;
+          arrival = Traffic.Workload.Burst { size = payments; every = 1 };
+          mix = [ (Traffic.Workload.Shared, 1) ];
+          patience;
+          drift_ppm = 0;
+          gst;
+          committee =
+            Some
+              {
+                Traffic.Workload.c_family = fam;
+                c_size = size;
+                c_f = f;
+                c_batch = batch;
+                c_pipeline = pipeline;
+                c_faulty = faulty;
+              };
+        }
+      in
+      (match Traffic.Workload.validate w with
+      | Ok () -> ()
+      | Error e -> fail "cell %s:%d:%d batch %d: %s" fam size f batch e);
+      w
+    in
+    let cells = Array.of_list cells in
+    let workloads = Array.map workload_of cells in
+    let domains = resolve_domains ~cmd:"committee" j in
+    Obsv.Span.set_capture Obsv.Span.default false;
+    let outcomes, stats =
+      Fleet.run ~domains
+        ?on_progress:(tty_progress "committee sweep")
+        ~jobs:(Array.length cells)
+        (fun i -> Traffic.Load.run ~workload:workloads.(i) ~seed ())
+    in
+    let reports =
+      Array.mapi
+        (fun i -> function
+          | Error (fl : Fleet.failure) ->
+              let (fam, size, f, _), batch = cells.(i) in
+              fail "cell %s:%d:%d batch %d raised: %s" fam size f batch
+                fl.Fleet.message
+          | Ok r -> r)
+        outcomes
+    in
+    Fmt.pr
+      "committee sweep: %d payments x %d hops, pipeline %d, seed %d, %d \
+       cells@."
+      payments hops pipeline seed (Array.length cells);
+    (* all payments arrive in one burst, so the decide span is exactly
+       the slowest payment's latency — the makespan is padded out to the
+       patience horizon and would wash batching out of a rate *)
+    let decided_cpm (r : Traffic.Load.report) =
+      if r.Traffic.Load.latency_max = 0 then 0
+      else r.Traffic.Load.committed * 1_000_000 / r.Traffic.Load.latency_max
+    in
+    Fmt.pr "%-10s %5s %3s %6s %6s  %9s %6s %6s %6s %11s %8s@." "family" "size"
+      "f" "faulty" "batch" "committed" "certs" "maxbat" "rounds" "decided/Mt"
+      "cert-lat";
+    let clean = ref true in
+    Array.iteri
+      (fun i (r : Traffic.Load.report) ->
+        let (fam, size, f, faulty), batch = cells.(i) in
+        let cs =
+          match r.Traffic.Load.committee_stats with
+          | Some s -> s
+          | None -> fail "cell %s:%d:%d batch %d: no committee stats" fam size f batch
+        in
+        if
+          r.Traffic.Load.violations <> []
+          || (not r.Traffic.Load.conservation_ok)
+          || r.Traffic.Load.committed <> payments
+        then clean := false;
+        Fmt.pr "%-10s %5d %3d %6d %6d  %9d %6d %6d %6d %11d %8d@." fam size f
+          faulty batch r.Traffic.Load.committed cs.Traffic.Load.certs
+          cs.Traffic.Load.max_batch cs.Traffic.Load.rounds (decided_cpm r)
+          (if cs.Traffic.Load.certs = 0 then 0
+           else cs.Traffic.Load.cert_lat_sum / cs.Traffic.Load.certs))
+      reports;
+    Fmt.pr "%s@." (if !clean then "all cells clean" else "CELLS FAILED");
+    (match out with
+    | None -> ()
+    | Some _ ->
+        let buf = Buffer.create 4096 in
+        Printf.bprintf buf
+          "{\"payments\":%d,\"hops\":%d,\"pipeline\":%d,\"seed\":%d,\"sweep\":["
+          payments hops pipeline seed;
+        Array.iteri
+          (fun i (r : Traffic.Load.report) ->
+            let (fam, size, f, faulty), batch = cells.(i) in
+            let cs = Option.get r.Traffic.Load.committee_stats in
+            if i > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf
+              "{\"family\":\"%s\",\"size\":%d,\"f\":%d,\"faulty\":%d,\"batch\":%d,\"status\":\"%s\",\"committed\":%d,\"decided_cpm\":%d,\"messages\":%d,\"latency\":{\"p50\":%d,\"p95\":%d,\"p99\":%d,\"max\":%d},\"committee\":{\"certs\":%d,\"verdicts\":%d,\"max_batch\":%d,\"rounds\":%d,\"cert_lat_sum\":%d,\"cert_lat_max\":%d}}"
+              fam size f faulty batch r.Traffic.Load.status
+              r.Traffic.Load.committed (decided_cpm r)
+              r.Traffic.Load.messages r.Traffic.Load.latency_p50
+              r.Traffic.Load.latency_p95 r.Traffic.Load.latency_p99
+              r.Traffic.Load.latency_max cs.Traffic.Load.certs
+              cs.Traffic.Load.verdicts cs.Traffic.Load.max_batch
+              cs.Traffic.Load.rounds cs.Traffic.Load.cert_lat_sum
+              cs.Traffic.Load.cert_lat_max)
+          reports;
+        let events =
+          Array.fold_left
+            (fun acc (r : Traffic.Load.report) -> acc + r.Traffic.Load.events)
+            0 reports
+        in
+        let wall_ns = stats.Fleet.wall_ns in
+        Printf.bprintf buf
+          "],\"timing\":{\"wall_ns\":%d,\"domains\":%d,\"events_per_sec\":%d}}\n"
+          wall_ns stats.Fleet.domains
+          (int_of_float (float_of_int events /. (float_of_int wall_ns /. 1e9)));
+        write_sink out (Buffer.contents buf));
+    write_sink metrics_out (Obsv.Prometheus.render Obsv.Metrics.default);
+    if !clean then 0 else 1
+  in
+  let committees =
+    Arg.(
+      value
+      & opt string "majority:4:1,majority:16:5,majority:64:21"
+      & info [ "committees" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated committee shapes, each family:size:f[:faulty] \
+             (family: majority | weighted | grid; grid sizes must be \
+             perfect squares; faulty replicas are crash-silent, never the \
+             sequencer).")
+  in
+  let batches =
+    Arg.(
+      value & opt string "1,32"
+      & info [ "batches" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated certificate batch caps; include 1 for the \
+             unbatched baseline.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 4
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:"Max concurrently undecided slots (>= 1).")
+  in
+  let payments =
+    Arg.(
+      value & opt int 128
+      & info [ "payments" ]
+          ~doc:
+            "Payments per cell, all arriving in one burst so batches can \
+             fill.")
+  in
+  let hops = Arg.(value & opt int 2 & info [ "n"; "hops" ] ~doc:"Escrows per payment.") in
+  let patience =
+    Arg.(
+      value & opt int 100_000
+      & info [ "patience" ]
+          ~doc:
+            "Admission-queue patience, ticks; generous because the burst \
+             queues every payment at once.")
+  in
+  let gst =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gst" ]
+          ~doc:"Partial synchrony with this GST (default: synchronous).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed (same for every cell).") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the sweep as JSON to $(docv) ('-' for stdout). \
+             Bit-identical across runs with equal inputs for any -j, except \
+             the trailing timing block.")
+  in
+  Cmd.v
+    (Cmd.info "committee"
+       ~doc:
+         "Sweep shared notary committees (size x quorum family x batch cap) \
+          under a burst of payments and report certificate batching, \
+          consensus rounds and decided-payment throughput")
+    Term.(
+      const run $ committees $ batches $ pipeline $ payments $ hops $ patience
+      $ gst $ seed $ jobs_arg $ out $ metrics_out_arg)
+
 (* -------------------------------- route -------------------------------- *)
 
 let route_cmd =
@@ -1954,6 +2190,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ pay_cmd; experiment_cmd; params_cmd; dot_cmd; audit_cmd; deal_cmd;
-            chaos_cmd; hunt_cmd; explore_cmd; trace_cmd; load_cmd; route_cmd;
+            chaos_cmd; hunt_cmd; explore_cmd; trace_cmd; load_cmd;
+            committee_cmd; route_cmd;
             profile_cmd;
             metrics_cmd ]))

@@ -29,8 +29,7 @@ type 'v effect =
   | Decided of 'v decision_cert
 
 type 'v config = {
-  n : int;
-  f : int;
+  qs : Quorum_system.t;
   self : int;
   auth_ids : int array;
   registry : Auth.registry;
@@ -82,7 +81,7 @@ let m_rounds_to_decide =
     ~help:"Rounds needed to reach a decision (1 = decided in round 0)"
     "xchain_consensus_rounds_to_decide"
 
-let quorum cfg = (2 * cfg.f) + 1
+let committee_n cfg = Quorum_system.size cfg.qs
 
 let leader_of ~n round = ((round mod n) + n) mod n
 
@@ -95,27 +94,38 @@ let ser_commit ser (b : 'v commit_body) =
 let is_replica_auth cfg author =
   Array.exists (fun id -> id = author) cfg.auth_ids
 
+(* Replica index of an authenticated author, or -1. Quorum membership is
+   index-based (weighted and grid systems care which replica signed, not
+   just how many), so every signature set is reduced to a presence
+   vector before asking the quorum system. *)
+let replica_index cfg author =
+  let n = Array.length cfg.auth_ids in
+  let rec go i = if i >= n then -1 else if cfg.auth_ids.(i) = author then i else go (i + 1) in
+  go 0
+
+(* The single threshold predicate: does this set of signer indices
+   contain a quorum of the configured system? *)
+let indices_are_quorum cfg iter =
+  let present = Array.make (committee_n cfg) false in
+  iter (fun i -> if i >= 0 && i < Array.length present then present.(i) <- true);
+  Quorum_system.is_quorum cfg.qs ~present
+
 let verify_vote_set cfg ~ser_body ~round_of ~value_of ~want_round ~want_value
     sigs =
   let seen = Hashtbl.create 8 in
-  let ok_count =
-    List.fold_left
-      (fun acc (sv : _ Auth.signed) ->
-        let b = sv.Auth.payload in
-        if
-          round_of b = want_round
-          && cfg.equal (value_of b) want_value
-          && is_replica_auth cfg sv.Auth.author
-          && (not (Hashtbl.mem seen sv.Auth.author))
-          && Auth.verify_value cfg.registry ~ser:ser_body sv
-        then begin
-          Hashtbl.add seen sv.Auth.author ();
-          acc + 1
-        end
-        else acc)
-      0 sigs
-  in
-  ok_count >= quorum cfg
+  List.iter
+    (fun (sv : _ Auth.signed) ->
+      let b = sv.Auth.payload in
+      if
+        round_of b = want_round
+        && cfg.equal (value_of b) want_value
+        && is_replica_auth cfg sv.Auth.author
+        && (not (Hashtbl.mem seen sv.Auth.author))
+        && Auth.verify_value cfg.registry ~ser:ser_body sv
+      then Hashtbl.add seen sv.Auth.author ())
+    sigs;
+  indices_are_quorum cfg (fun mark ->
+      Hashtbl.iter (fun author () -> mark (replica_index cfg author)) seen)
 
 let verify_qc cfg (qc : 'v qc) =
   verify_vote_set cfg
@@ -132,9 +142,12 @@ let verify_decision cfg (dc : 'v decision_cert) =
     ~want_round:dc.d_round ~want_value:dc.d_value dc.d_sigs
 
 let create cfg =
-  if cfg.n < (3 * cfg.f) + 1 then invalid_arg "Dls.create: need n >= 3f+1";
-  if cfg.self < 0 || cfg.self >= cfg.n then invalid_arg "Dls.create: bad self";
-  if Array.length cfg.auth_ids <> cfg.n then
+  (match Quorum_system.validate cfg.qs with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Dls.create: " ^ e));
+  let n = committee_n cfg in
+  if cfg.self < 0 || cfg.self >= n then invalid_arg "Dls.create: bad self";
+  if Array.length cfg.auth_ids <> n then
     invalid_arg "Dls.create: auth_ids size mismatch";
   if Auth.signer_id cfg.signer <> cfg.auth_ids.(cfg.self) then
     invalid_arg "Dls.create: signer does not match self";
@@ -213,7 +226,7 @@ let enter_round t round =
       Set_round_timer { round = t.round; after = round_timeout t t.round }
     in
     let lead =
-      if leader_of ~n:t.cfg.n t.round = t.cfg.self then propose_effects t
+      if leader_of ~n:(committee_n t.cfg) t.round = t.cfg.self then propose_effects t
       else []
     in
     (timer :: lead, ())
@@ -230,7 +243,7 @@ let update_preference t v =
   if t.decision <> None then []
   else begin
     t.preference <- Some v;
-    if leader_of ~n:t.cfg.n t.round = t.cfg.self then propose_effects t
+    if leader_of ~n:(committee_n t.cfg) t.round = t.cfg.self then propose_effects t
     else []
   end
 
@@ -288,7 +301,10 @@ let on_echo t (sv : 'v echo_body Auth.signed) =
     let votes = votes_for t.echo_votes b.e_round in
     let bucket = bucket_for t.cfg.equal votes b.e_value in
     Hashtbl.replace bucket sv.Auth.author sv;
-    if Hashtbl.length bucket >= quorum t.cfg then begin
+    if
+      indices_are_quorum t.cfg (fun mark ->
+          Hashtbl.iter (fun author _ -> mark (replica_index t.cfg author)) bucket)
+    then begin
       let qc =
         { q_round = b.e_round; q_value = b.e_value; q_sigs = collect_sigs bucket }
       in
@@ -310,7 +326,13 @@ let on_commit t (sv : 'v commit_body Auth.signed) =
     let votes = votes_for t.commit_votes b.c_round in
     let bucket = bucket_for t.cfg.equal votes b.c_value in
     Hashtbl.replace bucket sv.Auth.author sv;
-    if Hashtbl.length bucket >= quorum t.cfg && t.decision = None then begin
+    if
+      t.decision = None
+      && indices_are_quorum t.cfg (fun mark ->
+             Hashtbl.iter
+               (fun author _ -> mark (replica_index t.cfg author))
+               bucket)
+    then begin
       let dc =
         { d_value = b.c_value; d_round = b.c_round; d_sigs = collect_sigs bucket }
       in
@@ -331,7 +353,7 @@ let on_msg t ~from_ m =
         (match justif with Some qc -> maybe_adopt t qc | None -> ());
         if
           round = t.round
-          && from_ = leader_of ~n:t.cfg.n round
+          && from_ = leader_of ~n:(committee_n t.cfg) round
           && may_echo t ~round ~value ~justif
         then echo_effects t ~round ~value
         else []
@@ -344,7 +366,7 @@ let on_msg t ~from_ m =
           let effs = enter_round t round in
           effs
         else if
-          round = t.round && leader_of ~n:t.cfg.n t.round = t.cfg.self
+          round = t.round && leader_of ~n:(committee_n t.cfg) t.round = t.cfg.self
         then
           (* late New_round may have raised our lock; nothing to re-send
              (we propose once per round), but if we have not proposed yet

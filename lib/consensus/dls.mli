@@ -6,13 +6,18 @@
     partial synchrony such as the one from Dwork, Lynch & Stockmeyer."
 
     This module is that algorithm, in the DLS tradition as refined by
-    PBFT/Tendermint: [n = 3f + 1] replicas proceed in rounds with a rotating
-    leader. A round's leader proposes a value; replicas {e echo} it with a
-    signature; [2f + 1] signed echoes form a {e quorum certificate} (QC)
-    that locks the value and yields a signed {e commit} vote; [2f + 1]
-    commit votes decide and themselves form a {e decision certificate}
-    verifiable by outsiders (that is how the notary committee's χc / χa
-    certificates are checked by escrows and customers).
+    PBFT/Tendermint, parametrized over a {!Quorum_system.t} rather than a
+    hardwired [2f + 1]-of-[3f + 1] count: replicas proceed in rounds with
+    a rotating leader. A round's leader proposes a value; replicas
+    {e echo} it with a signature; a quorum of signed echoes (as judged by
+    [Quorum_system.is_quorum] over the signer set) forms a {e quorum
+    certificate} (QC) that locks the value and yields a signed {e commit}
+    vote; a quorum of commit votes decides and itself forms a {e decision
+    certificate} verifiable by outsiders (that is how the notary
+    committee's χc / χa certificates are checked by escrows and
+    customers). [Quorum_system.majority ~n:(3 * f + 1) ~f ()] recovers
+    the classic thresholds exactly; weighted and grid systems change who
+    must sign, not the protocol.
 
     Lock handling follows the DLS discipline that makes this safe under
     full asynchrony: a replica abandons a lock only when shown a valid QC
@@ -37,15 +42,16 @@ type 'v qc = {
   q_value : 'v;
   q_sigs : 'v echo_body Xcrypto.Auth.signed list;
 }
-(** A quorum certificate: [2f + 1] signed echoes for one (round, value). *)
+(** A quorum certificate: a quorum's worth of signed echoes for one
+    (round, value). *)
 
 type 'v decision_cert = {
   d_value : 'v;
   d_round : round;
   d_sigs : 'v commit_body Xcrypto.Auth.signed list;
 }
-(** [2f + 1] signed commit votes: transferable proof that [d_value] was
-    decided. *)
+(** A quorum's worth of signed commit votes: transferable proof that
+    [d_value] was decided. *)
 
 type 'v msg =
   | Propose of { round : round; value : 'v; justif : 'v qc option }
@@ -62,9 +68,10 @@ type 'v effect =
   | Decided of 'v decision_cert
 
 type 'v config = {
-  n : int;  (** number of replicas; must satisfy [n >= 3f + 1] *)
-  f : int;
-  self : int;  (** this replica's index in [0 .. n-1] *)
+  qs : Quorum_system.t;
+      (** who may certify: replica indices are the quorum system's
+          process indices; must pass [Quorum_system.validate] *)
+  self : int;  (** this replica's index in [0 .. size qs - 1] *)
   auth_ids : int array;  (** Auth identity of each replica index *)
   registry : Xcrypto.Auth.registry;
   signer : Xcrypto.Auth.signer;  (** must match [auth_ids.(self)] *)
@@ -106,8 +113,8 @@ val current_round : 'v t -> round
 val locked : 'v t -> 'v qc option
 
 val verify_qc : 'v config -> 'v qc -> bool
-(** For hosts and tests: [2f + 1] distinct valid replica signatures over the
-    same (round, value). *)
+(** For hosts and tests: the distinct valid replica signatures over the
+    same (round, value) form a quorum of [cfg.qs]. *)
 
 val verify_decision : 'v config -> 'v decision_cert -> bool
 (** Verifiable by any outsider holding the registry and the committee

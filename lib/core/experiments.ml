@@ -903,6 +903,116 @@ let e13_partition_sweep scale =
       ]
     rows
 
+(* ------------------------------------------------------------------ E14 *)
+
+(* E13 generalized: the same unhealed-partition scenario over the whole
+   quorum-system zoo. Whether the TM survives a split is pure quorum
+   geometry — a block keeps deciding iff it contains a quorum of its
+   family — so the same headcount split saves one family and kills
+   another. Each row pins one (family, split) pair; the splits use the
+   named multi-block grammar so the table is self-describing. *)
+let e14_quorum_partitions scale =
+  let n_runs = runs scale in
+  let hops = 2 in
+  (* pid layout for 2 hops: customers 0-2, escrows 3-4, committee 5.. *)
+  let qs_majority4 = Quorum_system.majority ~n:4 ~f:1 () in
+  let qs_majority7 = Quorum_system.majority ~n:7 ~f:2 () in
+  let qs_weighted =
+    Quorum_system.weighted ~weights:[| 2; 2; 1; 1; 1 |] ~f:1 ()
+  in
+  let qs_grid = Quorum_system.grid ~rows:3 ~cols:3 ~f:1 () in
+  let cells =
+    [
+      (* a 2|2 split of the 4-committee strands both sides below q=3;
+         3|1 leaves a live quorum *)
+      ("majority(4,q=3)", qs_majority4, "part wing_a:5,6|wing_b:7,8@250");
+      ("majority(4,q=3)", qs_majority4, "part main:5-7|lone:8@250");
+      (* three-way split of the 7-committee: no block reaches q=5 *)
+      ("majority(7,q=5)", qs_majority7, "part a:5,6,7|b:8,9|c:10,11@250");
+      ("majority(7,q=5)", qs_majority7, "part main:5-9|rest:10,11@250");
+      (* same 3|2 headcount, opposite fates: the block holding both
+         heavyweights (replicas 0,1 = pids 5,6; weight 2 each) clears the
+         threshold of 5, the one splitting them strands the system *)
+      ("weighted(2,2,1,1,1)", qs_weighted, "part heavy:5-7|light:8,9@250");
+      ("weighted(2,2,1,1,1)", qs_weighted, "part split:5,7,8|rest:6,9@250");
+      (* a grid quorum is 2 full rows + 2 full columns: any row-aligned
+         split breaks every column, so both sides die; losing a single
+         replica only costs one row and one column, so 8|1 survives *)
+      ("grid(3x3,2r+2c)", qs_grid, "part top:5-10|bottom:11-13@250");
+      ("grid(3x3,2r+2c)", qs_grid, "part main:5-12|lone:13@250");
+    ]
+  in
+  let patience = 4_000 in
+  let rows =
+    List.map
+      (fun (family, qs, plan_spec) ->
+        let plan =
+          match Faults.Fault_plan.of_string plan_spec with
+          | Ok p -> p
+          | Error e -> Fmt.invalid_arg "e14 plan %s: %s" plan_spec e
+        in
+        let paid = ref 0 and terminated = ref 0 and safe = ref 0 in
+        for seed = 1 to n_runs do
+          let gst_rng = Sim.Rng.create ~seed:(seed * 7919) in
+          let gst = Sim.Rng.int_in gst_rng ~lo:0 ~hi:1_000 in
+          let cfg =
+            {
+              (Runner.default_config ~hops ~seed) with
+              network = Runner.Psync { gst };
+              fault_plan = Some plan;
+            }
+          in
+          let tm = Weak_protocol.Quorum { qs } in
+          let o = Runner.run cfg (Runner.Weak (weak_cfg ~tm ~patience ())) in
+          let v = PP.view o in
+          if PP.bob_paid v then incr paid;
+          if
+            List.for_all
+              (fun pid -> Option.is_some (v.PP.terminated pid))
+              (Topology.customers o.Runner.env.Env.topo)
+          then incr terminated;
+          let report = PP.check_def2 ~patience_sufficient:false v in
+          let safety =
+            List.filter
+              (fun (p : V.t) -> p.V.property <> "T" && p.V.property <> "Lw")
+              report
+          in
+          if V.all_hold safety then incr safe
+        done;
+        let split =
+          (* strip the "part " prefix and "@250" suffix: the groups are
+             the interesting part, the schedule is fixed *)
+          let s = plan_spec in
+          String.sub s 5 (String.length s - 5 - 4)
+        in
+        [
+          family;
+          split;
+          Table.cell_i n_runs;
+          Table.cell_pct (pct !paid n_runs);
+          Table.cell_pct (pct !terminated n_runs);
+          Table.cell_pct (pct !safe n_runs);
+        ])
+      cells
+  in
+  Table.make
+    ~title:
+      "E14: generalized quorum systems under an unhealed partition at \
+       t=250 — survival is quorum geometry, not headcount"
+    ~header:[ "family"; "split"; "runs"; "Bob paid"; "all terminated"; "safety" ]
+    ~notes:
+      [
+        "patience 4000, GST uniform in [0, 1000], partition never heals: \
+         a block keeps deciding iff it contains a full quorum of its \
+         family (count >= q, weight >= threshold, or 2 rows + 2 columns)";
+        "weighted rows share a 3|2 headcount and differ only in where \
+         the two weight-2 replicas sit — co-located they carry the \
+         threshold, split apart no block can decide";
+        "safety = Def.2 minus the liveness verdicts (T, Lw), as in E13; \
+         it must show 100% in every cell";
+      ]
+    rows
+
 let all ?domains scale =
   [
     e1_theorem1 scale;
@@ -918,12 +1028,13 @@ let all ?domains scale =
     e11_atomic_vs_weak scale;
     e12_exhaustive_corners ?domains scale;
     e13_partition_sweep scale;
+    e14_quorum_partitions scale;
   ]
 
 let names =
   [
     "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12";
-    "e13";
+    "e13"; "e14";
   ]
 
 let by_name = function
@@ -940,4 +1051,5 @@ let by_name = function
   | "e11" -> Some e11_atomic_vs_weak
   | "e12" -> Some (fun scale -> e12_exhaustive_corners scale)
   | "e13" -> Some e13_partition_sweep
+  | "e14" -> Some e14_quorum_partitions
   | _ -> None

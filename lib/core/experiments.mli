@@ -77,11 +77,18 @@ val e13_partition_sweep : scale -> Table.t
     time. Def. 2 safety must hold in every cell; Bob's success degrades
     exactly where the outage window swallows the patience budget. *)
 
+val e14_quorum_partitions : scale -> Table.t
+(** E13 generalized to the quorum-system zoo: one unhealed named
+    multi-block partition per row over majority, weighted, and grid
+    systems. A block keeps deciding iff it contains a full quorum of its
+    family, so the same headcount split saves one family and strands
+    another; safety holds in every cell regardless. *)
+
 val all : ?domains:int -> scale -> Table.t list
 (** Every experiment, in order. [?domains] is forwarded to the sweeps
     that shard over the fleet (currently {!e12_exhaustive_corners}). *)
 
 val by_name : string -> (scale -> Table.t) option
-(** Lookup "e1" … "e13". *)
+(** Lookup "e1" … "e14". *)
 
 val names : string list

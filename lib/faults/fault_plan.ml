@@ -16,6 +16,7 @@ type crash_spec = {
 
 type partition_spec = {
   groups : int list list;
+  gnames : string option list;
   from_ : Sim_time.t;
   until_ : Sim_time.t option;
 }
@@ -38,9 +39,19 @@ let clause_count p =
 
 (* The canonical form [of_string (to_string p)] lands on: every link rule
    carries exactly one nonzero kind (a combined rule prints as several
-   clauses, which parse back as separate rules), no-op rules vanish, and
-   a non-positive jitter is the absent clause. *)
+   clauses, which parse back as separate rules), no-op rules vanish, a
+   non-positive jitter is the absent clause, and a partition whose groups
+   are all unnamed carries [gnames = []] (an all-[None] list prints
+   identically, so it parses back to the empty list). *)
 let normalize p =
+  let partitions =
+    List.map
+      (fun (s : partition_spec) ->
+        if List.for_all (( = ) None) s.gnames then { s with gnames = [] }
+        else s)
+      p.partitions
+  in
+  let p = { p with partitions } in
   let links =
     List.concat_map
       (fun (r : link_rule) ->
@@ -65,6 +76,15 @@ let normalize p =
   { p with links; gst_jitter = Stdlib.max 0 p.gst_jitter }
 
 (* ------------------------------ validate ------------------------------ *)
+
+(* a group name must not be mistakable for a member list or a window:
+   leading letter, then letters / digits / underscores *)
+let valid_group_name n =
+  n <> ""
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       n
 
 let validate p ~nprocs =
   let ( let* ) = Result.bind in
@@ -162,6 +182,40 @@ let validate p ~nprocs =
           (List.concat s.groups)
       in
       let* () =
+        if s.gnames <> [] && List.length s.gnames <> List.length s.groups then
+          err "partition: %d names for %d groups" (List.length s.gnames)
+            (List.length s.groups)
+        else Ok ()
+      in
+      let* () =
+        if s.gnames <> [] && List.exists (( = ) None) s.gnames then
+          err "partition: either every group is named or none is"
+        else Ok ()
+      in
+      let* () =
+        each
+          (function
+            | None -> Ok ()
+            | Some n ->
+                if valid_group_name n then Ok ()
+                else err "partition: bad group name %S" n)
+          s.gnames
+      in
+      let* () =
+        let seen = Hashtbl.create 4 in
+        each
+          (function
+            | None -> Ok ()
+            | Some n ->
+                if Hashtbl.mem seen n then
+                  err "partition: group name %S used twice" n
+                else begin
+                  Hashtbl.add seen n ();
+                  Ok ()
+                end)
+          s.gnames
+      in
+      let* () =
         if Sim_time.(s.from_ < zero) then
           err "partition: negative start time %a" Sim_time.pp s.from_
         else Ok ()
@@ -218,10 +272,16 @@ let to_string p =
     p.crashes;
   List.iter
     (fun (s : partition_spec) ->
+      let name_of i =
+        match List.nth_opt s.gnames i with
+        | Some (Some n) -> n ^ ":"
+        | _ -> ""
+      in
       let groups =
         String.concat "|"
-          (List.map
-             (fun g -> String.concat "," (List.map string_of_int g))
+          (List.mapi
+             (fun i g ->
+               name_of i ^ String.concat "," (List.map string_of_int g))
              s.groups)
       in
       match s.until_ with
@@ -327,32 +387,67 @@ let parse_clause plan clause =
         | _ ->
             Fmt.kstr Result.error "part: expected GROUPS@AT[+DUR], got %S" spec
       in
-      let* groups =
+      let* named_groups =
+        (* each group is [NAME:]MEMBERS; members are pids or LO-HI ranges
+           (parse-only sugar — the canonical form lists every pid) *)
+        let parse_member m =
+          let m = String.trim m in
+          match String.index_opt m '-' with
+          | None -> Result.map (fun v -> [ v ]) (parse_int "part member" m)
+          | Some i ->
+              let* lo =
+                parse_int "part range low" (String.sub m 0 i)
+              in
+              let* hi =
+                parse_int "part range high"
+                  (String.sub m (i + 1) (String.length m - i - 1))
+              in
+              if hi < lo then
+                Fmt.kstr Result.error "part: empty range %d-%d" lo hi
+              else Ok (List.init (hi - lo + 1) (fun k -> lo + k))
+        in
+        let parse_group g =
+          let* name, members_s =
+            match String.index_opt g ':' with
+            | None -> Ok (None, g)
+            | Some i ->
+                let n = String.sub g 0 i in
+                if valid_group_name n then
+                  Ok (Some n, String.sub g (i + 1) (String.length g - i - 1))
+                else Fmt.kstr Result.error "part: bad group name %S" n
+          in
+          let rec ints acc = function
+            | [] -> Ok (List.rev acc)
+            | m :: ms ->
+                Result.bind (parse_member m) (fun vs ->
+                    ints (List.rev_append vs acc) ms)
+          in
+          let* members = ints [] (String.split_on_char ',' members_s) in
+          Ok (name, members)
+        in
         let rec go acc = function
           | [] -> Ok (List.rev acc)
           | g :: rest -> (
-              let members = String.split_on_char ',' g in
-              let rec ints acc = function
-                | [] -> Ok (List.rev acc)
-                | m :: ms ->
-                    Result.bind (parse_int "part member" m) (fun v ->
-                        ints (v :: acc) ms)
-              in
-              match ints [] members with
-              | Ok mem -> go (mem :: acc) rest
+              match parse_group g with
+              | Ok ng -> go (ng :: acc) rest
               | Error _ as e -> e)
         in
         go [] (String.split_on_char '|' groups_s)
       in
       let* () =
-        if List.length groups < 2 then
+        if List.length named_groups < 2 then
           Fmt.kstr Result.error "part: needs at least two |-separated groups"
         else Ok ()
       in
       let* from_, until_ = parse_window "part" window in
+      let groups = List.map snd named_groups in
+      let gnames =
+        let names = List.map fst named_groups in
+        if List.for_all (( = ) None) names then [] else names
+      in
       Ok
         { plan with
-          partitions = plan.partitions @ [ { groups; from_; until_ } ]
+          partitions = plan.partitions @ [ { groups; gnames; from_; until_ } ]
         }
   | [ gst ] when String.length gst > 4 && String.sub gst 0 4 = "gst+" ->
       let* j = parse_int "gst" (String.sub gst 4 (String.length gst - 4)) in
@@ -408,18 +503,57 @@ let random rng ~nprocs ~horizon =
     if nprocs >= 2 && Rng.int rng 3 = 0 then begin
       let pids = Array.init nprocs Fun.id in
       Rng.shuffle rng pids;
-      let cut = 1 + Rng.int rng (nprocs - 1) in
-      let left = Array.to_list (Array.sub pids 0 cut) in
-      let right = Array.to_list (Array.sub pids cut (nprocs - cut)) in
-      let from_ = Rng.int rng half in
-      let until_ =
-        if Rng.bool rng then Some (Sim_time.add from_ (1 + Rng.int rng half))
-        else None
-      in
-      [ { groups = [ List.sort compare left; List.sort compare right ];
-          from_;
-          until_;
-        } ]
+      if nprocs >= 6 then begin
+        (* room for the generalized shapes: 2–3 blocks, sometimes named.
+           Smaller systems keep the historical two-block draw sequence so
+           seeded chaos/hunt transcripts stay byte-identical. *)
+        let blocks = 2 + Rng.int rng 2 in
+        let rec cuts acc lo remaining =
+          if remaining = 1 then List.rev (nprocs :: acc)
+          else
+            let c = lo + 1 + Rng.int rng (nprocs - (remaining - 1) - lo) in
+            cuts (c :: acc) c (remaining - 1)
+        in
+        let bounds = cuts [] 0 blocks in
+        let groups =
+          List.rev
+            (fst
+               (List.fold_left
+                  (fun (acc, lo) hi ->
+                    let g =
+                      List.sort compare
+                        (Array.to_list (Array.sub pids lo (hi - lo)))
+                    in
+                    (g :: acc, hi))
+                  ([], 0) bounds))
+        in
+        let gnames =
+          if Rng.bool rng then
+            List.mapi (fun i _ -> Some (Printf.sprintf "g%d" i)) groups
+          else []
+        in
+        let from_ = Rng.int rng half in
+        let until_ =
+          if Rng.bool rng then Some (Sim_time.add from_ (1 + Rng.int rng half))
+          else None
+        in
+        [ { groups; gnames; from_; until_ } ]
+      end
+      else begin
+        let cut = 1 + Rng.int rng (nprocs - 1) in
+        let left = Array.to_list (Array.sub pids 0 cut) in
+        let right = Array.to_list (Array.sub pids cut (nprocs - cut)) in
+        let from_ = Rng.int rng half in
+        let until_ =
+          if Rng.bool rng then Some (Sim_time.add from_ (1 + Rng.int rng half))
+          else None
+        in
+        [ { groups = [ List.sort compare left; List.sort compare right ];
+            gnames = [];
+            from_;
+            until_;
+          } ]
+      end
     end
     else []
   in

@@ -24,9 +24,15 @@
       combine by taking the maximum per kind.
     - [crash PID@AT] / [crash PID@AT+DUR] — the process goes down at [AT];
       with [+DUR] it reboots at [AT+DUR], otherwise it stays down.
-    - [part G1|G2|…@AT] / [part …@AT+DUR] — groups are comma-separated pid
-      lists; while active, sends between {e different} listed groups are
-      dropped (pids in no group are unaffected).
+    - [part G1|G2|…@AT] / [part …@AT+DUR] — two or more [|]-separated
+      groups; while active, sends between {e different} listed groups are
+      dropped (pids in no group are unaffected). Each group is a
+      comma-separated list of members, where a member is a pid or an
+      inclusive range [LO-HI] ([part 0-2|3-5@9] names six pids). A group
+      may carry a label, [NAME:MEMBERS] ([part wing_a:0,1|wing_b:2,3@9]);
+      names are [[A-Za-z][A-Za-z0-9_]*], distinct within a clause, and
+      either every group is named or none is. Ranges are parse-time
+      sugar; names survive the round-trip.
     - [gst+J] — adds [J] ticks to a partially-synchronous network's GST. *)
 
 type link_rule = {
@@ -45,6 +51,10 @@ type crash_spec = {
 
 type partition_spec = {
   groups : int list list;
+  gnames : string option list;
+      (** optional labels, parallel to [groups]: either [[]] (no group
+          named — the canonical form of an unnamed clause) or one entry
+          per group. Purely descriptive; never affects semantics. *)
   from_ : Sim.Sim_time.t;
   until_ : Sim.Sim_time.t option;  (** [None]: never heals *)
 }
@@ -94,5 +104,6 @@ val random : Sim.Rng.t -> nprocs:int -> horizon:Sim.Sim_time.t -> t
 (** A random plausible plan for a system of [nprocs] processes whose
     interesting behaviour happens within [horizon] ticks: up to a few link
     rules (moderate probabilities), up to two crash–recovery schedules,
-    at most one two-group partition, occasional GST jitter. Deterministic
-    in the generator state. *)
+    at most one partition (two blocks below six processes; two to three
+    blocks, sometimes named, from six up), occasional GST jitter.
+    Deterministic in the generator state. *)

@@ -55,6 +55,7 @@ let fresh_partition rng ~nprocs ~horizon =
     Some
       {
         FP.groups = [ List.sort compare left; List.sort compare right ];
+        gnames = [];
         from_;
         until_;
       }

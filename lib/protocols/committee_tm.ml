@@ -1,0 +1,147 @@
+open Sim
+module E = Engine
+module Committee = Quorum.Committee
+
+type config = {
+  qs : Quorum_system.t;
+  registry : Xcrypto.Auth.registry;
+  batch_cap : int;
+  pipeline : int;
+  base_timeout : Sim_time.t;
+  reply_to : int -> int array;
+  hops_of : int -> int;
+}
+
+let auth_ids cfg = Array.init (Quorum_system.size cfg.qs) (fun k -> k)
+
+let committee_config cfg ~index ~signer =
+  {
+    Committee.qs = cfg.qs;
+    self = index;
+    auth_ids = auth_ids cfg;
+    registry = cfg.registry;
+    signer;
+    batch_cap = cfg.batch_cap;
+    pipeline = cfg.pipeline;
+    base_timeout = cfg.base_timeout;
+  }
+
+let verify cfg ~signer = Committee.verify_cert (committee_config cfg ~index:0 ~signer)
+
+(* Handlers for committee replica [index]. The replicas are registered as
+   one block with a common [base], so intra-committee traffic uses logical
+   pids (0 .. size-1) and the engine rebases [src] for us; participants
+   outside the block are reached with absolute pids via [reply_to]. The
+   replica's committee state is returned alongside so the host can read
+   deterministic post-run statistics (certs, batches, rounds). *)
+let handlers cfg ~index ~signer =
+  let n = Quorum_system.size cfg.qs in
+  let com = Committee.create (committee_config cfg ~index ~signer) in
+  (* per-item request aggregation (sequencer only): an item's verdict is
+     [commit] once every leg reported funded, [abort] on the first abort
+     request — the single TM's rule, applied across payments *)
+  let legs : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let aborted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let announced : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let announce_cert ctx (cert : Committee.batch Consensus.Dls.decision_cert) =
+    (* push the batch certificate to every participant of every covered
+       item, deduplicated, in batch order — deterministic *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (v : Committee.verdict) ->
+        Array.iter
+          (fun p ->
+            if not (Hashtbl.mem seen p) then begin
+              Hashtbl.add seen p ();
+              E.send_absolute ctx ~dst:p (Msg.Quorum_decision { cert })
+            end)
+          (cfg.reply_to v.Committee.item))
+      cert.Consensus.Dls.d_value
+  in
+  let interpret ctx effs =
+    List.iter
+      (fun eff ->
+        match eff with
+        | Committee.Send { to_; m } -> E.send ctx ~dst:to_ (Msg.Quorum_msg m)
+        | Committee.Broadcast m ->
+            for k = 0 to n - 1 do
+              E.send ctx ~dst:k (Msg.Quorum_msg m)
+            done
+        | Committee.Set_slot_timer { slot; round; after } ->
+            E.set_timer_after ctx ~after
+              ~label:(Printf.sprintf "slot-%d-round-%d" slot round)
+        | Committee.Certified { slot; cert } ->
+            (* only the sequencer announces, keeping fan-out O(batch)
+               rather than O(batch * committee). Sequencer fail-over is
+               out of scope (docs/committees.md). *)
+            if index = 0 && not (Hashtbl.mem announced slot) then begin
+              Hashtbl.add announced slot ();
+              announce_cert ctx cert
+            end)
+      effs
+  in
+  let submit ctx ~item commit =
+    interpret ctx
+      (Committee.request com ~now:(E.local_now ctx) { Committee.item; commit })
+  in
+  let on_request ctx ~item (req : Msg.quorum_req) =
+    match Committee.verdict_of com ~item with
+    | Some (_, slot) -> (
+        (* already decided: the requester likely missed the broadcast —
+           re-announce the cached certificate *)
+        match Committee.cert_of_slot com slot with
+        | Some cert -> announce_cert ctx cert
+        | None -> ())
+    | None -> (
+        match req with
+        | Msg.Abort_wanted ->
+            if not (Hashtbl.mem aborted item) then begin
+              Hashtbl.replace aborted item ();
+              submit ctx ~item false
+            end
+        | Msg.Leg_funded { escrow_index } ->
+            let tbl =
+              match Hashtbl.find_opt legs item with
+              | Some t -> t
+              | None ->
+                  let t = Hashtbl.create 4 in
+                  Hashtbl.replace legs item t;
+                  t
+            in
+            if not (Hashtbl.mem tbl escrow_index) then begin
+              Hashtbl.replace tbl escrow_index ();
+              if
+                Hashtbl.length tbl >= cfg.hops_of item
+                && not (Hashtbl.mem aborted item)
+              then submit ctx ~item true
+            end)
+  in
+  ( {
+    E.on_start = (fun _ -> ());
+    on_receive =
+      (fun ctx ~src msg ->
+        match msg with
+        | Msg.Quorum_req { item; req } ->
+            (* requests are content-trusted (benchmark scope); only the
+               sequencer aggregates them *)
+            if index = 0 && item >= 0 then on_request ctx ~item req
+        | Msg.Quorum_msg m ->
+            (* intra-block traffic: [src] is already the sender's logical
+               replica index *)
+            if src >= 0 && src < n then
+              interpret ctx
+                (Committee.on_msg com ~now:(E.local_now ctx) ~from_:src m)
+        | _ -> ());
+    on_timer =
+      (fun ctx ~label ->
+        match String.split_on_char '-' label with
+        | [ "slot"; s; "round"; r ] -> (
+            match (int_of_string_opt s, int_of_string_opt r) with
+            | Some slot, Some round ->
+                interpret ctx
+                  (Committee.on_slot_timeout com ~now:(E.local_now ctx) ~slot
+                     ~round)
+            | _ -> ())
+        | _ -> ());
+  },
+    com )

@@ -25,10 +25,24 @@ type t =
   | Htlc_setup of { lock : Xcrypto.Hashlock.lock; amount : int }
   | Htlc_claim of { preimage : Xcrypto.Hashlock.preimage }
   | Htlc_key of { preimage : Xcrypto.Hashlock.preimage }
+  | Quorum_req of { item : int; req : quorum_req }
+      (* a payment participant asks the shared committee for a verdict:
+         one leg funded, or an abort request. Sent with absolute pids;
+         content-trusted (the certificates flowing back are what carries
+         cryptographic weight) *)
+  | Quorum_msg of Quorum.Committee.msg
+      (* intra-committee consensus traffic for one batching slot *)
+  | Quorum_decision of {
+      cert : Quorum.Committee.batch Consensus.Dls.decision_cert;
+    }
+      (* a batch certificate broadcast to every affected participant; each
+         extracts its own item's verdict after verifying the signatures *)
   | Start
   | Traffic_done of { payment : int }
       (* load-scheduler control plane: a multiplexer wrapper reports that
          one participant of [payment] reached its terminal state *)
+
+and quorum_req = Leg_funded of { escrow_index : int } | Abort_wanted
 
 let tag = function
   | Money _ -> "money"
@@ -48,6 +62,9 @@ let tag = function
   | Htlc_setup _ -> "htlc-setup"
   | Htlc_claim _ -> "htlc-claim"
   | Htlc_key _ -> "htlc-key"
+  | Quorum_req _ -> "quorum:req"
+  | Quorum_msg m -> Quorum.Committee.tag_of_msg m
+  | Quorum_decision _ -> "quorum:decision"
   | Start -> "start"
   | Traffic_done _ -> "traffic-done"
 
@@ -77,6 +94,14 @@ let pp ppf m =
       Fmt.pf ppf "htlc-setup(%a, $%d)" Xcrypto.Hashlock.pp_lock lock amount
   | Htlc_claim _ -> Fmt.string ppf "htlc-claim"
   | Htlc_key _ -> Fmt.string ppf "htlc-key"
+  | Quorum_req { item; req = Leg_funded { escrow_index } } ->
+      Fmt.pf ppf "quorum-req(item=%d, leg=%d)" item escrow_index
+  | Quorum_req { item; req = Abort_wanted } ->
+      Fmt.pf ppf "quorum-req(item=%d, abort)" item
+  | Quorum_msg m -> Quorum.Committee.pp_msg ppf m
+  | Quorum_decision { cert } ->
+      Fmt.pf ppf "quorum-decision(%d verdicts)"
+        (List.length cert.Consensus.Dls.d_value)
   | Start -> Fmt.string ppf "start"
   | Traffic_done { payment } -> Fmt.pf ppf "traffic-done(pay=%d)" payment
 

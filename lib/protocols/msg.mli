@@ -57,11 +57,25 @@ type t =
   | Htlc_claim of { preimage : Xcrypto.Hashlock.preimage }
   | Htlc_key of { preimage : Xcrypto.Hashlock.preimage }
       (** escrow → upstream customer: the revealed key *)
+  | Quorum_req of { item : int; req : quorum_req }
+      (** shared-committee mode: a payment participant asks the external
+          batching committee for a verdict on its item. Sent with
+          absolute pids across multiplexer blocks; content-trusted — the
+          certificate flowing back is the cryptographic interface *)
+  | Quorum_msg of Quorum.Committee.msg
+      (** shared-committee internal: slot-tagged consensus traffic *)
+  | Quorum_decision of {
+      cert : Quorum.Committee.batch Consensus.Dls.decision_cert;
+    }
+      (** a batch certificate covering many items; each participant
+          verifies the quorum signatures and extracts its own verdict *)
   | Start  (** generic kick-off ping *)
   | Traffic_done of { payment : int }
       (** load-scheduler control plane: one participant of [payment]
           reached its terminal state (sent by multiplexer wrappers, never
           by protocol automata) *)
+
+and quorum_req = Leg_funded of { escrow_index : int } | Abort_wanted
 
 val tag : t -> string
 (** Stable label used in traces and by adversaries to target message

@@ -14,8 +14,14 @@ let protocol_name = function
   | Weak { tm = Weak_protocol.Single; _ } -> "weak-single-tm"
   | Weak { tm = Weak_protocol.Committee { f }; _ } ->
       Printf.sprintf "weak-committee-f%d" f
+  | Weak { tm = Weak_protocol.Quorum { qs }; _ } ->
+      Printf.sprintf "weak-quorum-%s-n%d-f%d" (Quorum_system.family_name qs)
+        (Quorum_system.size qs)
+        (Quorum_system.fault_bound qs)
   | Weak { tm = Weak_protocol.Chain { validators }; _ } ->
       Printf.sprintf "weak-chain-m%d" validators
+  | Weak { tm = Weak_protocol.Shared { pids; _ }; _ } ->
+      Printf.sprintf "weak-shared-committee-%d" (Array.length pids)
   | Atomic _ -> "ilp-atomic"
 
 type network =

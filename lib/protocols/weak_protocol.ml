@@ -2,7 +2,16 @@ open Sim
 module E = Engine
 module Dls = Consensus.Dls
 
-type tm_kind = Single | Committee of { f : int } | Chain of { validators : int }
+type tm_kind =
+  | Single
+  | Committee of { f : int }
+  | Quorum of { qs : Quorum_system.t }
+  | Chain of { validators : int }
+  | Shared of {
+      pids : int array;
+      item : int;
+      verify : Quorum.Committee.batch Consensus.Dls.decision_cert -> bool;
+    }
 type notary_fault = Notary_honest | Notary_crash | Notary_equivocate
 
 type config = {
@@ -29,17 +38,28 @@ let tm_pids (env : Env.t) cfg =
   match cfg.tm with
   | Single -> [| base |]
   | Committee { f } -> Array.init (committee_size f) (fun k -> base + k)
+  | Quorum { qs } -> Array.init (Quorum_system.size qs) (fun k -> base + k)
   | Chain { validators } -> Array.init validators (fun k -> base + k)
+  | Shared _ -> [||]
 
 let process_count env cfg =
   Topology.payment_count env.Env.topo + Array.length (tm_pids env cfg)
 
 let dls_cfg (env : Env.t) cfg ~self_index ~signer ~validate =
   let pids = tm_pids env cfg in
-  let f = match cfg.tm with Committee { f } -> f | Single | Chain _ -> 0 in
+  let qs =
+    match cfg.tm with
+    | Committee { f } -> Quorum_system.majority ~n:(committee_size f) ~f ()
+    | Quorum { qs } -> qs
+    | Single | Chain _ | Shared _ ->
+        (* degenerate: these TM kinds never run an in-block DLS, but keep
+           the config total (and valid) by requiring every replica to
+           sign *)
+        let n = max 1 (Array.length pids) in
+        Quorum_system.majority ~q:n ~n ~f:0 ()
+  in
   {
-    Dls.n = Array.length pids;
-    f;
+    Dls.qs;
     self = self_index;
     auth_ids = pids;
     registry = env.Env.registry;
@@ -52,8 +72,8 @@ let dls_cfg (env : Env.t) cfg ~self_index ~signer ~validate =
 
 let verify_committee_decision (env : Env.t) cfg dc =
   match cfg.tm with
-  | Single | Chain _ -> false
-  | Committee _ ->
+  | Single | Chain _ | Shared _ -> false
+  | Committee _ | Quorum _ ->
       let pids = tm_pids env cfg in
       (* verification-only config: the signer field is unused by
          verify_decision, any registered signer will do *)
@@ -79,12 +99,24 @@ let decision_of_msg (env : Env.t) cfg ~src msg =
         && Env.decision_ok env ~tm:src sv
       then Some sv.Xcrypto.Auth.payload.Msg.dec_commit
       else None
-  | Committee _, Msg.Committee_decision { commit; cert } ->
+  | (Committee _ | Quorum _), Msg.Committee_decision { commit; cert } ->
       if
         Array.exists (fun p -> p = src) pids
         && Bool.equal cert.Dls.d_value commit
         && verify_committee_decision env cfg cert
       then Some commit
+      else None
+  | Shared { item; verify; _ }, Msg.Quorum_decision { cert } ->
+      (* the certificate is self-authenticating (a quorum of committee
+         signatures over the whole batch), so [src] is irrelevant: any
+         process may relay it. Extract this payment's own verdict. *)
+      if verify cert then
+        List.find_map
+          (fun (v : Quorum.Committee.verdict) ->
+            if v.Quorum.Committee.item = item then
+              Some v.Quorum.Committee.commit
+            else None)
+          cert.Dls.d_value
       else None
   | _ -> None
 
@@ -110,9 +142,17 @@ let customer_handlers (env : Env.t) cfg i =
   let done_ = ref false in
   let request_abort ctx =
     E.observe ctx (Obs.Abort_requested { by = self });
-    Array.iter
-      (fun tm -> E.send ctx ~dst:tm (Msg.Abort_req { payment = env.Env.payment }))
-      tms
+    match cfg.tm with
+    | Shared { pids; item; _ } ->
+        (* the shared committee lives in its own block: address its
+           sequencer with an absolute pid *)
+        E.send_absolute ctx ~dst:pids.(0)
+          (Msg.Quorum_req { item; req = Msg.Abort_wanted })
+    | _ ->
+        Array.iter
+          (fun tm ->
+            E.send ctx ~dst:tm (Msg.Abort_req { payment = env.Env.payment }))
+          tms
   in
   let finish ctx outcome =
     if not !done_ then begin
@@ -250,19 +290,25 @@ let escrow_handlers (env : Env.t) cfg i =
                       (Obs.Deposited
                          { escrow = self; depositor = cust_up; amount; deposit = dep });
                     E.observe ctx (Obs.Funded_reported { escrow = self; amount });
-                    let body =
-                      {
-                        Msg.f_escrow = self;
-                        f_payment = env.Env.payment;
-                        f_amount = amount;
-                      }
-                    in
-                    let signed =
-                      Xcrypto.Auth.sign_value signer ~ser:Msg.ser_funded body
-                    in
-                    Array.iter
-                      (fun tm -> E.send ctx ~dst:tm (Msg.Funded signed))
-                      tms;
+                    (match cfg.tm with
+                    | Shared { pids; item; _ } ->
+                        E.send_absolute ctx ~dst:pids.(0)
+                          (Msg.Quorum_req
+                             { item; req = Msg.Leg_funded { escrow_index = i } })
+                    | _ ->
+                        let body =
+                          {
+                            Msg.f_escrow = self;
+                            f_payment = env.Env.payment;
+                            f_amount = amount;
+                          }
+                        in
+                        let signed =
+                          Xcrypto.Auth.sign_value signer ~ser:Msg.ser_funded body
+                        in
+                        Array.iter
+                          (fun tm -> E.send ctx ~dst:tm (Msg.Funded signed))
+                          tms);
                     (* a decision that raced ahead of the deposit *)
                     (match !pending_decision with
                     | Some c -> resolve ctx c
@@ -575,8 +621,13 @@ let chain_validator_handlers (env : Env.t) cfg ~index =
 let tm_handlers (env : Env.t) cfg ~index =
   match cfg.tm with
   | Single -> single_tm_handlers env cfg
+  | Shared _ ->
+      (* no in-block TM process: the shared committee runs in a block of
+         its own (see Traffic.Load) and [tm_pids] is empty, so this
+         branch is unreachable; keep the match total *)
+      E.silent
   | Chain _ -> chain_validator_handlers env cfg ~index
-  | Committee _ ->
+  | Committee _ | Quorum _ ->
       let fault =
         if Array.length cfg.notary_faults > index then
           cfg.notary_faults.(index)

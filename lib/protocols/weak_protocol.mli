@@ -25,13 +25,20 @@
     The TM is instantiated all three ways the paper suggests: a single
     trusted party ({!Single}); a smart contract replicated over a shared
     blockchain ({!Chain}, built on {!Consensus.Chain}); and a committee of
-    3f+1 notaries running the {!Consensus.Dls} algorithm, of which at most
-    f are unreliable ({!Committee}). *)
+    notaries running the {!Consensus.Dls} algorithm ({!Committee} for the
+    classic 3f+1 majority committee, {!Quorum} for an arbitrary
+    {!Quorum_system.t} family — weighted, grid — at any size). *)
 
 type tm_kind =
   | Single
   | Committee of { f : int }
-      (** 3f+1 notary processes; their pids follow the payment pids *)
+      (** 3f+1 notary processes; their pids follow the payment pids.
+          Equivalent to [Quorum] over
+          [Quorum_system.majority ~n:(3*f+1) ~f ()]. *)
+  | Quorum of { qs : Quorum_system.t }
+      (** a notary committee sized and thresholded by an arbitrary
+          validated quorum system; replica index i runs at aux pid
+          [aux_base + i] *)
   | Chain of { validators : int }
       (** the TM as a smart contract replicated over an authority
           blockchain ({!Consensus.Chain}): escrows and customers submit
@@ -39,6 +46,26 @@ type tm_kind =
           replays the unique chain, so the contract decides once and each
           validator's signed decision is equivalent — the paper's
           "smart contract running on a permissionless blockchain" *)
+  | Shared of {
+      pids : int array;
+          (** absolute engine pids of the committee replicas;
+              [pids.(0)] is the batching sequencer requests go to *)
+      item : int;  (** this payment's item id at the committee *)
+      verify : Quorum.Committee.batch Consensus.Dls.decision_cert -> bool;
+          (** certificate check over the committee's registry and quorum
+              system (e.g. [Quorum.Committee.verify_cert cfg]) *)
+    }
+      (** shared-committee mode: the payment has {e no} TM processes of
+          its own ([tm_pids] is [[||]]); instead its participants talk to
+          one external {!Quorum.Committee} block that batches verdicts
+          for thousands of concurrent payments into shared certificates
+          (see [Traffic.Load]). Escrows report funded legs and customers
+          request aborts via {!Msg.Quorum_req} sent with absolute pids;
+          the decision arrives as a {!Msg.Quorum_decision} batch
+          certificate from which each participant extracts its own item's
+          verdict after verifying the quorum signatures. Requests are
+          content-trusted (the certificate is the cryptographic
+          interface) — the honest-participant benchmark scope. *)
 
 type notary_fault =
   | Notary_honest
@@ -82,5 +109,6 @@ val escrow_handlers :
 
 val verify_committee_decision :
   Env.t -> config -> bool Consensus.Dls.decision_cert -> bool
-(** What participants run on a {!Msg.Committee_decision}: checks 2f+1
-    notary signatures over the decided value. *)
+(** What participants run on a {!Msg.Committee_decision}: checks that the
+    notary signatures over the decided value form a quorum of the
+    committee's quorum system. *)

@@ -27,6 +27,15 @@ type routing_stats = {
   instances_settled : int;
 }
 
+type committee_stats = {
+  certs : int;
+  verdicts : int;
+  max_batch : int;
+  rounds : int;
+  cert_lat_sum : int;
+  cert_lat_max : int;
+}
+
 type report = {
   workload : Workload.t;
   seed : int;
@@ -54,6 +63,7 @@ type report = {
   blame : Obsv.Blame.agg option;
   blame_reports : (int * Obsv.Blame.report) list;
   routing : routing_stats option;
+  committee_stats : committee_stats option;
   events : int;
   wall_ns : int;
 }
@@ -71,6 +81,9 @@ let aux_count = function
   | Workload.Sync | Workload.Naive | Workload.Htlc -> 0
   | Workload.Weak_single | Workload.Atomic -> 1
   | Workload.Committee -> 4
+  (* shared payments have no per-payment TM: one external committee block
+     serves them all (registered after the payment blocks) *)
+  | Workload.Shared -> 0
 
 let block_size ~hops proto = (2 * hops) + 1 + aux_count proto
 
@@ -170,7 +183,8 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
             ~commission:w.commission ~seed:(seed + 9991) ()
         in
         Htlc_protocol.window_of env0 (Htlc_protocol.default_config env0) 0
-    | Workload.Weak_single | Workload.Committee -> weak_cfg.patience
+    | Workload.Weak_single | Workload.Committee | Workload.Shared ->
+        weak_cfg.patience
     | Workload.Atomic -> Atomic_protocol.default_config.deadline
   in
   let gst_slack = match w.gst with Some g -> 2 * g | None -> 0 in
@@ -196,7 +210,20 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
     in
     last_arrival + w.patience + (2 * stuck_eff) + (20 * delta) + gst_slack
   in
-  let max_events = (1000 * w.payments) + 100_000 in
+  let max_events =
+    (1000 * w.payments) + 100_000
+    (* committee consensus traffic is quadratic in committee size per
+       certified slot; give it headroom without touching the budget of
+       committee-less runs *)
+    + (match w.committee with
+      | Some c ->
+          let slots =
+            (w.payments + c.Workload.c_batch - 1) / c.Workload.c_batch
+          in
+          (slots + (4 * c.Workload.c_pipeline))
+          * 4 * c.Workload.c_size * c.Workload.c_size
+      | None -> 0)
+  in
   (* --- network: model + fault injection, control traffic exempt --- *)
   let injector =
     if Faults.Fault_plan.is_none plan then None
@@ -216,8 +243,13 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
     Option.map
       (fun inj ->
         let tam = Faults.Injector.tamper inj in
+        (* fault plans address payment-block hosts; the controller (pid 0)
+           and the shared committee block (pids past the payment blocks)
+           are outside their pid space and stay exempt *)
+        let payment_limit = 1 + (w.payments * stride) in
         fun ~send_time ~src ~dst ~tag ->
-          if src = 0 || dst = 0 then [ Network.Intact ]
+          if src = 0 || dst = 0 || src >= payment_limit || dst >= payment_limit
+          then [ Network.Intact ]
           else
             tam ~send_time
               ~src:((src - 1) mod stride)
@@ -514,6 +546,68 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
           end);
     }
   in
+  (* --- shared batching committee: one block after the payment blocks --- *)
+  let shared_committee =
+    match w.committee with
+    | None -> None
+    | Some c ->
+        let n = c.Workload.c_size in
+        let qs =
+          match c.Workload.c_family with
+          | "majority" -> Quorum_system.majority ~n ~f:c.Workload.c_f ()
+          | "weighted" ->
+              Quorum_system.weighted ~weights:(Array.make n 1)
+                ~f:c.Workload.c_f ()
+          | "grid" ->
+              let side = ref 0 in
+              while !side * !side < n do
+                incr side
+              done;
+              if !side * !side <> n then
+                invalid_arg
+                  "Load.run: grid committee size must be a perfect square";
+              Quorum_system.grid ~rows:!side ~cols:!side ~f:c.Workload.c_f ()
+          | fam -> invalid_arg ("Load.run: unknown committee family " ^ fam)
+        in
+        (match Quorum_system.validate qs with
+        | Ok () -> ()
+        | Error e -> invalid_arg ("Load.run: committee: " ^ e));
+        let creg = Xcrypto.Auth.create ~seed:(seed + 71) in
+        let signers = Array.init n (fun i -> Xcrypto.Auth.register creg i) in
+        let cbase = 1 + (w.payments * stride) in
+        let part_count = (2 * hops) + 1 in
+        let ccfg =
+          {
+            Committee_tm.qs;
+            registry = creg;
+            batch_cap = c.Workload.c_batch;
+            pipeline = c.Workload.c_pipeline;
+            base_timeout = weak_cfg.Weak_protocol.tm_base_timeout;
+            reply_to =
+              (fun item ->
+                if item >= 0 && item < w.payments then
+                  Array.init part_count (fun l -> 1 + (item * stride) + l)
+                else [||]);
+            hops_of = (fun _ -> hops);
+          }
+        in
+        Some (c, ccfg, signers, cbase)
+  in
+  let shared_weak_cfg k =
+    match shared_committee with
+    | None -> invalid_arg "Load.run: shared proto without a committee= spec"
+    | Some (c, ccfg, signers, cbase) ->
+        {
+          weak_cfg with
+          Weak_protocol.tm =
+            Weak_protocol.Shared
+              {
+                pids = Array.init c.Workload.c_size (fun i -> cbase + i);
+                item = k;
+                verify = Committee_tm.verify ccfg ~signer:signers.(0);
+              };
+        }
+  in
   for k = 0 to w.payments - 1 do
     let env = envs.(k) in
     let inner =
@@ -526,6 +620,7 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
           fun l -> Htlc_protocol.handlers_for env cfg preimage l
       | Workload.Weak_single -> Weak_protocol.handlers_for env weak_cfg
       | Workload.Committee -> Weak_protocol.handlers_for env committee_cfg
+      | Workload.Shared -> Weak_protocol.handlers_for env (shared_weak_cfg k)
       | Workload.Atomic -> Atomic_protocol.handlers_for env Atomic_protocol.default_config
     in
     let bs = block_size ~hops protos.(k) in
@@ -552,6 +647,30 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
       ignore (Engine.add_process engine ~clock ~base ~label handlers)
     done
   done;
+  (* the shared committee's replicas form one block right after the
+     payment blocks; [c_faulty] of them (never the sequencer) are
+     crash-silent from the start *)
+  let sequencer_com = ref None in
+  (match shared_committee with
+  | None -> ()
+  | Some (c, ccfg, signers, cbase) ->
+      for i = 0 to c.Workload.c_size - 1 do
+        let handlers =
+          if i >= 1 && i <= c.Workload.c_faulty then Engine.silent
+          else begin
+            let handlers, com =
+              Committee_tm.handlers ccfg ~index:i ~signer:signers.(i)
+            in
+            if i = 0 then sequencer_com := Some com;
+            handlers
+          end
+        in
+        let pid =
+          Engine.add_process engine ~clock:Clock.perfect ~base:cbase
+            ~label:"notary" handlers
+        in
+        assert (pid = cbase + i)
+      done);
   (* host crashes expand to every payment block *)
   List.iter
     (fun (c : Faults.Fault_plan.crash_spec) ->
@@ -777,6 +896,44 @@ let run_linear ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
       blame;
       blame_reports;
       routing = None;
+      committee_stats =
+        (match !sequencer_com with
+        | None -> None
+        | Some com ->
+            (* deterministic: read straight off the sequencer's committee
+               state, never the (domain-shared) metrics registry *)
+            let certs = ref 0
+            and verdicts = ref 0
+            and max_batch = ref 0
+            and rounds = ref 0
+            and lat_sum = ref 0
+            and lat_max = ref 0 in
+            for slot = 0 to Quorum.Committee.slot_count com - 1 do
+              match Quorum.Committee.cert_of_slot com slot with
+              | None -> ()
+              | Some cert ->
+                  let batch = List.length cert.Consensus.Dls.d_value in
+                  incr certs;
+                  verdicts := !verdicts + batch;
+                  if batch > !max_batch then max_batch := batch;
+                  rounds := !rounds + cert.Consensus.Dls.d_round + 1;
+                  let lat =
+                    Option.value
+                      (Quorum.Committee.cert_latency com slot)
+                      ~default:0
+                  in
+                  lat_sum := !lat_sum + lat;
+                  if lat > !lat_max then lat_max := lat
+            done;
+            Some
+              {
+                certs = !certs;
+                verdicts = !verdicts;
+                max_batch = !max_batch;
+                rounds = !rounds;
+                cert_lat_sum = !lat_sum;
+                cert_lat_max = !lat_max;
+              });
       events = Engine.events_processed engine;
       wall_ns = max 1 (Fleet.now_ns () - wall_t0);
     }
@@ -958,7 +1115,8 @@ let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
             ~value:w.value ~commission:w.commission ~seed:(seed + 9991) ()
         in
         Htlc_protocol.window_of env0 (Htlc_protocol.default_config env0) 0
-    | Workload.Weak_single | Workload.Committee -> weak_cfg.patience
+    | Workload.Weak_single | Workload.Committee | Workload.Shared ->
+        weak_cfg.patience
     | Workload.Atomic -> Atomic_protocol.default_config.deadline
   in
   let gst_slack = match w.gst with Some g -> 2 * g | None -> 0 in
@@ -1133,6 +1291,9 @@ let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
         Htlc_protocol.handlers_for env cfg preimage
     | Workload.Weak_single -> Weak_protocol.handlers_for env weak_cfg
     | Workload.Committee -> Weak_protocol.handlers_for env committee_cfg
+    | Workload.Shared ->
+        (* Workload.validate rejects shared + topology *)
+        invalid_arg "Load.run: shared protocol requires a linear workload"
     | Workload.Atomic ->
         Atomic_protocol.handlers_for env Atomic_protocol.default_config
   in
@@ -1698,6 +1859,7 @@ let run_routed ?(plan = Faults.Fault_plan.none) ?(trace_capacity = 4096)
       blame;
       blame_reports;
       routing = Some routing_stats;
+      committee_stats = None;
       events = Engine.events_processed engine;
       wall_ns = max 1 (Fleet.now_ns () - wall_t0);
     }
@@ -1881,6 +2043,14 @@ let to_json r =
         s.split_payments s.partial_payments s.no_route_rejections s.instances
         s.instances_committed s.instances_settled)
     r.routing;
+  (* only present on shared-committee workloads, so other reports stay
+     byte-identical to earlier releases *)
+  Option.iter
+    (fun (s : committee_stats) ->
+      Printf.bprintf b
+        ",\"committee\":{\"certs\":%d,\"verdicts\":%d,\"max_batch\":%d,\"rounds\":%d,\"cert_lat_sum\":%d,\"cert_lat_max\":%d}"
+        s.certs s.verdicts s.max_batch s.rounds s.cert_lat_sum s.cert_lat_max)
+    r.committee_stats;
   (* wall-clock timing is the one nondeterministic member; it comes last
      so byte-identity checks can strip it (scripts/strip_timing.py) *)
   Printf.bprintf b ",\"timing\":{\"wall_ns\":%d,\"events_per_sec\":%d}"
@@ -1913,6 +2083,15 @@ let pp_summary ppf r =
         s.committed_value s.offered_value s.instances_committed s.instances
         s.no_route_rejections)
     r.routing;
+  Option.iter
+    (fun (s : committee_stats) ->
+      Fmt.pf ppf
+        "committee: %d certs, %d verdicts, max batch %d, %d rounds, cert \
+         latency mean %d max %d@,"
+        s.certs s.verdicts s.max_batch s.rounds
+        (if s.certs = 0 then 0 else s.cert_lat_sum / s.certs)
+        s.cert_lat_max)
+    r.committee_stats;
   List.iter
     (fun (name, assigned, committed) ->
       Fmt.pf ppf "  %-10s %d assigned, %d committed@," name assigned committed)

@@ -53,6 +53,21 @@ type routing_stats = {
 }
 (** Router-level accounting for graph workloads; see {!report.routing}. *)
 
+type committee_stats = {
+  certs : int;  (** batch certificates the sequencer decided *)
+  verdicts : int;  (** payment verdicts across all certificates *)
+  max_batch : int;  (** largest single certificate *)
+  rounds : int;
+      (** DLS rounds summed over decided slots; slot_count = certs when
+          every slot decided in round 0 *)
+  cert_lat_sum : int;
+      (** slot-open → certificate ticks summed over decided slots (mean =
+          [cert_lat_sum / certs]) *)
+  cert_lat_max : int;
+}
+(** Deterministic shared-committee accounting, read from the sequencer's
+    {!Quorum.Committee} state after the run; see {!report.committee_stats}. *)
+
 type report = {
   workload : Workload.t;
   seed : int;
@@ -95,6 +110,9 @@ type report = {
           this [None] and their reports byte-identical to pre-routing
           output. For routed runs, [blame_reports] keys are {e instance}
           ids (payment × max_splits + split index), one per paid split *)
+  committee_stats : committee_stats option;
+      (** [Some] iff the workload set [committee=]; other reports leave
+          this [None] and stay byte-identical to pre-committee output *)
   events : int;
       (** engine events the run dequeued — deterministic, the numerator of
           the events/sec throughput figure *)

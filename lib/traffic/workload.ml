@@ -4,9 +4,18 @@ type arrival =
   | Burst of { size : int; every : int }
   | Ramp of { gap_hi : int; gap_lo : int }
 
-type proto = Sync | Naive | Htlc | Weak_single | Committee | Atomic
+type proto = Sync | Naive | Htlc | Weak_single | Committee | Shared | Atomic
 
 type policy = Reserve | Optimistic
+
+type committee = {
+  c_family : string;
+  c_size : int;
+  c_f : int;
+  c_batch : int;
+  c_pipeline : int;
+  c_faulty : int;
+}
 
 type t = {
   payments : int;
@@ -25,6 +34,7 @@ type t = {
   topology : Routing.Topology.t option;
   route : Routing.Router.strategy;
   splits : int;
+  committee : committee option;
 }
 
 let default ~payments =
@@ -45,6 +55,7 @@ let default ~payments =
     topology = None;
     route = Routing.Router.Shortest;
     splits = 1;
+    committee = None;
   }
 
 let proto_name = function
@@ -53,6 +64,7 @@ let proto_name = function
   | Htlc -> "htlc"
   | Weak_single -> "weak"
   | Committee -> "committee"
+  | Shared -> "shared"
   | Atomic -> "atomic"
 
 let proto_of_string = function
@@ -61,8 +73,52 @@ let proto_of_string = function
   | "htlc" -> Ok Htlc
   | "weak" -> Ok Weak_single
   | "committee" -> Ok Committee
+  | "shared" -> Ok Shared
   | "atomic" -> Ok Atomic
   | s -> Error (Printf.sprintf "unknown protocol %S" s)
+
+let committee_to_string c =
+  Printf.sprintf "%s:%d:%d:%d:%d:%d" c.c_family c.c_size c.c_f c.c_batch
+    c.c_pipeline c.c_faulty
+
+let committee_of_string s =
+  let ints l = List.map int_of_string_opt l in
+  let build family = function
+    | [ Some size; Some f; Some batch; Some pipeline; Some faulty ] ->
+        Ok
+          {
+            c_family = family;
+            c_size = size;
+            c_f = f;
+            c_batch = batch;
+            c_pipeline = pipeline;
+            c_faulty = faulty;
+          }
+    | _ -> Error "committee wants integers: family:size:f:batch:pipeline[:faulty]"
+  in
+  match String.split_on_char ':' s with
+  | family :: rest when List.length rest = 4 ->
+      build family (ints rest @ [ Some 0 ])
+  | family :: rest when List.length rest = 5 -> build family (ints rest)
+  | _ ->
+      Error
+        (Printf.sprintf "unrecognised committee spec %S (want \
+                         family:size:f:batch:pipeline[:faulty])" s)
+
+let validate_committee c =
+  let err fmt = Fmt.kstr Result.error fmt in
+  if not (List.mem c.c_family [ "majority"; "weighted"; "grid" ]) then
+    err "committee family must be majority, weighted or grid (got %S)"
+      c.c_family
+  else if c.c_size < 1 then err "committee size must be >= 1"
+  else if c.c_f < 0 then err "committee f must be >= 0"
+  else if c.c_batch < 1 then err "committee batch must be >= 1"
+  else if c.c_pipeline < 1 then err "committee pipeline must be >= 1"
+  else if c.c_faulty < 0 || c.c_faulty >= c.c_size then
+    err "committee faulty must be in [0, size)"
+  else if c.c_faulty > c.c_f then
+    err "committee faulty must not exceed the fault bound f"
+  else Ok ()
 
 let pp_proto ppf p = Fmt.string ppf (proto_name p)
 
@@ -149,6 +205,17 @@ let validate w =
   else if w.drift_ppm > 0 && List.mem_assoc Naive w.mix then
     err "naive in the mix requires drift=0 (it is only correct without drift)"
   else if w.splits < 1 then err "splits must be >= 1"
+  else if List.mem_assoc Shared w.mix && w.committee = None then
+    err "shared in the mix requires a committee= spec"
+  else if w.committee <> None && not (List.mem_assoc Shared w.mix) then
+    err "committee= is only meaningful with shared in the mix"
+  else if w.committee <> None && w.topology <> None then
+    err "shared committee mode requires a linear workload (no topology=)"
+  else if
+    match w.committee with
+    | Some c -> Result.is_error (validate_committee c)
+    | None -> false
+  then Option.get (Option.map validate_committee w.committee)
   else if w.splits > 1 && w.topology = None then
     err "splits > 1 requires a topology= graph to split across"
   else if w.topology <> None && w.policy = Optimistic then
@@ -176,14 +243,20 @@ let to_string w =
       (match w.gst with None -> "none" | Some g -> string_of_int g)
   in
   (* graph keys only when a topology is set, so linear workloads keep their
-     pre-routing spec lines byte-for-byte *)
-  match w.topology with
+     pre-routing spec lines byte-for-byte; likewise committee= only when a
+     shared committee is configured *)
+  let base =
+    match w.topology with
+    | None -> base
+    | Some t ->
+        Printf.sprintf "%s topology=%s route=%s splits=%d" base
+          (Routing.Topology.to_string t)
+          (Routing.Router.strategy_name w.route)
+          w.splits
+  in
+  match w.committee with
   | None -> base
-  | Some t ->
-      Printf.sprintf "%s topology=%s route=%s splits=%d" base
-        (Routing.Topology.to_string t)
-        (Routing.Router.strategy_name w.route)
-        w.splits
+  | Some c -> Printf.sprintf "%s committee=%s" base (committee_to_string c)
 
 let of_string s =
   let ( let* ) = Result.bind in
@@ -237,6 +310,9 @@ let of_string s =
             let* r = keyed (Routing.Router.strategy_of_string v) in
             Ok { w with route = r }
         | "splits" -> int_field (fun n -> { w with splits = n })
+        | "committee" ->
+            let* c = keyed (committee_of_string v) in
+            Ok { w with committee = Some c }
         | _ -> Error (Printf.sprintf "unknown workload key %S" key))
   in
   let* w = List.fold_left parse (Ok (default ~payments:1)) fields in

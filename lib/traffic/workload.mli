@@ -26,7 +26,24 @@ type arrival =
       (** open loop with the mean gap shrinking linearly from [gap_hi]
           (first arrival) to [gap_lo] (last): a ramp-up to peak rate *)
 
-type proto = Sync | Naive | Htlc | Weak_single | Committee | Atomic
+type proto = Sync | Naive | Htlc | Weak_single | Committee | Shared | Atomic
+(** [Shared] runs the weak protocol with {e no} per-payment TM: all shared
+    payments in the run send their funded reports and abort requests to
+    one external batching notary committee (the workload's [committee]
+    spec), whose certificates cover many payments at once. *)
+
+type committee = {
+  c_family : string;  (** ["majority"], ["weighted"] or ["grid"] *)
+  c_size : int;  (** replicas (grid: must be a perfect square) *)
+  c_f : int;  (** Byzantine fault bound the quorum system tolerates *)
+  c_batch : int;  (** max verdicts per certificate *)
+  c_pipeline : int;  (** max concurrently undecided slots *)
+  c_faulty : int;
+      (** replicas actually failed in the run (crash-silent), placed at
+          indices [1 .. c_faulty] — never the sequencer; <= [c_f] *)
+}
+(** The shared committee's shape — pure data; [Load] builds the validated
+    {!Quorum_system.t} from it. *)
 
 type policy =
   | Reserve
@@ -69,6 +86,9 @@ type t = {
   splits : int;
       (** max edge-disjoint paths one payment may split across; 1 =
           single-path routing *)
+  committee : committee option;
+      (** the shared batching committee; required iff [Shared] is in the
+          mix, linear workloads only *)
 }
 
 val default : payments:int -> t
@@ -90,6 +110,12 @@ val mix_of_string : string -> ((proto * int) list, string) result
 
 val policy_of_string : string -> (policy, string) result
 
+val committee_of_string : string -> (committee, string) result
+(** [family:size:f:batch:pipeline[:faulty]]; [faulty] defaults to 0. *)
+
+val committee_to_string : committee -> string
+val validate_committee : committee -> (unit, string) result
+
 val validate : t -> (unit, string) result
 (** Structural sanity plus the policy/protocol compatibility rules:
     [Optimistic] forbids [Sync]/[Naive] in the mix (their escrows barrel
@@ -102,7 +128,8 @@ val validate : t -> (unit, string) result
 val to_string : t -> string
 (** The one-line grammar above; [of_string (to_string w)] = [Ok w] up to
     topology normalization. The [topology=]/[route=]/[splits=] keys are
-    printed only when a topology is set, so linear workloads keep their
+    printed only when a topology is set, and [committee=] only when a
+    shared committee is configured, so existing workloads keep their
     historical spec lines byte-for-byte. *)
 
 val of_string : string -> (t, string) result

@@ -89,9 +89,19 @@ emit, populated by deterministic probe workloads:
   xchain_consensus_view_changes_total        counter   Round timeouts that forced a view change
   xchain_consensus_decisions_total           counter   Decision certificates assembled
   xchain_consensus_rounds_to_decide          histogram Rounds needed to reach a decision (1 = decided in round 0)
-  xchain_network_fifo_holds_total            counter   Deliveries pushed later to preserve per-link FIFO order
-  xchain_network_adversary_clamped_total     counter   Adversary delay picks overridden by clamping into the model
-  xchain_network_adversary_delays_total      counter   Message delays chosen by the adversary and honored as picked
+  xchain_committee_requests_total            counter   Verdict requests accepted by committee sequencers
+  xchain_committee_certs_total               counter   Batch certificates assembled (slots decided)
+  xchain_committee_batch_occupancy           histogram Verdicts per batch certificate
+
+The shared-committee runner contributes its own families — request and
+certificate counters plus batching and latency histograms:
+
+  $ xchain metrics | grep -E '^xchain_committee_'
+  xchain_committee_requests_total            counter   Verdict requests accepted by committee sequencers
+  xchain_committee_certs_total               counter   Batch certificates assembled (slots decided)
+  xchain_committee_batch_occupancy           histogram Verdicts per batch certificate
+  xchain_committee_rounds_to_certify         histogram Consensus rounds needed per certificate (1 = round 0)
+  xchain_committee_cert_latency              histogram Sim-time from slot open to certificate
 
   $ xchain metrics --help | head -6
   NAME
@@ -321,6 +331,18 @@ transcripts and stripped reports must agree exactly:
   $ sed 's/,"timing":{[^}]*}//g' r4.json > r4.stripped
   $ cmp r1.stripped r4.stripped && echo deterministic
   deterministic
+
+A shared-committee sweep runs a burst of payments through one batching
+notary committee per cell (family x batch cap); every cell must commit
+every payment, and batching cuts certificates (6 certs for 16 payments
+at cap 8 vs one per payment unbatched):
+
+  $ xchain committee --payments 16 --committees majority:4:1 --batches 1,8 --seed 1
+  committee sweep: 16 payments x 2 hops, pipeline 4, seed 1, 2 cells
+  family      size   f faulty  batch  committed  certs maxbat rounds  decided/Mt cert-lat
+  majority       4   1      0      1         16     16      1     16       14440      226
+  majority       4   1      0      8         16      6      8      6       24390      224
+  all cells clean
 
 Per-run telemetry sinks are refused under replications (their ids would
 interleave nondeterministically across domains):

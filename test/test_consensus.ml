@@ -20,15 +20,17 @@ type world = {
   mutable pending_timers : (int * int) list;  (* replica, round *)
 }
 
-let make_world ?(n = 4) ?(f = 1) ?(validate = fun _ -> true) () =
+let make_world ?(n = 4) ?(f = 1) ?qs ?(validate = fun _ -> true) () =
   let registry = Auth.create ~seed:11 in
   let auth_ids = Array.init n Fun.id in
   let signers = Array.init n (fun i -> Auth.register registry i) in
+  let qs =
+    match qs with Some qs -> qs | None -> Quorum_system.majority ~n ~f ()
+  in
   let cfgs =
     Array.init n (fun i ->
         {
-          Dls.n;
-          f;
+          Dls.qs;
           self = i;
           auth_ids;
           registry;
@@ -95,11 +97,20 @@ let basic_tests =
         check Alcotest.int "r0" 0 (Dls.leader_of ~n:4 0);
         check Alcotest.int "r1" 1 (Dls.leader_of ~n:4 1);
         check Alcotest.int "r5" 1 (Dls.leader_of ~n:4 5));
-    Alcotest.test_case "create rejects n < 3f+1" `Quick (fun () ->
+    Alcotest.test_case "create rejects an unavailable quorum system" `Quick
+      (fun () ->
+        (* majority with n = 3, f = 1 keeps intersection (2q-n = 3 >= f+1)
+           but loses availability (n-f = 2 < q = 3) — the old n >= 3f+1
+           rejection, now spoken in quorum-law terms *)
         let w = make_world () in
-        Alcotest.check_raises "small"
-          (Invalid_argument "Dls.create: need n >= 3f+1") (fun () ->
-            ignore (Dls.create { (w.cfgs.(0)) with Dls.n = 3; f = 1 })));
+        match
+          Dls.create
+            { (w.cfgs.(0)) with Dls.qs = Quorum_system.majority ~n:3 ~f:1 () }
+        with
+        | exception Invalid_argument msg ->
+            check Alcotest.bool "mentions Dls.create" true
+              (String.length msg >= 11 && String.sub msg 0 11 = "Dls.create:")
+        | _ -> Alcotest.fail "accepted majority(n=3,f=1)");
     Alcotest.test_case "create rejects signer mismatch" `Quick (fun () ->
         let w = make_world () in
         Alcotest.check_raises "mismatch"

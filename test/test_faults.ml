@@ -33,18 +33,23 @@ let arbitrary_plan =
   in
   let partition =
     map
-      (fun ((cut, from_), dur) ->
+      (fun (((cut, from_), dur), named) ->
         let pids = [ 0; 1; 2; 3; 4; 5 ] in
-        {
-          FP.groups =
-            [
-              List.filteri (fun i _ -> i < cut) pids;
-              List.filteri (fun i _ -> i >= cut) pids;
-            ];
-          from_;
-          until_ = Option.map (fun d -> from_ + d) dur;
-        })
-      (pair (pair (int_range 1 5) (int_range 0 1_000)) (option (int_range 0 500)))
+        let groups =
+          [
+            List.filteri (fun i _ -> i < cut) pids;
+            List.filteri (fun i _ -> i >= cut) pids;
+          ]
+        in
+        let gnames =
+          if named then
+            List.mapi (fun i _ -> Some (Printf.sprintf "blk%d" i)) groups
+          else []
+        in
+        { FP.groups; gnames; from_; until_ = Option.map (fun d -> from_ + d) dur })
+      (pair
+         (pair (pair (int_range 1 5) (int_range 0 1_000)) (option (int_range 0 500)))
+         bool)
   in
   let plan =
     map
@@ -117,8 +122,33 @@ let plan_tests =
         bad "crash x@10";
         bad "crash 1@10+0";
         bad "part 0,1@5";
+        bad "part 3-1|4@5";
+        bad "part 2bad:0,1|b:2,3@5";
         bad "gst+abc";
         bad "flood *>* 0.1");
+    Alcotest.test_case "named groups and ranges parse" `Quick (fun () ->
+        (* a range is parse-time sugar for the inclusive pid list *)
+        check Alcotest.string "range expands" "part 0,1,2|3,4,5@9"
+          (FP.to_string (plan_of "part 0-2|3-5@9"));
+        (* group names survive the roundtrip verbatim *)
+        let named = "part wing_a:0,1|wing_b:2,3@200+400" in
+        check Alcotest.string "names roundtrip" named
+          (FP.to_string (plan_of named));
+        let p = plan_of named in
+        (match p.FP.partitions with
+        | [ s ] ->
+            check
+              Alcotest.(list (option string))
+              "gnames parallel" [ Some "wing_a"; Some "wing_b" ] s.FP.gnames
+        | _ -> Alcotest.fail "one partition expected");
+        (* naming is all-or-nothing and names must be distinct *)
+        let invalid s =
+          match FP.validate (plan_of s) ~nprocs:6 with
+          | Error _ -> ()
+          | Ok () -> Alcotest.failf "validated %S" s
+        in
+        invalid "part a:0,1|2,3@5";
+        invalid "part a:0,1|a:2,3@5");
     Alcotest.test_case "validate catches structural errors" `Quick (fun () ->
         let invalid s =
           match FP.validate (plan_of s) ~nprocs:4 with
@@ -201,7 +231,7 @@ let plan_tests =
           {
             base with
             FP.partitions =
-              [ { FP.groups = [ [ 0 ]; [ 1 ] ]; from_ = 7; until_ = Some 7 } ];
+              [ { FP.groups = [ [ 0 ]; [ 1 ] ]; gnames = []; from_ = 7; until_ = Some 7 } ];
           };
         invalid { base with FP.gst_jitter = -1 });
     (* arbitrary records — combined rules included — round-trip through

@@ -1,0 +1,462 @@
+(* Tests for the quorum-system subsystem: the Byzantine quorum laws on
+   every constructor family (checked by brute force on small systems),
+   the batched pipelined committee runner, and the golden pin that the
+   quorum-parametrized consensus is byte-identical to the pre-refactor
+   2f+1 committee TM on seeded scenarios. *)
+
+module QS = Quorum_system
+module C = Quorum.Committee
+module Runner = Protocols.Runner
+module Weak_protocol = Protocols.Weak_protocol
+open Xcrypto
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------ quorum laws *)
+
+(* Brute force over all subsets of a small system: every pair of quorums
+   must intersect in at least f+1 processes (so any two certificates
+   share an honest signer), and the complement of any f processes must
+   still be a quorum (so f failures never strand the system). is_quorum
+   is monotone, so checking every accepting subset covers every quorum. *)
+let laws_by_brute_force qs =
+  let n = QS.size qs in
+  let f = QS.fault_bound qs in
+  assert (n <= 12);
+  let subsets = 1 lsl n in
+  let present mask = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+  let quorums = ref [] in
+  for mask = 0 to subsets - 1 do
+    if QS.is_quorum qs ~present:(present mask) then quorums := mask :: !quorums
+  done;
+  let popcount mask =
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then incr c
+    done;
+    !c
+  in
+  let intersection_ok =
+    List.for_all
+      (fun a -> List.for_all (fun b -> popcount (a land b) >= f + 1) !quorums)
+      !quorums
+  in
+  let availability_ok =
+    (* every f-subset of faulty processes leaves a quorum alive *)
+    let rec faulty_masks k lo =
+      if k = 0 then [ 0 ]
+      else
+        List.concat_map
+          (fun i ->
+            List.map (fun m -> m lor (1 lsl i)) (faulty_masks (k - 1) (i + 1)))
+          (List.init (max 0 (n - lo)) (fun d -> lo + d))
+    in
+    List.for_all
+      (fun faulty ->
+        QS.is_quorum qs ~present:(present (lnot faulty land (subsets - 1))))
+      (faulty_masks f 0)
+  in
+  !quorums <> [] && intersection_ok && availability_ok
+
+let arbitrary_system =
+  let open QCheck.Gen in
+  let majority =
+    let* n = int_range 1 8 in
+    let* f = int_range 0 2 in
+    let* q = int_range 1 n in
+    return (QS.majority ~q ~n ~f ())
+  in
+  let weighted =
+    let* n = int_range 1 6 in
+    let* weights = array_repeat n (int_range 1 3) in
+    let* f = int_range 0 2 in
+    let total = Array.fold_left ( + ) 0 weights in
+    let* threshold = int_range 1 total in
+    return (QS.weighted ~threshold ~weights ~f ())
+  in
+  let grid =
+    let* rows = int_range 1 3 in
+    let* cols = int_range 1 3 in
+    let* f = int_range 0 2 in
+    let* qr = int_range 1 rows in
+    let* qc = int_range 1 cols in
+    return (QS.grid ~qr ~qc ~rows ~cols ~f ())
+  in
+  QCheck.make
+    ~print:(fun qs -> QS.describe qs)
+    (oneof [ majority; weighted; grid ])
+
+(* --------------------------------------------- committee test world *)
+
+(* The committee module is a pure state machine, so a test world is an
+   array of replicas plus a message queue drained by hand; dropping or
+   forging messages is just not enqueueing / enqueueing them. *)
+type world = {
+  coms : C.t array;
+  registry : Auth.registry;
+  signers : Auth.signer array;
+  queue : (int * int * C.msg) Queue.t;  (* from, to, msg *)
+  mutable timers : (int * int * int) list;  (* replica, slot, round *)
+}
+
+let effects w ~from_ effs =
+  let n = Array.length w.coms in
+  List.iter
+    (fun eff ->
+      match eff with
+      | C.Send { to_; m } -> Queue.add (from_, to_, m) w.queue
+      | C.Broadcast m ->
+          for k = 0 to n - 1 do
+            Queue.add (from_, k, m) w.queue
+          done
+      | C.Set_slot_timer { slot; round; _ } ->
+          w.timers <- (from_, slot, round) :: w.timers
+      | C.Certified _ -> ())
+    effs
+
+let make_world ?(n = 4) ?(f = 1) ?(batch_cap = 4) ?(pipeline = 2) () =
+  let registry = Auth.create ~seed:11 in
+  let auth_ids = Array.init n Fun.id in
+  let signers = Array.init n (fun i -> Auth.register registry i) in
+  let cfg i =
+    {
+      C.qs = QS.majority ~n ~f ();
+      self = i;
+      auth_ids;
+      registry;
+      signer = signers.(i);
+      batch_cap;
+      pipeline;
+      base_timeout = 50;
+    }
+  in
+  {
+    coms = Array.init n (fun i -> C.create (cfg i));
+    registry;
+    signers;
+    queue = Queue.create ();
+    timers = [];
+  }
+
+let drain ?(now = 0) ?(drop = fun ~from_:_ ~to_:_ _ -> false) w =
+  let budget = ref 100_000 in
+  while not (Queue.is_empty w.queue) do
+    decr budget;
+    if !budget < 0 then Alcotest.fail "drain: message storm";
+    let from_, to_, m = Queue.pop w.queue in
+    if not (drop ~from_ ~to_ m) then
+      effects w ~from_:to_ (C.on_msg w.coms.(to_) ~now ~from_ m)
+  done
+
+let request w ?(now = 0) i v = effects w ~from_:i (C.request w.coms.(i) ~now v)
+
+(* ------------------------------------------------- golden trace pins *)
+
+(* The committee TM ran on a hardwired 2f+1 majority before the quorum
+   refactor; these digests were captured on that implementation, so the
+   DLS-over-quorum-system path must reproduce them byte for byte. The
+   scenario is E13's: a 2|2 committee split healing mid-run. *)
+let golden_pins =
+  [
+    (1, 11_549, "60b3b63eeaa7eca98da494338a30ab37");
+    (2, 13_372, "1f968ffc55fe8c3b82b320442c0e6c44");
+    (3, 13_088, "3dba97102024b65152992656d78807ed");
+  ]
+
+let e13_trace ~seed ~tm =
+  let hops = 2 in
+  let gst_rng = Sim.Rng.create ~seed:(seed * 7919) in
+  let gst = Sim.Rng.int_in gst_rng ~lo:0 ~hi:1_000 in
+  let plan =
+    match Faults.Fault_plan.of_string "part 5,6|7,8@250+500" with
+    | Ok p -> p
+    | Error e -> invalid_arg e
+  in
+  let cfg =
+    {
+      (Runner.default_config ~hops ~seed) with
+      Runner.network = Runner.Psync { gst };
+      fault_plan = Some plan;
+    }
+  in
+  let wcfg = { Weak_protocol.default_config with tm; patience = 4_000 } in
+  let o = Runner.run cfg (Runner.Weak wcfg) in
+  Fmt.str "%a"
+    (Sim.Trace.pp ~msg:Protocols.Msg.pp ~obs:Protocols.Obs.pp)
+    o.Runner.trace
+
+(* ------------------------------------------------------------ tests *)
+
+let () =
+  Alcotest.run "quorum"
+    [
+      ( "laws",
+        [
+          Alcotest.test_case "constructors validate the quorum laws" `Quick
+            (fun () ->
+              let ok qs = check Alcotest.bool (QS.describe qs) true
+                  (QS.validate qs = Ok ())
+              and bad qs = check Alcotest.bool (QS.describe qs) true
+                  (Result.is_error (QS.validate qs))
+              in
+              ok (QS.majority ~n:4 ~f:1 ());
+              ok (QS.majority ~n:7 ~f:2 ());
+              ok (QS.majority ~n:100 ~f:33 ());
+              ok (QS.weighted ~weights:[| 2; 2; 1; 1; 1 |] ~f:1 ());
+              ok (QS.grid ~rows:3 ~cols:3 ~f:1 ());
+              (* n = 3f is one replica short of a majority system *)
+              bad (QS.majority ~n:3 ~f:1 ());
+              (* a heavyweight makes quorums intersect in a single
+                 process: one Byzantine replica could equivocate *)
+              bad (QS.weighted ~weights:[| 3; 1; 1; 1; 1 |] ~f:1 ());
+              (* a 4x4 grid cannot survive f=3: the quorums are there
+                 but three faults can pin every row *)
+              bad (QS.grid ~rows:4 ~cols:4 ~f:3 ());
+              bad (QS.majority ~n:4 ~f:1 ~q:2 ()));
+          Alcotest.test_case "validated systems satisfy the laws by brute \
+                             force" `Quick (fun () ->
+              List.iter
+                (fun qs ->
+                  check Alcotest.bool (QS.describe qs) true
+                    (laws_by_brute_force qs))
+                [
+                  QS.majority ~n:4 ~f:1 ();
+                  QS.majority ~n:7 ~f:2 ();
+                  QS.weighted ~weights:[| 2; 2; 1; 1; 1 |] ~f:1 ();
+                  QS.grid ~rows:3 ~cols:3 ~f:1 ();
+                ]);
+          qcheck
+            (QCheck.Test.make
+               ~name:"validate accepts only law-abiding systems" ~count:500
+               arbitrary_system (fun qs ->
+                 (* brute force is the spec: validate may reject a
+                    law-abiding system only never accept a violator *)
+                 match QS.validate qs with
+                 | Ok () -> laws_by_brute_force qs
+                 | Error _ -> QCheck.assume_fail ()));
+        ] );
+      ( "committee",
+        [
+          Alcotest.test_case "a burst batches into one verified certificate"
+            `Quick (fun () ->
+              (* pipeline 1: the first request opens slot 0 alone; the
+                 rest queue behind the busy lane and ship as one batch *)
+              let w = make_world ~batch_cap:4 ~pipeline:1 () in
+              for item = 0 to 3 do
+                request w ~now:5 0 { C.item; commit = item mod 2 = 0 }
+              done;
+              drain ~now:9 w;
+              let seq = w.coms.(0) in
+              check Alcotest.int "two slots" 2 (C.slot_count seq);
+              check Alcotest.int "two certs" 2 (C.decided_slots seq);
+              (match C.cert_of_slot seq 1 with
+              | None -> Alcotest.fail "no certificate"
+              | Some cert ->
+                  check Alcotest.int "batch of 3" 3
+                    (List.length cert.Consensus.Dls.d_value);
+                  (* any holder of the registry can verify, no quorum
+                     participation needed *)
+                  check Alcotest.bool "verifies" true
+                    (C.verify_cert
+                       {
+                         C.qs = QS.majority ~n:4 ~f:1 ();
+                         self = 1;
+                         auth_ids = Array.init 4 Fun.id;
+                         registry = w.registry;
+                         signer = w.signers.(1);
+                         batch_cap = 4;
+                         pipeline = 2;
+                         base_timeout = 50;
+                       }
+                       cert));
+              for item = 0 to 3 do
+                match C.verdict_of seq ~item with
+                | Some (commit, slot) ->
+                    check Alcotest.bool "fate" (item mod 2 = 0) commit;
+                    check Alcotest.int "slot" (if item = 0 then 0 else 1) slot
+                | None -> Alcotest.failf "item %d undecided" item
+              done;
+              (* slot 0 opened at the request (now=5) and certified
+                 during the drain (now=9) *)
+              check
+                Alcotest.(option int)
+                "cert latency from slot open" (Some 4)
+                (C.cert_latency seq 0));
+          Alcotest.test_case "pipeline depth caps concurrently open slots"
+            `Quick (fun () ->
+              let w = make_world ~batch_cap:1 ~pipeline:2 () in
+              for item = 0 to 4 do
+                request w 0 { C.item; commit = true }
+              done;
+              (* nothing delivered yet: demand for 5 slots, lanes for 2 *)
+              check Alcotest.int "open slots capped" 2
+                (C.slot_count w.coms.(0));
+              drain w;
+              check Alcotest.int "all slots drained" 5
+                (C.slot_count w.coms.(0));
+              check Alcotest.int "all decided" 5
+                (C.decided_slots w.coms.(0)));
+          Alcotest.test_case "duplicate requests are dropped" `Quick (fun () ->
+              let w = make_world () in
+              request w 0 { C.item = 7; commit = true };
+              check Alcotest.bool "duplicate ignored" true
+                (C.request w.coms.(0) ~now:0 { C.item = 7; commit = true } = []);
+              check Alcotest.bool "conflict ignored" true
+                (C.request w.coms.(0) ~now:0 { C.item = 7; commit = false } = []);
+              drain w;
+              check
+                Alcotest.(option (pair bool int))
+                "first verdict won" (Some (true, 0))
+                (C.verdict_of w.coms.(0) ~item:7));
+          Alcotest.test_case "tampered certificates are rejected" `Quick
+            (fun () ->
+              let w = make_world ~batch_cap:2 () in
+              request w 0 { C.item = 0; commit = true };
+              request w 0 { C.item = 1; commit = true };
+              drain w;
+              let cert =
+                match C.cert_of_slot w.coms.(0) 0 with
+                | Some c -> c
+                | None -> Alcotest.fail "no certificate"
+              in
+              let cfg =
+                {
+                  C.qs = QS.majority ~n:4 ~f:1 ();
+                  self = 0;
+                  auth_ids = Array.init 4 Fun.id;
+                  registry = w.registry;
+                  signer = w.signers.(0);
+                  batch_cap = 2;
+                  pipeline = 2;
+                  base_timeout = 50;
+                }
+              in
+              check Alcotest.bool "genuine cert verifies" true
+                (C.verify_cert cfg cert);
+              let flipped =
+                {
+                  cert with
+                  Consensus.Dls.d_value =
+                    List.map
+                      (fun v -> { v with C.commit = not v.C.commit })
+                      cert.Consensus.Dls.d_value;
+                }
+              in
+              check Alcotest.bool "flipped verdicts rejected" false
+                (C.verify_cert cfg flipped);
+              let wrong_registry =
+                { cfg with C.registry = Auth.create ~seed:12 }
+              in
+              check Alcotest.bool "foreign registry rejected" false
+                (C.verify_cert wrong_registry cert));
+          Alcotest.test_case "foreign-batch decision requeues uncovered items"
+            `Quick (fun () ->
+              (* the sequencer proposes [0;1] for slot 0, but a forged
+                 propose (channel-authenticated as the sequencer — what a
+                 Byzantine sequencer could send) routes [9] to the other
+                 replicas, whose 3-strong quorum decides it without the
+                 sequencer's help. The sequencer must adopt that foreign
+                 certificate and requeue the uncovered items into a fresh
+                 slot rather than lose them. *)
+              let w = make_world ~batch_cap:2 ~pipeline:1 () in
+              request w 0 { C.item = 0; commit = true };
+              request w 0 { C.item = 1; commit = true };
+              (* replace the genuine round-0 propose with the forgery *)
+              Queue.clear w.queue;
+              let forged =
+                {
+                  C.slot = 0;
+                  dm =
+                    Consensus.Dls.Propose
+                      {
+                        round = 0;
+                        value = [ { C.item = 9; commit = false } ];
+                        justif = None;
+                      };
+                }
+              in
+              for k = 1 to 3 do
+                Queue.add (0, k, forged) w.queue
+              done;
+              drain w;
+              let seq = w.coms.(0) in
+              check
+                Alcotest.(option (pair bool int))
+                "foreign item decided" (Some (false, 0))
+                (C.verdict_of seq ~item:9);
+              check Alcotest.bool "requeued item 0" true
+                (match C.verdict_of seq ~item:0 with
+                | Some (true, slot) -> slot > 0
+                | _ -> false);
+              check Alcotest.bool "requeued item 1" true
+                (match C.verdict_of seq ~item:1 with
+                | Some (true, slot) -> slot > 0
+                | _ -> false);
+              check Alcotest.int "two certificates" 2 (C.decided_slots seq));
+          Alcotest.test_case "shared-mode workload spec roundtrips" `Quick
+            (fun () ->
+              let spec =
+                "payments=64 hops=2 value=1000 commission=10 \
+                 arrival=burst:64:1 mix=shared policy=reserve cap=0 \
+                 liquidity=0 patience=100000 stuck=0 drift=0 gst=none \
+                 committee=majority:16:5:32:4"
+              in
+              match Traffic.Workload.of_string spec with
+              | Error e -> Alcotest.fail e
+              | Ok w ->
+                  (match w.Traffic.Workload.committee with
+                  | Some c ->
+                      check Alcotest.string "family" "majority"
+                        c.Traffic.Workload.c_family;
+                      check Alcotest.int "size" 16 c.Traffic.Workload.c_size;
+                      check Alcotest.int "f" 5 c.Traffic.Workload.c_f;
+                      check Alcotest.int "batch" 32 c.Traffic.Workload.c_batch;
+                      check Alcotest.int "pipeline" 4
+                        c.Traffic.Workload.c_pipeline;
+                      check Alcotest.int "faulty" 0
+                        c.Traffic.Workload.c_faulty
+                  | None -> Alcotest.fail "committee spec lost");
+                  check Alcotest.bool "roundtrip" true
+                    (Traffic.Workload.of_string (Traffic.Workload.to_string w)
+                    = Ok w));
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case
+            "quorum-parametrized DLS is byte-identical to the pre-refactor \
+             committee TM" `Quick (fun () ->
+              List.iter
+                (fun (seed, len, digest) ->
+                  let rendered =
+                    e13_trace ~seed ~tm:(Weak_protocol.Committee { f = 1 })
+                  in
+                  check Alcotest.int
+                    (Printf.sprintf "seed %d length" seed)
+                    len (String.length rendered);
+                  check Alcotest.string
+                    (Printf.sprintf "seed %d digest" seed)
+                    digest
+                    (Digest.to_hex (Digest.string rendered)))
+                golden_pins);
+          Alcotest.test_case
+            "Committee {f} is the majority quorum system, trace for trace"
+            `Quick (fun () ->
+              List.iter
+                (fun seed ->
+                  let a =
+                    e13_trace ~seed ~tm:(Weak_protocol.Committee { f = 1 })
+                  in
+                  let b =
+                    e13_trace ~seed
+                      ~tm:
+                        (Weak_protocol.Quorum
+                           { qs = QS.majority ~n:4 ~f:1 () })
+                  in
+                  check Alcotest.string
+                    (Printf.sprintf "seed %d" seed)
+                    (Digest.to_hex (Digest.string a))
+                    (Digest.to_hex (Digest.string b)))
+                [ 1; 2; 3 ]);
+        ] );
+    ]

@@ -77,6 +77,7 @@ let wl_gen =
       topology = None;
       route = Routing.Router.Shortest;
       splits = 1;
+      committee = None;
     })
 
 let wl_arb =
